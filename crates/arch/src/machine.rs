@@ -1,0 +1,951 @@
+//! The SpaceA machine and its event-driven SpMV execution.
+//!
+//! [`Machine::run_spmv`] builds the full component hierarchy (banks, PEs,
+//! CAMs, load queues, TSVs, NoC meshes), distributes the matrix according to
+//! the mapping and the vectors block-cyclically over the vector banks, then
+//! drives the discrete-event loop of Section III until every non-zero is
+//! processed and every partial result is accumulated. The run is validated
+//! against the software SpMV oracle, exactly as the paper validates its
+//! simulator.
+//!
+//! The X-request data path (paper Figure 3, one cube shown):
+//!
+//! ```text
+//!  matrix layer 1..7                          vector layer 0
+//!  ┌───────────────────────┐                 ┌──────────────────────┐
+//!  │ bank ─▶ PE queue ─▶ RF │                │ vector bank          │
+//!  │          │  miss       │                │   ▲ read 32 B block  │
+//!  │      L1 CAM ─ L1 LDQ   │                │ L1 CAM (Accum-PE)    │
+//!  └──────────┬─────────────┘                └──────────▲───────────┘
+//!             │ TSV (bus, 16 B/cy)                      │ TSV
+//!  ┌──────────▼──────────────────────────────────────────┴──┐
+//!  │ vault controller: L2 CAM ─ L2 LDQ ─ NoC router         │ base die
+//!  └──────────▲──────────────────────────────────────────▲──┘
+//!             │ 4x4 vault mesh (X-Y routing)              │
+//!             └───────────── SerDes cube mesh ────────────┘
+//! ```
+//!
+//! Y partials flow the same way in reverse: PE → TSV → home vault →
+//! TSV → Accumulation-PE update buffer.
+
+use crate::accum::{UpdateBuffer, UpdateOutcome};
+use crate::config::HwConfig;
+use crate::layout::{DataLayout, SlotId};
+use crate::packet::{size, Requester};
+use crate::pe::{pack_rows, PeEntry, ProductPe};
+use crate::report::SimReport;
+use crate::trace::{TraceEvent, TraceRecord};
+use spacea_mapping::Mapping;
+use spacea_matrix::Csr;
+use spacea_model::ActivitySummary;
+use spacea_sim::cam::Cam;
+use spacea_sim::dram::{AccessKind, DramBank};
+use spacea_sim::engine::EventQueue;
+use spacea_sim::ldq::{LdqPush, LoadQueue};
+use spacea_sim::link::Link;
+use spacea_sim::noc::MeshNoc;
+use spacea_sim::stats::SramCounters;
+use spacea_sim::trace::TraceLog;
+use spacea_sim::Cycle;
+use std::error::Error;
+use std::fmt;
+
+/// A cached input-vector block: four consecutive `f64` elements.
+type Block = [f64; 4];
+
+/// Errors from building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The hardware configuration failed validation.
+    BadConfig(String),
+    /// Vector length does not match the matrix.
+    DimensionMismatch {
+        /// Expected length (matrix columns).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// The mapping was built for a different PE count or matrix.
+    MappingMismatch(String),
+    /// The simulated output disagreed with the software oracle.
+    ValidationFailed {
+        /// First mismatching element index.
+        index: usize,
+        /// Simulated value.
+        simulated: f64,
+        /// Oracle value.
+        expected: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig(msg) => write!(f, "invalid hardware configuration: {msg}"),
+            SimError::DimensionMismatch { expected, actual } => {
+                write!(f, "input vector length {actual} does not match {expected} columns")
+            }
+            SimError::MappingMismatch(msg) => write!(f, "mapping mismatch: {msg}"),
+            SimError::ValidationFailed { index, simulated, expected } => write!(
+                f,
+                "output validation failed at element {index}: simulated {simulated}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A configured SpaceA machine, ready to run SpMV workloads.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: HwConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(cfg: HwConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.cfg
+    }
+
+    /// Simulates `y = A·x` under `mapping` and returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on configuration, dimension or mapping mismatch,
+    /// or if the simulated output fails oracle validation (which would
+    /// indicate a simulator bug, never a data-dependent condition).
+    pub fn run_spmv(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<SimReport, SimError> {
+        self.cfg.validate().map_err(SimError::BadConfig)?;
+        if x.len() != a.cols() {
+            return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
+        }
+        if mapping.assignment.num_pes() != self.cfg.shape.product_pes() {
+            return Err(SimError::MappingMismatch(format!(
+                "mapping has {} PEs, machine has {}",
+                mapping.assignment.num_pes(),
+                self.cfg.shape.product_pes()
+            )));
+        }
+        if mapping.assignment.total_rows() != a.rows() {
+            return Err(SimError::MappingMismatch(format!(
+                "mapping covers {} rows, matrix has {}",
+                mapping.assignment.total_rows(),
+                a.rows()
+            )));
+        }
+        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        sim.run();
+        sim.finish(a, x)
+    }
+
+    /// Like [`Machine::run_spmv`], additionally recording the first
+    /// `trace_capacity` machine events (the paper's "detailed event trace",
+    /// bounded so memory stays predictable).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Machine::run_spmv`].
+    pub fn run_spmv_traced(
+        &self,
+        a: &Csr,
+        x: &[f64],
+        mapping: &Mapping,
+        trace_capacity: usize,
+    ) -> Result<(SimReport, TraceLog<TraceRecord>), SimError> {
+        self.cfg.validate().map_err(SimError::BadConfig)?;
+        if x.len() != a.cols() {
+            return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
+        }
+        if mapping.assignment.num_pes() != self.cfg.shape.product_pes() {
+            return Err(SimError::MappingMismatch(format!(
+                "mapping has {} PEs, machine has {}",
+                mapping.assignment.num_pes(),
+                self.cfg.shape.product_pes()
+            )));
+        }
+        if mapping.assignment.total_rows() != a.rows() {
+            return Err(SimError::MappingMismatch(format!(
+                "mapping covers {} rows, matrix has {}",
+                mapping.assignment.total_rows(),
+                a.rows()
+            )));
+        }
+        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        sim.trace = TraceLog::new(trace_capacity);
+        sim.run();
+        let trace = std::mem::take(&mut sim.trace);
+        Ok((sim.finish(a, x)?, trace))
+    }
+}
+
+/// Simulation events. Every event carries its destination component id.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Product-PE control-unit scan step.
+    PeStep { pe: u32 },
+    /// A DRAM row arrived in the PE queue.
+    RowLoaded { pe: u32, row_id: u32 },
+    /// Type I packet at a vault controller.
+    VaultXReq { vault: u32, block: u64, from: Requester },
+    /// Type II packet at a vault controller.
+    VaultXResp { vault: u32, block: u64 },
+    /// X request reached the owning vector bank.
+    BankXReq { bank: u32, block: u64 },
+    /// X response reached a product bank group: fill L1, wake waiters.
+    L1Fill { bg: u32, block: u64 },
+    /// Type III packet at the vault owning `Y_row`.
+    YAtVault { vault: u32, row: u32, val: f64 },
+    /// Y partial reached the owning vector bank's Accumulation-PE.
+    YAtBank { bank: u32, row: u32, val: f64 },
+}
+
+/// Converts an internal event into its public trace representation.
+fn trace_event(ev: &Ev) -> TraceEvent {
+    match *ev {
+        Ev::PeStep { pe } => TraceEvent::PeStep { pe },
+        Ev::RowLoaded { pe, row_id } => TraceEvent::RowLoaded { pe, row_id },
+        Ev::VaultXReq { vault, block, .. } => TraceEvent::XRequestAtVault { vault, block },
+        Ev::VaultXResp { vault, block } => TraceEvent::XResponseAtVault { vault, block },
+        Ev::BankXReq { bank, block } => TraceEvent::XRequestAtBank { bank, block },
+        Ev::L1Fill { bg, block } => TraceEvent::L1Fill { bg, block },
+        Ev::YAtVault { vault, row, .. } => TraceEvent::YAtVault { vault, row },
+        Ev::YAtBank { bank, row, .. } => TraceEvent::YAtBank { bank, row },
+    }
+}
+
+/// A PE-queue entry parked in an L1 load queue.
+#[derive(Debug, Clone, Copy)]
+struct PeWaiter {
+    pe: u32,
+    entry: PeEntry,
+}
+
+struct Sim<'a> {
+    cfg: &'a HwConfig,
+    layout: DataLayout,
+    a: &'a Csr,
+    x: &'a [f64],
+    q: EventQueue<Ev>,
+
+    pes: Vec<ProductPe>,
+    pe_slots: Vec<SlotId>,
+    matrix_banks: Vec<DramBank>,
+    vector_banks: Vec<DramBank>,
+    prod_l1: Vec<Cam<Block>>,
+    vec_l1: Vec<Cam<Block>>,
+    l1_ldq: Vec<LoadQueue<PeWaiter>>,
+    l2_cam: Vec<Cam<Block>>,
+    l2_ldq: Vec<LoadQueue<Requester>>,
+    tsv: Vec<Link>,
+    nocs: Vec<MeshNoc>,
+    serdes: Option<MeshNoc>,
+    update_buf: Vec<UpdateBuffer>,
+    accum_busy: Vec<Cycle>,
+
+    y: Vec<f64>,
+    entries_left: u64,
+    y_left: u64,
+    end_time: Cycle,
+
+    rf: SramCounters,
+    queue_sram: SramCounters,
+    fpu_ops: u64,
+    trace: TraceLog<TraceRecord>,
+}
+
+impl<'a> Sim<'a> {
+    fn build(cfg: &'a HwConfig, a: &'a Csr, x: &'a [f64], mapping: &Mapping) -> Self {
+        assert_eq!(
+            cfg.l1_cam.way_bytes, 32,
+            "the block-based data path assumes 32-byte (4-element) CAM ways"
+        );
+        let layout = DataLayout::new(cfg);
+        let num_pes = cfg.shape.product_pes();
+        let nnz_per_row = cfg.nnz_per_dram_row();
+
+        let mut pes = Vec::with_capacity(num_pes);
+        let mut pe_slots = Vec::with_capacity(num_pes);
+        let mut entries_left = 0u64;
+        let mut y_left = 0u64;
+        for slot_ix in 0..num_pes {
+            let logical = mapping.placement.logical_at_slot(slot_ix) as usize;
+            let rows = mapping.assignment.rows_of(logical);
+            let packed = pack_rows(a, rows, nnz_per_row);
+            let pe = ProductPe::new(packed);
+            entries_left += pe.total_nnz() as u64;
+            y_left += rows.iter().filter(|&&r| a.row_nnz(r as usize) > 0).count() as u64;
+            pes.push(pe);
+            pe_slots.push(layout.slot_from_linear(slot_ix));
+        }
+
+        let vaults = cfg.shape.vaults();
+        let (nw, nh) = HwConfig::mesh_dims(cfg.shape.vaults_per_cube);
+        let nocs = (0..cfg.shape.cubes)
+            .map(|_| MeshNoc::new(nw, nh, cfg.noc_hop_latency, cfg.noc_bytes_per_cycle))
+            .collect();
+        let serdes = (cfg.shape.cubes > 1).then(|| {
+            let (cw, ch) = HwConfig::mesh_dims(cfg.shape.cubes);
+            MeshNoc::new(cw, ch, cfg.serdes_hop_latency, cfg.serdes_bytes_per_cycle)
+        });
+
+        Sim {
+            cfg,
+            layout,
+            a,
+            x,
+            q: EventQueue::new(),
+            pes,
+            pe_slots,
+            matrix_banks: (0..num_pes).map(|_| DramBank::new(cfg.timing)).collect(),
+            vector_banks: (0..cfg.vector_banks()).map(|_| DramBank::new(cfg.timing)).collect(),
+            prod_l1: (0..cfg.shape.product_bank_groups()).map(|_| Cam::new(cfg.l1_cam)).collect(),
+            vec_l1: (0..vaults).map(|_| Cam::new(cfg.l1_cam)).collect(),
+            l1_ldq: (0..cfg.shape.product_bank_groups())
+                .map(|_| LoadQueue::new(cfg.l1_ldq_entries))
+                .collect(),
+            l2_cam: (0..vaults).map(|_| Cam::new(cfg.l2_cam)).collect(),
+            l2_ldq: (0..vaults).map(|_| LoadQueue::new(cfg.l2_ldq_entries)).collect(),
+            tsv: (0..vaults)
+                .map(|_| Link::new_bus(cfg.tsv_latency, cfg.tsv_bytes_per_cycle))
+                .collect(),
+            nocs,
+            serdes,
+            update_buf: (0..cfg.vector_banks())
+                .map(|_| UpdateBuffer::new(cfg.update_buffer_rows))
+                .collect(),
+            accum_busy: vec![0; cfg.vector_banks()],
+            y: vec![0.0; a.rows()],
+            entries_left,
+            y_left,
+            end_time: 0,
+            rf: SramCounters::default(),
+            queue_sram: SramCounters::default(),
+            fpu_ops: 0,
+            trace: TraceLog::disabled(),
+        }
+    }
+
+    /// The values of input-vector `block` (zero-padded at the tail).
+    fn block_values(&self, block: u64) -> Block {
+        let base = self.layout.first_element_of_block(block);
+        let mut v = [0.0f64; 4];
+        for (k, slot) in v.iter_mut().enumerate() {
+            if base + k < self.x.len() {
+                *slot = self.x[base + k];
+            }
+        }
+        v
+    }
+
+    /// Routes a packet between two global vaults; returns the arrival cycle.
+    ///
+    /// Same vault: free (the packet never leaves the vault controller).
+    /// Same cube: the intra-cube vault mesh. Different cubes: the base-die
+    /// network carries the packet from the source vault onto the cube's
+    /// SerDes links (every vault has a path to the link controllers, so
+    /// inter-cube traffic is not funnelled through one vault), across the
+    /// cube mesh, then over the remote cube's mesh from the mirrored entry
+    /// position to the target vault.
+    fn route(&mut self, t: Cycle, src: usize, dst: usize, bytes: usize) -> Cycle {
+        if src == dst {
+            return t;
+        }
+        let (sc, sv) = (self.layout.cube_of_vault(src), self.layout.local_vault(src));
+        let (dc, dv) = (self.layout.cube_of_vault(dst), self.layout.local_vault(dst));
+        if sc == dc {
+            return self.nocs[sc].send(t, sv, dv, bytes);
+        }
+        let t = self
+            .serdes
+            .as_mut()
+            .expect("multi-cube shape always builds a SerDes mesh")
+            .send(t, sc, dc, bytes);
+        self.nocs[dc].send(t, sv, dv, bytes)
+    }
+
+    fn run(&mut self) {
+        // Kick off the first DRAM row load of every PE.
+        for pe in 0..self.pes.len() {
+            self.try_load(pe as u32, 0);
+        }
+        while let Some((t, ev)) = self.q.pop() {
+            self.end_time = self.end_time.max(t);
+            if self.trace.is_enabled() {
+                self.trace.push_with(|| TraceRecord { cycle: t, event: trace_event(&ev) });
+            }
+            match ev {
+                Ev::PeStep { pe } => self.pe_step(pe, t),
+                Ev::RowLoaded { pe, row_id } => self.row_loaded(pe, row_id, t),
+                Ev::VaultXReq { vault, block, from } => self.vault_x_req(vault, block, from, t),
+                Ev::VaultXResp { vault, block } => self.vault_x_resp(vault, block, t),
+                Ev::BankXReq { bank, block } => self.bank_x_req(bank, block, t),
+                Ev::L1Fill { bg, block } => self.l1_fill(bg, block, t),
+                Ev::YAtVault { vault, row, val } => self.y_at_vault(vault, row, val, t),
+                Ev::YAtBank { bank, row, val } => self.y_at_bank(bank, row, val, t),
+            }
+        }
+        debug_assert_eq!(self.entries_left, 0, "simulation drained with unprocessed entries");
+        debug_assert_eq!(self.y_left, 0, "simulation drained with missing Y partials");
+        debug_assert!(self.pes.iter().all(ProductPe::finished), "every PE must drain");
+    }
+
+    /// Issues the next DRAM row load if the PE queue has space.
+    fn try_load(&mut self, pe: u32, t: Cycle) {
+        let p = pe as usize;
+        let state = &mut self.pes[p];
+        if state.load_in_flight
+            || state.next_load >= state.dram_rows.len()
+            || state.queue.len() >= self.cfg.pe_queue_rows
+        {
+            return;
+        }
+        let row_id = state.next_load as u32;
+        state.next_load += 1;
+        state.load_in_flight = true;
+        let done =
+            self.matrix_banks[p].access(t, row_id as u64, size::DRAM_ROW, AccessKind::Read);
+        self.q.schedule(done, Ev::RowLoaded { pe, row_id });
+    }
+
+    fn row_loaded(&mut self, pe: u32, row_id: u32, t: Cycle) {
+        let p = pe as usize;
+        let spec = &self.pes[p].dram_rows[row_id as usize];
+        let matrix_row = spec.matrix_row;
+        let entries: Vec<(u32, f64)> = spec.entries.clone();
+        self.queue_sram.writes += entries.len() as u64;
+        let state = &mut self.pes[p];
+        state.queue.push_back(crate::pe::LoadedRow { id: row_id, remaining: entries.len() });
+        for (col, val) in entries {
+            state.fresh.push_back(PeEntry { row_id, matrix_row, col, val });
+        }
+        state.load_in_flight = false;
+        self.try_load(pe, t);
+        self.wake(pe, t);
+    }
+
+    /// Schedules a scan step if the PE has work and none is scheduled.
+    fn wake(&mut self, pe: u32, t: Cycle) {
+        let state = &mut self.pes[pe as usize];
+        if !state.step_scheduled && state.has_work() {
+            state.step_scheduled = true;
+            self.q.schedule(t, Ev::PeStep { pe });
+        }
+    }
+
+    fn pe_step(&mut self, pe: u32, t: Cycle) {
+        let p = pe as usize;
+        self.pes[p].step_scheduled = false;
+
+        if let Some((entry, xval)) = self.pes[p].ready.pop_front() {
+            self.pes[p].steps += 1;
+            // A response satisfied this entry earlier; compute now.
+            self.compute(pe, entry, xval, t);
+        } else if let Some(entry) = self.pes[p].fresh.pop_front() {
+            self.pes[p].steps += 1;
+            self.queue_sram.reads += 1;
+            let block = self.layout.block_of_element(entry.col as usize);
+            let bg = self.pe_slots[p].global_bank_group(self.cfg);
+            match self.prod_l1[bg].lookup(block) {
+                Some(vals) => {
+                    // Case II: X_j ready via the L1 CAM.
+                    self.rf.writes += 1;
+                    let xval = vals[entry.col as usize % 4];
+                    self.compute(pe, entry, xval, t);
+                }
+                None => {
+                    // Case I: X_j not ready — non-blocking remote request.
+                    self.pes[p].pending += 1;
+                    let push = self.l1_ldq[bg].push_forced(block, PeWaiter { pe, entry });
+                    if push == LdqPush::NewRequest || !self.cfg.ldq_dedup {
+                        let vault = self.pe_slots[p].global_vault(self.cfg);
+                        let t_req = self.tsv[vault]
+                            .transfer(t + self.cfg.l1_cam_latency, size::X_REQUEST);
+                        self.q.schedule(
+                            t_req,
+                            Ev::VaultXReq {
+                                vault: vault as u32,
+                                block,
+                                from: Requester::BankGroup(bg),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Continue scanning after L_p cycles if work remains.
+        if self.pes[p].has_work() {
+            self.pes[p].step_scheduled = true;
+            self.q.schedule(t + self.cfg.l_p, Ev::PeStep { pe });
+        }
+    }
+
+    /// Performs `Y_i += A_ij · X_j` and the completion bookkeeping.
+    fn compute(&mut self, pe: u32, entry: PeEntry, xval: f64, t: Cycle) {
+        let p = pe as usize;
+        self.fpu_ops += 1;
+        self.rf.reads += 1;
+
+        let row_nnz = self.a.row_nnz(entry.matrix_row as usize);
+        let acc = self
+            .pes[p]
+            .rows
+            .entry(entry.matrix_row)
+            .or_insert(crate::pe::RowAccum { remaining: row_nnz, partial: 0.0 });
+        acc.remaining -= 1;
+        acc.partial += entry.val * xval;
+        let flush = if acc.remaining == 0 {
+            let partial = acc.partial;
+            self.pes[p].rows.remove(&entry.matrix_row);
+            Some(partial)
+        } else {
+            None
+        };
+
+        let popped = self.pes[p].complete_entry(entry.row_id);
+        self.entries_left -= 1;
+        if popped > 0 {
+            self.try_load(pe, t);
+        }
+
+        if let Some(partial) = flush {
+            self.flush_y(pe, entry.matrix_row, partial, t + self.cfg.fpu_latency);
+        }
+    }
+
+    /// Sends a completed partial `Y_i` toward its home vault (Type III).
+    fn flush_y(&mut self, pe: u32, row: u32, val: f64, t: Cycle) {
+        let src_vault = self.pe_slots[pe as usize].global_vault(self.cfg);
+        let block = self.layout.block_of_element(row as usize);
+        let home_vault = self.layout.home_vault_of_block(block);
+        let t1 = self.tsv[src_vault].transfer(t, size::Y_PARTIAL);
+        let t2 = self.route(t1, src_vault, home_vault, size::Y_PARTIAL);
+        self.q.schedule(t2, Ev::YAtVault { vault: home_vault as u32, row, val });
+    }
+
+    /// Type I: X request at a vault controller.
+    fn vault_x_req(&mut self, vault: u32, block: u64, from: Requester, t: Cycle) {
+        let v = vault as usize;
+        let t_look = t + self.cfg.l2_cam_latency;
+        if self.l2_cam[v].lookup(block).is_some() {
+            self.respond(v, block, from, t_look);
+            return;
+        }
+        if self.l2_ldq[v].push_forced(block, from) != LdqPush::NewRequest && self.cfg.ldq_dedup {
+            return; // deduplicated: an identical request is already in flight
+        }
+        let home_vault = self.layout.home_vault_of_block(block);
+        if home_vault == v {
+            let bank = self.layout.home_bank_of_block(block);
+            let t1 = self.tsv[v].transfer(t_look, size::X_REQUEST);
+            self.q.schedule(t1, Ev::BankXReq { bank: bank as u32, block });
+        } else {
+            let t1 = self.route(t_look, v, home_vault, size::X_REQUEST);
+            self.q.schedule(
+                t1,
+                Ev::VaultXReq { vault: home_vault as u32, block, from: Requester::Vault(v) },
+            );
+        }
+    }
+
+    /// Sends an X response from vault `v` toward a requester.
+    fn respond(&mut self, v: usize, block: u64, to: Requester, t: Cycle) {
+        match to {
+            Requester::BankGroup(bg) => {
+                let t1 = self.tsv[v].transfer(t, size::X_RESPONSE);
+                self.q.schedule(t1, Ev::L1Fill { bg: bg as u32, block });
+            }
+            Requester::Vault(w) => {
+                let t1 = self.route(t, v, w, size::X_RESPONSE);
+                self.q.schedule(t1, Ev::VaultXResp { vault: w as u32, block });
+            }
+        }
+    }
+
+    /// Type II: X response at a vault controller — fill L2, wake waiters.
+    fn vault_x_resp(&mut self, vault: u32, block: u64, t: Cycle) {
+        let v = vault as usize;
+        let vals = self.block_values(block);
+        self.l2_cam[v].insert(block, vals);
+        for waiter in self.l2_ldq[v].complete(block) {
+            self.respond(v, block, waiter, t);
+        }
+    }
+
+    /// X request at the owning vector bank: L1 CAM, then the bank.
+    fn bank_x_req(&mut self, bank: u32, block: u64, t: Cycle) {
+        let b = bank as usize;
+        let vault = self.layout.vault_of_vector_bank(b);
+        let t_look = t + self.cfg.l1_cam_latency;
+        let t_ready = if self.vec_l1[vault].lookup(block).is_some() {
+            t_look
+        } else {
+            let drow = self.layout.dram_row_of_block(block, self.cfg.timing.row_bytes);
+            let done = self.vector_banks[b].access(t_look, drow, 32, AccessKind::Read);
+            let vals = self.block_values(block);
+            self.vec_l1[vault].insert(block, vals);
+            done
+        };
+        let t1 = self.tsv[vault].transfer(t_ready, size::X_RESPONSE);
+        self.q.schedule(t1, Ev::VaultXResp { vault: vault as u32, block });
+    }
+
+    /// X response at a product bank group: fill L1 CAM, satisfy waiters.
+    fn l1_fill(&mut self, bg: u32, block: u64, t: Cycle) {
+        let g = bg as usize;
+        let vals = self.block_values(block);
+        self.prod_l1[g].insert(block, vals);
+        for PeWaiter { pe, entry } in self.l1_ldq[g].complete(block) {
+            self.rf.writes += 1;
+            let xval = vals[entry.col as usize % 4];
+            let state = &mut self.pes[pe as usize];
+            state.pending -= 1;
+            state.ready.push_back((entry, xval));
+            self.wake(pe, t);
+        }
+    }
+
+    /// Type III at the home vault: forward down the TSV to the vector bank.
+    fn y_at_vault(&mut self, vault: u32, row: u32, val: f64, t: Cycle) {
+        let v = vault as usize;
+        let block = self.layout.block_of_element(row as usize);
+        let bank = self.layout.home_bank_of_block(block);
+        let t1 = self.tsv[v].transfer(t, size::Y_PARTIAL);
+        self.q.schedule(t1, Ev::YAtBank { bank: bank as u32, row, val });
+    }
+
+    /// Accumulation-PE: merge the partial into the update buffer.
+    fn y_at_bank(&mut self, bank: u32, row: u32, val: f64, t: Cycle) {
+        let b = bank as usize;
+        let start = t.max(self.accum_busy[b]);
+        let drow = self.layout.dram_row_of_y(row as usize, self.cfg.timing.row_bytes);
+        self.queue_sram.reads += 1;
+        let mut t_ready = start;
+        match self.update_buf[b].touch(drow) {
+            UpdateOutcome::Hit => {}
+            UpdateOutcome::Miss { writeback } => {
+                if let Some(victim) = writeback {
+                    t_ready = self.vector_banks[b].access(
+                        t_ready,
+                        victim,
+                        self.cfg.timing.row_bytes,
+                        AccessKind::Write,
+                    );
+                }
+                t_ready = self.vector_banks[b].access(
+                    t_ready,
+                    drow,
+                    self.cfg.timing.row_bytes,
+                    AccessKind::Read,
+                );
+            }
+        }
+        let done = t_ready + self.cfg.fpu_latency;
+        self.queue_sram.writes += 1;
+        self.fpu_ops += 1;
+        self.y[row as usize] += val;
+        self.accum_busy[b] = done;
+        self.end_time = self.end_time.max(done);
+        self.y_left -= 1;
+    }
+
+    /// Final accounting, oracle validation and report assembly.
+    fn finish(mut self, a: &Csr, x: &[f64]) -> Result<SimReport, SimError> {
+        // Write back dirty update-buffer rows (counted for energy; by then
+        // the critical path is over, so time is not extended). Evictions
+        // during the run already wrote back `writebacks()` rows; residents
+        // are the remainder.
+        for b in 0..self.update_buf.len() {
+            let resident: Vec<u64> = self.update_buf[b].resident_rows().collect();
+            debug_assert!(
+                resident.len() as u64 + self.update_buf[b].writebacks()
+                    == self.update_buf[b].misses(),
+                "every missed row is either resident or was written back"
+            );
+            for drow in resident {
+                self.vector_banks[b].access(
+                    self.end_time,
+                    drow,
+                    self.cfg.timing.row_bytes,
+                    AccessKind::Write,
+                );
+            }
+        }
+
+        let mut activity = ActivitySummary {
+            cycles: self.end_time,
+            fpu_ops: self.fpu_ops,
+            pe_queue: self.queue_sram,
+            register_file: self.rf,
+            ..Default::default()
+        };
+        for bank in self.matrix_banks.iter().chain(self.vector_banks.iter()) {
+            let c = bank.counters();
+            activity.dram_activates += c.activates;
+            activity.dram_read_beats += c.read_beats;
+            activity.dram_write_beats += c.write_beats;
+        }
+        for cam in self.prod_l1.iter().chain(self.vec_l1.iter()) {
+            activity.l1_cam += *cam.counters();
+        }
+        for cam in &self.l2_cam {
+            activity.l2_cam += *cam.counters();
+        }
+        for ldq in &self.l1_ldq {
+            activity.l1_ldq += *ldq.counters();
+        }
+        for ldq in &self.l2_ldq {
+            activity.l2_ldq += *ldq.counters();
+        }
+        for link in &self.tsv {
+            activity.tsv_bytes += link.bytes_total();
+        }
+        for noc in &self.nocs {
+            activity.noc_byte_hops += noc.byte_hops();
+        }
+        if let Some(s) = &self.serdes {
+            activity.noc_byte_hops += s.byte_hops();
+        }
+
+        // L1 hit rate over *product* bank groups only (the Figure 6(b)
+        // metric is about input-vector reuse at the Product-PEs).
+        let mut prod_l1_counters = spacea_sim::stats::CamCounters::default();
+        for cam in &self.prod_l1 {
+            prod_l1_counters += *cam.counters();
+        }
+        let mut l2_counters = spacea_sim::stats::CamCounters::default();
+        for cam in &self.l2_cam {
+            l2_counters += *cam.counters();
+        }
+
+        let pe_work: Vec<u64> = self.pes.iter().map(|p| p.work).collect();
+        let normalized_workload = SimReport::normalized_workload_of(&pe_work);
+        let elapsed = self.end_time.max(1) as f64;
+        let pe_busy_fraction = self
+            .pes
+            .iter()
+            .map(|p| (p.steps * self.cfg.l_p) as f64 / elapsed)
+            .sum::<f64>()
+            / self.pes.len() as f64;
+        let matrix_bank_busy_fraction = self
+            .matrix_banks
+            .iter()
+            .map(|b| b.busy_cycles() as f64 / elapsed)
+            .sum::<f64>()
+            / self.matrix_banks.len() as f64;
+        let vector_bank_busy_fraction = self
+            .vector_banks
+            .iter()
+            .map(|b| b.busy_cycles() as f64 / elapsed)
+            .sum::<f64>()
+            / self.vector_banks.len() as f64;
+        let (ub_hits, ub_misses) = self
+            .update_buf
+            .iter()
+            .fold((0u64, 0u64), |(h, m), b| (h + b.hits(), m + b.misses()));
+        let update_buffer_hit_rate = if ub_hits + ub_misses == 0 {
+            0.0
+        } else {
+            ub_hits as f64 / (ub_hits + ub_misses) as f64
+        };
+
+        // Oracle validation (Section V-A).
+        let expected = a.spmv(x);
+        let mut validated = true;
+        let mut first_bad = None;
+        for (i, (&sim, &exp)) in self.y.iter().zip(expected.iter()).enumerate() {
+            let tol = 1e-9 * exp.abs().max(1.0);
+            if (sim - exp).abs() > tol {
+                validated = false;
+                first_bad = Some((i, sim, exp));
+                break;
+            }
+        }
+        if let Some((index, simulated, expected)) = first_bad {
+            return Err(SimError::ValidationFailed { index, simulated, expected });
+        }
+
+        Ok(SimReport {
+            cycles: self.end_time,
+            seconds: self.end_time as f64 * 1e-9,
+            l1_hit_rate: prod_l1_counters.hit_rate(),
+            l2_hit_rate: l2_counters.hit_rate(),
+            tsv_bytes: activity.tsv_bytes,
+            noc_byte_hops: activity.noc_byte_hops,
+            pe_work,
+            normalized_workload,
+            update_buffer_hit_rate,
+            pe_busy_fraction,
+            matrix_bank_busy_fraction,
+            vector_bank_busy_fraction,
+            output: self.y,
+            validated,
+            activity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
+    use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
+
+    fn run(a: &Csr, cfg: HwConfig) -> SimReport {
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mapping = LocalityMapping::default().map(a, &cfg.shape);
+        Machine::new(cfg).run_spmv(a, &x, &mapping).expect("simulation must validate")
+    }
+
+    #[test]
+    fn banded_matrix_validates() {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let r = run(&a, HwConfig::tiny());
+        assert!(r.validated);
+        assert!(r.cycles > 0);
+        assert_eq!(r.activity.fpu_ops as usize, a.nnz() + count_nonempty_rows(&a));
+    }
+
+    #[test]
+    fn power_law_matrix_validates() {
+        let a = rmat(&RmatConfig { n: 300, edges: 1500, ..Default::default() });
+        let r = run(&a, HwConfig::tiny());
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn uniform_matrix_validates_with_naive_mapping() {
+        let a = uniform_random(&UniformConfig { rows: 150, cols: 150, row_nnz: 6, seed: 9 });
+        let cfg = HwConfig::tiny();
+        let x = vec![1.0; a.cols()];
+        let mapping = NaiveMapping::default().map(&a, &cfg.shape);
+        let r = Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap();
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn deterministic_cycle_counts() {
+        let a = banded(&BandedConfig { n: 128, ..Default::default() });
+        let r1 = run(&a, HwConfig::tiny());
+        let r2 = run(&a, HwConfig::tiny());
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.tsv_bytes, r2.tsv_bytes);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let err = Machine::new(cfg).run_spmv(&a, &[1.0; 3], &mapping).unwrap_err();
+        assert!(matches!(err, SimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn mapping_mismatch_rejected() {
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let other_shape = spacea_mapping::MachineShape {
+            cubes: 1,
+            vaults_per_cube: 2,
+            product_bgs_per_vault: 2,
+            banks_per_bg: 2,
+        };
+        let mapping = LocalityMapping::default().map(&a, &other_shape);
+        let x = vec![1.0; a.cols()];
+        let err = Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap_err();
+        assert!(matches!(err, SimError::MappingMismatch(_)));
+    }
+
+    #[test]
+    fn multi_cube_machine_validates() {
+        let a = banded(&BandedConfig { n: 256, ..Default::default() });
+        let shape = spacea_mapping::MachineShape {
+            cubes: 2,
+            vaults_per_cube: 4,
+            product_bgs_per_vault: 2,
+            banks_per_bg: 2,
+        };
+        let r = run(&a, HwConfig::with_shape(shape));
+        assert!(r.validated);
+        assert!(r.noc_byte_hops > 0, "multi-cube run must use the network");
+    }
+
+    #[test]
+    fn l1_hits_occur_on_banded_input() {
+        let a = banded(&BandedConfig { n: 400, ..Default::default() });
+        let r = run(&a, HwConfig::tiny());
+        assert!(r.l1_hit_rate > 0.1, "banded locality must produce L1 hits, got {}", r.l1_hit_rate);
+    }
+
+    #[test]
+    fn proposed_mapping_beats_naive_on_traffic() {
+        let a = banded(&BandedConfig { n: 600, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let x = vec![1.0; a.cols()];
+        let prop = LocalityMapping::default().map(&a, &cfg.shape);
+        let naive = NaiveMapping::default().map(&a, &cfg.shape);
+        let rp = Machine::new(cfg.clone()).run_spmv(&a, &x, &prop).unwrap();
+        let rn = Machine::new(cfg).run_spmv(&a, &x, &naive).unwrap();
+        assert!(
+            rp.tsv_bytes < rn.tsv_bytes,
+            "proposed mapping TSV {} must beat naive {}",
+            rp.tsv_bytes,
+            rn.tsv_bytes
+        );
+    }
+
+    #[test]
+    fn tsv_latency_slowdown() {
+        let a = banded(&BandedConfig { n: 300, ..Default::default() });
+        let mut fast = HwConfig::tiny();
+        fast.tsv_latency = 1;
+        let mut slow = HwConfig::tiny();
+        slow.tsv_latency = 16;
+        let rf = run(&a, fast);
+        let rs = run(&a, slow);
+        assert!(rs.cycles > rf.cycles, "16-cycle TSV ({}) must be slower than 1 ({})", rs.cycles, rf.cycles);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let a = banded(&BandedConfig { n: 128, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let x = vec![1.0; a.cols()];
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let machine = Machine::new(cfg);
+        let plain = machine.run_spmv(&a, &x, &mapping).unwrap();
+        let (traced, log) = machine.run_spmv_traced(&a, &x, &mapping, 500).unwrap();
+        assert_eq!(plain.cycles, traced.cycles, "tracing must not perturb timing");
+        assert_eq!(log.records().len(), 500);
+        assert!(log.dropped() > 0, "a real run has more than 500 events");
+        // Cycles in the trace are non-decreasing (event order).
+        for w in log.records().windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        // The trace starts with the first row loads.
+        assert!(matches!(
+            log.records()[0].event,
+            crate::trace::TraceEvent::RowLoaded { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_completes() {
+        let a = Csr::from_parts(8, 8, vec![0; 9], vec![], vec![]).unwrap();
+        let r = run(&a, HwConfig::tiny());
+        assert!(r.validated);
+        assert_eq!(r.output, vec![0.0; 8]);
+    }
+
+    fn count_nonempty_rows(a: &Csr) -> usize {
+        (0..a.rows()).filter(|&i| a.row_nnz(i) > 0).count()
+    }
+}

@@ -1,0 +1,46 @@
+//! Packet formats (paper Section III-C).
+//!
+//! The vault controller processes three packet types: input-vector requests
+//! (Type I), input-vector responses (Type II), and output partial results
+//! (Type III).
+
+/// Who is waiting for an input-vector response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Requester {
+    /// A product bank group (global bank-group id) under some vault.
+    BankGroup(usize),
+    /// Another vault controller (global vault id).
+    Vault(usize),
+}
+
+/// Byte sizes of the packets on TSVs and the NoC.
+pub mod size {
+    /// Type I: X request — block id + source routing info.
+    pub const X_REQUEST: usize = 16;
+    /// Type II: X response — one 32-byte vector block + header.
+    pub const X_RESPONSE: usize = 40;
+    /// Type III: Y partial — row index + f64 value + header.
+    pub const Y_PARTIAL: usize = 16;
+    /// DRAM row transfer between bank and PE queue (local, no packet header).
+    pub const DRAM_ROW: usize = 256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_carries_a_block() {
+        // 4 × f64 = 32 data bytes plus an 8-byte header.
+        assert_eq!(size::X_RESPONSE, 32 + 8);
+    }
+
+    #[test]
+    fn requester_is_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Requester::BankGroup(3));
+        s.insert(Requester::Vault(3));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Product-PE state (paper Section III-B).
+//!
+//! A Product-PE streams DRAM rows of packed non-zeros from its local bank
+//! into a cyclic PE queue (scratchpad), scans queue entries at one element
+//! per `L_p` cycles, checks the input-vector value in the register file /
+//! L1 CAM, issues non-blocking remote requests on misses, and accumulates
+//! partial `Y_i` results that are flushed when a matrix row completes.
+//!
+//! These structures are passive: the event handlers in
+//! [`machine`](crate::machine) drive them.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One packed matrix DRAM row: a row-index header plus `(col, value)` pairs
+/// of a single matrix row (Section III-B's alignment rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramRowSpec {
+    /// The matrix row index all entries in this DRAM row belong to.
+    pub matrix_row: u32,
+    /// The packed `(column, value)` pairs (at most `nnz_per_dram_row`).
+    pub entries: Vec<(u32, f64)>,
+}
+
+/// Packs the CSR rows assigned to one PE into DRAM rows.
+///
+/// Rows are laid out in assignment order; a matrix row longer than one DRAM
+/// row spans several consecutive DRAM rows, each carrying the same header.
+/// Empty matrix rows occupy no DRAM space.
+pub fn pack_rows(
+    csr: &spacea_matrix::Csr,
+    assigned_rows: &[u32],
+    nnz_per_dram_row: usize,
+) -> Vec<DramRowSpec> {
+    assert!(nnz_per_dram_row > 0, "DRAM row must hold at least one non-zero");
+    let mut out = Vec::new();
+    for &r in assigned_rows {
+        let entries: Vec<(u32, f64)> = csr.row(r as usize).collect();
+        for chunk in entries.chunks(nnz_per_dram_row) {
+            out.push(DramRowSpec { matrix_row: r, entries: chunk.to_vec() });
+        }
+    }
+    out
+}
+
+/// An entry travelling through the PE pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeEntry {
+    /// Id of the loaded DRAM row this entry came from.
+    pub row_id: u32,
+    /// Matrix row index.
+    pub matrix_row: u32,
+    /// Column index (selects `X_col`).
+    pub col: u32,
+    /// The non-zero value `A_ij`.
+    pub val: f64,
+}
+
+/// A DRAM row resident in the PE queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadedRow {
+    /// Per-PE sequence id.
+    pub id: u32,
+    /// Entries not yet processed.
+    pub remaining: usize,
+}
+
+/// Accumulation state of one matrix row inside a PE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowAccum {
+    /// Non-zeros of the row not yet multiplied.
+    pub remaining: usize,
+    /// Partial dot product so far.
+    pub partial: f64,
+}
+
+/// Full state of one Product-PE.
+#[derive(Debug, Clone, Default)]
+pub struct ProductPe {
+    /// Packed DRAM rows to stream, in order.
+    pub dram_rows: Vec<DramRowSpec>,
+    /// Next DRAM row index to load.
+    pub next_load: usize,
+    /// Whether a row load is outstanding at the bank.
+    pub load_in_flight: bool,
+    /// Rows resident in the PE queue (front pops first, paper's cyclic
+    /// queue at DRAM-row granularity).
+    pub queue: VecDeque<LoadedRow>,
+    /// Entries loaded but not yet scanned.
+    pub fresh: VecDeque<PeEntry>,
+    /// Entries whose X value arrived (response-satisfied), with the value.
+    pub ready: VecDeque<(PeEntry, f64)>,
+    /// Entries waiting on an outstanding X request.
+    pub pending: usize,
+    /// Per-matrix-row accumulation state.
+    pub rows: HashMap<u32, RowAccum>,
+    /// Whether a `PeStep` event is scheduled.
+    pub step_scheduled: bool,
+    /// Non-zeros processed so far (workload metric).
+    pub work: u64,
+    /// Control-unit scan steps executed (busy-time metric; each step
+    /// occupies the PE for `L_p` cycles).
+    pub steps: u64,
+}
+
+impl ProductPe {
+    /// Creates a PE with its packed work list.
+    pub fn new(dram_rows: Vec<DramRowSpec>) -> Self {
+        ProductPe { dram_rows, ..Default::default() }
+    }
+
+    /// Total non-zeros this PE must process.
+    pub fn total_nnz(&self) -> usize {
+        self.dram_rows.iter().map(|r| r.entries.len()).sum()
+    }
+
+    /// Whether the PE has scan work available right now.
+    pub fn has_work(&self) -> bool {
+        !self.fresh.is_empty() || !self.ready.is_empty()
+    }
+
+    /// Whether everything is processed and streamed.
+    pub fn finished(&self) -> bool {
+        self.next_load >= self.dram_rows.len()
+            && !self.load_in_flight
+            && self.queue.is_empty()
+            && self.fresh.is_empty()
+            && self.ready.is_empty()
+            && self.pending == 0
+    }
+
+    /// Marks one entry of loaded row `row_id` complete; pops finished rows
+    /// from the queue front and returns how many were popped.
+    pub fn complete_entry(&mut self, row_id: u32) -> usize {
+        let row = self
+            .queue
+            .iter_mut()
+            .find(|r| r.id == row_id)
+            .expect("completed entry's row must be resident");
+        debug_assert!(row.remaining > 0);
+        row.remaining -= 1;
+        self.work += 1;
+        let mut popped = 0;
+        while self.queue.front().is_some_and(|r| r.remaining == 0) {
+            self.queue.pop_front();
+            popped += 1;
+        }
+        popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::Csr;
+
+    fn csr() -> Csr {
+        // row 0: 3 nnz; row 1: 0 nnz; row 2: 2 nnz
+        Csr::from_parts(3, 5, vec![0, 3, 3, 5], vec![0, 1, 2, 3, 4], vec![1.0; 5]).unwrap()
+    }
+
+    #[test]
+    fn pack_respects_row_capacity() {
+        let rows = pack_rows(&csr(), &[0, 2], 2);
+        // row 0 (3 nnz) → 2 DRAM rows; row 2 (2 nnz) → 1 DRAM row.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].matrix_row, 0);
+        assert_eq!(rows[0].entries.len(), 2);
+        assert_eq!(rows[1].matrix_row, 0);
+        assert_eq!(rows[1].entries.len(), 1);
+        assert_eq!(rows[2].matrix_row, 2);
+    }
+
+    #[test]
+    fn pack_skips_empty_rows() {
+        let rows = pack_rows(&csr(), &[1], 4);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn pack_preserves_values() {
+        let rows = pack_rows(&csr(), &[2], 4);
+        assert_eq!(rows[0].entries, vec![(3, 1.0), (4, 1.0)]);
+    }
+
+    #[test]
+    fn total_nnz_sums_entries() {
+        let pe = ProductPe::new(pack_rows(&csr(), &[0, 2], 2));
+        assert_eq!(pe.total_nnz(), 5);
+    }
+
+    #[test]
+    fn complete_entry_pops_front_rows_in_order() {
+        let mut pe = ProductPe::default();
+        pe.queue.push_back(LoadedRow { id: 0, remaining: 1 });
+        pe.queue.push_back(LoadedRow { id: 1, remaining: 1 });
+        // Completing the *second* row first must not pop anything.
+        assert_eq!(pe.complete_entry(1), 0);
+        assert_eq!(pe.queue.len(), 2);
+        // Completing the front row pops both (cascade).
+        assert_eq!(pe.complete_entry(0), 2);
+        assert!(pe.queue.is_empty());
+        assert_eq!(pe.work, 2);
+    }
+
+    #[test]
+    fn finished_requires_everything_drained() {
+        let mut pe = ProductPe::new(vec![]);
+        assert!(pe.finished());
+        pe.pending = 1;
+        assert!(!pe.finished());
+    }
+}

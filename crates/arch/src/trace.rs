@@ -1,0 +1,128 @@
+//! Typed trace records for the machine's event loop.
+
+use spacea_sim::Cycle;
+use std::fmt;
+
+/// One traced machine event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Cycle the event fired.
+    pub cycle: Cycle,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The machine-level event kinds (mirrors the internal event enum).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A Product-PE control-unit scan step.
+    PeStep {
+        /// Linear PE slot.
+        pe: u32,
+    },
+    /// A DRAM row arrived in a PE queue.
+    RowLoaded {
+        /// Linear PE slot.
+        pe: u32,
+        /// Per-PE DRAM row sequence id.
+        row_id: u32,
+    },
+    /// Type I: an X request reached a vault controller.
+    XRequestAtVault {
+        /// Global vault id.
+        vault: u32,
+        /// Input-vector block index.
+        block: u64,
+    },
+    /// Type II: an X response reached a vault controller.
+    XResponseAtVault {
+        /// Global vault id.
+        vault: u32,
+        /// Input-vector block index.
+        block: u64,
+    },
+    /// An X request reached its owning vector bank.
+    XRequestAtBank {
+        /// Vector bank id.
+        bank: u32,
+        /// Input-vector block index.
+        block: u64,
+    },
+    /// An X response filled a product bank group's L1 CAM.
+    L1Fill {
+        /// Global product bank-group id.
+        bg: u32,
+        /// Input-vector block index.
+        block: u64,
+    },
+    /// Type III: a Y partial reached the vault owning its output element.
+    YAtVault {
+        /// Global vault id.
+        vault: u32,
+        /// Output row index.
+        row: u32,
+    },
+    /// A Y partial reached its Accumulation-PE.
+    YAtBank {
+        /// Vector bank id.
+        bank: u32,
+        /// Output row index.
+        row: u32,
+    },
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] ", self.cycle)?;
+        match self.event {
+            TraceEvent::PeStep { pe } => write!(f, "pe {pe}: scan step"),
+            TraceEvent::RowLoaded { pe, row_id } => {
+                write!(f, "pe {pe}: DRAM row {row_id} loaded into PE queue")
+            }
+            TraceEvent::XRequestAtVault { vault, block } => {
+                write!(f, "vault {vault}: X request for block {block} (type I)")
+            }
+            TraceEvent::XResponseAtVault { vault, block } => {
+                write!(f, "vault {vault}: X response for block {block} (type II)")
+            }
+            TraceEvent::XRequestAtBank { bank, block } => {
+                write!(f, "vector bank {bank}: serving X block {block}")
+            }
+            TraceEvent::L1Fill { bg, block } => {
+                write!(f, "bank group {bg}: L1 CAM filled with block {block}")
+            }
+            TraceEvent::YAtVault { vault, row } => {
+                write!(f, "vault {vault}: Y partial for row {row} (type III)")
+            }
+            TraceEvent::YAtBank { bank, row } => {
+                write!(f, "vector bank {bank}: accumulating Y[{row}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_kinds() {
+        let kinds = [
+            TraceEvent::PeStep { pe: 1 },
+            TraceEvent::RowLoaded { pe: 1, row_id: 2 },
+            TraceEvent::XRequestAtVault { vault: 3, block: 4 },
+            TraceEvent::XResponseAtVault { vault: 3, block: 4 },
+            TraceEvent::XRequestAtBank { bank: 5, block: 4 },
+            TraceEvent::L1Fill { bg: 6, block: 4 },
+            TraceEvent::YAtVault { vault: 3, row: 7 },
+            TraceEvent::YAtBank { bank: 5, row: 7 },
+        ];
+        for event in kinds {
+            let r = TraceRecord { cycle: 42, event };
+            let s = r.to_string();
+            assert!(s.contains("42"), "{s}");
+            assert!(s.len() > 15, "{s}");
+        }
+    }
+}

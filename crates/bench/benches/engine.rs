@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the discrete-event engine: the simulator's inner
+//! loop, so its throughput bounds every experiment's wall time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use spacea_sim::engine::EventQueue;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("schedule_pop_fifo", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..N {
+                    q.schedule(i, i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("schedule_pop_interleaved", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // The simulator's real pattern: pops interleaved with
+                // follow-up schedules at near-future cycles.
+                for i in 0..1000u64 {
+                    q.schedule(i, i);
+                }
+                let mut popped = 0u64;
+                while let Some((t, v)) = q.pop() {
+                    popped += 1;
+                    if popped < N {
+                        q.schedule(t + (v % 7) + 1, v + 1);
+                    }
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the synthetic matrix generators (Table I suite build cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
+use spacea_matrix::suite;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("banded_4k", |b| {
+        b.iter(|| banded(&BandedConfig { n: 4096, ..Default::default() }))
+    });
+    g.bench_function("rmat_4k_64k_edges", |b| {
+        b.iter(|| rmat(&RmatConfig { n: 4096, edges: 65_536, ..Default::default() }))
+    });
+    g.bench_function("uniform_4k", |b| {
+        b.iter(|| {
+            uniform_random(&UniformConfig { rows: 4096, cols: 4096, row_nnz: 16, seed: 1 })
+        })
+    });
+    let entry = suite::entry_by_name("pwtk").expect("known matrix");
+    g.throughput(Throughput::Elements((entry.published.nnz / 256) as u64));
+    g.bench_function("suite_pwtk_scale256", |b| b.iter(|| entry.generate(256)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

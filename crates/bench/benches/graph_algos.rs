@@ -1,0 +1,26 @@
+//! Benchmarks of the graph-analytics software layer (the Table III oracle
+//! side): PageRank, SSSP and BFS on scaled case-study graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spacea_graph::workloads::CaseStudyGraph;
+use spacea_graph::{bfs, pagerank, sssp, PageRankConfig};
+
+fn bench_graph(c: &mut Criterion) {
+    let wk = CaseStudyGraph::Wiki.generate(512);
+    let mut g = c.benchmark_group("graph_algos");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(wk.nnz() as u64));
+
+    g.bench_function("pagerank_wk512", |b| {
+        b.iter(|| pagerank(&wk, &PageRankConfig { max_iterations: 20, ..Default::default() }))
+    });
+    g.bench_function("sssp_wk512", |b| b.iter(|| sssp(&wk, 0)));
+    g.bench_function("bfs_wk512", |b| b.iter(|| bfs(&wk, 0)));
+    g.bench_function("generate_wk512", |b| b.iter(|| CaseStudyGraph::Wiki.generate(512)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

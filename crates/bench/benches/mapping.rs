@@ -1,0 +1,38 @@
+//! Benchmarks of the mapping pipeline: Algorithm 1 row assignment, the
+//! Phase II clustering, and the naive baseline — the offline preprocessing
+//! cost the paper amortizes over SpMV iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spacea_mapping::algorithm1::assign_rows;
+use spacea_mapping::naive::assign_rows_naive;
+use spacea_mapping::placement::{cluster_hierarchy, pe_column_sets};
+use spacea_mapping::MachineShape;
+use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
+
+fn bench_mapping(c: &mut Criterion) {
+    let banded_m = banded(&BandedConfig { n: 4096, mean_row_nnz: 32.0, ..Default::default() });
+    let rmat_m = rmat(&RmatConfig { n: 4096, edges: 64_000, ..Default::default() });
+    let shape = MachineShape::tiny();
+    let pes = 64;
+
+    let mut g = c.benchmark_group("mapping");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(banded_m.nnz() as u64));
+    g.bench_function("algorithm1_banded", |b| b.iter(|| assign_rows(&banded_m, pes, 1e6)));
+    g.throughput(Throughput::Elements(rmat_m.nnz() as u64));
+    g.bench_function("algorithm1_rmat", |b| b.iter(|| assign_rows(&rmat_m, pes, 1e6)));
+    g.throughput(Throughput::Elements(banded_m.nnz() as u64));
+    g.bench_function("naive_banded", |b| b.iter(|| assign_rows_naive(&banded_m, pes, 7)));
+
+    let assignment = assign_rows(&banded_m, shape.product_pes(), 1e6);
+    g.bench_function("pe_column_sets", |b| b.iter(|| pe_column_sets(&banded_m, &assignment)));
+    g.bench_function("phase2_cluster_hierarchy", |b| {
+        b.iter(|| cluster_hierarchy(&banded_m, &assignment, &shape))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

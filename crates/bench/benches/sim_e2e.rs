@@ -1,0 +1,39 @@
+//! End-to-end simulation benchmarks: wall time of a full SpaceA SpMV run on
+//! a tiny machine, for both a structural and a power-law matrix. These bound
+//! the full experiment harness's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spacea_arch::{HwConfig, Machine};
+use spacea_mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
+use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg = HwConfig::tiny();
+    let banded_m = banded(&BandedConfig { n: 1024, mean_row_nnz: 24.0, ..Default::default() });
+    let rmat_m = rmat(&RmatConfig { n: 1024, edges: 12_000, ..Default::default() });
+    let xb = vec![1.0; banded_m.cols()];
+    let xr = vec![1.0; rmat_m.cols()];
+    let map_b = LocalityMapping::default().map(&banded_m, &cfg.shape);
+    let map_b_naive = NaiveMapping::default().map(&banded_m, &cfg.shape);
+    let map_r = LocalityMapping::default().map(&rmat_m, &cfg.shape);
+
+    let mut g = c.benchmark_group("sim_e2e");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(banded_m.nnz() as u64));
+    g.bench_function("banded_proposed", |b| {
+        b.iter(|| Machine::new(cfg.clone()).run_spmv(&banded_m, &xb, &map_b).unwrap())
+    });
+    g.bench_function("banded_naive", |b| {
+        b.iter(|| Machine::new(cfg.clone()).run_spmv(&banded_m, &xb, &map_b_naive).unwrap())
+    });
+    g.throughput(Throughput::Elements(rmat_m.nnz() as u64));
+    g.bench_function("rmat_proposed", |b| {
+        b.iter(|| Machine::new(cfg.clone()).run_spmv(&rmat_m, &xr, &map_r).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

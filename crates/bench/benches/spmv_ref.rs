@@ -1,0 +1,34 @@
+//! Benchmarks of the software SpMV oracle and the semiring variants: these
+//! validate every simulation, so their throughput matters at harness scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spacea_graph::{semiring_spmv, MinPlus, PlusTimes};
+use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
+
+fn bench_spmv(c: &mut Criterion) {
+    let banded_m = banded(&BandedConfig { n: 16_384, mean_row_nnz: 32.0, ..Default::default() });
+    let rmat_m = rmat(&RmatConfig { n: 16_384, edges: 300_000, ..Default::default() });
+    let xb: Vec<f64> = (0..banded_m.cols()).map(|i| i as f64 * 0.5).collect();
+    let xr: Vec<f64> = (0..rmat_m.cols()).map(|i| i as f64 * 0.5).collect();
+
+    let mut g = c.benchmark_group("spmv_ref");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(banded_m.nnz() as u64));
+    g.bench_function("csr_spmv_banded", |b| b.iter(|| banded_m.spmv(&xb)));
+    g.throughput(Throughput::Elements(rmat_m.nnz() as u64));
+    g.bench_function("csr_spmv_rmat", |b| b.iter(|| rmat_m.spmv(&xr)));
+    g.throughput(Throughput::Elements(banded_m.nnz() as u64));
+    g.bench_function("semiring_plus_times", |b| {
+        b.iter(|| semiring_spmv::<PlusTimes>(&banded_m, &xb))
+    });
+    g.bench_function("semiring_min_plus", |b| {
+        b.iter(|| semiring_spmv::<MinPlus>(&banded_m, &xb))
+    });
+    g.bench_function("transpose", |b| b.iter(|| banded_m.transpose()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

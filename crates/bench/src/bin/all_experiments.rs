@@ -1,0 +1,26 @@
+//! Runs every experiment in paper order and prints all tables plus a final
+//! paper-vs-measured summary — the data behind EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p spacea-bench --bin all_experiments
+//! [--scale N] [--graph-scale N] [--cubes N] [--quick] [--csv]`
+
+use std::time::Instant;
+
+fn main() {
+    let (mut cache, csv) = spacea_bench::harness();
+    let started = Instant::now();
+    let outputs = spacea_core::experiments::run_all(&mut cache);
+    for out in &outputs {
+        spacea_bench::emit(out, csv);
+        println!();
+    }
+    if !csv {
+        println!("## Paper vs measured summary");
+        for out in &outputs {
+            for (name, paper, measured) in &out.headline {
+                println!("  [{}] {name}: paper {paper:.3} | measured {measured:.3}", out.id);
+            }
+        }
+        eprintln!("total harness time: {:.1}s", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,48 @@
+//! Diagnostic: per-bank-group input-vector working set vs L1 CAM capacity.
+//! Not part of the paper's artifacts; used to validate the locality model.
+
+use spacea_core::experiments::MapKind;
+use spacea_mapping::placement::pe_column_sets;
+
+fn main() {
+    let (mut cache, _) = spacea_bench::harness();
+    let shape = cache.cfg.hw.shape;
+    let cam_blocks = cache.cfg.hw.l1_cam.sets * cache.cfg.hw.l1_cam.ways;
+    println!("L1 CAM capacity: {cam_blocks} blocks ({} elements)", cam_blocks * 4);
+    for id in [1u8, 9, 13] {
+        let a = cache.matrix(id);
+        let mapping = cache.mapping(id, MapKind::Proposed);
+        let sets = pe_column_sets(&a, &mapping.assignment);
+        let bgs = shape.product_bank_groups();
+        let k = shape.banks_per_bg;
+        let mut bg_unique = Vec::new();
+        let mut bg_blocks = Vec::new();
+        for bg in 0..bgs {
+            let mut cols: Vec<u32> = (0..k)
+                .flat_map(|b| {
+                    let pe = mapping.placement.logical_at_slot(bg * k + b) as usize;
+                    sets[pe].iter().copied()
+                })
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            bg_unique.push(cols.len());
+            let mut blocks: Vec<u32> = cols.iter().map(|c| c / 4).collect();
+            blocks.dedup();
+            bg_blocks.push(blocks.len());
+        }
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        let max = |v: &[usize]| *v.iter().max().unwrap_or(&0);
+        let r = cache.sim(id, MapKind::Proposed);
+        println!(
+            "matrix {id}: mean unique cols/BG {:.0} (max {}), mean blocks/BG {:.0} (max {}), sim L1 hit {:.1}%, searches {} fills {}",
+            mean(&bg_unique),
+            max(&bg_unique),
+            mean(&bg_blocks),
+            max(&bg_blocks),
+            r.l1_hit_rate * 100.0,
+            r.activity.l1_cam.searches(),
+            r.activity.l1_cam.fills,
+        );
+    }
+}

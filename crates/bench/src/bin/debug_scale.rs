@@ -1,0 +1,27 @@
+//! Diagnostic: where the cycles go as the cube count scales (Figure 10).
+
+use spacea_arch::HwConfig;
+use spacea_core::experiments::MapKind;
+use spacea_mapping::MachineShape;
+
+fn main() {
+    let (mut cache, _) = spacea_bench::harness();
+    for id in [1u8, 9, 14] {
+        for cubes in [2usize, 4, 8] {
+            let shape = MachineShape { cubes, ..cache.cfg.hw.shape };
+            let hw = HwConfig { shape, ..cache.cfg.hw.clone() };
+            let r = cache.sim_with(id, MapKind::Proposed, &hw);
+            let nnz_per_pe = r.pe_work.iter().sum::<u64>() / r.pe_work.len() as u64;
+            println!(
+                "matrix {id} cubes {cubes}: cycles {} | nnz/PE {} | L1 hit {:.1}% | L2 hit {:.1}% | tsv {} | noc_bh {} | norm_wl {:.2}",
+                r.cycles,
+                nnz_per_pe,
+                r.l1_hit_rate * 100.0,
+                r.l2_hit_rate * 100.0,
+                r.tsv_bytes,
+                r.noc_byte_hops,
+                r.normalized_workload,
+            );
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's Figure 7 (CAM sensitivity).
+//! Run: `cargo run --release -p spacea-bench --bin fig7 [--scale N] [--quick]`
+
+fn main() {
+    let (mut cache, csv) = spacea_bench::harness();
+    let out = spacea_core::experiments::fig7::run(&mut cache);
+    spacea_bench::emit(&out, csv);
+}

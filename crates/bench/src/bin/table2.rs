@@ -1,0 +1,8 @@
+//! Harness binary regenerating the paper's Table II (area / power density).
+//! Run: `cargo run --release -p spacea-bench --bin table2`
+
+fn main() {
+    let (_cache, csv) = spacea_bench::harness();
+    let out = spacea_core::experiments::table2::run();
+    spacea_bench::emit(&out, csv);
+}

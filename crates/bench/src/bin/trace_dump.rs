@@ -1,0 +1,29 @@
+//! Dump the opening of a simulation's event trace — the paper's "detailed
+//! event trace", human-readable.
+//!
+//! Run: `cargo run --release -p spacea-bench --bin trace_dump [--scale N]`
+
+use spacea_arch::Machine;
+use spacea_core::experiments::MapKind;
+
+fn main() {
+    let (mut cache, _) = spacea_bench::harness();
+    let id = 1u8; // bcsstk32
+    let a = cache.matrix(id);
+    let mapping = cache.mapping(id, MapKind::Proposed);
+    let x = cache.cfg.input_vector(a.cols());
+    let machine = Machine::new(cache.cfg.hw.clone());
+    let (report, log) = machine
+        .run_spmv_traced(&a, &x, &mapping, 120)
+        .expect("traced simulation validates");
+
+    println!(
+        "bcsstk32 (scaled): {} cycles total; showing the first {} of {} events",
+        report.cycles,
+        log.records().len(),
+        log.offered()
+    );
+    for record in log.records() {
+        println!("{record}");
+    }
+}

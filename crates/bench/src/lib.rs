@@ -1,0 +1,133 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every paper table/figure has a binary in `src/bin/` (run with
+//! `cargo run --release -p spacea-bench --bin fig5`); all of them accept the
+//! same flags:
+//!
+//! * `--scale N` — Table I matrix down-scale factor (default 8)
+//! * `--graph-scale N` — Table III graph down-scale factor (default 256)
+//! * `--cubes N` — cube count of the machine under test (default 2)
+//! * `--quick` — the miniature smoke-test configuration
+//! * `--csv` — emit CSV instead of aligned text
+
+#![warn(missing_docs)]
+
+use spacea_arch::HwConfig;
+use spacea_core::experiments::{ExpConfig, ExpOutput, SuiteCache};
+use spacea_mapping::MachineShape;
+
+/// Parsed harness options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// The experiment configuration.
+    pub cfg: ExpConfig,
+    /// Emit CSV instead of text tables.
+    pub csv: bool,
+}
+
+/// Parses harness options from an argument iterator.
+///
+/// Unknown flags abort with a usage message; this is a harness, not a public
+/// CLI, so the parser is intentionally tiny.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> HarnessOptions {
+    let mut cfg = ExpConfig::default();
+    let mut csv = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut next_usize = |what: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage(&format!("{what} needs a positive integer")))
+        };
+        match arg.as_str() {
+            "--scale" => cfg.scale = next_usize("--scale").max(1),
+            "--graph-scale" => cfg.graph_scale = next_usize("--graph-scale").max(1),
+            "--cubes" => {
+                let cubes = next_usize("--cubes").max(1);
+                let shape = MachineShape { cubes, ..cfg.hw.shape };
+                cfg.hw = HwConfig { shape, ..cfg.hw };
+            }
+            "--quick" => cfg = ExpConfig::quick(),
+            "--csv" => csv = true,
+            "--help" | "-h" => usage("usage"),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    HarnessOptions { cfg, csv }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "flags: --scale N | --graph-scale N | --cubes N | --quick | --csv"
+    );
+    std::process::exit(2)
+}
+
+/// Parses the process arguments and builds the shared cache.
+pub fn harness() -> (SuiteCache, bool) {
+    let opts = parse_args(std::env::args().skip(1));
+    let csv = opts.csv;
+    (SuiteCache::new(opts.cfg), csv)
+}
+
+/// Prints one experiment's tables in the selected format.
+pub fn emit(out: &ExpOutput, csv: bool) {
+    if csv {
+        print!("{}", out.table.to_csv());
+        for t in &out.extra_tables {
+            println!();
+            print!("{}", t.to_csv());
+        }
+    } else {
+        print!("{}", out.table.to_text());
+        for t in &out.extra_tables {
+            println!();
+            print!("{}", t.to_text());
+        }
+    }
+    if !out.headline.is_empty() && !csv {
+        println!();
+        println!("paper vs measured:");
+        for (name, paper, measured) in &out.headline {
+            println!("  {name}: paper {paper:.3} | measured {measured:.3}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessOptions {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.cfg.scale, 8);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn scale_flag() {
+        assert_eq!(parse(&["--scale", "128"]).cfg.scale, 128);
+    }
+
+    #[test]
+    fn cubes_flag() {
+        assert_eq!(parse(&["--cubes", "4"]).cfg.hw.shape.cubes, 4);
+    }
+
+    #[test]
+    fn quick_flag() {
+        let o = parse(&["--quick"]);
+        assert_eq!(o.cfg, ExpConfig::quick());
+    }
+
+    #[test]
+    fn csv_flag() {
+        assert!(parse(&["--csv"]).csv);
+    }
+}

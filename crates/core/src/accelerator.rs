@@ -1,0 +1,236 @@
+//! The public accelerator API.
+
+use spacea_arch::{HwConfig, Machine, SimError, SimReport};
+use spacea_mapping::{LocalityMapping, Mapping, MappingStrategy, NaiveMapping};
+use spacea_matrix::Csr;
+use spacea_model::energy::StaticConfig;
+use spacea_model::{EnergyBreakdown, EnergyParams};
+
+/// Which mapping pipeline the accelerator uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum MappingChoice {
+    /// The paper's proposed two-phase mapping (Algorithm 1 + placement).
+    #[default]
+    Proposed,
+    /// The Section V-B random baseline.
+    Naive {
+        /// RNG seed for the random row assignment.
+        seed: u64,
+    },
+}
+
+
+/// Builder for [`Accelerator`].
+///
+/// # Example
+///
+/// ```
+/// use spacea_core::{Accelerator, MappingChoice};
+/// use spacea_arch::HwConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let accel = Accelerator::builder()
+///     .hw_config(HwConfig::tiny())
+///     .mapping(MappingChoice::Naive { seed: 7 })
+///     .build()?;
+/// assert_eq!(accel.config().shape.product_pes(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AcceleratorBuilder {
+    hw: Option<HwConfig>,
+    mapping: MappingChoice,
+    energy: Option<EnergyParams>,
+}
+
+impl AcceleratorBuilder {
+    /// Sets the hardware configuration (default: [`HwConfig::scaled`]).
+    pub fn hw_config(mut self, hw: HwConfig) -> Self {
+        self.hw = Some(hw);
+        self
+    }
+
+    /// Sets the mapping strategy (default: the proposed mapping).
+    pub fn mapping(mut self, choice: MappingChoice) -> Self {
+        self.mapping = choice;
+        self
+    }
+
+    /// Overrides the energy model parameters.
+    pub fn energy_params(mut self, params: EnergyParams) -> Self {
+        self.energy = Some(params);
+        self
+    }
+
+    /// Builds the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] if the hardware configuration is
+    /// invalid.
+    pub fn build(self) -> Result<Accelerator, SimError> {
+        let hw = self.hw.unwrap_or_default();
+        hw.validate().map_err(SimError::BadConfig)?;
+        Ok(Accelerator {
+            machine: Machine::new(hw),
+            mapping: self.mapping,
+            energy: self.energy.unwrap_or_default(),
+        })
+    }
+}
+
+/// The result of one accelerated SpMV: the simulation report plus the
+/// Figure 8 energy breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelRun {
+    /// Full simulation report (cycles, traffic, hit rates, validated output).
+    pub report: SimReport,
+    /// Energy breakdown priced by the energy model.
+    pub energy: EnergyBreakdown,
+}
+
+/// A configured SpaceA accelerator: machine + mapping strategy + energy
+/// model.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    machine: Machine,
+    mapping: MappingChoice,
+    energy: EnergyParams,
+}
+
+impl Accelerator {
+    /// Starts building an accelerator.
+    pub fn builder() -> AcceleratorBuilder {
+        AcceleratorBuilder::default()
+    }
+
+    /// The machine's hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        self.machine.config()
+    }
+
+    /// The energy model in use.
+    pub fn energy_params(&self) -> &EnergyParams {
+        &self.energy
+    }
+
+    /// Computes the mapping of `a` onto this machine (the offline
+    /// preprocessing step; amortize it by reusing the result across
+    /// iterations via [`Accelerator::spmv_mapped`]).
+    pub fn map(&self, a: &Csr) -> Mapping {
+        match self.mapping {
+            MappingChoice::Proposed => {
+                LocalityMapping::default().map(a, &self.config().shape)
+            }
+            MappingChoice::Naive { seed } => NaiveMapping { seed }.map(a, &self.config().shape),
+        }
+    }
+
+    /// Maps and runs `y = A·x` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulation.
+    pub fn spmv(&self, a: &Csr, x: &[f64]) -> Result<AccelRun, SimError> {
+        let mapping = self.map(a);
+        self.spmv_mapped(a, x, &mapping)
+    }
+
+    /// Runs `y = A·x` with a precomputed mapping (the iterative-workload
+    /// path: map once, run many).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulation.
+    pub fn spmv_mapped(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<AccelRun, SimError> {
+        let report = self.machine.run_spmv(a, x, mapping)?;
+        let energy = self.energy.breakdown(&report.activity, &self.static_config());
+        Ok(AccelRun { report, energy })
+    }
+
+    /// The structure counts the static-power model needs for this machine.
+    pub fn static_config(&self) -> StaticConfig {
+        let shape = self.config().shape;
+        let layers_per_vault = shape.product_bgs_per_vault + 1; // + vector layer
+        StaticConfig {
+            banks: shape.vaults() * layers_per_vault * shape.banks_per_bg,
+            bank_groups: shape.vaults() * layers_per_vault,
+            vaults: shape.vaults(),
+            cubes: shape.cubes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::gen::{banded, BandedConfig};
+
+    fn small() -> Csr {
+        banded(&BandedConfig { n: 128, ..Default::default() })
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let accel = Accelerator::builder().hw_config(HwConfig::tiny()).build().unwrap();
+        assert_eq!(accel.config().shape.product_pes(), 16);
+    }
+
+    #[test]
+    fn spmv_end_to_end() {
+        let a = small();
+        let x = vec![1.0; a.cols()];
+        let accel = Accelerator::builder().hw_config(HwConfig::tiny()).build().unwrap();
+        let run = accel.spmv(&a, &x).unwrap();
+        assert!(run.report.validated);
+        assert!(run.energy.total_j() > 0.0);
+        // Accumulation order differs from the oracle; compare with tolerance.
+        for (sim, exp) in run.report.output.iter().zip(a.spmv(&x)) {
+            assert!((sim - exp).abs() <= 1e-9 * exp.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn mapped_reuse_matches_one_shot() {
+        let a = small();
+        let x = vec![2.0; a.cols()];
+        let accel = Accelerator::builder().hw_config(HwConfig::tiny()).build().unwrap();
+        let mapping = accel.map(&a);
+        let r1 = accel.spmv_mapped(&a, &x, &mapping).unwrap();
+        let r2 = accel.spmv(&a, &x).unwrap();
+        assert_eq!(r1.report.cycles, r2.report.cycles);
+    }
+
+    #[test]
+    fn naive_choice_used() {
+        let a = small();
+        let accel = Accelerator::builder()
+            .hw_config(HwConfig::tiny())
+            .mapping(MappingChoice::Naive { seed: 3 })
+            .build()
+            .unwrap();
+        let m1 = accel.map(&a);
+        let m2 = accel.map(&a);
+        assert_eq!(m1.assignment, m2.assignment, "same seed, same mapping");
+    }
+
+    #[test]
+    fn static_config_counts_vector_layer() {
+        let accel = Accelerator::builder().hw_config(HwConfig::tiny()).build().unwrap();
+        let sc = accel.static_config();
+        // tiny: 4 vaults × (2 product + 1 vector) layers × 2 banks.
+        assert_eq!(sc.banks, 24);
+        assert_eq!(sc.bank_groups, 12);
+        assert_eq!(sc.vaults, 4);
+        assert_eq!(sc.cubes, 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_build() {
+        let mut hw = HwConfig::tiny();
+        hw.l_p = 0;
+        assert!(Accelerator::builder().hw_config(hw).build().is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared experiment configuration and memoized computation cache.
+
+use crate::table::Table;
+use spacea_arch::{HwConfig, Machine, SimReport};
+use spacea_gpu::spec::{Dgx1CpuSpec, TitanXpSpec};
+use spacea_gpu::{simulate_csrmv, GpuRun};
+use spacea_mapping::{
+    LocalityMapping, MachineShape, Mapping, MappingStrategy, NaiveMapping,
+};
+use spacea_matrix::suite::{self, SuiteEntry};
+use spacea_matrix::Csr;
+use spacea_model::energy::StaticConfig;
+use spacea_model::{EnergyBreakdown, EnergyParams};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which mapping a cached simulation used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    /// Random row assignment (Section V-B baseline).
+    Naive,
+    /// The proposed two-phase mapping.
+    Proposed,
+}
+
+impl MapKind {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MapKind::Naive => "naive",
+            MapKind::Proposed => "proposed",
+        }
+    }
+}
+
+/// Experiment configuration: how much everything is scaled down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpConfig {
+    /// Table I matrix down-scale factor (rows and nnz divided by this).
+    pub scale: usize,
+    /// Case-study graph down-scale factor (Table III).
+    pub graph_scale: usize,
+    /// The SpaceA machine under test.
+    pub hw: HwConfig,
+    /// Energy model parameters.
+    pub energy: EnergyParams,
+}
+
+impl Default for ExpConfig {
+    /// The harness default: matrices at 1/8, a 2-cube machine (the paper's
+    /// per-PE work regime; see DESIGN.md section 4).
+    fn default() -> Self {
+        ExpConfig {
+            scale: suite::DEFAULT_SCALE,
+            graph_scale: 64,
+            hw: HwConfig::scaled(),
+            energy: EnergyParams::default(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A much smaller configuration for unit tests: small matrices on a tiny
+    /// machine, so every experiment module can be exercised quickly.
+    pub fn quick() -> Self {
+        ExpConfig {
+            scale: 256,
+            graph_scale: 2048,
+            hw: HwConfig::tiny(),
+            energy: EnergyParams::default(),
+        }
+    }
+
+    /// The iso-area scale factor for baselines: the paper compares its
+    /// 3584-Product-PE machine (16 cubes) against a full Titan Xp / DGX-1,
+    /// so a smaller machine is compared against a proportional slice of the
+    /// baseline.
+    pub fn baseline_fraction(&self) -> f64 {
+        self.hw.shape.product_pes() as f64 / MachineShape::paper().product_pes() as f64
+    }
+
+    /// The Titan Xp slice matching this machine's cube count.
+    pub fn gpu_spec(&self) -> TitanXpSpec {
+        let f = self.baseline_fraction();
+        let full = TitanXpSpec::default();
+        TitanXpSpec {
+            dram_bw: full.dram_bw * f,
+            peak_flops: full.peak_flops * f,
+            l2_bytes: ((full.l2_bytes as f64 * f) as usize).max(64 * 1024),
+            idle_power_w: full.idle_power_w * f,
+            dram_power_w: full.dram_power_w * f,
+            alu_power_w: full.alu_power_w * f,
+            ..full
+        }
+    }
+
+    /// The DGX-1 CPU slice matching this machine's cube count.
+    pub fn cpu_spec(&self) -> Dgx1CpuSpec {
+        let full = Dgx1CpuSpec::default();
+        Dgx1CpuSpec { mem_bw: full.mem_bw * self.baseline_fraction(), ..full }
+    }
+
+    /// The deterministic input vector used by every SpMV experiment.
+    pub fn input_vector(&self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect()
+    }
+
+    /// Static-power structure counts for an arbitrary shape.
+    pub fn static_config_for(shape: &MachineShape) -> StaticConfig {
+        let layers = shape.product_bgs_per_vault + 1;
+        StaticConfig {
+            banks: shape.vaults() * layers * shape.banks_per_bg,
+            bank_groups: shape.vaults() * layers,
+            vaults: shape.vaults(),
+            cubes: shape.cubes,
+        }
+    }
+}
+
+/// One result table (plus optional sub-tables) and the headline numbers the
+/// EXPERIMENTS.md generator records as paper-vs-measured.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOutput {
+    /// Experiment id (`"fig5"`, `"table3"`…).
+    pub id: &'static str,
+    /// The main rendered table.
+    pub table: Table,
+    /// Additional tables (e.g. Figure 7's five panels).
+    pub extra_tables: Vec<Table>,
+    /// Headline `(metric, paper value, measured value)` triples.
+    pub headline: Vec<(String, f64, f64)>,
+}
+
+/// Memoizes matrices, mappings, GPU runs and SpaceA simulations across
+/// experiments in one process.
+pub struct SuiteCache {
+    /// The shared configuration.
+    pub cfg: ExpConfig,
+    matrices: HashMap<u8, Rc<Csr>>,
+    mappings: HashMap<(u8, MapKind, MachineShape), Rc<Mapping>>,
+    gpu_runs: HashMap<u8, GpuRun>,
+    sims: HashMap<(u8, MapKind), Rc<SimReport>>,
+}
+
+impl SuiteCache {
+    /// Creates a cache for a configuration.
+    pub fn new(cfg: ExpConfig) -> Self {
+        SuiteCache {
+            cfg,
+            matrices: HashMap::new(),
+            mappings: HashMap::new(),
+            gpu_runs: HashMap::new(),
+            sims: HashMap::new(),
+        }
+    }
+
+    /// The Table I entries (always all fifteen).
+    pub fn entries(&self) -> &'static [SuiteEntry] {
+        suite::entries()
+    }
+
+    /// The scaled matrix for Table I id `id`.
+    pub fn matrix(&mut self, id: u8) -> Rc<Csr> {
+        let scale = self.cfg.scale;
+        Rc::clone(self.matrices.entry(id).or_insert_with(|| {
+            Rc::new(suite::entry_by_id(id).expect("valid Table I id").generate(scale))
+        }))
+    }
+
+    /// The mapping of matrix `id` for the cache's machine shape.
+    pub fn mapping(&mut self, id: u8, kind: MapKind) -> Rc<Mapping> {
+        let shape = self.cfg.hw.shape;
+        self.mapping_for_shape(id, kind, shape)
+    }
+
+    /// The mapping of matrix `id` for an arbitrary shape (Figure 10 sweeps).
+    pub fn mapping_for_shape(&mut self, id: u8, kind: MapKind, shape: MachineShape) -> Rc<Mapping> {
+        if let Some(m) = self.mappings.get(&(id, kind, shape)) {
+            return Rc::clone(m);
+        }
+        let a = self.matrix(id);
+        let mapping = match kind {
+            MapKind::Proposed => LocalityMapping::default().map(&a, &shape),
+            MapKind::Naive => NaiveMapping::default().map(&a, &shape),
+        };
+        let rc = Rc::new(mapping);
+        self.mappings.insert((id, kind, shape), Rc::clone(&rc));
+        rc
+    }
+
+    /// The GPU baseline run for matrix `id` (iso-area scaled spec).
+    pub fn gpu(&mut self, id: u8) -> GpuRun {
+        if let Some(r) = self.gpu_runs.get(&id) {
+            return *r;
+        }
+        let a = self.matrix(id);
+        let run = simulate_csrmv(&self.cfg.gpu_spec(), &a);
+        self.gpu_runs.insert(id, run);
+        run
+    }
+
+    /// The SpaceA simulation of matrix `id` on the default machine.
+    pub fn sim(&mut self, id: u8, kind: MapKind) -> Rc<SimReport> {
+        if let Some(r) = self.sims.get(&(id, kind)) {
+            return Rc::clone(r);
+        }
+        let hw = self.cfg.hw.clone();
+        let report = self.sim_with(id, kind, &hw);
+        let rc = Rc::new(report);
+        self.sims.insert((id, kind), Rc::clone(&rc));
+        rc
+    }
+
+    /// An uncached simulation with a custom hardware configuration
+    /// (sensitivity sweeps). The mapping is still cached per shape.
+    pub fn sim_with(&mut self, id: u8, kind: MapKind, hw: &HwConfig) -> SimReport {
+        let a = self.matrix(id);
+        let mapping = self.mapping_for_shape(id, kind, hw.shape);
+        let x = self.cfg.input_vector(a.cols());
+        Machine::new(hw.clone())
+            .run_spmv(&a, &x, &mapping)
+            .expect("suite simulation must validate")
+    }
+
+    /// The energy breakdown of a cached default-machine simulation.
+    pub fn energy(&mut self, id: u8, kind: MapKind) -> EnergyBreakdown {
+        let report = self.sim(id, kind);
+        let sc = ExpConfig::static_config_for(&self.cfg.hw.shape);
+        self.cfg.energy.breakdown(&report.activity, &sc)
+    }
+
+    /// Speedup of SpaceA (with `kind` mapping) over the GPU baseline.
+    pub fn speedup(&mut self, id: u8, kind: MapKind) -> f64 {
+        let gpu = self.gpu(id);
+        let sim = self.sim(id, kind);
+        gpu.time_s / sim.seconds
+    }
+
+    /// Energy saving of SpaceA over the GPU baseline (fraction in `[0, 1)`
+    /// when SpaceA wins).
+    pub fn energy_saving(&mut self, id: u8, kind: MapKind) -> f64 {
+        let gpu = self.gpu(id);
+        let e = self.energy(id, kind);
+        1.0 - e.total_j() / gpu.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_memoizes_matrices() {
+        let mut c = SuiteCache::new(ExpConfig::quick());
+        let a = c.matrix(1);
+        let b = c.matrix(1);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_memoizes_sims() {
+        let mut c = SuiteCache::new(ExpConfig::quick());
+        let r1 = c.sim(12, MapKind::Proposed);
+        let r2 = c.sim(12, MapKind::Proposed);
+        assert!(Rc::ptr_eq(&r1, &r2));
+        assert!(r1.validated);
+    }
+
+    #[test]
+    fn speedup_positive() {
+        let mut c = SuiteCache::new(ExpConfig::quick());
+        assert!(c.speedup(1, MapKind::Proposed) > 0.0);
+    }
+
+    #[test]
+    fn gpu_spec_scaling() {
+        let cfg = ExpConfig::default();
+        // 2 cubes with the paper's per-cube structure → 1/8 of the full GPU.
+        assert!((cfg.gpu_spec().dram_bw - 547.8e9 / 8.0).abs() < 1.0);
+        assert!((cfg.baseline_fraction() - 0.125).abs() < 1e-12);
+        // The tiny test machine has 16 of the paper's 3584 PEs.
+        let tiny = ExpConfig::quick();
+        assert!((tiny.baseline_fraction() - 16.0 / 3584.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_config_for_counts() {
+        let sc = ExpConfig::static_config_for(&MachineShape::tiny());
+        assert_eq!(sc.banks, 24);
+        assert_eq!(sc.vaults, 4);
+    }
+
+    #[test]
+    fn input_vector_deterministic() {
+        let cfg = ExpConfig::quick();
+        assert_eq!(cfg.input_vector(10), cfg.input_vector(10));
+        assert_eq!(cfg.input_vector(3).len(), 3);
+    }
+}

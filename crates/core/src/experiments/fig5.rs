@@ -1,0 +1,97 @@
+//! Figure 5: overall speedup and energy saving of SpaceA over the GPU
+//! baseline, with the naive and the proposed mapping.
+
+use super::context::{ExpOutput, MapKind, SuiteCache};
+use crate::table::{fmt, geo_mean, pct, Table};
+use spacea_model::reference::paper_headline;
+
+/// Regenerates the Figure 5 series.
+pub fn run(cache: &mut SuiteCache) -> ExpOutput {
+    let mut table = Table::new(
+        "Figure 5: speedup and energy saving w.r.t. GPU",
+        &[
+            "ID", "Matrix", "Speedup (naive)", "Speedup (proposed)",
+            "Energy saving (naive)", "Energy saving (proposed)",
+        ],
+    );
+    let mut sp_naive = Vec::new();
+    let mut sp_prop = Vec::new();
+    let mut es_naive = Vec::new();
+    let mut es_prop = Vec::new();
+    for entry in cache.entries().to_vec() {
+        let sn = cache.speedup(entry.id, MapKind::Naive);
+        let sp = cache.speedup(entry.id, MapKind::Proposed);
+        let en = cache.energy_saving(entry.id, MapKind::Naive);
+        let ep = cache.energy_saving(entry.id, MapKind::Proposed);
+        table.push_row(vec![
+            entry.id.to_string(),
+            entry.name.to_string(),
+            fmt(sn, 2),
+            fmt(sp, 2),
+            pct(en),
+            pct(ep),
+        ]);
+        sp_naive.push(sn);
+        sp_prop.push(sp);
+        es_naive.push(en);
+        es_prop.push(ep);
+    }
+    let g_naive = geo_mean(&sp_naive);
+    let g_prop = geo_mean(&sp_prop);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let m_es_naive = mean(&es_naive);
+    let m_es_prop = mean(&es_prop);
+    table.push_row(vec![
+        "-".into(),
+        "Geo. Mean / Mean".into(),
+        fmt(g_naive, 2),
+        fmt(g_prop, 2),
+        pct(m_es_naive),
+        pct(m_es_prop),
+    ]);
+    table.push_note(format!(
+        "paper: naive {}x / proposed {}x speedup; naive {}% / proposed {}% energy saving",
+        paper_headline::SPEEDUP_NAIVE,
+        paper_headline::SPEEDUP_PROPOSED,
+        paper_headline::ENERGY_SAVING_NAIVE * 100.0,
+        paper_headline::ENERGY_SAVING_PROPOSED * 100.0
+    ));
+    table.push_note(format!(
+        "mapping contribution: proposed/naive speedup ratio {} (paper: 2.18x)",
+        fmt(g_prop / g_naive, 2)
+    ));
+
+    ExpOutput {
+        id: "fig5",
+        table,
+        extra_tables: vec![],
+        headline: vec![
+            ("geo-mean speedup (naive)".into(), paper_headline::SPEEDUP_NAIVE, g_naive),
+            ("geo-mean speedup (proposed)".into(), paper_headline::SPEEDUP_PROPOSED, g_prop),
+            ("mean energy saving (naive)".into(), paper_headline::ENERGY_SAVING_NAIVE, m_es_naive),
+            (
+                "mean energy saving (proposed)".into(),
+                paper_headline::ENERGY_SAVING_PROPOSED,
+                m_es_prop,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::context::ExpConfig;
+
+    #[test]
+    fn spacea_wins_and_proposed_beats_naive() {
+        let mut cache = SuiteCache::new(ExpConfig::quick());
+        let out = run(&mut cache);
+        // 15 matrices + mean row.
+        assert_eq!(out.table.rows.len(), 16);
+        let g_naive = out.headline[0].2;
+        let g_prop = out.headline[1].2;
+        assert!(g_prop > 1.0, "SpaceA must beat the GPU (got {g_prop})");
+        assert!(g_prop > g_naive, "proposed ({g_prop}) must beat naive ({g_naive})");
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's evaluation, experiment by experiment (Section V).
+//!
+//! Every table and figure has a module that regenerates its rows/series:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — the matrix suite and its statistics |
+//! | [`fig2`] | Figure 2 — GPU profiling (throughput, ALU utilization) |
+//! | [`fig5`] | Figure 5 — speedup & energy saving vs GPU |
+//! | [`table2`] | Table II — bank-group area and power density |
+//! | [`fig6`] | Figure 6 — mapping metrics (workload, hit rates, traffic) |
+//! | [`fig7`] | Figure 7 — L1/L2 CAM sensitivity and area trade-off |
+//! | [`fig8`] | Figure 8 — energy breakdown |
+//! | [`fig9`] | Figure 9 — TSV latency sensitivity |
+//! | [`fig10`] | Figure 10 — cube-count scalability |
+//! | [`table3`] | Table III — graph analytics vs Tesseract/GraphP |
+//!
+//! All experiments share a [`SuiteCache`] so matrices, mappings and
+//! simulations are computed once per process. The default [`ExpConfig`]
+//! scales the Table I matrices by 1/8 and the machine to 2 cubes, preserving
+//! the paper's work-per-PE regime (see DESIGN.md §4).
+
+pub mod context;
+pub mod fig10;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
+
+
+/// Runs every experiment in paper order and returns the rendered tables.
+///
+/// This is what the `all_experiments` harness binary and the EXPERIMENTS.md
+/// generator call.
+pub fn run_all(cache: &mut SuiteCache) -> Vec<ExpOutput> {
+    vec![
+        table1::run(cache),
+        fig2::run(cache),
+        fig5::run(cache),
+        table2::run(),
+        fig6::run(cache),
+        fig7::run(cache),
+        fig8::run(cache),
+        fig9::run(cache),
+        fig10::run(cache),
+        table3::run(cache),
+    ]
+}
+
+/// Convenience: renders a list of outputs as one text document.
+pub fn render_all(outputs: &[ExpOutput]) -> String {
+    let mut out = String::new();
+    for o in outputs {
+        out.push_str(&o.table.to_text());
+        out.push('\n');
+        for extra in &o.extra_tables {
+            out.push_str(&extra.to_text());
+            out.push('\n');
+        }
+    }
+    out
+}

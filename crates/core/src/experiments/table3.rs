@@ -1,0 +1,160 @@
+//! Table III: graph analytics case study — PageRank and SSSP on Wiki- and
+//! LiveJournal-shaped graphs, SpaceA vs the CPU baseline, compared against
+//! the published Tesseract and GraphP speedups.
+
+use super::context::{ExpOutput, SuiteCache};
+use crate::table::{fmt, Table};
+use spacea_arch::Machine;
+use spacea_gpu::cpu::model_full_sweeps;
+use spacea_graph::workloads::CaseStudyGraph;
+use spacea_graph::{pagerank, sssp, PageRankConfig};
+use spacea_mapping::{LocalityMapping, MappingStrategy};
+use spacea_matrix::{Coo, Csr};
+use spacea_model::reference::{claimed_speedups, GraphDataset, GraphWorkload};
+
+/// One Table III row: the measured SpaceA speedup next to published numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseStudyRow {
+    /// Workload (PR / SSSP).
+    pub workload: GraphWorkload,
+    /// Dataset (WK / LJ).
+    pub dataset: GraphDataset,
+    /// Tesseract's claimed speedup over CPU.
+    pub tesseract: f64,
+    /// GraphP's claimed speedup over CPU.
+    pub graphp: f64,
+    /// SpaceA's speedup as published in the paper.
+    pub spacea_paper: f64,
+    /// SpaceA's speedup measured by this reproduction.
+    pub spacea_measured: f64,
+}
+
+/// Column-normalized transpose (the PageRank SpMV operand).
+fn pr_operand(a: &Csr) -> Csr {
+    let n = a.rows();
+    let mut coo = Coo::new(n, n);
+    coo.reserve(a.nnz());
+    for i in 0..n {
+        let deg = a.row_nnz(i).max(1) as f64;
+        for (j, _) in a.row(i) {
+            coo.push(j as usize, i, 1.0 / deg).expect("transposed coordinate in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Measures SpaceA's per-iteration SpMV time for an operand matrix.
+///
+/// The mapping is computed once (offline preprocessing, amortized over all
+/// iterations, exactly as the paper's execution model prescribes).
+fn spacea_iteration_seconds(cache: &mut SuiteCache, operand: &Csr) -> f64 {
+    let hw = cache.cfg.hw.clone();
+    let mapping = LocalityMapping::default().map(operand, &hw.shape);
+    let x = cache.cfg.input_vector(operand.cols());
+    let report = Machine::new(hw)
+        .run_spmv(operand, &x, &mapping)
+        .expect("case-study simulation must validate");
+    report.seconds
+}
+
+/// Runs the full case study and returns the rows.
+pub fn rows(cache: &mut SuiteCache) -> Vec<CaseStudyRow> {
+    let cpu = cache.cfg.cpu_spec();
+    let mut out = Vec::new();
+    for (graph, dataset) in [
+        (CaseStudyGraph::Wiki, GraphDataset::Wiki),
+        (CaseStudyGraph::LiveJournal, GraphDataset::LiveJournal),
+    ] {
+        let a = graph.generate(cache.cfg.graph_scale);
+
+        // PageRank: every iteration is one full SpMV on both platforms.
+        let pr = pagerank(&a, &PageRankConfig::default());
+        let operand = pr_operand(&a);
+        let spacea_iter = spacea_iteration_seconds(cache, &operand);
+        let spacea_pr = spacea_iter * pr.iterations as f64;
+        let cpu_pr = model_full_sweeps(&cpu, &a, pr.iterations).time_s;
+        out.push(make_row(GraphWorkload::PageRank, dataset, cpu_pr / spacea_pr));
+
+        // SSSP: both platforms run full Bellman-Ford (min-plus SpMV)
+        // sweeps, as the paper's SpMV formulation prescribes; the CPU's
+        // relaxation sweeps run at its lower irregular-access efficiency.
+        let ss = sssp(&a, 0);
+        let at = a.transpose();
+        let spacea_sweep = spacea_iteration_seconds(cache, &at);
+        let spacea_ss = spacea_sweep * ss.iterations as f64;
+        let cpu_sssp_spec =
+            spacea_gpu::spec::Dgx1CpuSpec { bw_efficiency: cpu.sssp_efficiency, ..cpu };
+        let cpu_ss = model_full_sweeps(&cpu_sssp_spec, &a, ss.iterations).time_s;
+        out.push(make_row(GraphWorkload::Sssp, dataset, cpu_ss / spacea_ss));
+    }
+    out
+}
+
+fn make_row(workload: GraphWorkload, dataset: GraphDataset, measured: f64) -> CaseStudyRow {
+    let c = claimed_speedups(workload, dataset);
+    CaseStudyRow {
+        workload,
+        dataset,
+        tesseract: c.tesseract,
+        graphp: c.graphp,
+        spacea_paper: c.spacea_paper,
+        spacea_measured: measured,
+    }
+}
+
+/// Regenerates Table III.
+pub fn run(cache: &mut SuiteCache) -> ExpOutput {
+    let rows = rows(cache);
+    let mut table = Table::new(
+        "Table III: speedup over CPU for PR and SSSP (WK, LJ)",
+        &["Workload", "Tesseract", "GraphP", "SpaceA (paper)", "SpaceA (measured)"],
+    );
+    let mut headline = Vec::new();
+    for r in &rows {
+        table.push_row(vec![
+            format!("{} + {}", r.workload, r.dataset),
+            fmt(r.tesseract, 2),
+            fmt(r.graphp, 2),
+            fmt(r.spacea_paper, 2),
+            fmt(r.spacea_measured, 2),
+        ]);
+        headline.push((
+            format!("{} + {} speedup", r.workload, r.dataset),
+            r.spacea_paper,
+            r.spacea_measured,
+        ));
+    }
+    table.push_note("Tesseract / GraphP columns are their papers' claimed speedups, as in the paper");
+    table.push_note(format!(
+        "graphs are R-MAT stand-ins scaled 1/{}; CPU baseline is an iso-scaled bandwidth model",
+        cache.cfg.graph_scale
+    ));
+    ExpOutput { id: "table3", table, extra_tables: vec![], headline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::context::ExpConfig;
+
+    #[test]
+    fn spacea_beats_prior_accelerators() {
+        let mut cache = SuiteCache::new(ExpConfig::quick());
+        let rows = rows(&mut cache);
+        assert_eq!(rows.len(), 4);
+        // At the miniature quick() scale the machine loses proportionally
+        // more to fixed latencies than at harness scale, so the unit test
+        // checks the directional claim against Tesseract; the full-scale
+        // GraphP comparison is recorded by the table3 harness binary.
+        for r in &rows {
+            assert!(
+                r.spacea_measured > r.tesseract,
+                "{} + {}: measured {} must beat Tesseract's {}",
+                r.workload,
+                r.dataset,
+                r.spacea_measured,
+                r.tesseract
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment artifact: title, column headers, data rows, and
+/// free-form notes (e.g. paper-vs-measured commentary).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 5: speedup and energy saving vs GPU"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned monospace text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let rendered: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "| {} |", rendered.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// The geometric mean of a slice (used throughout Section V's "Geo. Mean"
+/// columns). Returns 0 for an empty slice; ignores non-positive entries.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        let text = t.to_text();
+        assert!(text.contains("## T"));
+        assert!(text.contains("long_header"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!((geo_mean(&[5.0, 0.0]) - 5.0).abs() < 1e-12, "non-positive ignored");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn notes_rendered() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_note("hello");
+        assert!(t.to_text().contains("note: hello"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Breadth-first search as semiring SpMV iterations.
+//!
+//! BFS is SSSP over unit edge weights: level `k` relaxations are one
+//! min-plus SpMV with the unweighted adjacency structure. Included because
+//! the vertex-centric frameworks the paper compares against (Tesseract,
+//! GraphP) all report BFS, and it exercises the frontier-profile machinery
+//! with the sharpest expansion/contraction shape.
+
+use crate::semiring::{semiring_spmv, MinPlus};
+use spacea_matrix::Csr;
+
+/// Result of a BFS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsResult {
+    /// Hop count from the source (`usize::MAX` if unreachable).
+    pub levels: Vec<usize>,
+    /// Full SpMV sweeps executed (= eccentricity of the source + 1).
+    pub iterations: usize,
+    /// Vertices newly reached per sweep, as fractions of |V|.
+    pub frontier_fractions: Vec<f64>,
+}
+
+/// Runs BFS from `source` over the adjacency structure of `a` (edge
+/// `i → j` ⇔ `a[i][j] != 0`; weights are ignored).
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `source` is out of range.
+pub fn bfs(a: &Csr, source: usize) -> BfsResult {
+    assert_eq!(a.rows(), a.cols(), "adjacency matrix must be square");
+    assert!(source < a.rows(), "source vertex out of range");
+    let n = a.rows();
+
+    // Unit-weight transpose: gather over in-edges.
+    let mut coo = spacea_matrix::Coo::new(n, n);
+    coo.reserve(a.nnz());
+    for i in 0..n {
+        for (j, _) in a.row(i) {
+            coo.push(j as usize, i, 1.0).expect("transposed coordinate in bounds");
+        }
+    }
+    let at = coo.to_csr();
+
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut iterations = 0;
+    let mut frontier_fractions = Vec::new();
+    while iterations < n.max(1) {
+        iterations += 1;
+        let relaxed = semiring_spmv::<MinPlus>(&at, &dist);
+        let mut changed = 0usize;
+        for v in 0..n {
+            let cand = relaxed[v].min(dist[v]);
+            if cand < dist[v] {
+                dist[v] = cand;
+                changed += 1;
+            }
+        }
+        frontier_fractions.push(changed as f64 / n as f64);
+        if changed == 0 {
+            break;
+        }
+    }
+    let levels = dist
+        .into_iter()
+        .map(|d| if d.is_finite() { d as usize } else { usize::MAX })
+        .collect();
+    BfsResult { levels, iterations, frontier_fractions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::Coo;
+
+    fn path4() -> Csr {
+        // 0 → 1 → 2 → 3 (weights deliberately non-unit: BFS must ignore them)
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 9.0).unwrap();
+        coo.push(1, 2, 0.5).unwrap();
+        coo.push(2, 3, 2.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn levels_count_hops_not_weights() {
+        let r = bfs(&path4(), 0);
+        assert_eq!(r.levels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let r = bfs(&path4(), 1);
+        assert_eq!(r.levels[0], usize::MAX);
+        assert_eq!(r.levels[3], 2);
+    }
+
+    #[test]
+    fn frontier_expands_then_dies() {
+        // Star from the center: one sweep reaches all leaves, next is empty.
+        let mut coo = Coo::new(5, 5);
+        for leaf in 1..5 {
+            coo.push(0, leaf, 1.0).unwrap();
+        }
+        let r = bfs(&coo.to_csr(), 0);
+        assert_eq!(r.frontier_fractions[0], 0.8);
+        assert_eq!(*r.frontier_fractions.last().unwrap(), 0.0);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn bfs_matches_sssp_on_unit_weights() {
+        use spacea_matrix::gen::{rmat, RmatConfig};
+        let g = rmat(&RmatConfig { n: 256, edges: 1500, ..Default::default() });
+        // Unit-weight copy for SSSP.
+        let mut coo = Coo::new(g.rows(), g.cols());
+        for i in 0..g.rows() {
+            for (j, _) in g.row(i) {
+                coo.push(i, j as usize, 1.0).unwrap();
+            }
+        }
+        let unit = coo.to_csr();
+        let b = bfs(&g, 0);
+        let s = crate::sssp(&unit, 0);
+        for v in 0..g.rows() {
+            let bl = b.levels[v];
+            let sd = s.distances[v];
+            if bl == usize::MAX {
+                assert!(sd.is_infinite());
+            } else {
+                assert_eq!(bl as f64, sd, "vertex {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph analytics formulated as iterated SpMV (paper Section V-F).
+//!
+//! "In the vertex-centric programming model, a graph algorithm is equivalent
+//! to multiple iterations of SpMV when edges are stored in an adjacency
+//! matrix" — the paper rewrites PageRank and SSSP into SpMV iterations \[33\]
+//! and runs them on SpaceA. This crate provides:
+//!
+//! * [`semiring`] — the algebraic abstraction: SpMV over (+, ×) for
+//!   PageRank-style propagation and over (min, +) for shortest paths.
+//! * [`pagerank`](mod@pagerank) — power-iteration PageRank with convergence detection.
+//! * [`sssp`](mod@sssp) — Bellman–Ford SSSP as min-plus SpMV iterations, reporting the
+//!   per-iteration frontier sizes the CPU baseline model consumes.
+//! * [`workloads`] — scaled Wiki ("WK") and LiveJournal ("LJ")-shaped R-MAT
+//!   graphs matching the published SNAP sizes.
+//!
+//! Numerical results are computed in software (the oracle); the SpaceA
+//! *timing* of one iteration comes from simulating the equivalent SpMV on
+//! the machine, which moves identical data regardless of the semiring.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cc;
+pub mod pagerank;
+pub mod semiring;
+pub mod sssp;
+pub mod workloads;
+
+pub use bfs::{bfs, BfsResult};
+pub use cc::{connected_components, CcResult};
+pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use semiring::{semiring_spmv, MinPlus, PlusTimes, Semiring};
+pub use sssp::{sssp, SsspResult};

@@ -1,0 +1,114 @@
+//! Semiring SpMV: the algebraic core of graph-as-linear-algebra \[33\].
+
+use spacea_matrix::Csr;
+
+/// A semiring over `f64`: an "addition" with identity and a "multiplication".
+///
+/// [`PlusTimes`] gives ordinary SpMV; [`MinPlus`] gives shortest-path
+/// relaxation. The trait is sealed in spirit — implementations must satisfy
+/// associativity of `add` and distributivity of `mul` over `add` for the
+/// iteration algebra to be meaningful.
+pub trait Semiring {
+    /// The additive identity (`0` for plus-times, `+∞` for min-plus).
+    fn zero() -> f64;
+    /// The semiring addition.
+    fn add(a: f64, b: f64) -> f64;
+    /// The semiring multiplication.
+    fn mul(a: f64, b: f64) -> f64;
+}
+
+/// The ordinary arithmetic semiring `(+, ×, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The tropical semiring `(min, +, +∞)` used by Bellman–Ford SSSP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Computes `y = A ⊕.⊗ x` over semiring `S`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+#[allow(clippy::needless_range_loop)] // indexed kernels read clearer
+pub fn semiring_spmv<S: Semiring>(a: &Csr, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "input vector length must equal matrix columns");
+    let mut y = vec![S::zero(); a.rows()];
+    for i in 0..a.rows() {
+        let mut acc = S::zero();
+        for (c, v) in a.row(i) {
+            acc = S::add(acc, S::mul(v, x[c as usize]));
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::Coo;
+
+    fn a() -> Csr {
+        // [ 0 2 ]
+        // [ 3 0 ]
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, 3.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn plus_times_matches_spmv() {
+        let a = a();
+        let x = [5.0, 7.0];
+        assert_eq!(semiring_spmv::<PlusTimes>(&a, &x), a.spmv(&x));
+    }
+
+    #[test]
+    fn min_plus_relaxes_edges() {
+        let a = a();
+        // distances: d(0)=0, d(1)=inf; edge 1→0 of weight 3 relaxes d(1)
+        // through column 0: y[1] = 3 + 0 = 3.
+        let y = semiring_spmv::<MinPlus>(&a, &[0.0, f64::INFINITY]);
+        assert_eq!(y, vec![f64::INFINITY, 3.0]);
+    }
+
+    #[test]
+    fn min_plus_zero_is_infinity() {
+        assert_eq!(MinPlus::zero(), f64::INFINITY);
+        assert_eq!(MinPlus::add(3.0, f64::INFINITY), 3.0);
+        assert_eq!(MinPlus::mul(3.0, f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_rows_produce_identity() {
+        let a = Csr::from_parts(2, 2, vec![0, 0, 1], vec![0], vec![1.0]).unwrap();
+        let y = semiring_spmv::<MinPlus>(&a, &[1.0, 1.0]);
+        assert_eq!(y[0], f64::INFINITY);
+    }
+}

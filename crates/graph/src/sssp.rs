@@ -1,0 +1,162 @@
+//! Single-source shortest path as min-plus SpMV (paper Section V-F, "SSSP").
+
+use crate::semiring::{semiring_spmv, MinPlus};
+use spacea_matrix::Csr;
+
+/// Result of an SSSP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsspResult {
+    /// Distance from the source to each vertex (`+∞` if unreachable).
+    pub distances: Vec<f64>,
+    /// Bellman–Ford iterations (full min-plus SpMV sweeps) executed.
+    pub iterations: usize,
+    /// Fraction of vertices whose distance changed in each iteration — the
+    /// frontier profile consumed by the CPU baseline model.
+    pub frontier_fractions: Vec<f64>,
+}
+
+/// Runs Bellman–Ford SSSP from `source` over the weighted adjacency matrix
+/// (`a[i][j] = w` ⇔ edge `i → j` of weight `w > 0`).
+///
+/// Each iteration is one min-plus SpMV over the transpose:
+/// `d'_v = min(d_v, min_u (d_u + w(u, v)))` — the same data movement as an
+/// arithmetic SpMV, which is how SpaceA executes it.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, `source` is out of range, or a weight is
+/// non-positive.
+pub fn sssp(a: &Csr, source: usize) -> SsspResult {
+    assert_eq!(a.rows(), a.cols(), "adjacency matrix must be square");
+    assert!(source < a.rows(), "source vertex out of range");
+    let at = {
+        // Min-plus relaxation gathers over in-edges: transpose once.
+        let t = a.transpose();
+        for i in 0..t.rows() {
+            for (_, w) in t.row(i) {
+                assert!(w > 0.0, "edge weights must be positive");
+            }
+        }
+        t
+    };
+
+    let n = a.rows();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut iterations = 0;
+    let mut frontier_fractions = Vec::new();
+
+    // Bellman–Ford converges in at most n-1 sweeps.
+    while iterations < n.max(1) {
+        iterations += 1;
+        let relaxed = semiring_spmv::<MinPlus>(&at, &dist);
+        let mut changed = 0usize;
+        for v in 0..n {
+            let cand = relaxed[v].min(dist[v]);
+            if cand < dist[v] {
+                dist[v] = cand;
+                changed += 1;
+            }
+        }
+        frontier_fractions.push(changed as f64 / n as f64);
+        if changed == 0 {
+            break;
+        }
+    }
+    SsspResult { distances: dist, iterations, frontier_fractions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::Coo;
+
+    fn line_graph() -> Csr {
+        // 0 -1-> 1 -2-> 2 -3-> 3
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        coo.push(2, 3, 3.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn line_graph_distances() {
+        let r = sssp(&line_graph(), 0);
+        assert_eq!(r.distances, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let r = sssp(&line_graph(), 2);
+        assert_eq!(r.distances[0], f64::INFINITY);
+        assert_eq!(r.distances[3], 3.0);
+    }
+
+    #[test]
+    fn shorter_path_wins() {
+        // 0→2 direct weight 10, 0→1→2 weight 3.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 2, 10.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        let r = sssp(&coo.to_csr(), 0);
+        assert_eq!(r.distances[2], 3.0);
+    }
+
+    #[test]
+    fn frontier_shrinks_to_zero() {
+        let r = sssp(&line_graph(), 0);
+        assert_eq!(*r.frontier_fractions.last().unwrap(), 0.0);
+        assert!(r.iterations >= 3, "a 4-chain needs at least 3 sweeps");
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let g = random_weighted(64, 300, 77);
+        let r = sssp(&g, 0);
+        let d = dijkstra(&g, 0);
+        for v in 0..64 {
+            let (a, b) = (r.distances[v], d[v]);
+            assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "vertex {v}: bellman-ford {a} vs dijkstra {b}"
+            );
+        }
+    }
+
+    fn random_weighted(n: usize, edges: usize, seed: u64) -> Csr {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for _ in 0..edges {
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if u != v {
+                coo.push(u, v, rng.gen_range(0.5..5.0)).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn dijkstra(g: &Csr, s: usize) -> Vec<f64> {
+        let n = g.rows();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        dist[s] = 0.0;
+        for _ in 0..n {
+            let u = (0..n)
+                .filter(|&v| !done[v] && dist[v].is_finite())
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap());
+            let Some(u) = u else { break };
+            done[u] = true;
+            for (v, w) in g.row(u) {
+                let v = v as usize;
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                }
+            }
+        }
+        dist
+    }
+}

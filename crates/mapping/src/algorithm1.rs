@@ -1,0 +1,247 @@
+//! Phase I: row assignment to logical PEs (the paper's Algorithm 1).
+//!
+//! For each row `i` (in order), every PE `pid` is scored:
+//!
+//! * if assigning the row would push the PE past the balanced budget
+//!   `nnz_bar = nnz / #PEs`, the score is the penalty
+//!   `-(W_pid + N_i - nnz_bar) * K` with a large constant `K`;
+//! * otherwise the score is `max(Overlap / N_i, 1 / W_pid)` where `Overlap`
+//!   is the column-index overlap `|C_i ∩ COL_pid|` — locality first, with the
+//!   `1/W` term steering rows that overlap nowhere towards lightly-loaded
+//!   PEs.
+//!
+//! The row goes to the highest-scoring PE (lowest id wins ties, keeping the
+//! algorithm fully deterministic).
+//!
+//! The implementation uses an inverted index (column → PEs that already hold
+//! the column) so each row only scores PEs with non-zero overlap plus the
+//! single least-loaded PE, rather than scanning all `P` PEs; this matches the
+//! paper's score exactly while staying near the `O(P · nnz · log nnz)` bound
+//! discussed in Section IV-B.
+
+use crate::placement::cluster_hierarchy;
+use crate::{MachineShape, Mapping, MappingStrategy, RowAssignment};
+use spacea_matrix::Csr;
+use std::collections::BTreeSet;
+
+/// The paper's proposed mapping: Algorithm 1 followed by the Phase II
+/// placement heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityMapping {
+    /// The penalty constant `K` ("a large constant value" in Algorithm 1).
+    pub penalty: f64,
+}
+
+impl Default for LocalityMapping {
+    fn default() -> Self {
+        LocalityMapping { penalty: 1e6 }
+    }
+}
+
+impl MappingStrategy for LocalityMapping {
+    fn map(&self, matrix: &Csr, shape: &MachineShape) -> Mapping {
+        let assignment = assign_rows(matrix, shape.product_pes(), self.penalty);
+        let placement = cluster_hierarchy(matrix, &assignment, shape);
+        Mapping { assignment, placement }
+    }
+
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+}
+
+/// Runs Algorithm 1: assigns every row of `matrix` to one of `num_pes`
+/// logical PEs.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`.
+pub fn assign_rows(matrix: &Csr, num_pes: usize, penalty: f64) -> RowAssignment {
+    assert!(num_pes > 0, "need at least one PE");
+    let nnz_bar = (matrix.nnz() as f64 / num_pes as f64).ceil().max(1.0);
+
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); num_pes];
+    let mut workload: Vec<usize> = vec![0; num_pes];
+    // col_pes[c] = sorted set of PEs whose COL set contains column c.
+    let mut col_pes: Vec<Vec<u32>> = vec![Vec::new(); matrix.cols()];
+    // (workload, pid) ordering gives the least-loaded PE with lowest id.
+    let mut by_load: BTreeSet<(usize, u32)> = (0..num_pes as u32).map(|p| (0, p)).collect();
+    // Dense per-row scratch: overlap count per PE, plus a touched list.
+    let mut overlap: Vec<u32> = vec![0; num_pes];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for i in 0..matrix.rows() {
+        let cols = matrix.row_cols(i);
+        let n_i = cols.len();
+        if n_i == 0 {
+            // Empty rows carry no work; park them on the least-loaded PE.
+            let &(_, pid) = by_load.iter().next().expect("num_pes > 0");
+            rows_of[pid as usize].push(i as u32);
+            continue;
+        }
+
+        // Compute overlap counts against every PE that shares a column.
+        touched.clear();
+        for &c in cols {
+            for &pid in &col_pes[c as usize] {
+                if overlap[pid as usize] == 0 {
+                    touched.push(pid);
+                }
+                overlap[pid as usize] += 1;
+            }
+        }
+        touched.sort_unstable(); // deterministic tie-breaking by pid
+
+        // Score the overlapping PEs.
+        let mut best_pid: u32 = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        let consider = |pid: u32, ov: u32, w: usize, best_pid: &mut u32, best_score: &mut f64| {
+            let score = if w + n_i > nnz_bar as usize {
+                -((w + n_i) as f64 - nnz_bar) * penalty
+            } else if w == 0 {
+                1.0
+            } else {
+                (ov as f64 / n_i as f64).max(1.0 / w as f64)
+            };
+            if score > *best_score {
+                *best_score = score;
+                *best_pid = pid;
+            }
+        };
+        for &pid in &touched {
+            consider(pid, overlap[pid as usize], workload[pid as usize], &mut best_pid, &mut best_score);
+        }
+        // The best zero-overlap candidate is the least-loaded PE overall
+        // (every other zero-overlap PE scores no higher).
+        if let Some(&(w, pid)) = by_load.iter().next() {
+            if overlap[pid as usize] == 0 {
+                consider(pid, 0, w, &mut best_pid, &mut best_score);
+            } else {
+                // Find the least-loaded PE with zero overlap; scan in load
+                // order (cheap: overlapping PEs are few).
+                if let Some(&(w, pid)) =
+                    by_load.iter().find(|&&(_, p)| overlap[p as usize] == 0)
+                {
+                    consider(pid, 0, w, &mut best_pid, &mut best_score);
+                }
+            }
+        }
+
+        // Commit the assignment.
+        rows_of[best_pid as usize].push(i as u32);
+        let old_w = workload[best_pid as usize];
+        by_load.remove(&(old_w, best_pid));
+        workload[best_pid as usize] = old_w + n_i;
+        by_load.insert((old_w + n_i, best_pid));
+        for &c in cols {
+            let pes = &mut col_pes[c as usize];
+            if let Err(pos) = pes.binary_search(&best_pid) {
+                pes.insert(pos, best_pid);
+            }
+        }
+
+        // Reset scratch.
+        for &pid in &touched {
+            overlap[pid as usize] = 0;
+        }
+    }
+
+    RowAssignment::new(rows_of, matrix.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::normalized_workload;
+    use crate::naive::assign_rows_naive;
+    use spacea_matrix::gen::{banded, uniform_random, BandedConfig, UniformConfig};
+
+    #[test]
+    fn produces_valid_partition() {
+        let m = banded(&BandedConfig { n: 300, ..Default::default() });
+        let a = assign_rows(&m, 16, 1e6);
+        a.validate().expect("every row assigned exactly once");
+    }
+
+    #[test]
+    fn single_pe_takes_everything() {
+        let m = uniform_random(&UniformConfig { rows: 50, cols: 50, row_nnz: 3, seed: 1 });
+        let a = assign_rows(&m, 1, 1e6);
+        assert_eq!(a.rows_of(0).len(), 50);
+    }
+
+    #[test]
+    fn balances_better_than_naive_on_skewed_input() {
+        use spacea_matrix::gen::{rmat, RmatConfig};
+        let m = rmat(&RmatConfig { n: 2048, edges: 16384, ..Default::default() });
+        let prop = assign_rows(&m, 32, 1e6);
+        let naive = assign_rows_naive(&m, 32, 42);
+        let w_prop = normalized_workload(&prop, &m);
+        let w_naive = normalized_workload(&naive, &m);
+        assert!(
+            w_prop > w_naive,
+            "proposed ({w_prop}) must balance better than naive ({w_naive})"
+        );
+    }
+
+    #[test]
+    fn groups_overlapping_rows_together() {
+        // Two disjoint column clusters; rows of a cluster should co-locate.
+        let mut coo = spacea_matrix::Coo::new(8, 40);
+        for r in 0..4 {
+            for c in 0..10 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        for r in 4..8 {
+            for c in 30..40 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let m = coo.to_csr();
+        let a = assign_rows(&m, 2, 1e6);
+        a.validate().unwrap();
+        // Each PE's rows must come from a single cluster.
+        for pid in 0..2 {
+            let rows = a.rows_of(pid);
+            assert!(!rows.is_empty());
+            let first_cluster = rows[0] < 4;
+            assert!(
+                rows.iter().all(|&r| (r < 4) == first_cluster),
+                "PE {pid} mixes clusters: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_penalty_prevents_monster_pes() {
+        // All rows share all columns: pure locality would pile everything on
+        // PE 0, but the budget penalty must spread the load.
+        let m = uniform_random(&UniformConfig { rows: 64, cols: 8, row_nnz: 8, seed: 3 });
+        let a = assign_rows(&m, 8, 1e6);
+        let w = a.workloads(|r| m.row_nnz(r));
+        let max = *w.iter().max().unwrap();
+        let budget = (m.nnz() as f64 / 8.0).ceil() as usize;
+        assert!(max <= budget + 8, "max workload {max} far exceeds budget {budget}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = banded(&BandedConfig { n: 200, ..Default::default() });
+        assert_eq!(assign_rows(&m, 7, 1e6), assign_rows(&m, 7, 1e6));
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let m = Csr::from_parts(3, 3, vec![0, 0, 1, 1], vec![0], vec![1.0]).unwrap();
+        let a = assign_rows(&m, 2, 1e6);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_panics() {
+        let m = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![1.0]).unwrap();
+        assign_rows(&m, 0, 1e6);
+    }
+}

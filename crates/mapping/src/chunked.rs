@@ -1,0 +1,106 @@
+//! Contiguous equal-work row partitioning — the classic CPU/GPU SpMV
+//! decomposition, as a third point between the random baseline and the
+//! paper's locality mapping.
+//!
+//! Chunked assignment inherits whatever locality the matrix ordering has
+//! (excellent for banded FEM matrices, poor for scattered ones) but cannot
+//! regroup similar rows the way Algorithm 1 does, and its balance is limited
+//! by row granularity. It is used by the ablation harness to separate "any
+//! locality" from "optimized locality".
+
+use crate::placement::Placement;
+use crate::{MachineShape, Mapping, MappingStrategy, RowAssignment};
+use spacea_matrix::Csr;
+
+/// Contiguous row chunks of approximately equal non-zero counts, placed in
+/// id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkedMapping;
+
+impl MappingStrategy for ChunkedMapping {
+    fn map(&self, matrix: &Csr, shape: &MachineShape) -> Mapping {
+        let assignment = assign_rows_chunked(matrix, shape.product_pes());
+        let placement = Placement::identity(shape.product_pes());
+        Mapping { assignment, placement }
+    }
+
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+}
+
+/// Splits rows into `num_pes` contiguous chunks with balanced non-zero
+/// counts (greedy: close a chunk once it reaches the per-PE budget).
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`.
+pub fn assign_rows_chunked(matrix: &Csr, num_pes: usize) -> RowAssignment {
+    assert!(num_pes > 0, "need at least one PE");
+    let budget = (matrix.nnz() as f64 / num_pes as f64).max(1.0);
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); num_pes];
+    let mut pid = 0usize;
+    let mut acc = 0usize;
+    for i in 0..matrix.rows() {
+        rows_of[pid].push(i as u32);
+        acc += matrix.row_nnz(i);
+        // Advance once the chunk is full, but keep the last PE open so every
+        // row lands somewhere.
+        if acc as f64 >= budget && pid + 1 < num_pes {
+            pid += 1;
+            acc = 0;
+        }
+    }
+    RowAssignment::new(rows_of, matrix.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::normalized_workload;
+    use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
+
+    #[test]
+    fn partitions_all_rows_contiguously() {
+        let m = banded(&BandedConfig { n: 333, ..Default::default() });
+        let a = assign_rows_chunked(&m, 16);
+        a.validate().unwrap();
+        // Chunks must be contiguous and ordered.
+        let mut last = -1i64;
+        for pid in 0..16 {
+            for &r in a.rows_of(pid) {
+                assert_eq!(r as i64, last + 1, "rows must be contiguous in PE order");
+                last = r as i64;
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_balanced_on_uniform_rows() {
+        let m = banded(&BandedConfig { n: 640, stddev_row_nnz: 1.0, ..Default::default() });
+        let a = assign_rows_chunked(&m, 8);
+        let w = normalized_workload(&a, &m);
+        assert!(w > 0.8, "uniform rows should balance well, got {w}");
+    }
+
+    #[test]
+    fn single_pe_takes_all() {
+        let m = banded(&BandedConfig { n: 64, ..Default::default() });
+        let a = assign_rows_chunked(&m, 1);
+        assert_eq!(a.rows_of(0).len(), 64);
+    }
+
+    #[test]
+    fn skewed_matrix_balances_worse_than_uniform() {
+        let skewed = rmat(&RmatConfig { n: 1024, edges: 8192, ..Default::default() });
+        let uniform = banded(&BandedConfig { n: 1024, stddev_row_nnz: 0.5, ..Default::default() });
+        let ws = normalized_workload(&assign_rows_chunked(&skewed, 16), &skewed);
+        let wu = normalized_workload(&assign_rows_chunked(&uniform, 16), &uniform);
+        assert!(ws < wu, "skewed ({ws}) must balance worse than uniform ({wu})");
+    }
+
+    #[test]
+    fn strategy_name() {
+        assert_eq!(ChunkedMapping.name(), "chunked");
+    }
+}

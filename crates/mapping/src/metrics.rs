@@ -1,0 +1,132 @@
+//! Mapping-quality metrics (paper Section V-C).
+
+use crate::placement::pe_column_sets;
+use crate::{MachineShape, Mapping, RowAssignment};
+use spacea_matrix::Csr;
+
+/// The paper's *normalized workload*: the ratio of the mean PE workload to
+/// the maximum PE workload (higher is better; 1.0 is perfectly balanced).
+///
+/// "the performance ... is bounded by the slowest PE", so the denominator is
+/// the busiest PE's non-zero count.
+pub fn normalized_workload(assignment: &RowAssignment, matrix: &Csr) -> f64 {
+    let w = assignment.workloads(|r| matrix.row_nnz(r));
+    let max = w.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return 1.0;
+    }
+    let mean = w.iter().sum::<usize>() as f64 / w.len() as f64;
+    mean / max as f64
+}
+
+/// The maximum number of unique column indexes over all groups of `k`
+/// consecutive physical slots — Formula 1's objective `F(C)`, evaluated on a
+/// placed mapping.
+///
+/// With `k = banks_per_bg` this measures bank-group-level locality (what the
+/// shared L1 CAM sees); with `k = banks per vault` it measures vault-level
+/// locality (what the L2 CAM sees).
+pub fn max_unique_columns(mapping: &Mapping, matrix: &Csr, k: usize) -> usize {
+    assert!(k > 0, "group size must be positive");
+    let sets = pe_column_sets(matrix, &mapping.assignment);
+    let mut max = 0usize;
+    let slots = mapping.placement.len();
+    let mut group_union: Vec<u32> = Vec::new();
+    for start in (0..slots).step_by(k) {
+        group_union.clear();
+        for slot in start..(start + k).min(slots) {
+            let pe = mapping.placement.logical_at_slot(slot) as usize;
+            group_union.extend(sets[pe].iter().copied());
+        }
+        group_union.sort_unstable();
+        group_union.dedup();
+        max = max.max(group_union.len());
+    }
+    max
+}
+
+/// Convenience: the bank-group-level `F(C)` for a mapping on a shape.
+pub fn max_unique_columns_per_bank_group(
+    mapping: &Mapping,
+    matrix: &Csr,
+    shape: &MachineShape,
+) -> usize {
+    max_unique_columns(mapping, matrix, shape.banks_per_bg)
+}
+
+/// Convenience: the vault-level `F(C)` for a mapping on a shape.
+pub fn max_unique_columns_per_vault(
+    mapping: &Mapping,
+    matrix: &Csr,
+    shape: &MachineShape,
+) -> usize {
+    max_unique_columns(mapping, matrix, shape.banks_per_bg * shape.product_bgs_per_vault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalityMapping, MappingStrategy, NaiveMapping};
+    use spacea_matrix::gen::{banded, BandedConfig};
+
+    #[test]
+    fn perfectly_balanced_is_one() {
+        let a = RowAssignment::new(vec![vec![0], vec![1]], 2);
+        let m = spacea_matrix::Csr::from_parts(
+            2,
+            2,
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!((normalized_workload(&a, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_lowers_ratio() {
+        // PE0 has 3 nnz, PE1 has 1 → mean 2, max 3 → 2/3.
+        let m = spacea_matrix::Csr::from_parts(
+            2,
+            4,
+            vec![0, 3, 4],
+            vec![0, 1, 2, 3],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        let a = RowAssignment::new(vec![vec![0], vec![1]], 2);
+        assert!((normalized_workload(&a, &m) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_assignment_is_one() {
+        let m = spacea_matrix::Csr::from_parts(1, 1, vec![0, 0], vec![], vec![]).unwrap();
+        let a = RowAssignment::new(vec![vec![0]], 1);
+        assert_eq!(normalized_workload(&a, &m), 1.0);
+    }
+
+    #[test]
+    fn proposed_mapping_improves_locality_metric() {
+        let m = banded(&BandedConfig { n: 512, mean_row_nnz: 24.0, ..Default::default() });
+        let shape = MachineShape::tiny();
+        let prop = LocalityMapping::default().map(&m, &shape);
+        let naive = NaiveMapping::default().map(&m, &shape);
+        let f_prop = max_unique_columns_per_bank_group(&prop, &m, &shape);
+        let f_naive = max_unique_columns_per_bank_group(&naive, &m, &shape);
+        assert!(
+            f_prop < f_naive,
+            "proposed F(C)={f_prop} must beat naive F(C)={f_naive}"
+        );
+    }
+
+    #[test]
+    fn vault_metric_at_least_bank_group_metric() {
+        let m = banded(&BandedConfig { n: 256, ..Default::default() });
+        let shape = MachineShape::tiny();
+        let prop = LocalityMapping::default().map(&m, &shape);
+        assert!(
+            max_unique_columns_per_vault(&prop, &m, &shape)
+                >= max_unique_columns_per_bank_group(&prop, &m, &shape)
+        );
+    }
+}

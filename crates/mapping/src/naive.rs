@@ -1,0 +1,91 @@
+//! The naive mapping baseline of Section V-B: rows are assigned to PEs at
+//! random and logical PEs are placed in id order.
+
+use crate::placement::Placement;
+use crate::{MachineShape, Mapping, MappingStrategy, RowAssignment};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spacea_matrix::Csr;
+
+/// Random row→PE assignment with identity placement.
+///
+/// The paper: "The results of SpaceA shown in Figure 5 uses a naive mapping
+/// which randomly assigns rows from the sparse matrix to PEs."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveMapping {
+    /// RNG seed; fixed so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for NaiveMapping {
+    fn default() -> Self {
+        NaiveMapping { seed: 0x5ACE_A0BA }
+    }
+}
+
+impl MappingStrategy for NaiveMapping {
+    fn map(&self, matrix: &Csr, shape: &MachineShape) -> Mapping {
+        let assignment = assign_rows_naive(matrix, shape.product_pes(), self.seed);
+        let placement = Placement::identity(shape.product_pes());
+        Mapping { assignment, placement }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+/// Assigns each row to a uniformly random PE.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`.
+pub fn assign_rows_naive(matrix: &Csr, num_pes: usize, seed: u64) -> RowAssignment {
+    assert!(num_pes > 0, "need at least one PE");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); num_pes];
+    for i in 0..matrix.rows() {
+        rows_of[rng.gen_range(0..num_pes)].push(i as u32);
+    }
+    RowAssignment::new(rows_of, matrix.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::gen::{uniform_random, UniformConfig};
+
+    #[test]
+    fn partitions_all_rows() {
+        let m = uniform_random(&UniformConfig { rows: 500, cols: 100, row_nnz: 4, seed: 2 });
+        let a = assign_rows_naive(&m, 16, 7);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = uniform_random(&UniformConfig::default());
+        assert_eq!(assign_rows_naive(&m, 8, 1), assign_rows_naive(&m, 8, 1));
+        assert_ne!(assign_rows_naive(&m, 8, 1), assign_rows_naive(&m, 8, 2));
+    }
+
+    #[test]
+    fn spreads_rows_roughly_uniformly() {
+        let m = uniform_random(&UniformConfig { rows: 8000, cols: 64, row_nnz: 2, seed: 5 });
+        let a = assign_rows_naive(&m, 8, 11);
+        for pid in 0..8 {
+            let n = a.rows_of(pid).len();
+            assert!((700..1300).contains(&n), "PE {pid} got {n} rows");
+        }
+    }
+
+    #[test]
+    fn strategy_produces_identity_placement() {
+        let m = uniform_random(&UniformConfig { rows: 40, cols: 10, row_nnz: 2, seed: 1 });
+        let shape = MachineShape::tiny();
+        let mapping = NaiveMapping::default().map(&m, &shape);
+        assert_eq!(mapping.placement.logical_at_slot(0), 0);
+        assert_eq!(mapping.placement.logical_at_slot(15), 15);
+        assert_eq!(NaiveMapping::default().name(), "naive");
+    }
+}

@@ -1,0 +1,71 @@
+/// The logical shape of a SpaceA machine, as seen by the mapping pipeline.
+///
+/// The mapping algorithm only needs to know how many Product-PEs exist and
+/// how they nest into bank groups, vaults and cubes; all timing detail lives
+/// in the architecture crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineShape {
+    /// Number of memory cubes.
+    pub cubes: usize,
+    /// Vaults per cube (16 in the paper's HMC-like configuration).
+    pub vaults_per_cube: usize,
+    /// Matrix-holding bank groups per vault (one per DRAM layer above the
+    /// vector die: 7 in the paper's 8-layer configuration).
+    pub product_bgs_per_vault: usize,
+    /// Banks (hence Product-PEs) per bank group (2 in the paper).
+    pub banks_per_bg: usize,
+}
+
+impl MachineShape {
+    /// Total Product-PEs (matrix banks) in the machine.
+    pub fn product_pes(&self) -> usize {
+        self.cubes * self.vaults_per_cube * self.product_bgs_per_vault * self.banks_per_bg
+    }
+
+    /// Total product bank groups in the machine.
+    pub fn product_bank_groups(&self) -> usize {
+        self.cubes * self.vaults_per_cube * self.product_bgs_per_vault
+    }
+
+    /// Total vaults in the machine.
+    pub fn vaults(&self) -> usize {
+        self.cubes * self.vaults_per_cube
+    }
+
+    /// The paper's default machine: 16 cubes × 16 vaults × 7 matrix layers ×
+    /// 2 banks = 3584 Product-PEs.
+    pub fn paper() -> Self {
+        MachineShape { cubes: 16, vaults_per_cube: 16, product_bgs_per_vault: 7, banks_per_bg: 2 }
+    }
+
+    /// A laptop-scale machine preserving the paper's per-cube structure:
+    /// 2 cubes × 16 vaults × 7 layers × 2 banks = 448 Product-PEs.
+    pub fn scaled() -> Self {
+        MachineShape { cubes: 2, vaults_per_cube: 16, product_bgs_per_vault: 7, banks_per_bg: 2 }
+    }
+
+    /// A miniature shape for unit tests.
+    pub fn tiny() -> Self {
+        MachineShape { cubes: 1, vaults_per_cube: 4, product_bgs_per_vault: 2, banks_per_bg: 2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_pe_count() {
+        assert_eq!(MachineShape::paper().product_pes(), 3584);
+        assert_eq!(MachineShape::paper().vaults(), 256);
+        assert_eq!(MachineShape::paper().product_bank_groups(), 1792);
+    }
+
+    #[test]
+    fn tiny_shape_counts() {
+        let s = MachineShape::tiny();
+        assert_eq!(s.product_pes(), 16);
+        assert_eq!(s.product_bank_groups(), 8);
+        assert_eq!(s.vaults(), 4);
+    }
+}

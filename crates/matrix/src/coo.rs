@@ -1,0 +1,174 @@
+use crate::{Csr, MatrixError};
+
+/// A sparse matrix in Coordinate-list (COO) format (paper Section II-A).
+///
+/// COO stores three parallel lists of length `nnz`: row index, column index,
+/// and value. It is the natural construction format; convert to [`Csr`] for
+/// computation.
+///
+/// Entries may be pushed in any order. Duplicate coordinates are allowed and
+/// are summed when converting to CSR (the Matrix Market convention).
+///
+/// # Example
+///
+/// ```
+/// use spacea_matrix::Coo;
+///
+/// # fn main() -> Result<(), spacea_matrix::MatrixError> {
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 1, 3.0)?;
+/// coo.push(1, 0, 4.0)?;
+/// assert_eq!(coo.nnz(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// Creates an empty COO matrix with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`, the index width used by
+    /// the on-DRAM layout of SpaceA (4-byte row/column indices).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "SpaceA stores 4-byte indices; dimensions must fit in u32"
+        );
+        Coo { rows, cols, entries: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (including duplicates not yet merged).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::CoordinateOutOfBounds`] if `(row, col)` is
+    /// outside the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), MatrixError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(MatrixError::CoordinateOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Iterates over `(row, col, value)` triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    ///
+    /// This is a convenience alias for [`Csr::from_coo`].
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_coo(self)
+    }
+
+    /// Direct access to the raw entry list, mainly for generators and tests.
+    pub(crate) fn entries(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    /// Reserves capacity for `additional` further entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+}
+
+impl Extend<(usize, usize, f64)> for Coo {
+    /// Extends the matrix with triples, panicking on out-of-bounds
+    /// coordinates (use [`Coo::push`] for fallible insertion).
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v).expect("coordinate out of bounds in Extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let coo = Coo::new(4, 5);
+        assert_eq!(coo.rows(), 4);
+        assert_eq!(coo.cols(), 5);
+        assert_eq!(coo.nnz(), 0);
+        assert!(coo.is_empty());
+    }
+
+    #[test]
+    fn push_in_bounds() {
+        let mut coo = Coo::new(2, 2);
+        assert!(coo.push(1, 1, 1.0).is_ok());
+        assert_eq!(coo.nnz(), 1);
+    }
+
+    #[test]
+    fn push_out_of_bounds_row() {
+        let mut coo = Coo::new(2, 2);
+        let err = coo.push(2, 0, 1.0).unwrap_err();
+        assert!(matches!(err, MatrixError::CoordinateOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn push_out_of_bounds_col() {
+        let mut coo = Coo::new(2, 2);
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        let triples: Vec<_> = coo.iter().collect();
+        assert_eq!(triples, vec![(2, 0, 1.0), (0, 1, 2.0)]);
+    }
+
+    #[test]
+    fn extend_collects_triples() {
+        let mut coo = Coo::new(2, 2);
+        coo.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate out of bounds")]
+    fn extend_panics_out_of_bounds() {
+        let mut coo = Coo::new(1, 1);
+        coo.extend(vec![(5, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,246 @@
+use crate::{Coo, Csr, MatrixError};
+
+/// A sparse matrix in Compressed Sparse Column (CSC) format.
+///
+/// The column-major dual of [`Csr`]: `col_ptr` (length `cols + 1`) indexes
+/// into `row_idx`/`vals`. CSC is the natural format for column-wise access
+/// patterns — gathering over in-edges, computing `Aᵀx` without an explicit
+/// transpose, and the column-centric SpMV variants several of the paper's
+/// related-work formats build on.
+///
+/// # Example
+///
+/// ```
+/// use spacea_matrix::{Csc, Csr};
+///
+/// # fn main() -> Result<(), spacea_matrix::MatrixError> {
+/// // [ 1 0 ]
+/// // [ 2 3 ]
+/// let csr = Csr::from_parts(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 2.0, 3.0])?;
+/// let csc = Csc::from_csr(&csr);
+/// assert_eq!(csc.spmv(&[1.0, 1.0]), vec![1.0, 5.0]);
+/// assert_eq!(csc.to_csr(), csr);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix from raw arrays, validating consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::MalformedCsr`] (shared with the CSR
+    /// validator) when the arrays are inconsistent.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if col_ptr.len() != cols + 1 {
+            return Err(MatrixError::MalformedCsr(format!(
+                "col_ptr has length {} but expected {}",
+                col_ptr.len(),
+                cols + 1
+            )));
+        }
+        if row_idx.len() != vals.len() {
+            return Err(MatrixError::MalformedCsr(format!(
+                "row_idx length {} != vals length {}",
+                row_idx.len(),
+                vals.len()
+            )));
+        }
+        if col_ptr.first() != Some(&0) || col_ptr.last() != Some(&row_idx.len()) {
+            return Err(MatrixError::MalformedCsr(
+                "col_ptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if col_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::MalformedCsr("col_ptr must be non-decreasing".to_string()));
+        }
+        if let Some(&bad) = row_idx.iter().find(|&&r| r as usize >= rows) {
+            return Err(MatrixError::MalformedCsr(format!(
+                "row index {bad} out of range for {rows} rows"
+            )));
+        }
+        Ok(Csc { rows, cols, col_ptr, row_idx, vals })
+    }
+
+    /// Converts from CSR (no value reordering beyond the format change).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let t = csr.transpose();
+        // The transpose's rows are this matrix's columns, already sorted.
+        Csc {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_idx().to_vec(),
+            vals: t.vals().to_vec(),
+        }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = Coo::new(self.rows, self.cols);
+        coo.reserve(self.nnz());
+        for j in 0..self.cols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                coo.push(self.row_idx[k] as usize, j, self.vals[k])
+                    .expect("CSC entries are in bounds");
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Returns `true` if no non-zeros are stored.
+    pub fn is_empty(&self) -> bool {
+        self.row_idx.is_empty()
+    }
+
+    /// The `(row, value)` pairs of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()].iter().copied().zip(self.vals[range].iter().copied())
+    }
+
+    /// Column-major SpMV: `y = A x` by scattering each column's
+    /// contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // indexed kernels read clearer
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        let mut y = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, v) in self.col(j) {
+                y[i as usize] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// `y = Aᵀ x` without materializing the transpose: a CSC matrix *is*
+    /// the CSR of its transpose, so this is a row-major dot-product walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn spmv_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "input vector length must equal matrix rows");
+        let mut y = vec![0.0; self.cols];
+        for j in 0..self.cols {
+            let mut acc = 0.0;
+            for (i, v) in self.col(j) {
+                acc += v * x[i as usize];
+            }
+            y[j] = acc;
+        }
+        y
+    }
+}
+
+impl From<&Csr> for Csc {
+    fn from(csr: &Csr) -> Self {
+        Csc::from_csr(csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{uniform_random, UniformConfig};
+
+    fn sample() -> Csr {
+        uniform_random(&UniformConfig { rows: 40, cols: 30, row_nnz: 5, seed: 3 })
+    }
+
+    #[test]
+    fn csc_spmv_matches_csr() {
+        let csr = sample();
+        let csc = Csc::from_csr(&csr);
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (a, b) = (csr.spmv(&x), csc.spmv(&x));
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit_transpose() {
+        let csr = sample();
+        let csc = Csc::from_csr(&csr);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).cos()).collect();
+        let (a, b) = (csr.transpose().spmv(&x), csc.spmv_transpose(&x));
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_csr() {
+        let csr = sample();
+        assert_eq!(Csc::from_csr(&csr).to_csr(), csr);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Csc::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err()); // bad ptr len
+        assert!(Csc::from_parts(2, 1, vec![0, 2], vec![0, 5], vec![1.0, 1.0]).is_err()); // row range
+        assert!(Csc::from_parts(2, 1, vec![0, 1], vec![0], vec![]).is_err()); // len mismatch
+        assert!(Csc::from_parts(2, 1, vec![0, 1], vec![0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn skips_zero_x_entries() {
+        let csr = sample();
+        let csc = Csc::from_csr(&csr);
+        let x = vec![0.0; 30];
+        assert_eq!(csc.spmv(&x), vec![0.0; 40]);
+    }
+
+    #[test]
+    fn from_ref_trait() {
+        let csr = sample();
+        let csc: Csc = (&csr).into();
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert!(!csc.is_empty());
+        assert_eq!(csc.rows(), 40);
+        assert_eq!(csc.cols(), 30);
+    }
+}

@@ -1,0 +1,188 @@
+//! Banded / FEM-style structural matrix generator.
+
+use super::{rng_for, sample_normal, sample_value};
+use crate::{Coo, Csr};
+use rand::Rng;
+
+/// Configuration of the banded structural generator.
+///
+/// Models finite-element and structural matrices (Table I domains
+/// "Structural Problem", "2D/3D Problem", etc.): each row's non-zeros live in
+/// a band around the diagonal and are grouped into contiguous runs, and
+/// consecutive rows in the same mesh block share most of their column set —
+/// the column-index overlap that the paper's mapping algorithm (Algorithm 1)
+/// and its L1/L2 CAMs exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandedConfig {
+    /// Number of rows and columns (the matrices are square).
+    pub n: usize,
+    /// Target mean non-zeros per row (Table I's μ).
+    pub mean_row_nnz: f64,
+    /// Target standard deviation of row lengths (Table I's σ).
+    pub stddev_row_nnz: f64,
+    /// Half-width of the diagonal band as a multiple of μ.
+    pub band_factor: f64,
+    /// Rows per mesh block; rows inside a block share one column template.
+    pub block_rows: usize,
+    /// Length of each contiguous column run.
+    pub run_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BandedConfig {
+    fn default() -> Self {
+        BandedConfig {
+            n: 1024,
+            mean_row_nnz: 32.0,
+            stddev_row_nnz: 8.0,
+            band_factor: 6.0,
+            block_rows: 8,
+            run_len: 6,
+            seed: 0x5ACE_A001,
+        }
+    }
+}
+
+/// Generates a banded structural matrix.
+///
+/// Deterministic for a given configuration. The produced matrix always has at
+/// least one non-zero per row (every mesh node couples to itself).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `block_rows == 0` or `run_len == 0`.
+pub fn banded(cfg: &BandedConfig) -> Csr {
+    assert!(cfg.n > 0, "matrix dimension must be positive");
+    assert!(cfg.block_rows > 0, "block_rows must be positive");
+    assert!(cfg.run_len > 0, "run_len must be positive");
+
+    let mut rng = rng_for(cfg.seed);
+    let mut coo = Coo::new(cfg.n, cfg.n);
+    coo.reserve((cfg.n as f64 * cfg.mean_row_nnz) as usize);
+
+    let half_band = ((cfg.mean_row_nnz * cfg.band_factor) / 2.0).max(cfg.run_len as f64) as i64;
+    // One shared run template per mesh block: runs start at fixed offsets from
+    // the block anchor so rows in a block overlap heavily.
+    let max_runs = ((cfg.mean_row_nnz + 4.0 * cfg.stddev_row_nnz) / cfg.run_len as f64).ceil()
+        as usize
+        + 1;
+
+    let mut block_offsets: Vec<i64> = Vec::new();
+    let mut cols_buf: Vec<u32> = Vec::new();
+    for row in 0..cfg.n {
+        if row % cfg.block_rows == 0 {
+            // New mesh block: draw a fresh set of run anchor offsets.
+            block_offsets.clear();
+            for _ in 0..max_runs {
+                block_offsets.push(rng.gen_range(-half_band..=half_band));
+            }
+            block_offsets.sort_unstable();
+            block_offsets.dedup();
+        }
+        let target =
+            sample_normal(&mut rng, cfg.mean_row_nnz, cfg.stddev_row_nnz).round().max(1.0)
+                as usize;
+
+        cols_buf.clear();
+        cols_buf.push(row as u32); // diagonal coupling
+        let anchor = (row / cfg.block_rows * cfg.block_rows) as i64;
+        'runs: for &off in &block_offsets {
+            for k in 0..cfg.run_len {
+                if cols_buf.len() >= target {
+                    break 'runs;
+                }
+                let c = anchor + off + k as i64;
+                if c >= 0 && (c as usize) < cfg.n {
+                    cols_buf.push(c as u32);
+                }
+            }
+        }
+        cols_buf.sort_unstable();
+        cols_buf.dedup();
+        for &c in &cols_buf {
+            coo.push(row, c as usize, sample_value(&mut rng))
+                .expect("generated column is in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = BandedConfig { n: 256, ..Default::default() };
+        assert_eq!(banded(&cfg), banded(&cfg));
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = BandedConfig { n: 256, ..Default::default() };
+        let b = BandedConfig { seed: 1, ..a };
+        assert_ne!(banded(&a), banded(&b));
+    }
+
+    #[test]
+    fn every_row_nonempty() {
+        let csr = banded(&BandedConfig { n: 500, ..Default::default() });
+        for i in 0..csr.rows() {
+            assert!(csr.row_nnz(i) >= 1, "row {i} is empty");
+        }
+    }
+
+    #[test]
+    fn mean_row_nnz_near_target() {
+        let cfg = BandedConfig { n: 2048, mean_row_nnz: 40.0, stddev_row_nnz: 10.0, ..Default::default() };
+        let s = banded(&cfg).stats();
+        assert!(
+            (s.mean_row_nnz - 40.0).abs() < 8.0,
+            "mean {} too far from 40",
+            s.mean_row_nnz
+        );
+    }
+
+    #[test]
+    fn columns_stay_near_diagonal() {
+        let cfg = BandedConfig { n: 4096, mean_row_nnz: 16.0, band_factor: 4.0, ..Default::default() };
+        let csr = banded(&cfg);
+        let half_band = (16.0 * 4.0 / 2.0) as i64 + cfg.block_rows as i64 + cfg.run_len as i64;
+        for i in 0..csr.rows() {
+            for &c in csr.row_cols(i) {
+                let anchor = (i / cfg.block_rows * cfg.block_rows) as i64;
+                assert!(
+                    ((c as i64) - anchor).abs() <= half_band || c as usize == i,
+                    "row {i} col {c} outside band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighboring_rows_overlap() {
+        // Rows in the same block must share most columns — the locality the
+        // mapping algorithm exploits.
+        let cfg = BandedConfig { n: 1024, mean_row_nnz: 30.0, stddev_row_nnz: 4.0, ..Default::default() };
+        let csr = banded(&cfg);
+        let mut overlaps = 0.0;
+        let mut count = 0;
+        for b in (0..csr.rows() - cfg.block_rows).step_by(cfg.block_rows) {
+            let a: std::collections::HashSet<u32> = csr.row_cols(b).iter().copied().collect();
+            let c: std::collections::HashSet<u32> =
+                csr.row_cols(b + 1).iter().copied().collect();
+            let inter = a.intersection(&c).count() as f64;
+            overlaps += inter / a.len().max(1) as f64;
+            count += 1;
+        }
+        let mean_overlap = overlaps / count as f64;
+        assert!(mean_overlap > 0.5, "mean intra-block overlap {mean_overlap} too low");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        banded(&BandedConfig { n: 0, ..Default::default() });
+    }
+}

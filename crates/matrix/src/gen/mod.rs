@@ -1,0 +1,84 @@
+//! Deterministic synthetic sparse-matrix generators.
+//!
+//! The paper evaluates on fifteen SuiteSparse matrices (Table I). Those files
+//! are not redistributable inside this repository, so the [suite](crate::suite)
+//! synthesizes stand-ins with the same row-length distribution (μ, σ) and
+//! column-locality character per application domain:
+//!
+//! * [`banded`] — FEM / structural / 2D-3D problem matrices: clustered row
+//!   lengths, column indices concentrated in blocks near the diagonal, heavy
+//!   overlap between neighboring rows (what makes L1/L2 CAMs effective).
+//! * [`rmat`] — power-law graphs (social networks, web graphs): highly skewed
+//!   row lengths and scattered columns (what makes matrices 12–14 behave
+//!   poorly in Figure 2 and stress the interconnect).
+//! * [`uniform_random`] — uniform random matrices for tests and property
+//!   checks.
+//!
+//! All generators are seeded and deterministic: the same parameters always
+//! produce the same matrix, which keeps every experiment reproducible.
+
+mod banded;
+mod random;
+mod rmat;
+
+pub use banded::{banded, BandedConfig};
+pub use random::{uniform_random, UniformConfig};
+pub use rmat::{rmat, RmatConfig};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the crate-standard deterministic RNG for a generator seed.
+pub(crate) fn rng_for(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Draws a value from a clamped normal distribution using the Box–Muller
+/// transform (avoids a `rand_distr` dependency).
+pub(crate) fn sample_normal<R: Rng>(rng: &mut R, mean: f64, stddev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + stddev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a non-zero value in `[-1, 1] \ {0}` for matrix entries.
+pub(crate) fn sample_value<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-6 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sample_mean_converges() {
+        let mut rng = rng_for(7);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_normal(&mut rng, 10.0, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.2, "sample mean {mean} too far from 10");
+    }
+
+    #[test]
+    fn normal_sample_stddev_converges() {
+        let mut rng = rng_for(9);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 0.0, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 5.0).abs() < 0.25, "sample stddev {} too far from 5", var.sqrt());
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let mut rng = rng_for(3);
+        for _ in 0..1000 {
+            assert!(sample_value(&mut rng).abs() > 1e-6);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Uniform random sparse matrices for tests and property checks.
+
+use super::{rng_for, sample_value};
+use crate::{Coo, Csr};
+use rand::Rng;
+
+/// Configuration of the uniform random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Non-zeros per row (exact, clamped to `cols`).
+    pub row_nnz: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig { rows: 256, cols: 256, row_nnz: 8, seed: 0x5ACE_A003 }
+    }
+}
+
+/// Generates a matrix with exactly `row_nnz` uniformly random columns per row.
+///
+/// Uniform column positions are the worst case for the CAM hierarchy (no
+/// locality to exploit), making this generator useful for bounding tests.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn uniform_random(cfg: &UniformConfig) -> Csr {
+    assert!(cfg.rows > 0 && cfg.cols > 0, "dimensions must be positive");
+    let per_row = cfg.row_nnz.min(cfg.cols).max(1);
+    let mut rng = rng_for(cfg.seed);
+    let mut coo = Coo::new(cfg.rows, cfg.cols);
+    coo.reserve(cfg.rows * per_row);
+    let mut cols_buf = Vec::with_capacity(per_row);
+    for r in 0..cfg.rows {
+        cols_buf.clear();
+        while cols_buf.len() < per_row {
+            let c = rng.gen_range(0..cfg.cols);
+            if !cols_buf.contains(&c) {
+                cols_buf.push(c);
+            }
+        }
+        for &c in &cols_buf {
+            coo.push(r, c, sample_value(&mut rng)).expect("column in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_row_nnz() {
+        let csr = uniform_random(&UniformConfig { rows: 64, cols: 64, row_nnz: 5, seed: 1 });
+        for i in 0..csr.rows() {
+            assert_eq!(csr.row_nnz(i), 5);
+        }
+    }
+
+    #[test]
+    fn row_nnz_clamped_to_cols() {
+        let csr = uniform_random(&UniformConfig { rows: 4, cols: 3, row_nnz: 10, seed: 1 });
+        for i in 0..csr.rows() {
+            assert_eq!(csr.row_nnz(i), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = UniformConfig::default();
+        assert_eq!(uniform_random(&cfg), uniform_random(&cfg));
+    }
+
+    #[test]
+    fn no_duplicate_columns_within_row() {
+        let csr = uniform_random(&UniformConfig { rows: 100, cols: 50, row_nnz: 20, seed: 2 });
+        for i in 0..csr.rows() {
+            let cols = csr.row_cols(i);
+            let mut sorted = cols.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cols.len());
+        }
+    }
+}

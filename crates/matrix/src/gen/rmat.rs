@@ -1,0 +1,170 @@
+//! Recursive-MATrix (R-MAT) power-law graph generator.
+
+use super::{rng_for, sample_value};
+use crate::{Coo, Csr};
+use rand::Rng;
+
+/// Configuration of the R-MAT generator (Chakrabarti et al.).
+///
+/// Produces the skewed, non-structural matrices of Table I (soc-sign-epinions,
+/// Stanford, webbase-1M) and the Wiki / LiveJournal-shaped graphs of the
+/// Section V-F case study: a few very heavy rows, scattered column indices,
+/// poor locality — exactly the inputs that stress SpaceA's interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// Number of vertices; the matrix is `n x n`. Rounded up internally to a
+    /// power of two for recursion, then trimmed.
+    pub n: usize,
+    /// Number of edges to draw (duplicates are merged, so the final `nnz` is
+    /// slightly lower).
+    pub edges: usize,
+    /// R-MAT quadrant probabilities; must sum to 1.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        // The classic skewed parameterization used by Graph500.
+        RmatConfig { n: 1 << 12, edges: 1 << 15, a: 0.57, b: 0.19, c: 0.19, seed: 0x5ACE_A002 }
+    }
+}
+
+impl RmatConfig {
+    /// The bottom-right quadrant probability `d = 1 - a - b - c`.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates a directed power-law graph adjacency matrix via R-MAT recursion.
+///
+/// Every vertex is given a self-loop so that no row is empty (empty rows make
+/// workload metrics degenerate and never occur in the paper's Table I suite).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the quadrant probabilities are invalid.
+pub fn rmat(cfg: &RmatConfig) -> Csr {
+    assert!(cfg.n > 0, "vertex count must be positive");
+    let d = cfg.d();
+    assert!(
+        cfg.a > 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be non-negative and sum to 1"
+    );
+
+    let levels = (cfg.n as f64).log2().ceil() as u32;
+    let size = 1usize << levels;
+    let mut rng = rng_for(cfg.seed);
+    let mut coo = Coo::new(cfg.n, cfg.n);
+    coo.reserve(cfg.edges + cfg.n);
+
+    // Self-loops keep every row non-empty (and model page self-rank mass).
+    for v in 0..cfg.n {
+        coo.push(v, v, sample_value(&mut rng)).expect("self-loop in bounds");
+    }
+
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cfg.edges.saturating_mul(8).max(1024);
+    while placed < cfg.edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, size, 0usize, size);
+        for _ in 0..levels {
+            let p: f64 = rng.gen();
+            // Add per-level noise so the distribution is not perfectly
+            // self-similar (standard R-MAT smoothing).
+            let a = cfg.a * rng.gen_range(0.9..1.1);
+            let b = cfg.b * rng.gen_range(0.9..1.1);
+            let c = cfg.c * rng.gen_range(0.9..1.1);
+            let total = a + b + c + d;
+            let (top, left) = if p < a / total {
+                (true, true)
+            } else if p < (a + b) / total {
+                (true, false)
+            } else if p < (a + b + c) / total {
+                (false, true)
+            } else {
+                (false, false)
+            };
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if top {
+                r1 = rm;
+            } else {
+                r0 = rm;
+            }
+            if left {
+                c1 = cm;
+            } else {
+                c0 = cm;
+            }
+        }
+        if r0 < cfg.n && c0 < cfg.n {
+            coo.push(r0, c0, sample_value(&mut rng)).expect("rmat edge in bounds");
+            placed += 1;
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig { n: 512, edges: 2048, ..Default::default() };
+        assert_eq!(rmat(&cfg), rmat(&cfg));
+    }
+
+    #[test]
+    fn no_empty_rows() {
+        let csr = rmat(&RmatConfig { n: 1000, edges: 4000, ..Default::default() });
+        for i in 0..csr.rows() {
+            assert!(csr.row_nnz(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn skew_is_high() {
+        // A power-law graph must have σ well above what a uniform random
+        // matrix of the same density would give.
+        let cfg = RmatConfig { n: 4096, edges: 32768, ..Default::default() };
+        let s = rmat(&cfg).stats();
+        assert!(
+            s.stddev_row_nnz > 1.5 * s.mean_row_nnz.sqrt(),
+            "sigma {} not skewed (mu {})",
+            s.stddev_row_nnz,
+            s.mean_row_nnz
+        );
+        assert!(s.max_row_nnz > 8 * s.mean_row_nnz as usize);
+    }
+
+    #[test]
+    fn non_power_of_two_dims_respected() {
+        let csr = rmat(&RmatConfig { n: 1000, edges: 3000, ..Default::default() });
+        assert_eq!(csr.rows(), 1000);
+        assert_eq!(csr.cols(), 1000);
+    }
+
+    #[test]
+    fn nnz_close_to_requested() {
+        let cfg = RmatConfig { n: 2048, edges: 10_000, ..Default::default() };
+        let csr = rmat(&cfg);
+        // self-loops + edges, minus merged duplicates
+        assert!(csr.nnz() > cfg.n + cfg.edges / 2);
+        assert!(csr.nnz() <= cfg.n + cfg.edges);
+    }
+
+    #[test]
+    fn default_d_complements() {
+        let cfg = RmatConfig::default();
+        assert!((cfg.a + cfg.b + cfg.c + cfg.d() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Row-distribution statistics matching the columns of the paper's Table I.
+
+use crate::Csr;
+use std::fmt;
+
+/// Statistics of the non-zero distribution of a sparse matrix.
+///
+/// Table I of the paper characterizes each evaluation matrix by its
+/// dimensions, `nnz`, the mean number of non-zeros per row (μ) and the
+/// standard deviation of the per-row non-zero counts (σ). A small σ indicates
+/// a *structural* pattern (FEM-style meshes); a large σ indicates a
+/// *non-structural* pattern (power-law graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of non-zero elements.
+    pub nnz: usize,
+    /// Mean non-zeros per row (Table I's μ).
+    pub mean_row_nnz: f64,
+    /// Standard deviation of non-zeros per row (Table I's σ).
+    pub stddev_row_nnz: f64,
+    /// Largest row length (drives worst-case PE imbalance).
+    pub max_row_nnz: usize,
+    /// Fraction of entries within a ±1% band of the diagonal (a cheap
+    /// locality proxy used by tests on the structural generators).
+    pub diag_band_fraction: f64,
+}
+
+impl MatrixStats {
+    /// Computes the statistics for a CSR matrix.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let rows = csr.rows();
+        let nnz = csr.nnz();
+        if rows == 0 {
+            return MatrixStats { rows, cols: csr.cols(), nnz, ..Default::default() };
+        }
+        let mean = nnz as f64 / rows as f64;
+        let mut var_acc = 0.0;
+        let mut max_row = 0usize;
+        for i in 0..rows {
+            let n = csr.row_nnz(i);
+            max_row = max_row.max(n);
+            let d = n as f64 - mean;
+            var_acc += d * d;
+        }
+        let band = (csr.cols() as f64 * 0.01).max(8.0) as i64;
+        let mut in_band = 0usize;
+        for i in 0..rows {
+            for &c in csr.row_cols(i) {
+                if ((c as i64) - (i as i64)).abs() <= band {
+                    in_band += 1;
+                }
+            }
+        }
+        MatrixStats {
+            rows,
+            cols: csr.cols(),
+            nnz,
+            mean_row_nnz: mean,
+            stddev_row_nnz: (var_acc / rows as f64).sqrt(),
+            max_row_nnz: max_row,
+            diag_band_fraction: if nnz == 0 { 0.0 } else { in_band as f64 / nnz as f64 },
+        }
+    }
+}
+
+impl fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}, nnz={}, mu={:.2}, sigma={:.2}",
+            self.rows, self.cols, self.nnz, self.mean_row_nnz, self.stddev_row_nnz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    #[test]
+    fn stats_of_uniform_rows() {
+        let mut coo = Coo::new(4, 4);
+        for r in 0..4 {
+            for c in 0..2 {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let s = coo.to_csr().stats();
+        assert_eq!(s.nnz, 8);
+        assert!((s.mean_row_nnz - 2.0).abs() < 1e-12);
+        assert!(s.stddev_row_nnz.abs() < 1e-12);
+        assert_eq!(s.max_row_nnz, 2);
+    }
+
+    #[test]
+    fn stats_of_skewed_rows() {
+        let mut coo = Coo::new(2, 8);
+        for c in 0..8 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        let s = coo.to_csr().stats();
+        assert!((s.mean_row_nnz - 4.0).abs() < 1e-12);
+        assert!((s.stddev_row_nnz - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_row_nnz, 8);
+    }
+
+    #[test]
+    fn stats_of_empty_matrix() {
+        let csr = Csr::from_parts(0, 0, vec![0], vec![], vec![]).unwrap();
+        let s = csr.stats();
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.mean_row_nnz, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let csr = Csr::from_parts(1, 1, vec![0, 1], vec![0], vec![1.0]).unwrap();
+        assert!(!format!("{}", csr.stats()).is_empty());
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fully_banded() {
+        let mut coo = Coo::new(100, 100);
+        for i in 0..100 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        let s = coo.to_csr().stats();
+        assert!((s.diag_band_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,344 @@
+//! The paper's Table I evaluation suite.
+//!
+//! Fifteen matrices from the University of Florida (SuiteSparse) collection,
+//! reproduced here as deterministic synthetic stand-ins that match each
+//! matrix's published dimensions, `nnz`, mean row length μ, and row-length
+//! standard deviation σ, scaled down by a configurable factor so cycle-level
+//! simulation is feasible (see DESIGN.md §4 for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use spacea_matrix::suite;
+//!
+//! let entry = suite::entry_by_name("bcsstk32").expect("known matrix");
+//! let csr = entry.generate(suite::DEFAULT_SCALE);
+//! assert!(csr.nnz() > 0);
+//! ```
+
+use crate::gen::{banded, rmat, BandedConfig, RmatConfig};
+use crate::Csr;
+use std::fmt;
+
+/// Default down-scale factor applied to rows and nnz of each Table I matrix.
+///
+/// The default machine is 1/8 of the paper's (448 of 3584 Product-PEs), so a
+/// 1/8 matrix scale reproduces the paper's work-per-PE regime exactly:
+/// `nnz / (8 * 448) = nnz / 3584` non-zeros per PE, the quantity that
+/// determines CAM reuse windows and MLP behaviour.
+pub const DEFAULT_SCALE: usize = 8;
+
+/// Application domain of a Table I matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Domain {
+    /// FEM structural problems (bcsstk32, crankseg_2, ct20stif, pwtk, shipsec1).
+    Structural,
+    /// 2D/3D problems (cant, consph).
+    Problem2D3D,
+    /// Chemical process simulation (lhr71).
+    ChemicalProcess,
+    /// Semiconductor device simulation (ohne2).
+    Semiconductor,
+    /// Weighted undirected graph (pdb1HYS).
+    UndirectedGraph,
+    /// Computational fluid dynamics (rma10).
+    Cfd,
+    /// Directed (weighted) graphs — social networks and the web
+    /// (soc-sign-epinions, Stanford, webbase-1M).
+    DirectedGraph,
+    /// Materials problems (xenon2).
+    Materials,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Domain::Structural => "Structural Problem",
+            Domain::Problem2D3D => "2D/3D Problem",
+            Domain::ChemicalProcess => "Chemical Process Simulation",
+            Domain::Semiconductor => "Semiconductor Device Problem",
+            Domain::UndirectedGraph => "Weighted Undirected Graph",
+            Domain::Cfd => "Computational Fluid Dynamics",
+            Domain::DirectedGraph => "Directed Graph",
+            Domain::Materials => "Materials Problem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The statistics published in Table I for the original (unscaled) matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedStats {
+    /// Rows (= columns; all Table I matrices are square).
+    pub n: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Mean non-zeros per row (μ).
+    pub mean: f64,
+    /// Standard deviation of non-zeros per row (σ).
+    pub stddev: f64,
+}
+
+/// How a suite entry is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GenKind {
+    /// Banded FEM-style with the given band factor and block size.
+    Banded { band_factor: f64, block_rows: usize, run_len: usize },
+    /// R-MAT power-law graph.
+    Rmat { a: f64, b: f64, c: f64 },
+}
+
+/// One Table I matrix: identity, published statistics, and its synthetic
+/// generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteEntry {
+    /// Table I matrix id (1–15).
+    pub id: u8,
+    /// SuiteSparse matrix name.
+    pub name: &'static str,
+    /// Application domain as listed in Table I.
+    pub domain: Domain,
+    /// Published (unscaled) statistics.
+    pub published: PublishedStats,
+    kind: GenKind,
+}
+
+impl SuiteEntry {
+    /// Generates the scaled synthetic stand-in.
+    ///
+    /// Rows and `nnz` are divided by `scale` (minimum 1 row); μ and the σ/μ
+    /// shape are preserved. `scale = 1` reproduces the published size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn generate(&self, scale: usize) -> Csr {
+        assert!(scale > 0, "scale must be positive");
+        let n = (self.published.n / scale).max(64);
+        let seed = 0x5ACE_A100 + self.id as u64;
+        match self.kind {
+            GenKind::Banded { band_factor, block_rows, run_len } => banded(&BandedConfig {
+                n,
+                mean_row_nnz: self.published.mean,
+                stddev_row_nnz: self.published.stddev,
+                band_factor,
+                block_rows,
+                run_len,
+                seed,
+            }),
+            GenKind::Rmat { a, b, c } => {
+                // Self-loops contribute n entries; draw the rest as edges.
+                let target_nnz = ((self.published.nnz / scale).max(n + 1)) as f64;
+                let edges = (target_nnz * 1.08) as usize - n; // ~8% duplicate loss
+                rmat(&RmatConfig { n, edges: edges.max(1), a, b, c, seed })
+            }
+        }
+    }
+
+    /// Whether the matrix is a power-law graph (Table I ids 12–14), the class
+    /// the paper singles out for poor bandwidth utilization in Figure 2.
+    pub fn is_power_law(&self) -> bool {
+        matches!(self.kind, GenKind::Rmat { .. })
+    }
+}
+
+/// All fifteen Table I entries, in paper order (ids 1–15).
+pub fn entries() -> &'static [SuiteEntry] {
+    use Domain::*;
+    use GenKind::*;
+    static ENTRIES: std::sync::OnceLock<Vec<SuiteEntry>> = std::sync::OnceLock::new();
+    ENTRIES.get_or_init(|| {
+        let fem = |band: f64| Banded { band_factor: band, block_rows: 8, run_len: 6 };
+        vec![
+            SuiteEntry {
+                id: 1,
+                name: "bcsstk32",
+                domain: Structural,
+                published: PublishedStats { n: 44_609, nnz: 2_014_701, mean: 45.16, stddev: 15.48 },
+                kind: fem(6.0),
+            },
+            SuiteEntry {
+                id: 2,
+                name: "cant",
+                domain: Problem2D3D,
+                published: PublishedStats { n: 62_451, nnz: 4_007_383, mean: 64.17, stddev: 14.06 },
+                kind: fem(5.0),
+            },
+            SuiteEntry {
+                id: 3,
+                name: "consph",
+                domain: Problem2D3D,
+                published: PublishedStats { n: 83_334, nnz: 6_010_480, mean: 72.13, stddev: 19.08 },
+                kind: fem(5.0),
+            },
+            SuiteEntry {
+                id: 4,
+                name: "crankseg_2",
+                domain: Structural,
+                published: PublishedStats { n: 63_838, nnz: 14_148_858, mean: 221.64, stddev: 95.88 },
+                kind: fem(4.0),
+            },
+            SuiteEntry {
+                id: 5,
+                name: "ct20stif",
+                domain: Structural,
+                published: PublishedStats { n: 52_329, nnz: 2_600_295, mean: 51.57, stddev: 16.98 },
+                kind: fem(6.0),
+            },
+            SuiteEntry {
+                id: 6,
+                name: "lhr71",
+                domain: ChemicalProcess,
+                published: PublishedStats { n: 70_304, nnz: 1_494_006, mean: 21.74, stddev: 26.32 },
+                // Irregular chemistry band: wide scatter, small runs.
+                kind: Banded { band_factor: 24.0, block_rows: 2, run_len: 2 },
+            },
+            SuiteEntry {
+                id: 7,
+                name: "ohne2",
+                domain: Semiconductor,
+                published: PublishedStats { n: 181_343, nnz: 6_869_939, mean: 61.01, stddev: 21.09 },
+                kind: fem(8.0),
+            },
+            SuiteEntry {
+                id: 8,
+                name: "pdb1HYS",
+                domain: UndirectedGraph,
+                published: PublishedStats { n: 36_417, nnz: 4_344_765, mean: 119.31, stddev: 31.86 },
+                kind: fem(4.0),
+            },
+            SuiteEntry {
+                id: 9,
+                name: "pwtk",
+                domain: Structural,
+                published: PublishedStats { n: 217_918, nnz: 11_524_432, mean: 53.39, stddev: 4.74 },
+                kind: fem(5.0),
+            },
+            SuiteEntry {
+                id: 10,
+                name: "rma10",
+                domain: Cfd,
+                published: PublishedStats { n: 46_835, nnz: 2_329_092, mean: 50.69, stddev: 27.78 },
+                kind: Banded { band_factor: 10.0, block_rows: 4, run_len: 4 },
+            },
+            SuiteEntry {
+                id: 11,
+                name: "shipsec1",
+                domain: Structural,
+                published: PublishedStats { n: 140_874, nnz: 3_568_176, mean: 55.46, stddev: 11.07 },
+                kind: fem(6.0),
+            },
+            SuiteEntry {
+                id: 12,
+                name: "soc-sign-epinions",
+                domain: DirectedGraph,
+                published: PublishedStats { n: 131_828, nnz: 841_372, mean: 6.38, stddev: 32.95 },
+                kind: Rmat { a: 0.57, b: 0.19, c: 0.19 },
+            },
+            SuiteEntry {
+                id: 13,
+                name: "Stanford",
+                domain: DirectedGraph,
+                published: PublishedStats { n: 281_903, nnz: 2_312_497, mean: 8.20, stddev: 166.33 },
+                // More extreme skew for the web-graph hub structure.
+                kind: Rmat { a: 0.65, b: 0.15, c: 0.15 },
+            },
+            SuiteEntry {
+                id: 14,
+                name: "webbase-1M",
+                domain: DirectedGraph,
+                published: PublishedStats { n: 1_000_005, nnz: 3_105_536, mean: 3.11, stddev: 25.35 },
+                kind: Rmat { a: 0.60, b: 0.18, c: 0.18 },
+            },
+            SuiteEntry {
+                id: 15,
+                name: "xenon2",
+                domain: Materials,
+                published: PublishedStats { n: 157_464, nnz: 3_866_688, mean: 24.56, stddev: 4.07 },
+                kind: fem(5.0),
+            },
+        ]
+    })
+}
+
+/// Looks up a suite entry by its SuiteSparse name (case-sensitive).
+pub fn entry_by_name(name: &str) -> Option<&'static SuiteEntry> {
+    entries().iter().find(|e| e.name == name)
+}
+
+/// Looks up a suite entry by its Table I id (1–15).
+pub fn entry_by_id(id: u8) -> Option<&'static SuiteEntry> {
+    entries().iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_entries_in_order() {
+        let es = entries();
+        assert_eq!(es.len(), 15);
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        assert_eq!(entry_by_name("pwtk").unwrap().id, 9);
+        assert_eq!(entry_by_id(13).unwrap().name, "Stanford");
+        assert!(entry_by_name("nope").is_none());
+        assert!(entry_by_id(0).is_none());
+    }
+
+    #[test]
+    fn power_law_flags_match_paper() {
+        // The paper calls out matrices 12, 13, 14 as the poorly-utilizing
+        // social/web graphs.
+        for e in entries() {
+            assert_eq!(e.is_power_law(), matches!(e.id, 12 | 13 | 14), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn generated_mean_tracks_published() {
+        // Spot-check three structural matrices at a coarse scale.
+        for name in ["bcsstk32", "cant", "xenon2"] {
+            let e = entry_by_name(name).unwrap();
+            let s = e.generate(256).stats();
+            let rel = (s.mean_row_nnz - e.published.mean).abs() / e.published.mean;
+            assert!(rel < 0.35, "{name}: generated mu {} vs published {}", s.mean_row_nnz, e.published.mean);
+        }
+    }
+
+    #[test]
+    fn generated_power_law_is_skewed() {
+        for id in [12u8, 13, 14] {
+            let e = entry_by_id(id).unwrap();
+            let s = e.generate(256).stats();
+            assert!(
+                s.stddev_row_nnz > s.mean_row_nnz,
+                "{}: sigma {} should exceed mu {}",
+                e.name,
+                s.stddev_row_nnz,
+                s.mean_row_nnz
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let e = entry_by_id(1).unwrap();
+        assert_eq!(e.generate(256), e.generate(256));
+    }
+
+    #[test]
+    fn scale_one_reproduces_published_rows() {
+        // Only check the smallest matrix at full scale to keep tests quick.
+        let e = entry_by_name("pdb1HYS").unwrap();
+        let csr = e.generate(1);
+        assert_eq!(csr.rows(), e.published.n);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the matrix substrate: format invariants, generator
+//! guarantees, and statistics consistency.
+
+use proptest::prelude::*;
+use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
+use spacea_matrix::{Coo, Csr, MatrixStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn banded_generator_invariants(
+        n in 16usize..400,
+        mean in 2.0f64..24.0,
+        stddev in 0.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let cfg = BandedConfig { n, mean_row_nnz: mean, stddev_row_nnz: stddev, seed, ..Default::default() };
+        let m = banded(&cfg);
+        prop_assert_eq!(m.rows(), n);
+        prop_assert_eq!(m.cols(), n);
+        for i in 0..n {
+            prop_assert!(m.row_nnz(i) >= 1, "row {} empty", i);
+            // Columns sorted and unique within a row.
+            let cols = m.row_cols(i);
+            for w in cols.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+        prop_assert_eq!(banded(&cfg), m, "determinism");
+    }
+
+    #[test]
+    fn rmat_generator_invariants(
+        n in 16usize..400,
+        edges in 1usize..2000,
+        seed in 0u64..1000,
+    ) {
+        let cfg = RmatConfig { n, edges, seed, ..Default::default() };
+        let m = rmat(&cfg);
+        prop_assert_eq!(m.rows(), n);
+        prop_assert!(m.nnz() >= n, "self-loops guarantee nnz >= n");
+        prop_assert!(m.nnz() <= n + edges);
+        prop_assert_eq!(rmat(&cfg), m, "determinism");
+    }
+
+    #[test]
+    fn uniform_generator_exact_degree(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        row_nnz in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let m = uniform_random(&UniformConfig { rows, cols, row_nnz, seed });
+        let expect = row_nnz.min(cols).max(1);
+        for i in 0..rows {
+            prop_assert_eq!(m.row_nnz(i), expect);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(entries in proptest::collection::vec((0usize..40, 0usize..40, 0.5f64..2.0), 1..200)) {
+        let mut coo = Coo::new(40, 40);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).expect("in range");
+        }
+        let m = coo.to_csr();
+        let s = MatrixStats::from_csr(&m);
+        prop_assert_eq!(s.nnz, m.nnz());
+        prop_assert!((s.mean_row_nnz - m.nnz() as f64 / 40.0).abs() < 1e-12);
+        prop_assert!(s.max_row_nnz <= m.nnz());
+        prop_assert!(s.stddev_row_nnz >= 0.0);
+        prop_assert!(s.diag_band_fraction >= 0.0 && s.diag_band_fraction <= 1.0);
+        // Mean cannot exceed max.
+        prop_assert!(s.mean_row_nnz <= s.max_row_nnz as f64 + 1e-12);
+    }
+
+    #[test]
+    fn spmv_transpose_identity(entries in proptest::collection::vec((0usize..24, 0usize..24, -2.0f64..2.0), 1..120)) {
+        // x^T (A y) == (A^T x)^T y — the adjoint identity that transpose
+        // must satisfy.
+        let mut coo = Coo::new(24, 24);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).expect("in range");
+        }
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..24).map(|i| (i as f64 * 0.53).cos()).collect();
+        let ay = a.spmv(&y);
+        let atx = a.transpose().spmv(&x);
+        let lhs: f64 = x.iter().zip(&ay).map(|(p, q)| p * q).sum();
+        let rhs: f64 = atx.iter().zip(&y).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn csr_bytes_formula(entries in proptest::collection::vec((0usize..20, 0usize..20, 1.0f64..2.0), 0..100)) {
+        let mut coo = Coo::new(20, 20);
+        for (r, c, v) in entries {
+            coo.push(r, c, v).expect("in range");
+        }
+        let m = coo.to_csr();
+        prop_assert_eq!(m.csr_bytes(), 4 * 21 + 12 * m.nnz());
+    }
+}

@@ -1,0 +1,25 @@
+//! Energy, power, area and reference models for the SpaceA reproduction.
+//!
+//! The paper derives component latencies, energies and areas from CACTI-3DD
+//! \[15\] and a taped-out FPU generator \[23\] (Section V-A/B). Those tools are
+//! consumed purely as constant tables, so this crate embeds equivalent
+//! constants:
+//!
+//! * [`area`] — Table II component areas and power densities, the 2× DRAM
+//!   process factor, CAM/LDQ area scaling for the Figure 7(e) trade-off, and
+//!   the thermal feasibility check against active-cooling limits.
+//! * [`energy`] — per-event dynamic energies and static powers; turns the
+//!   simulator's [`ActivitySummary`] into the
+//!   Figure 8 four-part energy breakdown.
+//! * [`reference`](mod@reference) — published constants for the baselines: NVIDIA Titan Xp,
+//!   the DGX-1 CPU host, and the claimed speedups of Tesseract and GraphP
+//!   used by Table III.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod reference;
+
+pub use area::{AreaModel, BankGroupArea};
+pub use energy::{ActivitySummary, EnergyBreakdown, EnergyParams};

@@ -1,0 +1,215 @@
+//! Deterministic discrete-event queue.
+//!
+//! The engine is intentionally policy-free: it orders `(cycle, event)` pairs
+//! and hands them back one at a time. The architecture model (the `spacea-arch`
+//! crate) owns all machine state and interprets the events. Events scheduled
+//! for the same cycle are delivered in scheduling (FIFO) order, which makes
+//! every simulation bit-for-bit reproducible.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: Cycle,
+    seq: u64,
+}
+
+/// A deterministic priority queue of timed events.
+///
+/// # Example
+///
+/// ```
+/// use spacea_sim::engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "late");
+/// q.schedule(1, "early");
+/// assert_eq!(q.pop(), Some((1, "early")));
+/// assert_eq!(q.now(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, EventSlot<E>)>>,
+    seq: u64,
+    now: Cycle,
+    scheduled: u64,
+    processed: u64,
+}
+
+/// Wrapper so the heap never compares payloads: ordering is fully determined
+/// by the key, and `E` needs no `Ord` bound.
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at cycle 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0, scheduled: 0, processed: 0 }
+    }
+
+    /// The cycle of the most recently popped event (0 before the first pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime.
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn processed_count(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` to fire at absolute cycle `at`.
+    ///
+    /// Scheduling in the past is clamped to `now`: a component reacting to an
+    /// event at cycle `t` may trigger follow-up work "immediately", which
+    /// lands at `t` and is delivered after all earlier-scheduled cycle-`t`
+    /// events.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let at = at.max(self.now);
+        let key = Key { at, seq: self.seq };
+        self.seq += 1;
+        self.scheduled += 1;
+        self.heap.push(Reverse((key, EventSlot(event))));
+    }
+
+    /// Schedules `event` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycle, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the next event, advancing the clock to its cycle.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse((key, EventSlot(ev))) = self.heap.pop()?;
+        debug_assert!(key.at >= self.now, "event queue time went backwards");
+        self.now = key.at;
+        self.processed += 1;
+        Some((key.at, ev))
+    }
+
+    /// The cycle of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((k, _))| k.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(5, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.pop();
+        q.schedule(3, "late");
+        assert_eq!(q.pop(), Some((10, "late")));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule_after(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.pop();
+        assert_eq!(q.scheduled_count(), 2);
+        assert_eq!(q.processed_count(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(9, ());
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.now(), 0);
+    }
+
+    #[test]
+    fn payload_needs_no_ord() {
+        // f64 is not Ord; the queue must still work.
+        let mut q = EventQueue::new();
+        q.schedule(1, 2.5f64);
+        assert_eq!(q.pop(), Some((1, 2.5)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Load queues (LDQ) with request deduplication.
+//!
+//! Both CAM levels pair with a load queue (Sections III-B and III-C) whose
+//! job is to "remove the duplication of data requests": when several
+//! non-zeros (or several bank groups) need the same input-vector block, only
+//! the first lookup sends a request downstream; later requestors are parked
+//! as waiters and woken when the response arrives.
+//!
+//! The queues are fully associative with a fixed capacity (512 entries for
+//! L1, 8192 for L2 in the default configuration). A full queue back-pressures
+//! the requestor, which retries on its next scan — the same behaviour as the
+//! paper's cyclic PE queue revisit.
+
+use crate::stats::LdqCounters;
+use std::collections::HashMap;
+
+/// Outcome of pushing a request into a load queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdqPush {
+    /// The key was not pending: a new downstream request must be sent.
+    NewRequest,
+    /// The key is already in flight: the waiter was parked, no new request.
+    Deduplicated,
+    /// The queue is full; the requestor must retry later.
+    Full,
+}
+
+/// A fully-associative load queue tracking in-flight keys and their waiters.
+///
+/// `W` identifies a waiter (a PE queue slot, a bank-group id, a vault id…)
+/// and is returned verbatim by [`LoadQueue::complete`].
+///
+/// # Example
+///
+/// ```
+/// use spacea_sim::ldq::{LdqPush, LoadQueue};
+///
+/// let mut ldq: LoadQueue<&str> = LoadQueue::new(2);
+/// assert_eq!(ldq.push(10, "pe0"), LdqPush::NewRequest);
+/// assert_eq!(ldq.push(10, "pe1"), LdqPush::Deduplicated);
+/// assert_eq!(ldq.complete(10), vec!["pe0", "pe1"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadQueue<W> {
+    capacity: usize,
+    pending: HashMap<u64, Vec<W>>,
+    counters: LdqCounters,
+}
+
+impl<W> LoadQueue<W> {
+    /// Creates an empty queue holding at most `capacity` distinct keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "load queue capacity must be positive");
+        LoadQueue { capacity, pending: HashMap::new(), counters: LdqCounters::default() }
+    }
+
+    /// Maximum number of distinct in-flight keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` if no keys are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Returns `true` if `key` is currently in flight.
+    pub fn contains(&self, key: u64) -> bool {
+        self.pending.contains_key(&key)
+    }
+
+    /// Activity counters accumulated so far.
+    pub fn counters(&self) -> &LdqCounters {
+        &self.counters
+    }
+
+    /// Registers `waiter` for `key`.
+    ///
+    /// Returns [`LdqPush::NewRequest`] if this is the first request for the
+    /// key (the caller must send it downstream), [`LdqPush::Deduplicated`] if
+    /// the key was already pending, or [`LdqPush::Full`] if the queue cannot
+    /// accept a new key (the waiter is *not* registered in that case).
+    pub fn push(&mut self, key: u64, waiter: W) -> LdqPush {
+        if let Some(waiters) = self.pending.get_mut(&key) {
+            waiters.push(waiter);
+            self.counters.deduplicated += 1;
+            return LdqPush::Deduplicated;
+        }
+        if self.pending.len() >= self.capacity {
+            self.counters.rejected_full += 1;
+            return LdqPush::Full;
+        }
+        self.pending.insert(key, vec![waiter]);
+        self.counters.new_requests += 1;
+        LdqPush::NewRequest
+    }
+
+    /// Registers `waiter` for `key`, admitting the key even when the queue
+    /// is over capacity.
+    ///
+    /// Structural overflow is counted in
+    /// [`rejected_full`](crate::stats::LdqCounters::rejected_full) but the
+    /// waiter is always parked; never returns [`LdqPush::Full`]. Used where
+    /// dropping the request would require a retry loop the caller cannot
+    /// express (the requestor has already moved on, as the non-blocking PE
+    /// control unit does).
+    pub fn push_forced(&mut self, key: u64, waiter: W) -> LdqPush {
+        if let Some(waiters) = self.pending.get_mut(&key) {
+            waiters.push(waiter);
+            self.counters.deduplicated += 1;
+            return LdqPush::Deduplicated;
+        }
+        if self.pending.len() >= self.capacity {
+            self.counters.rejected_full += 1;
+        }
+        self.pending.insert(key, vec![waiter]);
+        self.counters.new_requests += 1;
+        LdqPush::NewRequest
+    }
+
+    /// Completes `key`, removing it and returning its waiters in arrival
+    /// order. Returns an empty vector if the key was not pending.
+    pub fn complete(&mut self, key: u64) -> Vec<W> {
+        match self.pending.remove(&key) {
+            Some(waiters) => {
+                self.counters.completed += 1;
+                waiters
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_push_is_new_request() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(4);
+        assert_eq!(q.push(1, 100), LdqPush::NewRequest);
+        assert!(q.contains(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_pushes_dedupe() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(4);
+        q.push(1, 100);
+        assert_eq!(q.push(1, 101), LdqPush::Deduplicated);
+        assert_eq!(q.push(1, 102), LdqPush::Deduplicated);
+        assert_eq!(q.len(), 1, "dedup must not consume capacity");
+        assert_eq!(q.counters().deduplicated, 2);
+    }
+
+    #[test]
+    fn complete_returns_waiters_in_order() {
+        let mut q: LoadQueue<&str> = LoadQueue::new(4);
+        q.push(9, "a");
+        q.push(9, "b");
+        assert_eq!(q.complete(9), vec!["a", "b"]);
+        assert!(!q.contains(9));
+        assert_eq!(q.complete(9), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn full_queue_rejects_new_keys_only() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(2);
+        q.push(1, 0);
+        q.push(2, 0);
+        assert_eq!(q.push(3, 0), LdqPush::Full);
+        // Existing keys still accept waiters when full.
+        assert_eq!(q.push(1, 1), LdqPush::Deduplicated);
+        assert_eq!(q.counters().rejected_full, 1);
+    }
+
+    #[test]
+    fn completion_frees_capacity() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(1);
+        q.push(1, 0);
+        assert_eq!(q.push(2, 0), LdqPush::Full);
+        q.complete(1);
+        assert_eq!(q.push(2, 0), LdqPush::NewRequest);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: LoadQueue<()> = LoadQueue::new(0);
+    }
+
+    #[test]
+    fn push_forced_overflows_but_registers() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(1);
+        assert_eq!(q.push_forced(1, 0), LdqPush::NewRequest);
+        assert_eq!(q.push_forced(2, 0), LdqPush::NewRequest);
+        assert_eq!(q.len(), 2, "forced push admits over capacity");
+        assert_eq!(q.counters().rejected_full, 1);
+        assert_eq!(q.complete(2), vec![0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Compare the naive and proposed mappings on matrices from the Table I
+//! suite — the experiment behind the paper's Figures 5 and 6, at example
+//! scale.
+//!
+//! Run: `cargo run --release --example mapping_comparison`
+
+use spacea::arch::{HwConfig, Machine};
+use spacea::mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
+use spacea::matrix::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hw = HwConfig::tiny();
+    println!(
+        "machine: {} cubes x {} vaults, {} product PEs",
+        hw.shape.cubes,
+        hw.shape.vaults_per_cube,
+        hw.shape.product_pes()
+    );
+    println!(
+        "{:<20} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "matrix", "naive (cyc)", "prop (cyc)", "speedup", "L1 naive", "L1 prop"
+    );
+
+    for name in ["bcsstk32", "pwtk", "xenon2"] {
+        let entry = suite::entry_by_name(name).expect("known Table I matrix");
+        let a = entry.generate(256);
+        let x = vec![1.0; a.cols()];
+
+        let naive = NaiveMapping::default().map(&a, &hw.shape);
+        let proposed = LocalityMapping::default().map(&a, &hw.shape);
+
+        let machine = Machine::new(hw.clone());
+        let rn = machine.run_spmv(&a, &x, &naive)?;
+        let rp = machine.run_spmv(&a, &x, &proposed)?;
+
+        println!(
+            "{:<20} {:>12} {:>12} {:>8.2}x {:>9.1}% {:>9.1}%",
+            name,
+            rn.cycles,
+            rp.cycles,
+            rn.cycles as f64 / rp.cycles as f64,
+            rn.l1_hit_rate * 100.0,
+            rp.l1_hit_rate * 100.0,
+        );
+    }
+    println!();
+    println!("the proposed mapping wins by clustering rows with overlapping");
+    println!("column sets onto the same PE/bank group, turning input-vector");
+    println!("accesses into L1 CAM hits instead of TSV/NoC round trips");
+    println!("(power-law graphs benefit less: their hub columns defeat row");
+    println!("clustering, which is the paper's Figure 6 story for ids 12-14)");
+    Ok(())
+}

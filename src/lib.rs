@@ -1,0 +1,40 @@
+//! SpaceA: a full reproduction of *SpaceA: Sparse Matrix Vector
+//! Multiplication on Processing-in-Memory Accelerator* (HPCA 2021).
+//!
+//! This facade crate re-exports every sub-crate of the workspace so examples
+//! and downstream users can depend on a single `spacea` crate:
+//!
+//! * [`matrix`] — sparse formats, Matrix Market I/O, synthetic Table I suite.
+//! * [`sim`] — the event-driven simulator substrate (engine, DRAM, CAM, NoC).
+//! * [`mapping`] — the two-phase mapping algorithm (Algorithm 1 + placement).
+//! * [`model`] — energy / power / area models (Table II, CACTI-3DD-style).
+//! * [`gpu`] — GPU (Titan Xp) and CPU baselines.
+//! * [`arch`] — the SpaceA machine: PEs, bank groups, vaults, cubes.
+//! * [`graph`] — graph analytics (PageRank, SSSP) as iterated semiring SpMV.
+//! * [`core`] — the high-level [`core::Accelerator`] API and the experiment
+//!   framework that regenerates every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spacea::core::Accelerator;
+//! use spacea::matrix::gen::{banded, BandedConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = banded(&BandedConfig { n: 512, ..Default::default() });
+//! let x = vec![1.0; a.cols()];
+//! let accel = Accelerator::builder().build()?;
+//! let run = accel.spmv(&a, &x)?;
+//! println!("simulated {} cycles", run.report.cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use spacea_arch as arch;
+pub use spacea_core as core;
+pub use spacea_gpu as gpu;
+pub use spacea_graph as graph;
+pub use spacea_mapping as mapping;
+pub use spacea_matrix as matrix;
+pub use spacea_model as model;
+pub use spacea_sim as sim;
