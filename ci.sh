@@ -1,0 +1,10 @@
+#!/bin/sh
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+set -eu
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy -- -D warnings
+cargo run --release -p spacea-bench --bin all_experiments -- --quick --jobs 4 > /dev/null
+echo "ci.sh: all checks passed"

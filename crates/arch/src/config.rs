@@ -87,7 +87,7 @@ impl HwConfig {
     /// slightly longer TSV transfer and a wider per-channel interface.
     pub fn hbm_like() -> Self {
         let mut cfg = Self::with_shape(MachineShape {
-            cubes: 4, // stacks
+            cubes: 4,           // stacks
             vaults_per_cube: 8, // channels per stack
             product_bgs_per_vault: 7,
             banks_per_bg: 2,

@@ -409,8 +409,7 @@ impl<'a> Sim<'a> {
         let row_id = state.next_load as u32;
         state.next_load += 1;
         state.load_in_flight = true;
-        let done =
-            self.matrix_banks[p].access(t, row_id as u64, size::DRAM_ROW, AccessKind::Read);
+        let done = self.matrix_banks[p].access(t, row_id as u64, size::DRAM_ROW, AccessKind::Read);
         self.q.schedule(done, Ev::RowLoaded { pe, row_id });
     }
 
@@ -465,8 +464,8 @@ impl<'a> Sim<'a> {
                     let push = self.l1_ldq[bg].push_forced(block, PeWaiter { pe, entry });
                     if push == LdqPush::NewRequest || !self.cfg.ldq_dedup {
                         let vault = self.pe_slots[p].global_vault(self.cfg);
-                        let t_req = self.tsv[vault]
-                            .transfer(t + self.cfg.l1_cam_latency, size::X_REQUEST);
+                        let t_req =
+                            self.tsv[vault].transfer(t + self.cfg.l1_cam_latency, size::X_REQUEST);
                         self.q.schedule(
                             t_req,
                             Ev::VaultXReq {
@@ -494,8 +493,7 @@ impl<'a> Sim<'a> {
         self.rf.reads += 1;
 
         let row_nnz = self.a.row_nnz(entry.matrix_row as usize);
-        let acc = self
-            .pes[p]
+        let acc = self.pes[p]
             .rows
             .entry(entry.matrix_row)
             .or_insert(crate::pe::RowAccum { remaining: row_nnz, partial: 0.0 });
@@ -728,28 +726,17 @@ impl<'a> Sim<'a> {
         let pe_work: Vec<u64> = self.pes.iter().map(|p| p.work).collect();
         let normalized_workload = SimReport::normalized_workload_of(&pe_work);
         let elapsed = self.end_time.max(1) as f64;
-        let pe_busy_fraction = self
-            .pes
-            .iter()
-            .map(|p| (p.steps * self.cfg.l_p) as f64 / elapsed)
-            .sum::<f64>()
-            / self.pes.len() as f64;
-        let matrix_bank_busy_fraction = self
-            .matrix_banks
-            .iter()
-            .map(|b| b.busy_cycles() as f64 / elapsed)
-            .sum::<f64>()
-            / self.matrix_banks.len() as f64;
-        let vector_bank_busy_fraction = self
-            .vector_banks
-            .iter()
-            .map(|b| b.busy_cycles() as f64 / elapsed)
-            .sum::<f64>()
-            / self.vector_banks.len() as f64;
-        let (ub_hits, ub_misses) = self
-            .update_buf
-            .iter()
-            .fold((0u64, 0u64), |(h, m), b| (h + b.hits(), m + b.misses()));
+        let pe_busy_fraction =
+            self.pes.iter().map(|p| (p.steps * self.cfg.l_p) as f64 / elapsed).sum::<f64>()
+                / self.pes.len() as f64;
+        let matrix_bank_busy_fraction =
+            self.matrix_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed).sum::<f64>()
+                / self.matrix_banks.len() as f64;
+        let vector_bank_busy_fraction =
+            self.vector_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed).sum::<f64>()
+                / self.vector_banks.len() as f64;
+        let (ub_hits, ub_misses) =
+            self.update_buf.iter().fold((0u64, 0u64), |(h, m), b| (h + b.hits(), m + b.misses()));
         let update_buffer_hit_rate = if ub_hits + ub_misses == 0 {
             0.0
         } else {
@@ -772,9 +759,17 @@ impl<'a> Sim<'a> {
             return Err(SimError::ValidationFailed { index, simulated, expected });
         }
 
+        // The engine's documented counter invariant: on a drained queue,
+        // every scheduled event was processed exactly once. The telemetry
+        // counters below are only meaningful because this holds.
+        self.q.check_counters();
+        debug_assert!(self.q.is_empty(), "simulation finished with pending events");
+
         Ok(SimReport {
             cycles: self.end_time,
             seconds: self.end_time as f64 * 1e-9,
+            events_scheduled: self.q.scheduled_count(),
+            events_processed: self.q.processed_count(),
             l1_hit_rate: prod_l1_counters.hit_rate(),
             l2_hit_rate: l2_counters.hit_rate(),
             tsv_bytes: activity.tsv_bytes,
@@ -796,7 +791,9 @@ impl<'a> Sim<'a> {
 mod tests {
     use super::*;
     use spacea_mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
-    use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
+    use spacea_matrix::gen::{
+        banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig,
+    };
 
     fn run(a: &Csr, cfg: HwConfig) -> SimReport {
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
@@ -911,7 +908,12 @@ mod tests {
         slow.tsv_latency = 16;
         let rf = run(&a, fast);
         let rs = run(&a, slow);
-        assert!(rs.cycles > rf.cycles, "16-cycle TSV ({}) must be slower than 1 ({})", rs.cycles, rf.cycles);
+        assert!(
+            rs.cycles > rf.cycles,
+            "16-cycle TSV ({}) must be slower than 1 ({})",
+            rs.cycles,
+            rf.cycles
+        );
     }
 
     #[test]
@@ -931,10 +933,7 @@ mod tests {
             assert!(w[0].cycle <= w[1].cycle);
         }
         // The trace starts with the first row loads.
-        assert!(matches!(
-            log.records()[0].event,
-            crate::trace::TraceEvent::RowLoaded { .. }
-        ));
+        assert!(matches!(log.records()[0].event, crate::trace::TraceEvent::RowLoaded { .. }));
     }
 
     #[test]

@@ -36,9 +36,20 @@ pub struct SimReport {
     /// Mean busy fraction of the vector banks.
     pub vector_bank_busy_fraction: f64,
     /// The simulated output vector.
+    ///
+    /// May be empty on reports rehydrated from the harness disk cache (the
+    /// vector is large and nothing downstream of validation reads it); see
+    /// `spacea-harness`.
     pub output: Vec<f64>,
     /// Whether the output matched the software SpMV oracle.
     pub validated: bool,
+    /// Discrete events scheduled over the simulation (telemetry).
+    pub events_scheduled: u64,
+    /// Discrete events processed over the simulation (telemetry). Equals
+    /// [`SimReport::events_scheduled`] on a completed run: the engine's
+    /// counter invariant (`scheduled − processed == pending`) with an empty
+    /// final queue.
+    pub events_processed: u64,
 }
 
 impl SimReport {

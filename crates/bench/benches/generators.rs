@@ -16,9 +16,7 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| rmat(&RmatConfig { n: 4096, edges: 65_536, ..Default::default() }))
     });
     g.bench_function("uniform_4k", |b| {
-        b.iter(|| {
-            uniform_random(&UniformConfig { rows: 4096, cols: 4096, row_nnz: 16, seed: 1 })
-        })
+        b.iter(|| uniform_random(&UniformConfig { rows: 4096, cols: 4096, row_nnz: 16, seed: 1 }))
     });
     let entry = suite::entry_by_name("pwtk").expect("known matrix");
     g.throughput(Throughput::Elements((entry.published.nnz / 256) as u64));

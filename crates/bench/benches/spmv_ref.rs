@@ -23,9 +23,7 @@ fn bench_spmv(c: &mut Criterion) {
     g.bench_function("semiring_plus_times", |b| {
         b.iter(|| semiring_spmv::<PlusTimes>(&banded_m, &xb))
     });
-    g.bench_function("semiring_min_plus", |b| {
-        b.iter(|| semiring_spmv::<MinPlus>(&banded_m, &xb))
-    });
+    g.bench_function("semiring_min_plus", |b| b.iter(|| semiring_spmv::<MinPlus>(&banded_m, &xb)));
     g.bench_function("transpose", |b| b.iter(|| banded_m.transpose()));
     g.finish();
 }

@@ -1,26 +1,43 @@
 //! Runs every experiment in paper order and prints all tables plus a final
 //! paper-vs-measured summary — the data behind EXPERIMENTS.md.
 //!
+//! All expensive work (GPU model runs, SpaceA simulations) is enumerated via
+//! the experiment registry, computed in parallel on `--jobs` workers into
+//! the persistent result cache, and rendered from cache afterwards — so the
+//! tables are byte-identical for any worker count, and a second invocation
+//! is answered almost entirely from `target/spacea-cache/`.
+//!
 //! Run: `cargo run --release -p spacea-bench --bin all_experiments
-//! [--scale N] [--graph-scale N] [--cubes N] [--quick] [--csv]`
+//! [--scale N] [--graph-scale N] [--cubes N] [--quick] [--jobs N]
+//! [--no-cache] [--csv]`
 
 use std::time::Instant;
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let opts = spacea_bench::parse_args(std::env::args().skip(1));
+    let mut cache = spacea_bench::cache_for(&opts);
     let started = Instant::now();
+
+    let jobs = spacea_core::experiments::all_jobs(&opts.cfg);
+    let manifest = spacea_bench::prewarm(&cache, jobs, opts.jobs);
+
     let outputs = spacea_core::experiments::run_all(&mut cache);
     for out in &outputs {
-        spacea_bench::emit(out, csv);
+        spacea_bench::emit(out, opts.csv);
         println!();
     }
-    if !csv {
+    if !opts.csv {
         println!("## Paper vs measured summary");
         for out in &outputs {
             for (name, paper, measured) in &out.headline {
                 println!("  [{}] {name}: paper {paper:.3} | measured {measured:.3}", out.id);
             }
         }
-        eprintln!("total harness time: {:.1}s", started.elapsed().as_secs_f64());
     }
+    eprint!("{}", manifest.summary());
+    match spacea_bench::write_manifest(&cache, &manifest) {
+        Ok(path) => eprintln!("harness: run manifest written to {}", path.display()),
+        Err(e) => eprintln!("harness: could not write run manifest: {e}"),
+    }
+    eprintln!("total harness time: {:.1}s", started.elapsed().as_secs_f64());
 }

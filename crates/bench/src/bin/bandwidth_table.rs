@@ -14,7 +14,8 @@ fn main() {
 
     // 1 GHz clock: bytes/cycle == GB/s.
     let bank_gbs = hw.timing.beat_bytes as f64 / hw.timing.t_ccd as f64;
-    let banks_per_cube = shape.vaults_per_cube * (shape.product_bgs_per_vault + 1) * shape.banks_per_bg;
+    let banks_per_cube =
+        shape.vaults_per_cube * (shape.product_bgs_per_vault + 1) * shape.banks_per_bg;
     let bank_level_cube = bank_gbs * banks_per_cube as f64;
     let tsv_cube = (hw.tsv_bytes_per_cycle * shape.vaults_per_cube) as f64;
     let serdes_cube = (hw.serdes_bytes_per_cycle * 4) as f64; // 4 mesh links

@@ -1,8 +1,8 @@
 //! Harness binary regenerating the paper's fig10 artifact.
-//! Run: `cargo run --release -p spacea-bench --bin fig10 [--scale N] [--cubes N] [--csv]`
+//! Run: `cargo run --release -p spacea-bench --bin fig10 [--scale N] [--cubes N] [--jobs N] [--no-cache] [--csv]`
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let (mut cache, csv) = spacea_bench::harness_for(spacea_core::experiments::fig10::jobs);
     let out = spacea_core::experiments::fig10::run(&mut cache);
     spacea_bench::emit(&out, csv);
 }

@@ -1,8 +1,8 @@
 //! Harness binary regenerating the paper's fig2 artifact.
-//! Run: `cargo run --release -p spacea-bench --bin fig2 [--scale N] [--cubes N] [--csv]`
+//! Run: `cargo run --release -p spacea-bench --bin fig2 [--scale N] [--cubes N] [--jobs N] [--no-cache] [--csv]`
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let (mut cache, csv) = spacea_bench::harness_for(spacea_core::experiments::fig2::jobs);
     let out = spacea_core::experiments::fig2::run(&mut cache);
     spacea_bench::emit(&out, csv);
 }

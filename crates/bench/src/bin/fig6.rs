@@ -1,8 +1,8 @@
 //! Harness binary regenerating the paper's fig6 artifact.
-//! Run: `cargo run --release -p spacea-bench --bin fig6 [--scale N] [--cubes N] [--csv]`
+//! Run: `cargo run --release -p spacea-bench --bin fig6 [--scale N] [--cubes N] [--jobs N] [--no-cache] [--csv]`
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let (mut cache, csv) = spacea_bench::harness_for(spacea_core::experiments::fig6::jobs);
     let out = spacea_core::experiments::fig6::run(&mut cache);
     spacea_bench::emit(&out, csv);
 }

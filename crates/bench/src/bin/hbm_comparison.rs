@@ -21,8 +21,7 @@ fn main() {
     let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
     let mut ratios = Vec::new();
     for id in ids {
-        let name =
-            cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
+        let name = cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
         let r_hmc = cache.sim_with(id, MapKind::Proposed, &hmc);
         let r_hbm = cache.sim_with(id, MapKind::Proposed, &hbm);
         let ratio = r_hbm.cycles as f64 / r_hmc.cycles as f64;

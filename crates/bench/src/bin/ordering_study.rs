@@ -9,13 +9,13 @@
 //!
 //! Run: `cargo run --release -p spacea-bench --bin ordering_study [--scale N]`
 
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use spacea_arch::Machine;
 use spacea_core::table::{fmt, geo_mean, Table};
 use spacea_mapping::{ChunkedMapping, LocalityMapping, MappingStrategy};
 use spacea_matrix::reorder::{rcm, Permutation};
 use spacea_matrix::Csr;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 fn shuffled(a: &Csr, seed: u64) -> Csr {
     let mut order: Vec<u32> = (0..a.rows() as u32).collect();
@@ -31,12 +31,7 @@ fn main() {
 
     // Structural matrices only: ordering is meaningless for the power-law
     // graphs (they have no band to destroy).
-    let ids: Vec<u8> = cache
-        .entries()
-        .iter()
-        .filter(|e| !e.is_power_law())
-        .map(|e| e.id)
-        .collect();
+    let ids: Vec<u8> = cache.entries().iter().filter(|e| !e.is_power_law()).map(|e| e.id).collect();
 
     type Reordering = fn(&Csr) -> Csr;
     let orderings: [(&str, Reordering); 3] = [

@@ -7,14 +7,29 @@
 //! * `--scale N` — Table I matrix down-scale factor (default 8)
 //! * `--graph-scale N` — Table III graph down-scale factor (default 256)
 //! * `--cubes N` — cube count of the machine under test (default 2)
-//! * `--quick` — the miniature smoke-test configuration
+//! * `--quick` — the miniature smoke-test configuration (explicit flags
+//!   still apply, regardless of order)
+//! * `--jobs N` — worker threads for the parallel job phase (default: the
+//!   machine's available parallelism, capped at 8)
+//! * `--no-cache` — skip the persistent result cache under
+//!   `target/spacea-cache/`
 //! * `--csv` — emit CSV instead of aligned text
+//!
+//! The figure/table binaries first enumerate the jobs their experiment
+//! consumes (see `spacea_core::experiments::Experiment::jobs`), compute them
+//! in parallel through [`spacea_harness::run_jobs`] into a content-addressed
+//! [`ResultStore`], and only then render — rendering is pure lookup, so the
+//! output is byte-identical for any `--jobs` value.
 
 #![warn(missing_docs)]
 
 use spacea_arch::HwConfig;
 use spacea_core::experiments::{ExpConfig, ExpOutput, SuiteCache};
+use spacea_harness::{JobCtx, JobSpec, ResultStore, RunManifest, DEFAULT_CACHE_DIR};
 use spacea_mapping::MachineShape;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Parsed harness options.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +38,15 @@ pub struct HarnessOptions {
     pub cfg: ExpConfig,
     /// Emit CSV instead of text tables.
     pub csv: bool,
+    /// Worker threads for the parallel job phase.
+    pub jobs: usize,
+    /// Skip the persistent on-disk result cache.
+    pub no_cache: bool,
+}
+
+/// The default worker count: available parallelism, capped at 8.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
 /// Parses harness options from an argument iterator.
@@ -30,9 +54,16 @@ pub struct HarnessOptions {
 /// Unknown flags abort with a usage message; this is a harness, not a public
 /// CLI, so the parser is intentionally tiny.
 pub fn parse_args<I: Iterator<Item = String>>(args: I) -> HarnessOptions {
-    let mut cfg = ExpConfig::default();
+    let args: Vec<String> = args.collect();
+    // `--quick` replaces the whole base configuration, so it is applied
+    // first and the explicit flags overlay it — `--cubes 4 --quick` keeps
+    // the 4 cubes regardless of flag order.
+    let mut cfg =
+        if args.iter().any(|a| a == "--quick") { ExpConfig::quick() } else { ExpConfig::default() };
     let mut csv = false;
-    let mut args = args.peekable();
+    let mut jobs = default_jobs();
+    let mut no_cache = false;
+    let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         let mut next_usize = |what: &str| -> usize {
             args.next()
@@ -47,28 +78,91 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> HarnessOptions {
                 let shape = MachineShape { cubes, ..cfg.hw.shape };
                 cfg.hw = HwConfig { shape, ..cfg.hw };
             }
-            "--quick" => cfg = ExpConfig::quick(),
+            "--jobs" => jobs = next_usize("--jobs").max(1),
+            "--no-cache" => no_cache = true,
+            "--quick" => {} // already applied as the base configuration
             "--csv" => csv = true,
             "--help" | "-h" => usage("usage"),
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
-    HarnessOptions { cfg, csv }
+    HarnessOptions { cfg, csv, jobs, no_cache }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "flags: --scale N | --graph-scale N | --cubes N | --quick | --csv"
+        "flags: --scale N | --graph-scale N | --cubes N | --quick | --jobs N | --no-cache | --csv"
     );
     std::process::exit(2)
 }
 
-/// Parses the process arguments and builds the shared cache.
+/// Opens the result store: disk-backed under [`DEFAULT_CACHE_DIR`] unless
+/// `--no-cache` was given (or the directory cannot be created).
+pub fn open_store(opts: &HarnessOptions) -> Arc<ResultStore> {
+    if opts.no_cache {
+        return Arc::new(ResultStore::in_memory());
+    }
+    match ResultStore::with_disk(DEFAULT_CACHE_DIR) {
+        Ok(store) => Arc::new(store),
+        Err(e) => {
+            eprintln!(
+                "harness: cannot open cache dir {DEFAULT_CACHE_DIR} ({e}); continuing without disk cache"
+            );
+            Arc::new(ResultStore::in_memory())
+        }
+    }
+}
+
+/// Builds the shared cache for parsed options.
+pub fn cache_for(opts: &HarnessOptions) -> SuiteCache {
+    SuiteCache::with_store(opts.cfg.clone(), open_store(opts), Arc::new(JobCtx::new()))
+}
+
+/// Computes `jobs` (deduplicated) on `workers` threads, filling the cache's
+/// store, and returns the run telemetry.
+pub fn prewarm(cache: &SuiteCache, jobs: Vec<JobSpec>, workers: usize) -> RunManifest {
+    let jobs = spacea_harness::dedup_jobs(jobs);
+    let started = Instant::now();
+    let records = spacea_harness::run_jobs(&jobs, cache.store(), cache.ctx(), workers);
+    RunManifest {
+        workers,
+        total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        records,
+        stats: cache.store().stats(),
+    }
+}
+
+/// Writes the run manifest JSON under the cache directory (or the default
+/// directory when running with `--no-cache`) and returns its path.
+pub fn write_manifest(cache: &SuiteCache, manifest: &RunManifest) -> std::io::Result<PathBuf> {
+    let dir = cache
+        .store()
+        .disk_dir()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("last-run.json");
+    std::fs::write(&path, manifest.to_json())?;
+    Ok(path)
+}
+
+/// Parses the process arguments and builds the shared cache (no job
+/// pre-warming — for binaries whose work is not expressible as jobs).
 pub fn harness() -> (SuiteCache, bool) {
     let opts = parse_args(std::env::args().skip(1));
     let csv = opts.csv;
-    (SuiteCache::new(opts.cfg), csv)
+    (cache_for(&opts), csv)
+}
+
+/// Parses the process arguments, builds the cache, and pre-warms one
+/// experiment's jobs in parallel; the run summary goes to stderr.
+pub fn harness_for(jobs_of: fn(&ExpConfig) -> Vec<JobSpec>) -> (SuiteCache, bool) {
+    let opts = parse_args(std::env::args().skip(1));
+    let cache = cache_for(&opts);
+    let manifest = prewarm(&cache, jobs_of(&opts.cfg), opts.jobs);
+    eprint!("{}", manifest.summary());
+    (cache, opts.csv)
 }
 
 /// Prints one experiment's tables in the selected format.
@@ -108,6 +202,8 @@ mod tests {
         let o = parse(&[]);
         assert_eq!(o.cfg.scale, 8);
         assert!(!o.csv);
+        assert!(!o.no_cache);
+        assert!(o.jobs >= 1);
     }
 
     #[test]
@@ -124,6 +220,28 @@ mod tests {
     fn quick_flag() {
         let o = parse(&["--quick"]);
         assert_eq!(o.cfg, ExpConfig::quick());
+    }
+
+    #[test]
+    fn quick_does_not_clobber_explicit_flags_in_any_order() {
+        // Regression: `--cubes 4 --quick` used to silently reset the cube
+        // count because `--quick` replaced the whole config when reached.
+        let a = parse(&["--cubes", "4", "--quick"]);
+        let b = parse(&["--quick", "--cubes", "4"]);
+        assert_eq!(a.cfg.hw.shape.cubes, 4);
+        assert_eq!(a.cfg, b.cfg);
+        assert_eq!(a.cfg.scale, ExpConfig::quick().scale, "quick base still applies");
+        let c = parse(&["--scale", "12", "--quick", "--graph-scale", "99"]);
+        assert_eq!(c.cfg.scale, 12);
+        assert_eq!(c.cfg.graph_scale, 99);
+    }
+
+    #[test]
+    fn jobs_and_no_cache_flags() {
+        let o = parse(&["--jobs", "3", "--no-cache"]);
+        assert_eq!(o.jobs, 3);
+        assert!(o.no_cache);
+        assert_eq!(parse(&["--jobs", "0"]).jobs, 1, "worker count clamps to 1");
     }
 
     #[test]

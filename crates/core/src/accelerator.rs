@@ -7,8 +7,7 @@ use spacea_model::energy::StaticConfig;
 use spacea_model::{EnergyBreakdown, EnergyParams};
 
 /// Which mapping pipeline the accelerator uses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MappingChoice {
     /// The paper's proposed two-phase mapping (Algorithm 1 + placement).
     #[default]
@@ -19,7 +18,6 @@ pub enum MappingChoice {
         seed: u64,
     },
 }
-
 
 /// Builder for [`Accelerator`].
 ///
@@ -121,9 +119,7 @@ impl Accelerator {
     /// iterations via [`Accelerator::spmv_mapped`]).
     pub fn map(&self, a: &Csr) -> Mapping {
         match self.mapping {
-            MappingChoice::Proposed => {
-                LocalityMapping::default().map(a, &self.config().shape)
-            }
+            MappingChoice::Proposed => LocalityMapping::default().map(a, &self.config().shape),
             MappingChoice::Naive { seed } => NaiveMapping { seed }.map(a, &self.config().shape),
         }
     }

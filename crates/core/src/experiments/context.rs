@@ -1,37 +1,18 @@
-//! Shared experiment configuration and memoized computation cache.
+//! Shared experiment configuration and the store-backed computation cache.
 
 use crate::table::Table;
-use spacea_arch::{HwConfig, Machine, SimReport};
+use spacea_arch::{HwConfig, SimReport};
 use spacea_gpu::spec::{Dgx1CpuSpec, TitanXpSpec};
-use spacea_gpu::{simulate_csrmv, GpuRun};
-use spacea_mapping::{
-    LocalityMapping, MachineShape, Mapping, MappingStrategy, NaiveMapping,
-};
+use spacea_gpu::GpuRun;
+use spacea_harness::{JobCtx, JobResult, JobSpec, MatrixSource, ResultStore};
+use spacea_mapping::{MachineShape, Mapping};
 use spacea_matrix::suite::{self, SuiteEntry};
 use spacea_matrix::Csr;
 use spacea_model::energy::StaticConfig;
 use spacea_model::{EnergyBreakdown, EnergyParams};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// Which mapping a cached simulation used.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MapKind {
-    /// Random row assignment (Section V-B baseline).
-    Naive,
-    /// The proposed two-phase mapping.
-    Proposed,
-}
-
-impl MapKind {
-    /// Display label matching the paper's figures.
-    pub fn label(&self) -> &'static str {
-        match self {
-            MapKind::Naive => "naive",
-            MapKind::Proposed => "proposed",
-        }
-    }
-}
+pub use spacea_mapping::MapKind;
 
 /// Experiment configuration: how much everything is scaled down.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,9 +81,31 @@ impl ExpConfig {
         Dgx1CpuSpec { mem_bw: full.mem_bw * self.baseline_fraction(), ..full }
     }
 
-    /// The deterministic input vector used by every SpMV experiment.
+    /// The deterministic input vector used by every SpMV experiment
+    /// (delegates to the harness so cached job results stay valid).
     pub fn input_vector(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect()
+        spacea_harness::input_vector(n)
+    }
+
+    /// The [`MatrixSource`] naming Table I matrix `id` at this
+    /// configuration's scale.
+    pub fn source(&self, id: u8) -> MatrixSource {
+        MatrixSource::Suite { id, scale: self.scale }
+    }
+
+    /// The job computing the GPU baseline for matrix `id`.
+    pub fn gpu_job(&self, id: u8) -> JobSpec {
+        JobSpec::Gpu { source: self.source(id), spec: self.gpu_spec() }
+    }
+
+    /// The job simulating matrix `id` on the default machine.
+    pub fn sim_job(&self, id: u8, kind: MapKind) -> JobSpec {
+        self.sim_job_with(id, kind, &self.hw)
+    }
+
+    /// The job simulating matrix `id` on an arbitrary machine.
+    pub fn sim_job_with(&self, id: u8, kind: MapKind, hw: &HwConfig) -> JobSpec {
+        JobSpec::Sim { source: self.source(id), kind, hw: hw.clone(), energy: self.energy }
     }
 
     /// Static-power structure counts for an arbitrary shape.
@@ -131,27 +134,43 @@ pub struct ExpOutput {
     pub headline: Vec<(String, f64, f64)>,
 }
 
-/// Memoizes matrices, mappings, GPU runs and SpaceA simulations across
-/// experiments in one process.
+/// Store-backed access to matrices, mappings, GPU runs and SpaceA
+/// simulations, shared across experiments (and worker threads) in one
+/// process.
+///
+/// Every expensive result is addressed by its [`JobSpec`] content hash in a
+/// shared [`ResultStore`], so work pre-computed by the parallel harness
+/// ([`spacea_harness::run_jobs`]) is found here by key — rendering never
+/// recomputes, which is what makes parallel runs byte-identical to serial
+/// ones. Matrices and mappings (job *inputs*) are memoized in a shared
+/// [`JobCtx`].
 pub struct SuiteCache {
     /// The shared configuration.
     pub cfg: ExpConfig,
-    matrices: HashMap<u8, Rc<Csr>>,
-    mappings: HashMap<(u8, MapKind, MachineShape), Rc<Mapping>>,
-    gpu_runs: HashMap<u8, GpuRun>,
-    sims: HashMap<(u8, MapKind), Rc<SimReport>>,
+    store: Arc<ResultStore>,
+    ctx: Arc<JobCtx>,
 }
 
 impl SuiteCache {
-    /// Creates a cache for a configuration.
+    /// Creates a cache with a fresh in-memory store.
     pub fn new(cfg: ExpConfig) -> Self {
-        SuiteCache {
-            cfg,
-            matrices: HashMap::new(),
-            mappings: HashMap::new(),
-            gpu_runs: HashMap::new(),
-            sims: HashMap::new(),
-        }
+        SuiteCache::with_store(cfg, Arc::new(ResultStore::in_memory()), Arc::new(JobCtx::new()))
+    }
+
+    /// Creates a cache over an existing (possibly pre-warmed, possibly
+    /// disk-backed) store and input context.
+    pub fn with_store(cfg: ExpConfig, store: Arc<ResultStore>, ctx: Arc<JobCtx>) -> Self {
+        SuiteCache { cfg, store, ctx }
+    }
+
+    /// The shared result store.
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.store
+    }
+
+    /// The shared matrix/mapping context.
+    pub fn ctx(&self) -> &Arc<JobCtx> {
+        &self.ctx
     }
 
     /// The Table I entries (always all fifteen).
@@ -159,67 +178,103 @@ impl SuiteCache {
         suite::entries()
     }
 
+    /// The [`MatrixSource`] naming Table I matrix `id` at this
+    /// configuration's scale.
+    pub fn source(&self, id: u8) -> MatrixSource {
+        self.cfg.source(id)
+    }
+
+    /// The job computing the GPU baseline for matrix `id`.
+    pub fn gpu_job(&self, id: u8) -> JobSpec {
+        self.cfg.gpu_job(id)
+    }
+
+    /// The job simulating matrix `id` on the default machine.
+    pub fn sim_job(&self, id: u8, kind: MapKind) -> JobSpec {
+        self.cfg.sim_job(id, kind)
+    }
+
+    /// The job simulating matrix `id` on an arbitrary machine.
+    pub fn sim_job_with(&self, id: u8, kind: MapKind, hw: &HwConfig) -> JobSpec {
+        self.cfg.sim_job_with(id, kind, hw)
+    }
+
     /// The scaled matrix for Table I id `id`.
-    pub fn matrix(&mut self, id: u8) -> Rc<Csr> {
-        let scale = self.cfg.scale;
-        Rc::clone(self.matrices.entry(id).or_insert_with(|| {
-            Rc::new(suite::entry_by_id(id).expect("valid Table I id").generate(scale))
-        }))
+    pub fn matrix(&mut self, id: u8) -> Arc<Csr> {
+        self.ctx.matrix(&self.source(id))
+    }
+
+    /// An arbitrary source's matrix (case-study operands).
+    pub fn matrix_of(&mut self, source: &MatrixSource) -> Arc<Csr> {
+        self.ctx.matrix(source)
     }
 
     /// The mapping of matrix `id` for the cache's machine shape.
-    pub fn mapping(&mut self, id: u8, kind: MapKind) -> Rc<Mapping> {
+    pub fn mapping(&mut self, id: u8, kind: MapKind) -> Arc<Mapping> {
         let shape = self.cfg.hw.shape;
         self.mapping_for_shape(id, kind, shape)
     }
 
     /// The mapping of matrix `id` for an arbitrary shape (Figure 10 sweeps).
-    pub fn mapping_for_shape(&mut self, id: u8, kind: MapKind, shape: MachineShape) -> Rc<Mapping> {
-        if let Some(m) = self.mappings.get(&(id, kind, shape)) {
-            return Rc::clone(m);
+    pub fn mapping_for_shape(
+        &mut self,
+        id: u8,
+        kind: MapKind,
+        shape: MachineShape,
+    ) -> Arc<Mapping> {
+        self.ctx.mapping(&self.source(id), kind, shape)
+    }
+
+    /// Runs a job through the store: hit → cached result, miss → execute
+    /// here (serially) and insert.
+    pub fn run_job(&mut self, job: &JobSpec) -> JobResult {
+        let key = job.key();
+        if let Some((result, _)) = self.store.lookup(key) {
+            return result;
         }
-        let a = self.matrix(id);
-        let mapping = match kind {
-            MapKind::Proposed => LocalityMapping::default().map(&a, &shape),
-            MapKind::Naive => NaiveMapping::default().map(&a, &shape),
-        };
-        let rc = Rc::new(mapping);
-        self.mappings.insert((id, kind, shape), Rc::clone(&rc));
-        rc
+        let result = spacea_harness::exec::execute(job, &self.ctx);
+        self.store.insert(key, result.clone());
+        result
     }
 
     /// The GPU baseline run for matrix `id` (iso-area scaled spec).
     pub fn gpu(&mut self, id: u8) -> GpuRun {
-        if let Some(r) = self.gpu_runs.get(&id) {
-            return *r;
+        let job = self.gpu_job(id);
+        match self.run_job(&job) {
+            JobResult::Gpu(run) => run,
+            other => unreachable!("gpu job returned {other:?}"),
         }
-        let a = self.matrix(id);
-        let run = simulate_csrmv(&self.cfg.gpu_spec(), &a);
-        self.gpu_runs.insert(id, run);
-        run
     }
 
     /// The SpaceA simulation of matrix `id` on the default machine.
-    pub fn sim(&mut self, id: u8, kind: MapKind) -> Rc<SimReport> {
-        if let Some(r) = self.sims.get(&(id, kind)) {
-            return Rc::clone(r);
-        }
+    pub fn sim(&mut self, id: u8, kind: MapKind) -> Arc<SimReport> {
         let hw = self.cfg.hw.clone();
-        let report = self.sim_with(id, kind, &hw);
-        let rc = Rc::new(report);
-        self.sims.insert((id, kind), Rc::clone(&rc));
-        rc
+        self.sim_with(id, kind, &hw)
     }
 
-    /// An uncached simulation with a custom hardware configuration
-    /// (sensitivity sweeps). The mapping is still cached per shape.
-    pub fn sim_with(&mut self, id: u8, kind: MapKind, hw: &HwConfig) -> SimReport {
-        let a = self.matrix(id);
-        let mapping = self.mapping_for_shape(id, kind, hw.shape);
-        let x = self.cfg.input_vector(a.cols());
-        Machine::new(hw.clone())
-            .run_spmv(&a, &x, &mapping)
-            .expect("suite simulation must validate")
+    /// The simulation of matrix `id` with a custom hardware configuration
+    /// (sensitivity sweeps). Cached in the store like every other sim.
+    pub fn sim_with(&mut self, id: u8, kind: MapKind, hw: &HwConfig) -> Arc<SimReport> {
+        let job = self.sim_job_with(id, kind, hw);
+        match self.run_job(&job) {
+            JobResult::Sim(report) => report,
+            other => unreachable!("sim job returned {other:?}"),
+        }
+    }
+
+    /// The simulation of an arbitrary matrix source on the default machine
+    /// with the proposed mapping semantics of `kind` (Table III operands).
+    pub fn sim_source(&mut self, source: &MatrixSource, kind: MapKind) -> Arc<SimReport> {
+        let job = JobSpec::Sim {
+            source: *source,
+            kind,
+            hw: self.cfg.hw.clone(),
+            energy: self.cfg.energy,
+        };
+        match self.run_job(&job) {
+            JobResult::Sim(report) => report,
+            other => unreachable!("sim job returned {other:?}"),
+        }
     }
 
     /// The energy breakdown of a cached default-machine simulation.
@@ -254,7 +309,7 @@ mod tests {
         let mut c = SuiteCache::new(ExpConfig::quick());
         let a = c.matrix(1);
         let b = c.matrix(1);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -262,8 +317,32 @@ mod tests {
         let mut c = SuiteCache::new(ExpConfig::quick());
         let r1 = c.sim(12, MapKind::Proposed);
         let r2 = c.sim(12, MapKind::Proposed);
-        assert!(Rc::ptr_eq(&r1, &r2));
+        assert_eq!(r1, r2);
+        assert_eq!(c.store().stats().mem_hits, 1);
         assert!(r1.validated);
+    }
+
+    #[test]
+    fn sweep_sims_are_cached_too() {
+        let mut c = SuiteCache::new(ExpConfig::quick());
+        let mut hw = c.cfg.hw.clone();
+        hw.tsv_latency = 9;
+        let r1 = c.sim_with(3, MapKind::Proposed, &hw);
+        let misses = c.store().stats().misses;
+        let r2 = c.sim_with(3, MapKind::Proposed, &hw);
+        assert_eq!(r1, r2);
+        assert_eq!(c.store().stats().misses, misses, "second sweep sim must hit");
+    }
+
+    #[test]
+    fn caches_sharing_a_store_share_results() {
+        let mut a = SuiteCache::new(ExpConfig::quick());
+        a.sim(5, MapKind::Proposed);
+        let mut b =
+            SuiteCache::with_store(ExpConfig::quick(), Arc::clone(a.store()), Arc::clone(a.ctx()));
+        b.sim(5, MapKind::Proposed);
+        let stats = b.store().stats();
+        assert_eq!(stats.mem_hits, 1, "second cache must reuse the first's sim");
     }
 
     #[test]
@@ -295,5 +374,8 @@ mod tests {
         let cfg = ExpConfig::quick();
         assert_eq!(cfg.input_vector(10), cfg.input_vector(10));
         assert_eq!(cfg.input_vector(3).len(), 3);
+        // Must match the harness function exactly: cached sim results depend
+        // on it.
+        assert_eq!(cfg.input_vector(20), spacea_harness::input_vector(20));
     }
 }

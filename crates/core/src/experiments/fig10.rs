@@ -3,24 +3,57 @@
 //! The paper sweeps 16 → 32 → 64 cubes; this harness sweeps the same 1:2:4
 //! ratio from the configured base machine (2 → 4 → 8 cubes by default).
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, geo_mean, Table};
 use spacea_arch::HwConfig;
+use spacea_harness::JobSpec;
 use spacea_mapping::MachineShape;
+use spacea_matrix::suite;
 use spacea_model::reference::paper_headline;
+use std::sync::Arc;
+
+/// The configuration this figure actually sweeps: matrices twice the
+/// configured size (`scale / 2`) — the sweep's larger machines would
+/// otherwise leave so little work per PE that the scaled-down matrices stop
+/// resembling the paper's fixed-size workloads (DESIGN.md §4).
+fn sweep_config(cfg: &ExpConfig) -> ExpConfig {
+    let mut cfg = cfg.clone();
+    cfg.scale = (cfg.scale / 2).max(1);
+    cfg
+}
+
+/// The 1:2:4 cube-count ratio sweep from the configured base machine.
+fn cube_counts(cfg: &ExpConfig) -> [usize; 3] {
+    let base = cfg.hw.shape.cubes;
+    [base, base * 2, base * 4]
+}
+
+/// The jobs this figure consumes: every matrix (at the sweep scale) on each
+/// swept cube count.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    let cfg = sweep_config(cfg);
+    let mut jobs = Vec::new();
+    for &cubes in &cube_counts(&cfg) {
+        let shape = MachineShape { cubes, ..cfg.hw.shape };
+        let hw = HwConfig { shape, ..cfg.hw.clone() };
+        for e in suite::entries() {
+            jobs.push(cfg.sim_job_with(e.id, MapKind::Proposed, &hw));
+        }
+    }
+    jobs
+}
 
 /// Regenerates the Figure 10 series: speedup vs the base cube count.
-///
-/// Uses matrices twice the configured size (`scale / 2`): the sweep's larger
-/// machines would otherwise leave so little work per PE that the scaled-down
-/// matrices stop resembling the paper's fixed-size workloads (DESIGN.md §4).
 pub fn run(cache: &mut SuiteCache) -> ExpOutput {
-    let mut cfg = cache.cfg.clone();
-    cfg.scale = (cfg.scale / 2).max(1);
-    let mut local = SuiteCache::new(cfg);
+    // The sweep-scale cache shares the caller's store and context, so jobs
+    // pre-warmed by the harness are found by key instead of recomputed.
+    let mut local = SuiteCache::with_store(
+        sweep_config(&cache.cfg),
+        Arc::clone(cache.store()),
+        Arc::clone(cache.ctx()),
+    );
     let cache = &mut local;
-    let base_cubes = cache.cfg.hw.shape.cubes;
-    let cube_counts = [base_cubes, base_cubes * 2, base_cubes * 4];
+    let cube_counts = cube_counts(&cache.cfg);
     let mut headers: Vec<String> = vec!["ID".into(), "Matrix".into()];
     headers.extend(cube_counts.iter().map(|c| format!("#cubes={c}")));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -29,8 +62,7 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); cube_counts.len()];
     for id in ids {
-        let name =
-            cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
+        let name = cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
         let mut cycles = Vec::new();
         for &cubes in &cube_counts {
             let shape = MachineShape { cubes, ..cache.cfg.hw.shape };

@@ -1,9 +1,16 @@
 //! Figure 2: profiling SpMV on the GPU baseline — DRAM read throughput,
 //! effective read throughput, and ALU utilization per matrix.
 
-use super::context::{ExpOutput, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, SuiteCache};
 use crate::table::{fmt, geo_mean, pct, Table};
+use spacea_harness::JobSpec;
+use spacea_matrix::suite;
 use spacea_model::reference::paper_headline;
+
+/// The GPU-baseline jobs this figure consumes (one per Table I matrix).
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    suite::entries().iter().map(|e| cfg.gpu_job(e.id)).collect()
+}
 
 /// Regenerates the Figure 2 series.
 pub fn run(cache: &mut SuiteCache) -> ExpOutput {

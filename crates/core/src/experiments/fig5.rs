@@ -1,17 +1,36 @@
 //! Figure 5: overall speedup and energy saving of SpaceA over the GPU
 //! baseline, with the naive and the proposed mapping.
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, geo_mean, pct, Table};
+use spacea_harness::JobSpec;
+use spacea_matrix::suite;
 use spacea_model::reference::paper_headline;
+
+/// The jobs this figure consumes: per matrix, the GPU baseline plus a
+/// default-machine simulation under each mapping.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for e in suite::entries() {
+        jobs.push(cfg.gpu_job(e.id));
+        for kind in [MapKind::Naive, MapKind::Proposed] {
+            jobs.push(cfg.sim_job(e.id, kind));
+        }
+    }
+    jobs
+}
 
 /// Regenerates the Figure 5 series.
 pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let mut table = Table::new(
         "Figure 5: speedup and energy saving w.r.t. GPU",
         &[
-            "ID", "Matrix", "Speedup (naive)", "Speedup (proposed)",
-            "Energy saving (naive)", "Energy saving (proposed)",
+            "ID",
+            "Matrix",
+            "Speedup (naive)",
+            "Speedup (proposed)",
+            "Energy saving (naive)",
+            "Energy saving (proposed)",
         ],
     );
     let mut sp_naive = Vec::new();

@@ -1,20 +1,36 @@
 //! Figure 6: mapping-quality metrics — normalized workload, L1/L2 CAM hit
 //! rates, and TSV/NoC traffic of the proposed mapping relative to naive.
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, pct, Table};
+use spacea_harness::JobSpec;
+use spacea_matrix::suite;
 use spacea_model::reference::paper_headline;
+
+/// The jobs this figure consumes: both mappings simulated on the default
+/// machine for every Table I matrix.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    suite::entries()
+        .iter()
+        .flat_map(|e| [cfg.sim_job(e.id, MapKind::Naive), cfg.sim_job(e.id, MapKind::Proposed)])
+        .collect()
+}
 
 /// Regenerates the Figure 6 panels (a)–(d).
 pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let mut table = Table::new(
         "Figure 6: naive vs proposed mapping metrics",
         &[
-            "ID", "Matrix",
-            "Norm. workload (N)", "Norm. workload (P)",
-            "L1 hit (N)", "L1 hit (P)",
-            "L2 hit (N)", "L2 hit (P)",
-            "TSV traffic P/N", "NoC traffic P/N",
+            "ID",
+            "Matrix",
+            "Norm. workload (N)",
+            "Norm. workload (P)",
+            "L1 hit (N)",
+            "L1 hit (P)",
+            "L2 hit (N)",
+            "L2 hit (P)",
+            "TSV traffic P/N",
+            "NoC traffic P/N",
         ],
     );
     let mut wl_ratio = Vec::new();
@@ -88,8 +104,16 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
             ("mean L1 hit rate (proposed)".into(), paper_headline::L1_HIT_PROPOSED, mean(&l1_p)),
             ("mean L2 hit rate (naive)".into(), paper_headline::L2_HIT_NAIVE, mean(&l2_n)),
             ("mean L2 hit rate (proposed)".into(), paper_headline::L2_HIT_PROPOSED, mean(&l2_p)),
-            ("TSV traffic proposed/naive".into(), paper_headline::TSV_TRAFFIC_RATIO, mean(&tsv_ratio)),
-            ("NoC traffic proposed/naive".into(), paper_headline::NOC_TRAFFIC_RATIO, mean(&noc_ratio)),
+            (
+                "TSV traffic proposed/naive".into(),
+                paper_headline::TSV_TRAFFIC_RATIO,
+                mean(&tsv_ratio),
+            ),
+            (
+                "NoC traffic proposed/naive".into(),
+                paper_headline::NOC_TRAFFIC_RATIO,
+                mean(&noc_ratio),
+            ),
         ],
     }
 }

@@ -1,8 +1,11 @@
 //! Figure 7: sensitivity of performance to the L1/L2 CAM geometry, and the
 //! L2 CAM performance/area trade-off.
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, geo_mean, Table};
+use spacea_arch::HwConfig;
+use spacea_harness::JobSpec;
+use spacea_matrix::suite;
 use spacea_model::AreaModel;
 
 /// Sweep points per panel.
@@ -46,8 +49,53 @@ impl Fig7Sweep {
     }
 }
 
+/// The jobs for the default sweep.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    jobs_with(cfg, &Fig7Sweep::default())
+}
+
+/// The jobs a custom sweep consumes: each panel's tweaked machine simulated
+/// for every matrix, plus the GPU baselines the speedups divide by.
+pub fn jobs_with(cfg: &ExpConfig, sweep: &Fig7Sweep) -> Vec<JobSpec> {
+    let mut configs: Vec<(MapKind, HwConfig)> = Vec::new();
+    let tweaked = |kind: MapKind, f: &dyn Fn(&mut HwConfig)| {
+        let mut hw = cfg.hw.clone();
+        f(&mut hw);
+        (kind, hw)
+    };
+    for &sets in &sweep.l1_sets {
+        configs.push(tweaked(MapKind::Proposed, &|hw| hw.l1_cam.sets = sets));
+    }
+    for &ways in &sweep.l1_ways {
+        configs.push(tweaked(MapKind::Proposed, &|hw| hw.l1_cam.ways = ways));
+    }
+    for &sets in &sweep.l2_sets {
+        configs.push(tweaked(MapKind::Proposed, &|hw| hw.l2_cam.sets = sets));
+    }
+    for &ways in &sweep.l2_ways {
+        configs.push(tweaked(MapKind::Proposed, &|hw| hw.l2_cam.ways = ways));
+    }
+    for kind in [MapKind::Naive, MapKind::Proposed] {
+        for &sets in &sweep.tradeoff_l2_sets {
+            configs.push(tweaked(kind, &|hw| hw.l2_cam.sets = sets));
+        }
+    }
+    let mut jobs = Vec::new();
+    for e in suite::entries() {
+        jobs.push(cfg.gpu_job(e.id));
+        for (kind, hw) in &configs {
+            jobs.push(cfg.sim_job_with(e.id, *kind, hw));
+        }
+    }
+    jobs
+}
+
 /// Geo-mean speedup over the GPU baseline for a modified configuration.
-fn mean_speedup(cache: &mut SuiteCache, kind: MapKind, tweak: impl Fn(&mut spacea_arch::HwConfig)) -> f64 {
+fn mean_speedup(
+    cache: &mut SuiteCache,
+    kind: MapKind,
+    tweak: impl Fn(&mut spacea_arch::HwConfig),
+) -> f64 {
     let mut hw = cache.cfg.hw.clone();
     tweak(&mut hw);
     let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
@@ -67,19 +115,22 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
 
 /// Regenerates Figure 7 with a custom sweep.
 pub fn run_with(cache: &mut SuiteCache, sweep: &Fig7Sweep) -> ExpOutput {
-    let mut a = Table::new("Figure 7(a): speedup vs number of L1 sets", &["L1 sets", "Geo-mean speedup"]);
+    let mut a =
+        Table::new("Figure 7(a): speedup vs number of L1 sets", &["L1 sets", "Geo-mean speedup"]);
     for &sets in &sweep.l1_sets {
         let s = mean_speedup(cache, MapKind::Proposed, |hw| hw.l1_cam.sets = sets);
         a.push_row(vec![sets.to_string(), fmt(s, 2)]);
     }
 
-    let mut b = Table::new("Figure 7(b): speedup vs number of L1 ways", &["L1 ways", "Geo-mean speedup"]);
+    let mut b =
+        Table::new("Figure 7(b): speedup vs number of L1 ways", &["L1 ways", "Geo-mean speedup"]);
     for &ways in &sweep.l1_ways {
         let s = mean_speedup(cache, MapKind::Proposed, |hw| hw.l1_cam.ways = ways);
         b.push_row(vec![ways.to_string(), fmt(s, 2)]);
     }
 
-    let mut c = Table::new("Figure 7(c): speedup vs number of L2 sets", &["L2 sets", "Geo-mean speedup"]);
+    let mut c =
+        Table::new("Figure 7(c): speedup vs number of L2 sets", &["L2 sets", "Geo-mean speedup"]);
     let mut c_speedups = Vec::new();
     for &sets in &sweep.l2_sets {
         let s = mean_speedup(cache, MapKind::Proposed, |hw| hw.l2_cam.sets = sets);
@@ -87,7 +138,8 @@ pub fn run_with(cache: &mut SuiteCache, sweep: &Fig7Sweep) -> ExpOutput {
         c_speedups.push((sets, s));
     }
 
-    let mut d = Table::new("Figure 7(d): speedup vs number of L2 ways", &["L2 ways", "Geo-mean speedup"]);
+    let mut d =
+        Table::new("Figure 7(d): speedup vs number of L2 ways", &["L2 ways", "Geo-mean speedup"]);
     for &ways in &sweep.l2_ways {
         let s = mean_speedup(cache, MapKind::Proposed, |hw| hw.l2_cam.ways = ways);
         d.push_row(vec![ways.to_string(), fmt(s, 2)]);
@@ -105,15 +157,20 @@ pub fn run_with(cache: &mut SuiteCache, sweep: &Fig7Sweep) -> ExpOutput {
             e.push_row(vec![kind.label().into(), sets.to_string(), fmt(area, 4), fmt(s, 2)]);
         }
     }
-    e.push_note("paper: naive with a 0.76 mm^2 L2 CAM achieves only 68.61% of proposed with 0.09 mm^2");
-
-    let mut main = Table::new(
-        "Figure 7: CAM sensitivity summary",
-        &["Panel", "Observation"],
+    e.push_note(
+        "paper: naive with a 0.76 mm^2 L2 CAM achieves only 68.61% of proposed with 0.09 mm^2",
     );
+
+    let mut main = Table::new("Figure 7: CAM sensitivity summary", &["Panel", "Observation"]);
     main.push_row(vec!["(a)/(b)".into(), "performance is not sensitive to L1 CAM size".into()]);
-    main.push_row(vec!["(c)/(d)".into(), "performance is moderately sensitive to L2 CAM size".into()]);
-    main.push_row(vec!["(e)".into(), "proposed mapping needs less L2 area for more speedup".into()]);
+    main.push_row(vec![
+        "(c)/(d)".into(),
+        "performance is moderately sensitive to L2 CAM size".into(),
+    ]);
+    main.push_row(vec![
+        "(e)".into(),
+        "proposed mapping needs less L2 area for more speedup".into(),
+    ]);
 
     ExpOutput {
         id: "fig7",

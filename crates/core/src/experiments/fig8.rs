@@ -1,16 +1,28 @@
 //! Figure 8: energy-consumption breakdown for the naive and proposed
 //! mappings, normalized to the naive mapping's DRAM dynamic energy.
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, Table};
+use spacea_harness::JobSpec;
+
+/// The jobs this figure consumes — the same default-machine simulations as
+/// Figure 6 (the energy breakdown is derived from their activity counters).
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    super::fig6::jobs(cfg)
+}
 
 /// Regenerates the Figure 8 stacked-bar data.
 pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let mut table = Table::new(
         "Figure 8: energy breakdown (normalized to naive DRAM dynamic)",
         &[
-            "ID", "Matrix", "Mapping",
-            "DRAM dynamic", "PE & L1 & L2 dynamic", "Interconnect dynamic", "Total static",
+            "ID",
+            "Matrix",
+            "Mapping",
+            "DRAM dynamic",
+            "PE & L1 & L2 dynamic",
+            "Interconnect dynamic",
+            "Total static",
         ],
     );
     let mut interconnect_savings = Vec::new();

@@ -1,10 +1,25 @@
 //! Figure 9: sensitivity of performance to the TSV transfer latency.
 
-use super::context::{ExpOutput, MapKind, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, geo_mean, Table};
+use spacea_harness::JobSpec;
+use spacea_matrix::suite;
 
 /// The paper's swept TSV latencies, in cycles.
 pub const LATENCIES: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// The jobs this figure consumes: every matrix at every swept TSV latency.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for e in suite::entries() {
+        for &lat in &LATENCIES {
+            let mut hw = cfg.hw.clone();
+            hw.tsv_latency = lat;
+            jobs.push(cfg.sim_job_with(e.id, MapKind::Proposed, &hw));
+        }
+    }
+    jobs
+}
 
 /// Regenerates the Figure 9 series: execution time at each TSV latency,
 /// normalized to latency = 1.
@@ -42,7 +57,9 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
         mean_row.push(fmt(m, 3));
     }
     table.push_row(mean_row);
-    table.push_note("paper: latency 1 vs 2 nearly identical; 4 cycles ~1.3x mean slowdown; 16 cycles ~2x");
+    table.push_note(
+        "paper: latency 1 vs 2 nearly identical; 4 cycles ~1.3x mean slowdown; 16 cycles ~2x",
+    );
 
     ExpOutput {
         id: "fig9",

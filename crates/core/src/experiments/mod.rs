@@ -34,24 +34,98 @@ pub mod table3;
 
 pub use context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 
+use spacea_harness::JobSpec;
+
+/// A registered experiment: its id, paper artifact, the jobs it consumes
+/// (what the parallel harness pre-warms) and its table renderer.
+pub struct Experiment {
+    /// Output id (`"fig5"`, `"table3"`…), matching [`ExpOutput::id`].
+    pub id: &'static str,
+    /// The paper artifact this experiment regenerates.
+    pub title: &'static str,
+    /// Enumerates every expensive job the renderer will look up, so the
+    /// harness can compute them in parallel (and cache them) up front.
+    pub jobs: fn(&ExpConfig) -> Vec<JobSpec>,
+    /// Renders the experiment's tables from the (pre-warmed) cache.
+    pub run: fn(&mut SuiteCache) -> ExpOutput,
+}
+
+/// Every experiment, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    fn no_jobs(_: &ExpConfig) -> Vec<JobSpec> {
+        Vec::new()
+    }
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Table I: sparse matrix suite",
+            jobs: no_jobs,
+            run: table1::run,
+        },
+        Experiment { id: "fig2", title: "Figure 2: SpMV on GPU", jobs: fig2::jobs, run: fig2::run },
+        Experiment {
+            id: "fig5",
+            title: "Figure 5: speedup and energy saving",
+            jobs: fig5::jobs,
+            run: fig5::run,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table II: bank-group area and power density",
+            jobs: no_jobs,
+            run: |_| table2::run(),
+        },
+        Experiment {
+            id: "fig6",
+            title: "Figure 6: mapping metrics",
+            jobs: fig6::jobs,
+            run: fig6::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7: CAM sensitivity",
+            jobs: fig7::jobs,
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Figure 8: energy breakdown",
+            jobs: fig8::jobs,
+            run: fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Figure 9: TSV latency sensitivity",
+            jobs: fig9::jobs,
+            run: fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Figure 10: cube-count scalability",
+            jobs: fig10::jobs,
+            run: fig10::run,
+        },
+        Experiment {
+            id: "table3",
+            title: "Table III: graph analytics case study",
+            jobs: table3::jobs,
+            run: table3::run,
+        },
+    ]
+}
+
+/// Every distinct job the full evaluation consumes, in registry order with
+/// duplicates removed (fig5/fig6/fig8 share simulations).
+pub fn all_jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    spacea_harness::dedup_jobs(registry().iter().flat_map(|e| (e.jobs)(cfg)).collect())
+}
 
 /// Runs every experiment in paper order and returns the rendered tables.
 ///
 /// This is what the `all_experiments` harness binary and the EXPERIMENTS.md
 /// generator call.
 pub fn run_all(cache: &mut SuiteCache) -> Vec<ExpOutput> {
-    vec![
-        table1::run(cache),
-        fig2::run(cache),
-        fig5::run(cache),
-        table2::run(),
-        fig6::run(cache),
-        fig7::run(cache),
-        fig8::run(cache),
-        fig9::run(cache),
-        fig10::run(cache),
-        table3::run(cache),
-    ]
+    registry().iter().map(|e| (e.run)(cache)).collect()
 }
 
 /// Convenience: renders a list of outputs as one text document.

@@ -9,8 +9,17 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let mut table = Table::new(
         "Table I: sparse matrix suite (published vs scaled synthetic)",
         &[
-            "ID", "Matrix", "Domain", "n (paper)", "nnz (paper)", "mu (paper)", "sigma (paper)",
-            "n (gen)", "nnz (gen)", "mu (gen)", "sigma (gen)",
+            "ID",
+            "Matrix",
+            "Domain",
+            "n (paper)",
+            "nnz (paper)",
+            "mu (paper)",
+            "sigma (paper)",
+            "n (gen)",
+            "nnz (gen)",
+            "mu (gen)",
+            "sigma (gen)",
         ],
     );
     let mut headline = Vec::new();

@@ -2,14 +2,12 @@
 //! LiveJournal-shaped graphs, SpaceA vs the CPU baseline, compared against
 //! the published Tesseract and GraphP speedups.
 
-use super::context::{ExpOutput, SuiteCache};
+use super::context::{ExpConfig, ExpOutput, MapKind, SuiteCache};
 use crate::table::{fmt, Table};
-use spacea_arch::Machine;
 use spacea_gpu::cpu::model_full_sweeps;
 use spacea_graph::workloads::CaseStudyGraph;
 use spacea_graph::{pagerank, sssp, PageRankConfig};
-use spacea_mapping::{LocalityMapping, MappingStrategy};
-use spacea_matrix::{Coo, Csr};
+use spacea_harness::{GraphOperand, JobSpec, MatrixSource};
 use spacea_model::reference::{claimed_speedups, GraphDataset, GraphWorkload};
 
 /// One Table III row: the measured SpaceA speedup next to published numbers.
@@ -29,32 +27,31 @@ pub struct CaseStudyRow {
     pub spacea_measured: f64,
 }
 
-/// Column-normalized transpose (the PageRank SpMV operand).
-fn pr_operand(a: &Csr) -> Csr {
-    let n = a.rows();
-    let mut coo = Coo::new(n, n);
-    coo.reserve(a.nnz());
-    for i in 0..n {
-        let deg = a.row_nnz(i).max(1) as f64;
-        for (j, _) in a.row(i) {
-            coo.push(j as usize, i, 1.0 / deg).expect("transposed coordinate in bounds");
-        }
-    }
-    coo.to_csr()
+fn operand_source(
+    cache: &SuiteCache,
+    graph: CaseStudyGraph,
+    operand: GraphOperand,
+) -> MatrixSource {
+    MatrixSource::Graph { graph, scale: cache.cfg.graph_scale, operand }
 }
 
-/// Measures SpaceA's per-iteration SpMV time for an operand matrix.
-///
-/// The mapping is computed once (offline preprocessing, amortized over all
-/// iterations, exactly as the paper's execution model prescribes).
-fn spacea_iteration_seconds(cache: &mut SuiteCache, operand: &Csr) -> f64 {
-    let hw = cache.cfg.hw.clone();
-    let mapping = LocalityMapping::default().map(operand, &hw.shape);
-    let x = cache.cfg.input_vector(operand.cols());
-    let report = Machine::new(hw)
-        .run_spmv(operand, &x, &mapping)
-        .expect("case-study simulation must validate");
-    report.seconds
+/// The case-study simulation jobs (one per graph × SpMV operand). The
+/// per-iteration SpMV time uses the proposed mapping, computed once —
+/// offline preprocessing, amortized over all iterations, exactly as the
+/// paper's execution model prescribes.
+pub fn jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for graph in [CaseStudyGraph::Wiki, CaseStudyGraph::LiveJournal] {
+        for operand in [GraphOperand::PageRank, GraphOperand::Transpose] {
+            jobs.push(JobSpec::Sim {
+                source: MatrixSource::Graph { graph, scale: cfg.graph_scale, operand },
+                kind: MapKind::Proposed,
+                hw: cfg.hw.clone(),
+                energy: cfg.energy,
+            });
+        }
+    }
+    jobs
 }
 
 /// Runs the full case study and returns the rows.
@@ -65,12 +62,12 @@ pub fn rows(cache: &mut SuiteCache) -> Vec<CaseStudyRow> {
         (CaseStudyGraph::Wiki, GraphDataset::Wiki),
         (CaseStudyGraph::LiveJournal, GraphDataset::LiveJournal),
     ] {
-        let a = graph.generate(cache.cfg.graph_scale);
+        let a = cache.matrix_of(&operand_source(cache, graph, GraphOperand::Adjacency));
 
         // PageRank: every iteration is one full SpMV on both platforms.
         let pr = pagerank(&a, &PageRankConfig::default());
-        let operand = pr_operand(&a);
-        let spacea_iter = spacea_iteration_seconds(cache, &operand);
+        let pr_src = operand_source(cache, graph, GraphOperand::PageRank);
+        let spacea_iter = cache.sim_source(&pr_src, MapKind::Proposed).seconds;
         let spacea_pr = spacea_iter * pr.iterations as f64;
         let cpu_pr = model_full_sweeps(&cpu, &a, pr.iterations).time_s;
         out.push(make_row(GraphWorkload::PageRank, dataset, cpu_pr / spacea_pr));
@@ -79,8 +76,8 @@ pub fn rows(cache: &mut SuiteCache) -> Vec<CaseStudyRow> {
         // sweeps, as the paper's SpMV formulation prescribes; the CPU's
         // relaxation sweeps run at its lower irregular-access efficiency.
         let ss = sssp(&a, 0);
-        let at = a.transpose();
-        let spacea_sweep = spacea_iteration_seconds(cache, &at);
+        let at_src = operand_source(cache, graph, GraphOperand::Transpose);
+        let spacea_sweep = cache.sim_source(&at_src, MapKind::Proposed).seconds;
         let spacea_ss = spacea_sweep * ss.iterations as f64;
         let cpu_sssp_spec =
             spacea_gpu::spec::Dgx1CpuSpec { bw_efficiency: cpu.sssp_efficiency, ..cpu };
@@ -124,7 +121,9 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
             r.spacea_measured,
         ));
     }
-    table.push_note("Tesseract / GraphP columns are their papers' claimed speedups, as in the paper");
+    table.push_note(
+        "Tesseract / GraphP columns are their papers' claimed speedups, as in the paper",
+    );
     table.push_note(format!(
         "graphs are R-MAT stand-ins scaled 1/{}; CPU baseline is an iso-scaled bandwidth model",
         cache.cfg.graph_scale

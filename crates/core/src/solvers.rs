@@ -177,8 +177,7 @@ pub fn power_iteration(
             return Err(SolverError::BadSystem("matrix annihilated the iterate".into()));
         }
         let next: Vec<f64> = y.iter().map(|v| v / norm).collect();
-        let delta: f64 =
-            next.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let delta: f64 = next.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         x = next;
         if delta < tolerance {
             converged = true;

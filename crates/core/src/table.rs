@@ -53,11 +53,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "## {}", self.title);
         let line = |out: &mut String, cells: &[String]| {
-            let rendered: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let rendered: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             let _ = writeln!(out, "| {} |", rendered.join(" | "));
         };
         line(&mut out, &self.headers);
@@ -82,7 +79,8 @@ impl Table {
                 cell.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

@@ -1,0 +1,74 @@
+//! End-to-end contracts between the experiment registry and the parallel
+//! harness: job enumerations cover everything rendering consumes, parallel
+//! pre-warming is byte-identical to serial execution, and a warm store
+//! serves a second run entirely from cache.
+
+use spacea_core::experiments::{self, ExpConfig, SuiteCache};
+use spacea_harness::{run_jobs, JobCtx, ResultStore};
+use std::sync::Arc;
+
+fn render(cache: &mut SuiteCache) -> String {
+    experiments::render_all(&experiments::run_all(cache))
+}
+
+#[test]
+fn registry_ids_are_unique_and_jobs_nonempty() {
+    let reg = experiments::registry();
+    assert_eq!(reg.len(), 10);
+    let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 10, "duplicate experiment ids");
+    let jobs = experiments::all_jobs(&ExpConfig::quick());
+    assert!(jobs.len() > 100, "full evaluation should enumerate many jobs, got {}", jobs.len());
+    // Deduplication is part of the contract: fig5/fig6/fig8 overlap.
+    let mut keys: Vec<u64> = jobs.iter().map(|j| j.key().0).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), jobs.len(), "all_jobs must be deduplicated");
+}
+
+#[test]
+fn prewarmed_store_covers_every_render_lookup() {
+    let cfg = ExpConfig::quick();
+    let store = Arc::new(ResultStore::in_memory());
+    let ctx = Arc::new(JobCtx::new());
+    let jobs = experiments::all_jobs(&cfg);
+    run_jobs(&jobs, &store, &ctx, 4);
+    let misses_before = store.stats().misses;
+    let mut cache = SuiteCache::with_store(cfg, Arc::clone(&store), ctx);
+    let text = render(&mut cache);
+    assert!(!text.is_empty());
+    assert_eq!(
+        store.stats().misses,
+        misses_before,
+        "rendering must not compute anything the job enumeration missed"
+    );
+}
+
+#[test]
+fn four_workers_render_byte_identical_to_one_worker() {
+    let run_with_workers = |workers: usize| {
+        let cfg = ExpConfig::quick();
+        let store = Arc::new(ResultStore::in_memory());
+        let ctx = Arc::new(JobCtx::new());
+        run_jobs(&experiments::all_jobs(&cfg), &store, &ctx, workers);
+        let mut cache = SuiteCache::with_store(cfg, store, ctx);
+        render(&mut cache)
+    };
+    assert_eq!(run_with_workers(1), run_with_workers(4));
+}
+
+#[test]
+fn second_run_over_a_warm_store_is_all_hits() {
+    let cfg = ExpConfig::quick();
+    let store = Arc::new(ResultStore::in_memory());
+    let ctx = Arc::new(JobCtx::new());
+    let jobs = experiments::all_jobs(&cfg);
+    run_jobs(&jobs, &store, &ctx, 2);
+    let records = run_jobs(&jobs, &store, &ctx, 2);
+    assert!(
+        records.iter().all(|r| r.outcome == spacea_harness::CacheOutcome::MemoryHit),
+        "second run must be served entirely from the store"
+    );
+}

@@ -35,7 +35,10 @@ impl CacheSim {
     /// Panics if any parameter is zero or the capacity is smaller than one
     /// way of lines.
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0, "cache parameters must be positive");
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_bytes > 0,
+            "cache parameters must be positive"
+        );
         let num_sets = (capacity_bytes / (ways * line_bytes)).max(1);
         CacheSim {
             sets: vec![Vec::with_capacity(ways); num_sets],

@@ -32,11 +32,7 @@ const BYTES_PER_VERTEX: u64 = 20;
 pub fn model_full_sweeps(spec: &Dgx1CpuSpec, a: &Csr, iterations: usize) -> CpuRun {
     let per_iter = a.nnz() as u64 * BYTES_PER_EDGE + a.rows() as u64 * BYTES_PER_VERTEX;
     let bytes = per_iter * iterations as u64;
-    CpuRun {
-        time_s: bytes as f64 / (spec.mem_bw * spec.bw_efficiency),
-        bytes,
-        iterations,
-    }
+    CpuRun { time_s: bytes as f64 / (spec.mem_bw * spec.bw_efficiency), bytes, iterations }
 }
 
 /// Models frontier-based sweeps (SSSP-style): iteration `i` touches

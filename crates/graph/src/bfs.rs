@@ -61,10 +61,8 @@ pub fn bfs(a: &Csr, source: usize) -> BfsResult {
             break;
         }
     }
-    let levels = dist
-        .into_iter()
-        .map(|d| if d.is_finite() { d as usize } else { usize::MAX })
-        .collect();
+    let levels =
+        dist.into_iter().map(|d| if d.is_finite() { d as usize } else { usize::MAX }).collect();
     BfsResult { levels, iterations, frontier_fractions }
 }
 

@@ -28,6 +28,6 @@ pub mod workloads;
 
 pub use bfs::{bfs, BfsResult};
 pub use cc::{connected_components, CcResult};
-pub use pagerank::{pagerank, PageRankConfig, PageRankResult};
+pub use pagerank::{pagerank, pr_operand, PageRankConfig, PageRankResult};
 pub use semiring::{semiring_spmv, MinPlus, PlusTimes, Semiring};
 pub use sssp::{sssp, SsspResult};

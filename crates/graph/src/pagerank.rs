@@ -37,6 +37,23 @@ pub struct PageRankResult {
 /// Each iteration is one SpMV `r' = d · Aᵀ_col-norm · r + (1-d)/n`, the exact
 /// shape SpaceA accelerates. Dangling mass is redistributed uniformly.
 ///
+/// Column-normalized transpose of an adjacency matrix: entry `(j, i)` is
+/// `1 / outdeg(i)` per edge `i → j` — the PageRank iteration's SpMV operand,
+/// built once (the mapping amortization argument of the paper). Shared with
+/// the Table III case study and the harness job model.
+pub fn pr_operand(a: &Csr) -> Csr {
+    let n = a.rows();
+    let mut coo = spacea_matrix::Coo::new(n, n);
+    coo.reserve(a.nnz());
+    for i in 0..n {
+        let deg = a.row_nnz(i).max(1) as f64;
+        for (j, _) in a.row(i) {
+            coo.push(j as usize, i, 1.0 / deg).expect("transposed coordinate in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
 /// # Panics
 ///
 /// Panics if `a` is not square or has no rows.
@@ -46,18 +63,8 @@ pub fn pagerank(a: &Csr, cfg: &PageRankConfig) -> PageRankResult {
     assert!(a.rows() > 0, "graph must have at least one vertex");
     let n = a.rows();
 
-    // Column-normalized transpose: entry (j, i) = 1 / outdeg(i) per edge
-    // i → j, built once (the mapping amortization argument of the paper).
     let out_deg: Vec<usize> = (0..n).map(|i| a.row_nnz(i)).collect();
-    let mut coo = spacea_matrix::Coo::new(n, n);
-    coo.reserve(a.nnz());
-    for i in 0..n {
-        for (j, _) in a.row(i) {
-            coo.push(j as usize, i, 1.0 / out_deg[i] as f64)
-                .expect("transposed coordinate in bounds");
-        }
-    }
-    let at = coo.to_csr();
+    let at = pr_operand(a);
 
     let mut r = vec![1.0 / n as f64; n];
     let mut iterations = 0;

@@ -66,7 +66,7 @@ impl CaseStudyGraph {
         // the clipped edges uniformly (keeps nnz, fixes the artificial
         // one-PE hub bottleneck).
         let max_degree = match self {
-            CaseStudyGraph::Wiki => 3_311,       // wiki-Talk max in-degree
+            CaseStudyGraph::Wiki => 3_311, // wiki-Talk max in-degree
             CaseStudyGraph::LiveJournal => 13_906,
         };
         let cap = (max_degree / scale).max(8);

@@ -1,0 +1,264 @@
+//! Job execution: shared in-process caches and the worker pool.
+
+use crate::job::{JobSpec, MatrixSource};
+use crate::store::{CacheOutcome, JobResult, ResultStore};
+use crate::telemetry::JobRecord;
+use spacea_arch::Machine;
+use spacea_gpu::simulate_csrmv;
+use spacea_mapping::{MachineShape, MapKind, Mapping};
+use spacea_matrix::Csr;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The deterministic input vector used by every SpMV experiment.
+///
+/// Lives here (not in the experiment config) because it is part of a sim
+/// job's semantics: a cached [`crate::JobResult`] is only valid if every
+/// run uses the same input.
+pub fn input_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect()
+}
+
+type Memo<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
+
+/// Shared in-process memoization of the *inputs* to jobs: generated
+/// matrices and computed mappings.
+///
+/// These are not part of the [`ResultStore`] because they are intermediate
+/// artifacts, re-derivable and often large; but they must be shared across
+/// workers so that two jobs on the same matrix don't generate it twice.
+/// Each entry is a [`OnceLock`]: the first worker to need an artifact
+/// computes it while later workers block on that entry only (not on the
+/// whole map).
+#[derive(Default)]
+pub struct JobCtx {
+    matrices: Memo<MatrixSource, Csr>,
+    mappings: Memo<(MatrixSource, MapKind, MachineShape), Mapping>,
+}
+
+impl JobCtx {
+    /// An empty context.
+    pub fn new() -> Self {
+        JobCtx::default()
+    }
+
+    /// The (memoized) matrix for a source.
+    ///
+    /// Graph operands are derived from the memoized adjacency matrix, so one
+    /// generated graph serves its PageRank operand, its transpose, and the
+    /// iteration-count analysis.
+    pub fn matrix(&self, source: &MatrixSource) -> Arc<Csr> {
+        use crate::job::GraphOperand;
+        let cell = Arc::clone(self.matrices.lock().expect("ctx lock").entry(*source).or_default());
+        Arc::clone(cell.get_or_init(|| match source {
+            MatrixSource::Graph { graph, scale, operand }
+                if *operand != GraphOperand::Adjacency =>
+            {
+                let adjacency = self.matrix(&MatrixSource::Graph {
+                    graph: *graph,
+                    scale: *scale,
+                    operand: GraphOperand::Adjacency,
+                });
+                match operand {
+                    GraphOperand::PageRank => Arc::new(spacea_graph::pr_operand(&adjacency)),
+                    GraphOperand::Transpose => Arc::new(adjacency.transpose()),
+                    GraphOperand::Adjacency => unreachable!("guarded above"),
+                }
+            }
+            _ => Arc::new(source.generate()),
+        }))
+    }
+
+    /// The (memoized) mapping of a source's matrix onto a machine shape.
+    pub fn mapping(
+        &self,
+        source: &MatrixSource,
+        kind: MapKind,
+        shape: MachineShape,
+    ) -> Arc<Mapping> {
+        let cell = Arc::clone(
+            self.mappings.lock().expect("ctx lock").entry((*source, kind, shape)).or_default(),
+        );
+        Arc::clone(cell.get_or_init(|| {
+            let a = self.matrix(source);
+            Arc::new(kind.strategy().map(&a, &shape))
+        }))
+    }
+}
+
+/// Executes one job (no cache involvement).
+pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> JobResult {
+    match spec {
+        JobSpec::Gpu { source, spec } => {
+            let a = ctx.matrix(source);
+            JobResult::Gpu(simulate_csrmv(spec, &a))
+        }
+        JobSpec::Sim { source, kind, hw, .. } => {
+            let a = ctx.matrix(source);
+            let mapping = ctx.mapping(source, *kind, hw.shape);
+            let x = input_vector(a.cols());
+            let report = Machine::new(hw.clone())
+                .run_spmv(&a, &x, &mapping)
+                .expect("harness simulation must validate");
+            JobResult::Sim(Arc::new(report))
+        }
+    }
+}
+
+/// Removes jobs whose key already appeared earlier in the list, preserving
+/// order. Experiments share work (fig5 and fig6 need the same sims), so the
+/// concatenated job list routinely contains duplicates; deduplicating up
+/// front keeps workers from computing the same result twice concurrently.
+pub fn dedup_jobs(jobs: Vec<JobSpec>) -> Vec<JobSpec> {
+    let mut seen = HashSet::new();
+    jobs.into_iter().filter(|j| seen.insert(j.key())).collect()
+}
+
+/// Runs a job list on `workers` threads, filling `store`.
+///
+/// Returns one [`JobRecord`] per job **in input order**, regardless of which
+/// worker ran what when — combined with results living in the content-keyed
+/// store, parallel runs are observationally identical to serial ones.
+pub fn run_jobs(
+    jobs: &[JobSpec],
+    store: &ResultStore,
+    ctx: &JobCtx,
+    workers: usize,
+) -> Vec<JobRecord> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, JobRecord)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let record = run_one(i, &jobs[i], store, ctx);
+                if tx.send((i, record)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut ordered: Vec<Option<JobRecord>> = (0..jobs.len()).map(|_| None).collect();
+    for (i, record) in rx {
+        ordered[i] = Some(record);
+    }
+    ordered.into_iter().map(|r| r.expect("every job reports exactly once")).collect()
+}
+
+fn run_one(index: usize, spec: &JobSpec, store: &ResultStore, ctx: &JobCtx) -> JobRecord {
+    let key = spec.key();
+    let started = Instant::now();
+    let (result, outcome) = match store.lookup(key) {
+        Some((result, outcome)) => (result, outcome),
+        None => {
+            let result = execute(spec, ctx);
+            store.insert(key, result.clone());
+            (result, CacheOutcome::Computed)
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (cycles, events) = match &result {
+        JobResult::Sim(report) => (Some(report.cycles), Some(report.events_processed)),
+        JobResult::Gpu(_) => (None, None),
+    };
+    JobRecord { index, label: spec.label(), key, outcome, wall_ms, cycles, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::GraphOperand;
+    use spacea_arch::HwConfig;
+    use spacea_graph::workloads::CaseStudyGraph;
+    use spacea_model::EnergyParams;
+
+    fn quick_sim(id: u8) -> JobSpec {
+        JobSpec::Sim {
+            source: MatrixSource::Suite { id, scale: 256 },
+            kind: MapKind::Proposed,
+            hw: HwConfig::tiny(),
+            energy: EnergyParams::default(),
+        }
+    }
+
+    #[test]
+    fn ctx_memoizes_matrices_and_mappings() {
+        let ctx = JobCtx::new();
+        let src = MatrixSource::Suite { id: 1, scale: 256 };
+        let a = ctx.matrix(&src);
+        let b = ctx.matrix(&src);
+        assert!(Arc::ptr_eq(&a, &b));
+        let m1 = ctx.mapping(&src, MapKind::Proposed, MachineShape::tiny());
+        let m2 = ctx.mapping(&src, MapKind::Proposed, MachineShape::tiny());
+        assert!(Arc::ptr_eq(&m1, &m2));
+    }
+
+    #[test]
+    fn graph_source_executes() {
+        let ctx = JobCtx::new();
+        let src = MatrixSource::Graph {
+            graph: CaseStudyGraph::Wiki,
+            scale: 4096,
+            operand: GraphOperand::PageRank,
+        };
+        let a = ctx.matrix(&src);
+        assert!(a.rows() > 0);
+        assert_eq!(a.rows(), a.cols());
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let jobs = vec![quick_sim(1), quick_sim(2), quick_sim(1), quick_sim(3), quick_sim(2)];
+        let deduped = dedup_jobs(jobs);
+        let labels: Vec<String> = deduped.iter().map(|j| j.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["sim:m1/256:proposed", "sim:m2/256:proposed", "sim:m3/256:proposed"]
+        );
+    }
+
+    #[test]
+    fn parallel_records_in_input_order_and_store_filled() {
+        let jobs: Vec<JobSpec> = (1..=4).map(quick_sim).collect();
+        let store = ResultStore::in_memory();
+        let ctx = JobCtx::new();
+        let records = run_jobs(&jobs, &store, &ctx, 4);
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.key, jobs[i].key());
+            assert_eq!(r.outcome, CacheOutcome::Computed);
+            assert!(r.cycles.unwrap() > 0);
+        }
+        assert_eq!(store.len(), 4);
+        // Second pass: everything hits.
+        let records = run_jobs(&jobs, &store, &ctx, 2);
+        assert!(records.iter().all(|r| r.outcome == CacheOutcome::MemoryHit));
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let jobs: Vec<JobSpec> = (1..=6).map(quick_sim).collect();
+        let serial_store = ResultStore::in_memory();
+        run_jobs(&jobs, &serial_store, &JobCtx::new(), 1);
+        let parallel_store = ResultStore::in_memory();
+        run_jobs(&jobs, &parallel_store, &JobCtx::new(), 4);
+        for job in &jobs {
+            let (a, _) = serial_store.lookup(job.key()).unwrap();
+            let (b, _) = parallel_store.lookup(job.key()).unwrap();
+            assert_eq!(a, b, "parallel result differs for {}", job.label());
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Job descriptions and their content-hash keys.
+
+use spacea_arch::HwConfig;
+use spacea_gpu::spec::TitanXpSpec;
+use spacea_graph::workloads::CaseStudyGraph;
+use spacea_mapping::MapKind;
+use spacea_matrix::suite;
+use spacea_matrix::Csr;
+use spacea_model::EnergyParams;
+
+/// Which SpMV operand a case-study graph is turned into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphOperand {
+    /// The raw adjacency matrix (iteration-count and CPU-baseline input).
+    Adjacency,
+    /// Column-normalized transpose — the PageRank iteration operand.
+    PageRank,
+    /// Plain transpose — the SSSP (Bellman-Ford sweep) operand.
+    Transpose,
+}
+
+impl GraphOperand {
+    fn tag(&self) -> u8 {
+        match self {
+            GraphOperand::Adjacency => 2,
+            GraphOperand::PageRank => 0,
+            GraphOperand::Transpose => 1,
+        }
+    }
+}
+
+/// Where a job's matrix comes from. Sources are cheap identifiers; the
+/// matrix itself is generated (and memoized in-process) by [`crate::JobCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixSource {
+    /// A Table I suite matrix at a down-scale factor.
+    Suite {
+        /// Table I id (1–15).
+        id: u8,
+        /// Down-scale factor (rows and nnz divided by this).
+        scale: usize,
+    },
+    /// A Table III case-study graph, reduced to an SpMV operand.
+    Graph {
+        /// Which graph.
+        graph: CaseStudyGraph,
+        /// Graph down-scale factor.
+        scale: usize,
+        /// Which operand matrix to derive from it.
+        operand: GraphOperand,
+    },
+}
+
+impl MatrixSource {
+    /// Generates the matrix this source names (deterministic).
+    pub fn generate(&self) -> Csr {
+        match self {
+            MatrixSource::Suite { id, scale } => {
+                suite::entry_by_id(*id).expect("valid Table I id").generate(*scale)
+            }
+            MatrixSource::Graph { graph, scale, operand } => {
+                let a = graph.generate(*scale);
+                match operand {
+                    GraphOperand::Adjacency => a,
+                    GraphOperand::PageRank => spacea_graph::pr_operand(&a),
+                    GraphOperand::Transpose => a.transpose(),
+                }
+            }
+        }
+    }
+
+    /// Short display label (`"m3/8"`, `"WK/256:pr"`).
+    pub fn label(&self) -> String {
+        match self {
+            MatrixSource::Suite { id, scale } => format!("m{id}/{scale}"),
+            MatrixSource::Graph { graph, scale, operand } => {
+                let op = match operand {
+                    GraphOperand::Adjacency => "adj",
+                    GraphOperand::PageRank => "pr",
+                    GraphOperand::Transpose => "t",
+                };
+                format!("{}/{scale}:{op}", graph.label())
+            }
+        }
+    }
+
+    fn feed(&self, h: &mut Fnv) {
+        match self {
+            MatrixSource::Suite { id, scale } => {
+                h.u8(0);
+                h.u8(*id);
+                h.usize(*scale);
+            }
+            MatrixSource::Graph { graph, scale, operand } => {
+                h.u8(1);
+                h.u8(match graph {
+                    CaseStudyGraph::Wiki => 0,
+                    CaseStudyGraph::LiveJournal => 1,
+                });
+                h.usize(*scale);
+                h.u8(operand.tag());
+            }
+        }
+    }
+}
+
+/// One unit of work the harness can execute and cache.
+// Sim carries a full HwConfig inline; job lists are enumerated in the
+// hundreds and short-lived, so the size asymmetry is not worth a Box.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// A GPU baseline model run (`simulate_csrmv`) on a matrix.
+    Gpu {
+        /// The operand matrix.
+        source: MatrixSource,
+        /// The (iso-area scaled) GPU model parameters.
+        spec: TitanXpSpec,
+    },
+    /// A cycle-level SpaceA simulation of one SpMV.
+    Sim {
+        /// The operand matrix.
+        source: MatrixSource,
+        /// Which mapping to use.
+        kind: MapKind,
+        /// The machine under test.
+        hw: HwConfig,
+        /// Energy-model parameters. Not read during simulation, but part of
+        /// the job identity: the tables derived from this job's activity
+        /// counters depend on them, so changing them must invalidate the
+        /// cached result's key.
+        energy: EnergyParams,
+    },
+}
+
+impl JobSpec {
+    /// The matrix source this job operates on.
+    pub fn source(&self) -> &MatrixSource {
+        match self {
+            JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
+        }
+    }
+
+    /// Short display label for telemetry (`"sim:m3/8:proposed"`).
+    pub fn label(&self) -> String {
+        match self {
+            JobSpec::Gpu { source, .. } => format!("gpu:{}", source.label()),
+            JobSpec::Sim { source, kind, .. } => {
+                format!("sim:{}:{}", source.label(), kind.label())
+            }
+        }
+    }
+
+    /// The content hash identifying this job.
+    ///
+    /// Every field that can influence the result (or its downstream tables)
+    /// is folded into an FNV-1a hash; floats contribute their exact IEEE-754
+    /// bit patterns. The encoding starts with a format-version tag — bump it
+    /// to invalidate all previously persisted results.
+    pub fn key(&self) -> JobKey {
+        let mut h = Fnv::new();
+        h.str("spacea-job-v1");
+        match self {
+            JobSpec::Gpu { source, spec } => {
+                h.u8(1);
+                source.feed(&mut h);
+                feed_gpu_spec(&mut h, spec);
+            }
+            JobSpec::Sim { source, kind, hw, energy } => {
+                h.u8(2);
+                source.feed(&mut h);
+                h.u8(match kind {
+                    MapKind::Naive => 0,
+                    MapKind::Proposed => 1,
+                });
+                feed_hw(&mut h, hw);
+                feed_energy(&mut h, energy);
+            }
+        }
+        JobKey(h.finish())
+    }
+}
+
+/// A job's 64-bit content hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub u64);
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a, 64-bit: stable across runs and platforms (unlike `std::hash`,
+/// whose default hasher is seeded per-process).
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds a string (length-prefixed so concatenations can't collide).
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    /// Folds one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    /// Folds a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` (as 64 bits, for cross-platform stability).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Folds a `bool`.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Folds an `f64` by exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+// The feed_* functions below enumerate every public field of the hashed
+// configuration structs. If a field is added there without being folded in
+// here, stale cache entries would be served for configurations that differ
+// in the new field; the field-count assertions in the tests guard this.
+
+fn feed_hw(h: &mut Fnv, hw: &HwConfig) {
+    let s = &hw.shape;
+    h.usize(s.cubes);
+    h.usize(s.vaults_per_cube);
+    h.usize(s.product_bgs_per_vault);
+    h.usize(s.banks_per_bg);
+    let t = &hw.timing;
+    h.u64(t.t_ras);
+    h.u64(t.t_ccd);
+    h.u64(t.t_rp);
+    h.usize(t.beat_bytes);
+    h.usize(t.row_bytes);
+    for cam in [&hw.l1_cam, &hw.l2_cam] {
+        h.usize(cam.sets);
+        h.usize(cam.ways);
+        h.usize(cam.way_bytes);
+    }
+    h.usize(hw.l1_ldq_entries);
+    h.usize(hw.l2_ldq_entries);
+    h.usize(hw.pe_queue_rows);
+    h.usize(hw.update_buffer_rows);
+    h.u64(hw.tsv_latency);
+    h.usize(hw.tsv_bytes_per_cycle);
+    h.u64(hw.noc_hop_latency);
+    h.usize(hw.noc_bytes_per_cycle);
+    h.u64(hw.serdes_hop_latency);
+    h.usize(hw.serdes_bytes_per_cycle);
+    h.u64(hw.l_p);
+    h.u64(hw.l1_cam_latency);
+    h.u64(hw.l2_cam_latency);
+    h.u64(hw.fpu_latency);
+    h.bool(hw.ldq_dedup);
+}
+
+fn feed_gpu_spec(h: &mut Fnv, s: &TitanXpSpec) {
+    h.f64(s.dram_bw);
+    h.f64(s.peak_flops);
+    h.usize(s.l2_bytes);
+    h.usize(s.l2_ways);
+    h.usize(s.line_bytes);
+    h.f64(s.idle_power_w);
+    h.f64(s.dram_power_w);
+    h.f64(s.alu_power_w);
+    h.f64(s.die_mm2);
+}
+
+fn feed_energy(h: &mut Fnv, e: &EnergyParams) {
+    h.f64(e.dram_activate_pj);
+    h.f64(e.dram_beat_pj);
+    h.f64(e.pe_queue_pj);
+    h.f64(e.register_file_pj);
+    h.f64(e.l1_cam_search_pj);
+    h.f64(e.l1_cam_fill_pj);
+    h.f64(e.l2_cam_search_pj);
+    h.f64(e.l2_cam_fill_pj);
+    h.f64(e.l1_ldq_pj);
+    h.f64(e.l2_ldq_pj);
+    h.f64(e.fpu_op_pj);
+    h.f64(e.tsv_pj_per_byte);
+    h.f64(e.noc_pj_per_byte_hop);
+    h.f64(e.static_mw_per_bank);
+    h.f64(e.static_mw_per_bank_group);
+    h.f64(e.static_mw_per_vault);
+    h.f64(e.static_mw_per_cube);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_job() -> JobSpec {
+        JobSpec::Sim {
+            source: MatrixSource::Suite { id: 3, scale: 256 },
+            kind: MapKind::Proposed,
+            hw: HwConfig::tiny(),
+            energy: EnergyParams::default(),
+        }
+    }
+
+    #[test]
+    fn key_is_stable() {
+        assert_eq!(sim_job().key(), sim_job().key());
+    }
+
+    #[test]
+    fn key_depends_on_every_identity_field() {
+        let base = sim_job().key();
+        let mut j = sim_job();
+        if let JobSpec::Sim { source, .. } = &mut j {
+            *source = MatrixSource::Suite { id: 4, scale: 256 };
+        }
+        assert_ne!(j.key(), base, "matrix id must change the key");
+
+        let mut j = sim_job();
+        if let JobSpec::Sim { source, .. } = &mut j {
+            *source = MatrixSource::Suite { id: 3, scale: 128 };
+        }
+        assert_ne!(j.key(), base, "scale must change the key");
+
+        let mut j = sim_job();
+        if let JobSpec::Sim { kind, .. } = &mut j {
+            *kind = MapKind::Naive;
+        }
+        assert_ne!(j.key(), base, "mapping kind must change the key");
+
+        let mut j = sim_job();
+        if let JobSpec::Sim { hw, .. } = &mut j {
+            hw.tsv_latency += 1;
+        }
+        assert_ne!(j.key(), base, "hardware config must change the key");
+
+        let mut j = sim_job();
+        if let JobSpec::Sim { energy, .. } = &mut j {
+            energy.fpu_op_pj += 1.0;
+        }
+        assert_ne!(j.key(), base, "energy params must change the key");
+    }
+
+    #[test]
+    fn gpu_and_sim_keys_disjoint() {
+        let gpu = JobSpec::Gpu {
+            source: MatrixSource::Suite { id: 3, scale: 256 },
+            spec: TitanXpSpec::default(),
+        };
+        assert_ne!(gpu.key(), sim_job().key());
+    }
+
+    #[test]
+    fn graph_sources_distinguished() {
+        let a = MatrixSource::Graph {
+            graph: CaseStudyGraph::Wiki,
+            scale: 64,
+            operand: GraphOperand::PageRank,
+        };
+        let b = MatrixSource::Graph {
+            graph: CaseStudyGraph::Wiki,
+            scale: 64,
+            operand: GraphOperand::Transpose,
+        };
+        let mut ha = Fnv::new();
+        a.feed(&mut ha);
+        let mut hb = Fnv::new();
+        b.feed(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn key_formats_as_hex() {
+        let k = JobKey(0xdead_beef);
+        assert_eq!(k.to_string(), "00000000deadbeef");
+    }
+}

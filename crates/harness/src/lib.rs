@@ -1,0 +1,44 @@
+//! Experiment orchestration: content-addressed jobs, a worker pool, a
+//! persistent result cache, and run telemetry.
+//!
+//! The evaluation section of the paper is a pile of independent simulation
+//! and model runs (one per matrix × mapping × hardware configuration) that
+//! the experiment modules then render into tables. This crate factors that
+//! pile out into an explicit job model:
+//!
+//! * [`JobSpec`] names one unit of work — a SpaceA simulation or a GPU
+//!   baseline model run — by *content*: the matrix source, mapping kind,
+//!   hardware configuration and energy parameters. [`JobSpec::key`] hashes
+//!   all of it into a stable 64-bit [`JobKey`], so two jobs with the same
+//!   key compute the same result.
+//! * [`run_jobs`] shards a job list across `std::thread` workers. Results
+//!   land in a shared [`ResultStore`] keyed by [`JobKey`]; because rendering
+//!   reads results from the store (serially), table output is bit-for-bit
+//!   identical whatever the worker count or completion order.
+//! * [`ResultStore`] optionally persists every result as one JSON file per
+//!   key (default directory `target/spacea-cache/`), so a re-run only
+//!   simulates what changed. Floats are stored as IEEE-754 bit patterns and
+//!   round-trip exactly.
+//! * [`RunManifest`] records per-job telemetry — wall time, simulated
+//!   cycles, events processed, cache hit/miss — as JSON plus a
+//!   human-readable summary.
+//!
+//! The crate sits *below* the experiment definitions: it knows how to
+//! execute a job, not which jobs a figure needs (that enumeration lives
+//! with each experiment in `spacea-core`).
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod job;
+pub mod json;
+pub mod store;
+pub mod telemetry;
+
+pub use exec::{dedup_jobs, input_vector, run_jobs, JobCtx};
+pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
+pub use store::{CacheOutcome, CacheStats, JobResult, ResultStore};
+pub use telemetry::{JobRecord, RunManifest};
+
+/// The default on-disk cache location, relative to the workspace root.
+pub const DEFAULT_CACHE_DIR: &str = "target/spacea-cache";

@@ -1,0 +1,454 @@
+//! The shared result store: in-memory map plus optional on-disk JSON cache.
+
+use crate::job::JobKey;
+use crate::json::{self, Json};
+use spacea_arch::SimReport;
+use spacea_gpu::GpuRun;
+use spacea_model::ActivitySummary;
+use spacea_sim::stats::{CamCounters, LdqCounters, SramCounters};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A finished job's result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// A SpaceA simulation report.
+    Sim(Arc<SimReport>),
+    /// A GPU baseline model run.
+    Gpu(GpuRun),
+}
+
+/// Where a job's result came from when it was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Already in the in-memory map (computed or loaded earlier this run).
+    MemoryHit,
+    /// Loaded from the on-disk cache.
+    DiskHit,
+    /// Not cached anywhere; the caller computed it.
+    Computed,
+}
+
+impl CacheOutcome {
+    /// Short JSON/display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CacheOutcome::MemoryHit => "hit",
+            CacheOutcome::DiskHit => "disk-hit",
+            CacheOutcome::Computed => "computed",
+        }
+    }
+}
+
+/// Aggregate cache counters for one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub mem_hits: u64,
+    /// Lookups answered from disk.
+    pub disk_hits: u64,
+    /// Lookups that found nothing (the caller computed the result).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits (memory + disk) as a fraction of all lookups.
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.mem_hits + self.disk_hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.mem_hits + self.disk_hits) as f64 / total as f64
+    }
+}
+
+/// Job results keyed by content hash, shared by every worker and every
+/// experiment in a process; optionally persisted to a directory with one
+/// JSON file per key.
+pub struct ResultStore {
+    mem: Mutex<HashMap<u64, JobResult>>,
+    disk: Option<PathBuf>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultStore {
+    /// A store with no disk persistence (`--no-cache`).
+    pub fn in_memory() -> Self {
+        ResultStore {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A store persisting results under `dir` (created if missing).
+    pub fn with_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut store = ResultStore::in_memory();
+        store.disk = Some(dir);
+        Ok(store)
+    }
+
+    /// The persistence directory, if any.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Looks up a result, recording a hit or miss in the stats.
+    ///
+    /// A disk hit is promoted into the in-memory map so later lookups are
+    /// memory hits.
+    pub fn lookup(&self, key: JobKey) -> Option<(JobResult, CacheOutcome)> {
+        if let Some(r) = self.mem.lock().expect("store lock").get(&key.0) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((r.clone(), CacheOutcome::MemoryHit));
+        }
+        if let Some(dir) = &self.disk {
+            if let Some(r) = load_from_disk(dir, key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.mem.lock().expect("store lock").insert(key.0, r.clone());
+                return Some((r, CacheOutcome::DiskHit));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts a computed result, persisting it if a disk cache is enabled.
+    ///
+    /// Disk write failures are reported on stderr and otherwise ignored: the
+    /// cache is an accelerator, not a correctness dependency.
+    pub fn insert(&self, key: JobKey, result: JobResult) {
+        if let Some(dir) = &self.disk {
+            if let Err(e) = save_to_disk(dir, key, &result) {
+                eprintln!("spacea-harness: failed to persist job {key}: {e}");
+            }
+        }
+        self.mem.lock().expect("store lock").insert(key.0, result);
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of results currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("store lock").len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn cache_path(dir: &Path, key: JobKey) -> PathBuf {
+    dir.join(format!("{key}.json"))
+}
+
+fn load_from_disk(dir: &Path, key: JobKey) -> Option<JobResult> {
+    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+    match json::parse(&text).and_then(|v| decode_result(&v)) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            // A corrupt or stale-format entry is a miss, not an error.
+            eprintln!("spacea-harness: ignoring unreadable cache entry {key}: {e}");
+            None
+        }
+    }
+}
+
+fn save_to_disk(dir: &Path, key: JobKey, result: &JobResult) -> std::io::Result<()> {
+    let path = cache_path(dir, key);
+    // Write-then-rename so concurrent readers never see a torn file.
+    let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, encode_result(result).to_text())?;
+    std::fs::rename(&tmp, &path)
+}
+
+// --- serialization -------------------------------------------------------
+//
+// One JSON object per result. Floats are stored as IEEE-754 bit patterns
+// (see `crate::json`), so a rehydrated result is bit-identical to the
+// computed one — with one deliberate exception: `SimReport::output` (the
+// simulated result vector, ~rows × 8 bytes) is elided, because nothing
+// downstream of validation reads it and it dominates the file size. The
+// per-PE work vector, which tables do read, is kept.
+
+fn encode_result(r: &JobResult) -> Json {
+    match r {
+        JobResult::Sim(report) => {
+            Json::obj(vec![("kind", Json::Str("sim".into())), ("report", encode_sim(report))])
+        }
+        JobResult::Gpu(run) => {
+            Json::obj(vec![("kind", Json::Str("gpu".into())), ("run", encode_gpu(run))])
+        }
+    }
+}
+
+fn decode_result(v: &Json) -> Result<JobResult, String> {
+    match v.get("kind").and_then(Json::as_str) {
+        Some("sim") => {
+            let report = v.get("report").ok_or("missing 'report'")?;
+            Ok(JobResult::Sim(Arc::new(decode_sim(report)?)))
+        }
+        Some("gpu") => {
+            let run = v.get("run").ok_or("missing 'run'")?;
+            Ok(JobResult::Gpu(decode_gpu(run)?))
+        }
+        other => Err(format!("unknown result kind {other:?}")),
+    }
+}
+
+fn encode_gpu(r: &GpuRun) -> Json {
+    Json::obj(vec![
+        ("time_s", Json::f64_bits(r.time_s)),
+        ("dram_bytes", Json::U64(r.dram_bytes)),
+        ("dram_read_bytes", Json::U64(r.dram_read_bytes)),
+        ("dram_read_throughput", Json::f64_bits(r.dram_read_throughput)),
+        ("effective_read_throughput", Json::f64_bits(r.effective_read_throughput)),
+        ("bw_utilization", Json::f64_bits(r.bw_utilization)),
+        ("gflops", Json::f64_bits(r.gflops)),
+        ("alu_utilization", Json::f64_bits(r.alu_utilization)),
+        ("energy_j", Json::f64_bits(r.energy_j)),
+        ("bw_efficiency", Json::f64_bits(r.bw_efficiency)),
+        ("x_l2_hit_rate", Json::f64_bits(r.x_l2_hit_rate)),
+    ])
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing u64 '{key}'"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Json::as_f64_bits).ok_or_else(|| format!("missing f64 '{key}'"))
+}
+
+fn decode_gpu(v: &Json) -> Result<GpuRun, String> {
+    Ok(GpuRun {
+        time_s: f64_field(v, "time_s")?,
+        dram_bytes: u64_field(v, "dram_bytes")?,
+        dram_read_bytes: u64_field(v, "dram_read_bytes")?,
+        dram_read_throughput: f64_field(v, "dram_read_throughput")?,
+        effective_read_throughput: f64_field(v, "effective_read_throughput")?,
+        bw_utilization: f64_field(v, "bw_utilization")?,
+        gflops: f64_field(v, "gflops")?,
+        alu_utilization: f64_field(v, "alu_utilization")?,
+        energy_j: f64_field(v, "energy_j")?,
+        bw_efficiency: f64_field(v, "bw_efficiency")?,
+        x_l2_hit_rate: f64_field(v, "x_l2_hit_rate")?,
+    })
+}
+
+fn encode_sim(r: &SimReport) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::U64(r.cycles)),
+        ("seconds", Json::f64_bits(r.seconds)),
+        ("activity", encode_activity(&r.activity)),
+        ("l1_hit_rate", Json::f64_bits(r.l1_hit_rate)),
+        ("l2_hit_rate", Json::f64_bits(r.l2_hit_rate)),
+        ("tsv_bytes", Json::U64(r.tsv_bytes)),
+        ("noc_byte_hops", Json::U64(r.noc_byte_hops)),
+        ("pe_work", Json::Arr(r.pe_work.iter().map(|&w| Json::U64(w)).collect())),
+        ("normalized_workload", Json::f64_bits(r.normalized_workload)),
+        ("update_buffer_hit_rate", Json::f64_bits(r.update_buffer_hit_rate)),
+        ("pe_busy_fraction", Json::f64_bits(r.pe_busy_fraction)),
+        ("matrix_bank_busy_fraction", Json::f64_bits(r.matrix_bank_busy_fraction)),
+        ("vector_bank_busy_fraction", Json::f64_bits(r.vector_bank_busy_fraction)),
+        ("validated", Json::Bool(r.validated)),
+        ("events_scheduled", Json::U64(r.events_scheduled)),
+        ("events_processed", Json::U64(r.events_processed)),
+    ])
+}
+
+fn decode_sim(v: &Json) -> Result<SimReport, String> {
+    let pe_work = v
+        .get("pe_work")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'pe_work'")?
+        .iter()
+        .map(|w| w.as_u64().ok_or_else(|| "bad pe_work entry".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok(SimReport {
+        cycles: u64_field(v, "cycles")?,
+        seconds: f64_field(v, "seconds")?,
+        activity: decode_activity(v.get("activity").ok_or("missing 'activity'")?)?,
+        l1_hit_rate: f64_field(v, "l1_hit_rate")?,
+        l2_hit_rate: f64_field(v, "l2_hit_rate")?,
+        tsv_bytes: u64_field(v, "tsv_bytes")?,
+        noc_byte_hops: u64_field(v, "noc_byte_hops")?,
+        pe_work,
+        normalized_workload: f64_field(v, "normalized_workload")?,
+        update_buffer_hit_rate: f64_field(v, "update_buffer_hit_rate")?,
+        pe_busy_fraction: f64_field(v, "pe_busy_fraction")?,
+        matrix_bank_busy_fraction: f64_field(v, "matrix_bank_busy_fraction")?,
+        vector_bank_busy_fraction: f64_field(v, "vector_bank_busy_fraction")?,
+        output: Vec::new(), // elided on disk; see module comment
+        validated: v.get("validated").and_then(Json::as_bool).ok_or("missing 'validated'")?,
+        events_scheduled: u64_field(v, "events_scheduled")?,
+        events_processed: u64_field(v, "events_processed")?,
+    })
+}
+
+fn encode_activity(a: &ActivitySummary) -> Json {
+    let sram = |c: &SramCounters| {
+        Json::obj(vec![("reads", Json::U64(c.reads)), ("writes", Json::U64(c.writes))])
+    };
+    let cam = |c: &CamCounters| {
+        Json::obj(vec![
+            ("hits", Json::U64(c.hits)),
+            ("misses", Json::U64(c.misses)),
+            ("fills", Json::U64(c.fills)),
+            ("evictions", Json::U64(c.evictions)),
+        ])
+    };
+    let ldq = |c: &LdqCounters| {
+        Json::obj(vec![
+            ("new_requests", Json::U64(c.new_requests)),
+            ("deduplicated", Json::U64(c.deduplicated)),
+            ("completed", Json::U64(c.completed)),
+            ("rejected_full", Json::U64(c.rejected_full)),
+        ])
+    };
+    Json::obj(vec![
+        ("cycles", Json::U64(a.cycles)),
+        ("dram_activates", Json::U64(a.dram_activates)),
+        ("dram_read_beats", Json::U64(a.dram_read_beats)),
+        ("dram_write_beats", Json::U64(a.dram_write_beats)),
+        ("fpu_ops", Json::U64(a.fpu_ops)),
+        ("pe_queue", sram(&a.pe_queue)),
+        ("register_file", sram(&a.register_file)),
+        ("l1_cam", cam(&a.l1_cam)),
+        ("l2_cam", cam(&a.l2_cam)),
+        ("l1_ldq", ldq(&a.l1_ldq)),
+        ("l2_ldq", ldq(&a.l2_ldq)),
+        ("tsv_bytes", Json::U64(a.tsv_bytes)),
+        ("noc_byte_hops", Json::U64(a.noc_byte_hops)),
+    ])
+}
+
+fn decode_activity(v: &Json) -> Result<ActivitySummary, String> {
+    let sram = |key: &str| -> Result<SramCounters, String> {
+        let c = v.get(key).ok_or_else(|| format!("missing '{key}'"))?;
+        Ok(SramCounters { reads: u64_field(c, "reads")?, writes: u64_field(c, "writes")? })
+    };
+    let cam = |key: &str| -> Result<CamCounters, String> {
+        let c = v.get(key).ok_or_else(|| format!("missing '{key}'"))?;
+        Ok(CamCounters {
+            hits: u64_field(c, "hits")?,
+            misses: u64_field(c, "misses")?,
+            fills: u64_field(c, "fills")?,
+            evictions: u64_field(c, "evictions")?,
+        })
+    };
+    let ldq = |key: &str| -> Result<LdqCounters, String> {
+        let c = v.get(key).ok_or_else(|| format!("missing '{key}'"))?;
+        Ok(LdqCounters {
+            new_requests: u64_field(c, "new_requests")?,
+            deduplicated: u64_field(c, "deduplicated")?,
+            completed: u64_field(c, "completed")?,
+            rejected_full: u64_field(c, "rejected_full")?,
+        })
+    };
+    Ok(ActivitySummary {
+        cycles: u64_field(v, "cycles")?,
+        dram_activates: u64_field(v, "dram_activates")?,
+        dram_read_beats: u64_field(v, "dram_read_beats")?,
+        dram_write_beats: u64_field(v, "dram_write_beats")?,
+        fpu_ops: u64_field(v, "fpu_ops")?,
+        pe_queue: sram("pe_queue")?,
+        register_file: sram("register_file")?,
+        l1_cam: cam("l1_cam")?,
+        l2_cam: cam("l2_cam")?,
+        l1_ldq: ldq("l1_ldq")?,
+        l2_ldq: ldq("l2_ldq")?,
+        tsv_bytes: u64_field(v, "tsv_bytes")?,
+        noc_byte_hops: u64_field(v, "noc_byte_hops")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_gpu() -> GpuRun {
+        GpuRun {
+            time_s: 1.0 / 3.0,
+            dram_bytes: 123,
+            dram_read_bytes: 100,
+            dram_read_throughput: 1e9,
+            effective_read_throughput: 0.5e9,
+            bw_utilization: 0.27,
+            gflops: 1.5,
+            alu_utilization: 0.0268,
+            energy_j: 0.125,
+            bw_efficiency: 0.9,
+            x_l2_hit_rate: 0.75,
+        }
+    }
+
+    #[test]
+    fn gpu_round_trips_exactly() {
+        let run = sample_gpu();
+        let back =
+            decode_result(&json::parse(&encode_result(&JobResult::Gpu(run)).to_text()).unwrap())
+                .unwrap();
+        assert_eq!(back, JobResult::Gpu(run));
+    }
+
+    #[test]
+    fn memory_store_counts_hits_and_misses() {
+        let store = ResultStore::in_memory();
+        let key = JobKey(42);
+        assert!(store.lookup(key).is_none());
+        store.insert(key, JobResult::Gpu(sample_gpu()));
+        let (_, outcome) = store.lookup(key).unwrap();
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        let stats = store.stats();
+        assert_eq!((stats.mem_hits, stats.disk_hits, stats.misses), (1, 0, 1));
+        assert!((stats.hit_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_store_survives_process_restart() {
+        let dir = std::env::temp_dir().join(format!("spacea-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = JobKey(7);
+        {
+            let store = ResultStore::with_disk(&dir).unwrap();
+            store.insert(key, JobResult::Gpu(sample_gpu()));
+        }
+        // A fresh store (fresh memory) must find the entry on disk.
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let (result, outcome) = store.lookup(key).unwrap();
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        assert_eq!(result, JobResult::Gpu(sample_gpu()));
+        // Promoted to memory: second lookup is a memory hit.
+        assert_eq!(store.lookup(key).unwrap().1, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("spacea-store-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let key = JobKey(9);
+        std::fs::write(dir.join(format!("{key}.json")), "{not json").unwrap();
+        assert!(store.lookup(key).is_none());
+        assert_eq!(store.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,180 @@
+//! Run telemetry: per-job records, the JSON run manifest, and the
+//! human-readable summary.
+
+use crate::job::JobKey;
+use crate::json::Json;
+use crate::store::{CacheOutcome, CacheStats};
+
+/// Telemetry for one job in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Position in the submitted job list.
+    pub index: usize,
+    /// Display label (`"sim:m3/8:proposed"`).
+    pub label: String,
+    /// The job's content hash.
+    pub key: JobKey,
+    /// Where the result came from.
+    pub outcome: CacheOutcome,
+    /// Wall time spent obtaining the result (lookup or compute), ms.
+    pub wall_ms: f64,
+    /// Simulated cycles (simulation jobs only).
+    pub cycles: Option<u64>,
+    /// Discrete events processed (simulation jobs only).
+    pub events: Option<u64>,
+}
+
+/// Everything recorded about one harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall time of the job phase, ms.
+    pub total_wall_ms: f64,
+    /// Per-job records, in submission order.
+    pub records: Vec<JobRecord>,
+    /// The store's aggregate counters at the end of the run.
+    pub stats: CacheStats,
+}
+
+impl RunManifest {
+    /// Fraction of jobs answered from cache (memory or disk).
+    pub fn hit_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self.records.iter().filter(|r| r.outcome != CacheOutcome::Computed).count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// The manifest as a JSON document.
+    ///
+    /// Times are reported in integer microseconds (this dialect has no
+    /// floats, and sub-microsecond precision is noise here anyway).
+    pub fn to_json(&self) -> String {
+        let jobs: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                let mut pairs = vec![
+                    ("label", Json::Str(r.label.clone())),
+                    ("key", Json::Str(r.key.to_string())),
+                    ("outcome", Json::Str(r.outcome.tag().into())),
+                    ("wall_us", Json::U64((r.wall_ms * 1e3) as u64)),
+                ];
+                if let Some(c) = r.cycles {
+                    pairs.push(("cycles", Json::U64(c)));
+                }
+                if let Some(e) = r.events {
+                    pairs.push(("events_processed", Json::U64(e)));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::Str("spacea-run-manifest-v1".into())),
+            ("workers", Json::U64(self.workers as u64)),
+            ("total_wall_us", Json::U64((self.total_wall_ms * 1e3) as u64)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("mem_hits", Json::U64(self.stats.mem_hits)),
+                    ("disk_hits", Json::U64(self.stats.disk_hits)),
+                    ("misses", Json::U64(self.stats.misses)),
+                ]),
+            ),
+            ("jobs", Json::Arr(jobs)),
+        ])
+        .to_text()
+    }
+
+    /// A short human-readable run summary.
+    pub fn summary(&self) -> String {
+        let computed = self.records.iter().filter(|r| r.outcome == CacheOutcome::Computed).count();
+        let disk = self.records.iter().filter(|r| r.outcome == CacheOutcome::DiskHit).count();
+        let mem = self.records.len() - computed - disk;
+        let sim_cycles: u64 = self.records.iter().filter_map(|r| r.cycles).sum();
+        let events: u64 = self.records.iter().filter_map(|r| r.events).sum();
+        let mut out = format!(
+            "harness: {} jobs on {} workers in {:.1}s — {} computed, {} disk hits, {} memory hits ({:.0}% cached)\n",
+            self.records.len(),
+            self.workers,
+            self.total_wall_ms / 1e3,
+            computed,
+            disk,
+            mem,
+            self.hit_fraction() * 100.0,
+        );
+        out.push_str(&format!(
+            "harness: {sim_cycles} simulated cycles, {events} events processed\n"
+        ));
+        let mut slowest: Vec<&JobRecord> =
+            self.records.iter().filter(|r| r.outcome == CacheOutcome::Computed).collect();
+        slowest.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        for r in slowest.iter().take(3) {
+            out.push_str(&format!("harness:   slowest: {} ({:.0} ms)\n", r.label, r.wall_ms));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            workers: 4,
+            total_wall_ms: 1234.5,
+            records: vec![
+                JobRecord {
+                    index: 0,
+                    label: "sim:m1/256:proposed".into(),
+                    key: JobKey(1),
+                    outcome: CacheOutcome::Computed,
+                    wall_ms: 900.0,
+                    cycles: Some(1000),
+                    events: Some(5000),
+                },
+                JobRecord {
+                    index: 1,
+                    label: "gpu:m1/256".into(),
+                    key: JobKey(2),
+                    outcome: CacheOutcome::DiskHit,
+                    wall_ms: 1.5,
+                    cycles: None,
+                    events: None,
+                },
+            ],
+            stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1 },
+        }
+    }
+
+    #[test]
+    fn manifest_json_parses_and_carries_fields() {
+        let m = manifest();
+        let v = json::parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(4));
+        let jobs = v.get("jobs").unwrap().as_arr().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("outcome").unwrap().as_str(), Some("computed"));
+        assert_eq!(jobs[0].get("cycles").unwrap().as_u64(), Some(1000));
+        assert_eq!(jobs[1].get("outcome").unwrap().as_str(), Some("disk-hit"));
+        assert!(jobs[1].get("cycles").is_none());
+        assert_eq!(v.get("cache").unwrap().get("disk_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn hit_fraction_counts_both_hit_kinds() {
+        assert!((manifest().hit_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let s = manifest().summary();
+        assert!(s.contains("2 jobs on 4 workers"), "{s}");
+        assert!(s.contains("1 computed, 1 disk hits"), "{s}");
+        assert!(s.contains("slowest: sim:m1/256:proposed"), "{s}");
+    }
+}

@@ -32,9 +32,16 @@ pub struct LocalityMapping {
     pub penalty: f64,
 }
 
+impl LocalityMapping {
+    /// The configuration used throughout the paper's evaluation.
+    pub const fn paper_defaults() -> Self {
+        LocalityMapping { penalty: 1e6 }
+    }
+}
+
 impl Default for LocalityMapping {
     fn default() -> Self {
-        LocalityMapping { penalty: 1e6 }
+        LocalityMapping::paper_defaults()
     }
 }
 
@@ -109,7 +116,13 @@ pub fn assign_rows(matrix: &Csr, num_pes: usize, penalty: f64) -> RowAssignment 
             }
         };
         for &pid in &touched {
-            consider(pid, overlap[pid as usize], workload[pid as usize], &mut best_pid, &mut best_score);
+            consider(
+                pid,
+                overlap[pid as usize],
+                workload[pid as usize],
+                &mut best_pid,
+                &mut best_score,
+            );
         }
         // The best zero-overlap candidate is the least-loaded PE overall
         // (every other zero-overlap PE scores no higher).
@@ -119,9 +132,7 @@ pub fn assign_rows(matrix: &Csr, num_pes: usize, penalty: f64) -> RowAssignment 
             } else {
                 // Find the least-loaded PE with zero overlap; scan in load
                 // order (cheap: overlapping PEs are few).
-                if let Some(&(w, pid)) =
-                    by_load.iter().find(|&&(_, p)| overlap[p as usize] == 0)
-                {
+                if let Some(&(w, pid)) = by_load.iter().find(|&&(_, p)| overlap[p as usize] == 0) {
                     consider(pid, 0, w, &mut best_pid, &mut best_score);
                 }
             }
@@ -178,10 +189,7 @@ mod tests {
         let naive = assign_rows_naive(&m, 32, 42);
         let w_prop = normalized_workload(&prop, &m);
         let w_naive = normalized_workload(&naive, &m);
-        assert!(
-            w_prop > w_naive,
-            "proposed ({w_prop}) must balance better than naive ({w_naive})"
-        );
+        assert!(w_prop > w_naive, "proposed ({w_prop}) must balance better than naive ({w_naive})");
     }
 
     #[test]

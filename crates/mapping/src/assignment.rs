@@ -60,10 +60,7 @@ impl RowAssignment {
 
     /// Per-PE workload (non-zeros) given the matrix row lengths.
     pub fn workloads(&self, row_nnz: impl Fn(usize) -> usize) -> Vec<usize> {
-        self.rows_of
-            .iter()
-            .map(|rows| rows.iter().map(|&r| row_nnz(r as usize)).sum())
-            .collect()
+        self.rows_of.iter().map(|rows| rows.iter().map(|&r| row_nnz(r as usize)).sum()).collect()
     }
 }
 

@@ -71,3 +71,37 @@ pub trait MappingStrategy {
     /// A short human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 }
+
+/// Which of the paper's two mappings an experiment or harness job uses.
+///
+/// This is the evaluation-facing selector between [`NaiveMapping`] and
+/// [`LocalityMapping`]; it lives here (rather than in the experiments crate)
+/// so that job descriptions in `spacea-harness` can name a mapping without
+/// depending on experiment code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    /// Random row assignment (Section V-B baseline).
+    Naive,
+    /// The proposed two-phase mapping.
+    Proposed,
+}
+
+impl MapKind {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MapKind::Naive => "naive",
+            MapKind::Proposed => "proposed",
+        }
+    }
+
+    /// The strategy this kind selects.
+    pub fn strategy(&self) -> &'static dyn MappingStrategy {
+        const NAIVE: NaiveMapping = NaiveMapping::with_seed(naive::DEFAULT_SEED);
+        const LOCALITY: LocalityMapping = LocalityMapping::paper_defaults();
+        match self {
+            MapKind::Naive => &NAIVE,
+            MapKind::Proposed => &LOCALITY,
+        }
+    }
+}

@@ -72,28 +72,16 @@ mod tests {
     #[test]
     fn perfectly_balanced_is_one() {
         let a = RowAssignment::new(vec![vec![0], vec![1]], 2);
-        let m = spacea_matrix::Csr::from_parts(
-            2,
-            2,
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![1.0, 1.0],
-        )
-        .unwrap();
+        let m = spacea_matrix::Csr::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0])
+            .unwrap();
         assert!((normalized_workload(&a, &m) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn imbalance_lowers_ratio() {
         // PE0 has 3 nnz, PE1 has 1 → mean 2, max 3 → 2/3.
-        let m = spacea_matrix::Csr::from_parts(
-            2,
-            4,
-            vec![0, 3, 4],
-            vec![0, 1, 2, 3],
-            vec![1.0; 4],
-        )
-        .unwrap();
+        let m = spacea_matrix::Csr::from_parts(2, 4, vec![0, 3, 4], vec![0, 1, 2, 3], vec![1.0; 4])
+            .unwrap();
         let a = RowAssignment::new(vec![vec![0], vec![1]], 2);
         assert!((normalized_workload(&a, &m) - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -113,10 +101,7 @@ mod tests {
         let naive = NaiveMapping::default().map(&m, &shape);
         let f_prop = max_unique_columns_per_bank_group(&prop, &m, &shape);
         let f_naive = max_unique_columns_per_bank_group(&naive, &m, &shape);
-        assert!(
-            f_prop < f_naive,
-            "proposed F(C)={f_prop} must beat naive F(C)={f_naive}"
-        );
+        assert!(f_prop < f_naive, "proposed F(C)={f_prop} must beat naive F(C)={f_naive}");
     }
 
     #[test]

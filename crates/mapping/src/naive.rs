@@ -7,6 +7,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spacea_matrix::Csr;
 
+/// The seed used by [`NaiveMapping::default`]; fixed so runs are
+/// reproducible.
+pub const DEFAULT_SEED: u64 = 0x5ACE_A0BA;
+
 /// Random row→PE assignment with identity placement.
 ///
 /// The paper: "The results of SpaceA shown in Figure 5 uses a naive mapping
@@ -17,9 +21,16 @@ pub struct NaiveMapping {
     pub seed: u64,
 }
 
+impl NaiveMapping {
+    /// A naive mapping with an explicit seed.
+    pub const fn with_seed(seed: u64) -> Self {
+        NaiveMapping { seed }
+    }
+}
+
 impl Default for NaiveMapping {
     fn default() -> Self {
-        NaiveMapping { seed: 0x5ACE_A0BA }
+        NaiveMapping::with_seed(DEFAULT_SEED)
     }
 }
 

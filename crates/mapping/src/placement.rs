@@ -175,8 +175,7 @@ pub fn cluster_hierarchy(
 }
 
 fn union_of(sets: &[Vec<u32>], members: &[u32]) -> Vec<u32> {
-    let mut u: Vec<u32> =
-        members.iter().flat_map(|&m| sets[m as usize].iter().copied()).collect();
+    let mut u: Vec<u32> = members.iter().flat_map(|&m| sets[m as usize].iter().copied()).collect();
     u.sort_unstable();
     u.dedup();
     u
@@ -248,8 +247,12 @@ mod tests {
     #[test]
     fn hierarchy_multi_cube() {
         let m = banded(&BandedConfig { n: 400, ..Default::default() });
-        let shape =
-            MachineShape { cubes: 2, vaults_per_cube: 2, product_bgs_per_vault: 2, banks_per_bg: 2 };
+        let shape = MachineShape {
+            cubes: 2,
+            vaults_per_cube: 2,
+            product_bgs_per_vault: 2,
+            banks_per_bg: 2,
+        };
         let a = assign_rows(&m, shape.product_pes(), 1e6);
         let p = cluster_hierarchy(&m, &a, &shape);
         assert_eq!(p.len(), 16);

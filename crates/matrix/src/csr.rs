@@ -320,8 +320,7 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        Csr::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap()
+        Csr::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap()
     }
 
     #[test]
@@ -332,8 +331,7 @@ mod tests {
 
     #[test]
     fn from_parts_validates_monotonicity() {
-        let err =
-            Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
+        let err = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, MatrixError::MalformedCsr(_)));
     }
 

@@ -40,10 +40,9 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::CoordinateOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "coordinate ({row}, {col}) is outside a {rows}x{cols} matrix"
-            ),
+            MatrixError::CoordinateOutOfBounds { row, col, rows, cols } => {
+                write!(f, "coordinate ({row}, {col}) is outside a {rows}x{cols} matrix")
+            }
             MatrixError::DimensionMismatch { expected, actual } => {
                 write!(f, "vector length {actual} does not match dimension {expected}")
             }

@@ -64,9 +64,8 @@ pub fn banded(cfg: &BandedConfig) -> Csr {
     let half_band = ((cfg.mean_row_nnz * cfg.band_factor) / 2.0).max(cfg.run_len as f64) as i64;
     // One shared run template per mesh block: runs start at fixed offsets from
     // the block anchor so rows in a block overlap heavily.
-    let max_runs = ((cfg.mean_row_nnz + 4.0 * cfg.stddev_row_nnz) / cfg.run_len as f64).ceil()
-        as usize
-        + 1;
+    let max_runs =
+        ((cfg.mean_row_nnz + 4.0 * cfg.stddev_row_nnz) / cfg.run_len as f64).ceil() as usize + 1;
 
     let mut block_offsets: Vec<i64> = Vec::new();
     let mut cols_buf: Vec<u32> = Vec::new();
@@ -81,8 +80,7 @@ pub fn banded(cfg: &BandedConfig) -> Csr {
             block_offsets.dedup();
         }
         let target =
-            sample_normal(&mut rng, cfg.mean_row_nnz, cfg.stddev_row_nnz).round().max(1.0)
-                as usize;
+            sample_normal(&mut rng, cfg.mean_row_nnz, cfg.stddev_row_nnz).round().max(1.0) as usize;
 
         cols_buf.clear();
         cols_buf.push(row as u32); // diagonal coupling
@@ -135,18 +133,20 @@ mod tests {
 
     #[test]
     fn mean_row_nnz_near_target() {
-        let cfg = BandedConfig { n: 2048, mean_row_nnz: 40.0, stddev_row_nnz: 10.0, ..Default::default() };
+        let cfg = BandedConfig {
+            n: 2048,
+            mean_row_nnz: 40.0,
+            stddev_row_nnz: 10.0,
+            ..Default::default()
+        };
         let s = banded(&cfg).stats();
-        assert!(
-            (s.mean_row_nnz - 40.0).abs() < 8.0,
-            "mean {} too far from 40",
-            s.mean_row_nnz
-        );
+        assert!((s.mean_row_nnz - 40.0).abs() < 8.0, "mean {} too far from 40", s.mean_row_nnz);
     }
 
     #[test]
     fn columns_stay_near_diagonal() {
-        let cfg = BandedConfig { n: 4096, mean_row_nnz: 16.0, band_factor: 4.0, ..Default::default() };
+        let cfg =
+            BandedConfig { n: 4096, mean_row_nnz: 16.0, band_factor: 4.0, ..Default::default() };
         let csr = banded(&cfg);
         let half_band = (16.0 * 4.0 / 2.0) as i64 + cfg.block_rows as i64 + cfg.run_len as i64;
         for i in 0..csr.rows() {
@@ -164,14 +164,14 @@ mod tests {
     fn neighboring_rows_overlap() {
         // Rows in the same block must share most columns — the locality the
         // mapping algorithm exploits.
-        let cfg = BandedConfig { n: 1024, mean_row_nnz: 30.0, stddev_row_nnz: 4.0, ..Default::default() };
+        let cfg =
+            BandedConfig { n: 1024, mean_row_nnz: 30.0, stddev_row_nnz: 4.0, ..Default::default() };
         let csr = banded(&cfg);
         let mut overlaps = 0.0;
         let mut count = 0;
         for b in (0..csr.rows() - cfg.block_rows).step_by(cfg.block_rows) {
             let a: std::collections::HashSet<u32> = csr.row_cols(b).iter().copied().collect();
-            let c: std::collections::HashSet<u32> =
-                csr.row_cols(b + 1).iter().copied().collect();
+            let c: std::collections::HashSet<u32> = csr.row_cols(b + 1).iter().copied().collect();
             let inter = a.intersection(&c).count() as f64;
             overlaps += inter / a.len().max(1) as f64;
             count += 1;

@@ -59,8 +59,7 @@ mod tests {
     fn normal_sample_mean_converges() {
         let mut rng = rng_for(7);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_normal(&mut rng, 10.0, 3.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| sample_normal(&mut rng, 10.0, 3.0)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.2, "sample mean {mean} too far from 10");
     }
 

@@ -48,9 +48,7 @@ enum Symmetry {
 pub fn read_str(text: &str) -> Result<Csr, MatrixError> {
     let mut lines = text.lines().enumerate();
 
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty input"))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
     let header = header.to_ascii_lowercase();
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -100,11 +98,8 @@ pub fn read_str(text: &str) -> Result<Csr, MatrixError> {
         let v = match kind {
             ValueKind::Pattern => 1.0,
             _ => {
-                let t = it
-                    .next()
-                    .ok_or_else(|| parse_err(idx + 1, "missing value field"))?;
-                t.parse::<f64>()
-                    .map_err(|e| parse_err(idx + 1, &format!("bad value: {e}")))?
+                let t = it.next().ok_or_else(|| parse_err(idx + 1, "missing value field"))?;
+                t.parse::<f64>().map_err(|e| parse_err(idx + 1, &format!("bad value: {e}")))?
             }
         };
         if r == 0 || c == 0 {
@@ -117,10 +112,7 @@ pub fn read_str(text: &str) -> Result<Csr, MatrixError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(
-            0,
-            &format!("header declared {nnz} entries but stream held {seen}"),
-        ));
+        return Err(parse_err(0, &format!("header declared {nnz} entries but stream held {seen}")));
     }
     Ok(coo.to_csr())
 }
@@ -193,7 +185,8 @@ mod tests {
 
     #[test]
     fn reads_real_general() {
-        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 1.5\n2 3 2.5\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% comment\n2 3 2\n1 1 1.5\n2 3 2.5\n";
         let csr = read_str(text).unwrap();
         assert_eq!(csr.rows(), 2);
         assert_eq!(csr.cols(), 3);
@@ -260,8 +253,8 @@ mod tests {
         let dir = std::env::temp_dir().join("spacea_mmio_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("m.mtx");
-        let csr = read_str("%%MatrixMarket matrix coordinate real general\n1 2 1\n1 2 4\n")
-            .unwrap();
+        let csr =
+            read_str("%%MatrixMarket matrix coordinate real general\n1 2 1\n1 2 4\n").unwrap();
         write_file(&csr, &path).unwrap();
         assert_eq!(read_file(&path).unwrap(), csr);
     }

@@ -24,10 +24,7 @@ impl Permutation {
     pub fn new(perm: Vec<u32>) -> Self {
         let mut seen = vec![false; perm.len()];
         for &p in &perm {
-            assert!(
-                (p as usize) < perm.len() && !seen[p as usize],
-                "table must be a permutation"
-            );
+            assert!((p as usize) < perm.len() && !seen[p as usize], "table must be a permutation");
             seen[p as usize] = true;
         }
         Permutation { perm }
@@ -140,19 +137,14 @@ pub fn rcm(a: &Csr) -> Permutation {
     // Deterministic component starts: lowest-degree unvisited vertex
     // (scanning ids ascending breaks ties).
     loop {
-        let start = (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| (degree(v), v));
+        let start = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| (degree(v), v));
         let Some(start) = start else { break };
         visited[start] = true;
         queue.push_back(start as u32);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut neighbours: Vec<u32> = adj[v as usize]
-                .iter()
-                .copied()
-                .filter(|&u| !visited[u as usize])
-                .collect();
+            let mut neighbours: Vec<u32> =
+                adj[v as usize].iter().copied().filter(|&u| !visited[u as usize]).collect();
             neighbours.sort_by_key(|&u| (degree(u as usize), u));
             for u in neighbours {
                 visited[u as usize] = true;
@@ -246,11 +238,8 @@ mod tests {
 
     #[test]
     fn rcm_deterministic() {
-        let m = crate::gen::rmat(&crate::gen::RmatConfig {
-            n: 128,
-            edges: 500,
-            ..Default::default()
-        });
+        let m =
+            crate::gen::rmat(&crate::gen::RmatConfig { n: 128, edges: 500, ..Default::default() });
         assert_eq!(rcm(&m), rcm(&m));
     }
 

@@ -176,7 +176,12 @@ pub fn entries() -> &'static [SuiteEntry] {
                 id: 4,
                 name: "crankseg_2",
                 domain: Structural,
-                published: PublishedStats { n: 63_838, nnz: 14_148_858, mean: 221.64, stddev: 95.88 },
+                published: PublishedStats {
+                    n: 63_838,
+                    nnz: 14_148_858,
+                    mean: 221.64,
+                    stddev: 95.88,
+                },
                 kind: fem(4.0),
             },
             SuiteEntry {
@@ -198,21 +203,36 @@ pub fn entries() -> &'static [SuiteEntry] {
                 id: 7,
                 name: "ohne2",
                 domain: Semiconductor,
-                published: PublishedStats { n: 181_343, nnz: 6_869_939, mean: 61.01, stddev: 21.09 },
+                published: PublishedStats {
+                    n: 181_343,
+                    nnz: 6_869_939,
+                    mean: 61.01,
+                    stddev: 21.09,
+                },
                 kind: fem(8.0),
             },
             SuiteEntry {
                 id: 8,
                 name: "pdb1HYS",
                 domain: UndirectedGraph,
-                published: PublishedStats { n: 36_417, nnz: 4_344_765, mean: 119.31, stddev: 31.86 },
+                published: PublishedStats {
+                    n: 36_417,
+                    nnz: 4_344_765,
+                    mean: 119.31,
+                    stddev: 31.86,
+                },
                 kind: fem(4.0),
             },
             SuiteEntry {
                 id: 9,
                 name: "pwtk",
                 domain: Structural,
-                published: PublishedStats { n: 217_918, nnz: 11_524_432, mean: 53.39, stddev: 4.74 },
+                published: PublishedStats {
+                    n: 217_918,
+                    nnz: 11_524_432,
+                    mean: 53.39,
+                    stddev: 4.74,
+                },
                 kind: fem(5.0),
             },
             SuiteEntry {
@@ -226,7 +246,12 @@ pub fn entries() -> &'static [SuiteEntry] {
                 id: 11,
                 name: "shipsec1",
                 domain: Structural,
-                published: PublishedStats { n: 140_874, nnz: 3_568_176, mean: 55.46, stddev: 11.07 },
+                published: PublishedStats {
+                    n: 140_874,
+                    nnz: 3_568_176,
+                    mean: 55.46,
+                    stddev: 11.07,
+                },
                 kind: fem(6.0),
             },
             SuiteEntry {
@@ -240,7 +265,12 @@ pub fn entries() -> &'static [SuiteEntry] {
                 id: 13,
                 name: "Stanford",
                 domain: DirectedGraph,
-                published: PublishedStats { n: 281_903, nnz: 2_312_497, mean: 8.20, stddev: 166.33 },
+                published: PublishedStats {
+                    n: 281_903,
+                    nnz: 2_312_497,
+                    mean: 8.20,
+                    stddev: 166.33,
+                },
                 // More extreme skew for the web-graph hub structure.
                 kind: Rmat { a: 0.65, b: 0.15, c: 0.15 },
             },
@@ -248,7 +278,12 @@ pub fn entries() -> &'static [SuiteEntry] {
                 id: 14,
                 name: "webbase-1M",
                 domain: DirectedGraph,
-                published: PublishedStats { n: 1_000_005, nnz: 3_105_536, mean: 3.11, stddev: 25.35 },
+                published: PublishedStats {
+                    n: 1_000_005,
+                    nnz: 3_105_536,
+                    mean: 3.11,
+                    stddev: 25.35,
+                },
                 kind: Rmat { a: 0.60, b: 0.18, c: 0.18 },
             },
             SuiteEntry {
@@ -309,7 +344,12 @@ mod tests {
             let e = entry_by_name(name).unwrap();
             let s = e.generate(256).stats();
             let rel = (s.mean_row_nnz - e.published.mean).abs() / e.published.mean;
-            assert!(rel < 0.35, "{name}: generated mu {} vs published {}", s.mean_row_nnz, e.published.mean);
+            assert!(
+                rel < 0.35,
+                "{name}: generated mu {} vs published {}",
+                s.mean_row_nnz,
+                e.published.mean
+            );
         }
     }
 

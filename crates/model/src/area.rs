@@ -137,7 +137,12 @@ impl AreaModel {
     }
 
     /// Whether a vault's base-die additions fit the conservative 10% budget.
-    pub fn fits_base_die_budget(&self, cam_sets: usize, cam_ways: usize, ldq_entries: usize) -> bool {
+    pub fn fits_base_die_budget(
+        &self,
+        cam_sets: usize,
+        cam_ways: usize,
+        ldq_entries: usize,
+    ) -> bool {
         self.vault_base_die_mm2(cam_sets, cam_ways, ldq_entries)
             <= Self::VAULT_MM2 * Self::BASE_DIE_BUDGET_FRACTION * 3.0
         // The paper itself places a 0.2658 mm² structure in a "10% of a vault"

@@ -29,6 +29,31 @@ struct Key {
 /// assert_eq!(q.pop(), Some((1, "early")));
 /// assert_eq!(q.now(), 1);
 /// ```
+///
+/// # Counter invariant
+///
+/// At every point in the queue's lifetime,
+///
+/// ```text
+/// scheduled_count() − processed_count() == len()
+/// ```
+///
+/// Every scheduled event is either still pending or has been popped exactly
+/// once — events are never dropped, duplicated, or conjured. Run telemetry
+/// (the `spacea-harness` manifest) relies on this to report
+/// events-processed counts that reconcile with queue occupancy; see
+/// [`EventQueue::check_counters`] and the `counter_invariant_*` tests.
+///
+/// ```
+/// use spacea_sim::engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(3, "a");
+/// q.schedule(5, "b");
+/// q.pop();
+/// assert_eq!(q.scheduled_count() - q.processed_count(), q.len() as u64);
+/// q.check_counters(); // would panic if the invariant were violated
+/// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Key, EventSlot<E>)>>,
@@ -129,6 +154,23 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|Reverse((k, _))| k.at)
     }
+
+    /// Asserts the counter invariant `scheduled − processed == len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated, which would indicate a bug in
+    /// the queue itself (events lost or double-delivered).
+    pub fn check_counters(&self) {
+        assert_eq!(
+            self.scheduled - self.processed,
+            self.heap.len() as u64,
+            "event-queue counter invariant violated: scheduled {} - processed {} != pending {}",
+            self.scheduled,
+            self.processed,
+            self.heap.len()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +237,43 @@ mod tests {
         assert_eq!(q.processed_count(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counter_invariant_holds_throughout_lifetime() {
+        let mut q = EventQueue::new();
+        q.check_counters();
+        for i in 0..50 {
+            q.schedule(i % 7, i);
+            q.check_counters();
+            assert_eq!(q.scheduled_count() - q.processed_count(), q.len() as u64);
+        }
+        while q.pop().is_some() {
+            q.check_counters();
+            assert_eq!(q.scheduled_count() - q.processed_count(), q.len() as u64);
+        }
+        assert_eq!(q.scheduled_count(), 50);
+        assert_eq!(q.processed_count(), 50);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn counter_invariant_survives_interleaving() {
+        // Schedule-from-pop interleaving (the machine's actual usage
+        // pattern): follow-up events created while draining.
+        let mut q = EventQueue::new();
+        q.schedule(0, 0u64);
+        let mut processed = 0u64;
+        while let Some((t, ev)) = q.pop() {
+            processed += 1;
+            if ev < 20 {
+                q.schedule(t + 1, ev + 1);
+                q.schedule(t + 2, ev + 2);
+            }
+            q.check_counters();
+        }
+        assert_eq!(q.processed_count(), processed);
+        assert_eq!(q.scheduled_count(), processed, "drained queue: all scheduled were processed");
     }
 
     #[test]

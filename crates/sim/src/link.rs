@@ -39,7 +39,14 @@ impl Link {
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(latency: Cycle, bytes_per_cycle: usize) -> Self {
         assert!(bytes_per_cycle > 0, "link bandwidth must be positive");
-        Link { latency, bytes_per_cycle, pipelined: true, busy_until: 0, bytes_total: 0, transfers: 0 }
+        Link {
+            latency,
+            bytes_per_cycle,
+            pipelined: true,
+            busy_until: 0,
+            bytes_total: 0,
+            transfers: 0,
+        }
     }
 
     /// Creates an idle *bus-style* link: a transfer occupies the link for
@@ -49,7 +56,14 @@ impl Link {
     /// the paper's Figure 9 sees real slowdowns as TSV latency grows.
     pub fn new_bus(latency: Cycle, bytes_per_cycle: usize) -> Self {
         assert!(bytes_per_cycle > 0, "link bandwidth must be positive");
-        Link { latency, bytes_per_cycle, pipelined: false, busy_until: 0, bytes_total: 0, transfers: 0 }
+        Link {
+            latency,
+            bytes_per_cycle,
+            pipelined: false,
+            busy_until: 0,
+            bytes_total: 0,
+            transfers: 0,
+        }
     }
 
     /// Fixed per-transfer latency in cycles.
@@ -91,7 +105,8 @@ impl Link {
         let done = start + self.latency + ser;
         // A pipelined link is occupied only for the serialization time; a
         // bus-style link is additionally held for half the flight latency.
-        self.busy_until = if self.pipelined { start + ser } else { start + ser + self.latency.div_ceil(2) };
+        self.busy_until =
+            if self.pipelined { start + ser } else { start + ser + self.latency.div_ceil(2) };
         self.bytes_total += bytes as u64;
         self.transfers += 1;
         done

@@ -39,12 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accel = Accelerator::builder().hw_config(HwConfig::tiny()).build()?;
     let result = jacobi(&accel, &a, &b, 1e-10, 500)?;
 
-    let max_err = result
-        .x
-        .iter()
-        .zip(&x_true)
-        .map(|(got, want)| (got - want).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        result.x.iter().zip(&x_true).map(|(got, want)| (got - want).abs()).fold(0.0f64, f64::max);
     println!("system: {n} unknowns, {} non-zeros", a.nnz());
     println!("converged: {} in {} iterations", result.converged, result.iterations);
     println!("max error vs ground truth: {max_err:.2e}");

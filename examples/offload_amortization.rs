@@ -21,10 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a = entry.generate(512);
         let x = vec![1.0; a.cols()];
         let r = offload_spmv(&accel, &pcie, &a, &x)?;
-        let needed = r
-            .amortization_iterations(0.1)
-            .map(|n| n.to_string())
-            .unwrap_or_else(|| "1".into());
+        let needed =
+            r.amortization_iterations(0.1).map(|n| n.to_string()).unwrap_or_else(|| "1".into());
         println!(
             "{:<20} {:>12.1} {:>12.2} {:>12.2} {:>14}",
             name,

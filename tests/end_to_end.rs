@@ -57,10 +57,7 @@ fn iterative_spmv_feeds_output_back() {
         let onorm = oracle_next.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
         oracle = oracle_next.iter().map(|v| v / onorm).collect();
         for (i, (s, o)) in x.iter().zip(&oracle).enumerate() {
-            assert!(
-                (s - o).abs() < 1e-6,
-                "round {round}, element {i}: sim {s} vs oracle {o}"
-            );
+            assert!((s - o).abs() < 1e-6, "round {round}, element {i}: sim {s} vs oracle {o}");
         }
     }
 }
@@ -71,7 +68,8 @@ fn multi_cube_shapes_validate() {
     let a = entry.generate(512);
     let x = x_for(a.cols());
     for cubes in [1usize, 2, 4] {
-        let shape = MachineShape { cubes, vaults_per_cube: 4, product_bgs_per_vault: 2, banks_per_bg: 2 };
+        let shape =
+            MachineShape { cubes, vaults_per_cube: 4, product_bgs_per_vault: 2, banks_per_bg: 2 };
         let hw = HwConfig::with_shape(shape);
         let mapping = LocalityMapping::default().map(&a, &shape);
         let r = Machine::new(hw).run_spmv(&a, &x, &mapping).expect("validates");

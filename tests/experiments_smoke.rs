@@ -20,9 +20,8 @@ fn all_experiments_produce_output() {
         experiments::table3::run(&mut cache),
     ];
 
-    let expected_ids = [
-        "table1", "fig2", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3",
-    ];
+    let expected_ids =
+        ["table1", "fig2", "fig5", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "table3"];
     assert_eq!(outputs.len(), expected_ids.len());
     for (out, id) in outputs.iter().zip(expected_ids) {
         assert_eq!(out.id, id);

@@ -45,7 +45,8 @@ fn mapping_that_drops_a_row_is_rejected() {
 #[test]
 fn wrong_machine_size_is_rejected() {
     let a = small();
-    let other = MachineShape { cubes: 1, vaults_per_cube: 2, product_bgs_per_vault: 1, banks_per_bg: 2 };
+    let other =
+        MachineShape { cubes: 1, vaults_per_cube: 2, product_bgs_per_vault: 1, banks_per_bg: 2 };
     let mapping = LocalityMapping::default().map(&a, &other);
     let err = Machine::new(HwConfig::tiny()).run_spmv(&a, &[1.0; 96], &mapping).unwrap_err();
     assert!(matches!(err, SimError::MappingMismatch(_)));
@@ -79,11 +80,11 @@ fn degenerate_configs_rejected_not_crashed() {
 #[test]
 fn corrupted_matrix_market_streams_are_typed_errors() {
     let cases = [
-        "",                                                        // empty
-        "%%MatrixMarket matrix coordinate real general\n",         // no size line
-        "%%MatrixMarket matrix coordinate real general\nx y z\n",  // junk size
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", // out of range
-        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n", // missing value
+        "",                                                                   // empty
+        "%%MatrixMarket matrix coordinate real general\n",                    // no size line
+        "%%MatrixMarket matrix coordinate real general\nx y z\n",             // junk size
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",    // out of range
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",        // missing value
         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", // unsupported type
     ];
     for text in cases {

@@ -1,0 +1,54 @@
+//! Collection strategies (the used subset: `vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`]: `Range<usize>` and
+/// `RangeInclusive<usize>`.
+pub trait SizeRange {
+    /// The half-open `[start, end)` bounds of the range.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(self.len.start < self.len.end, "cannot sample empty length range");
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// uniform in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl SizeRange) -> VecStrategy<S> {
+    let (start, end) = len.bounds();
+    VecStrategy { element, len: start..end }
+}
