@@ -7,4 +7,21 @@ cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
 cargo run --release -p spacea-bench --bin all_experiments -- --quick --jobs 4 > /dev/null
+
+# Sweep smoke test: a tiny 2-axis grid run whole and as 2 shards sharing a
+# cache must merge byte-identically, and GC must respect its byte budget.
+SWEEP_CACHE=target/spacea-cache-ci
+SWEEP_ARGS="--quick --ids 1,2 --scales 256,512 --csv --jobs 2 --cache-dir $SWEEP_CACHE"
+rm -rf "$SWEEP_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS > target/sweep-full.csv
+rm -rf "$SWEEP_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS --shard 0/2 > target/sweep-s0.csv
+cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS --shard 1/2 > target/sweep-s1.csv
+head -n 1 target/sweep-s0.csv > target/sweep-merged.csv
+tail -n +2 -q target/sweep-s0.csv target/sweep-s1.csv >> target/sweep-merged.csv
+cmp target/sweep-merged.csv target/sweep-full.csv
+cargo run --release -p spacea-bench --bin sweep -- --cache-dir "$SWEEP_CACHE" --gc --gc-max-kb 2
+cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS > target/sweep-regc.csv
+cmp target/sweep-regc.csv target/sweep-full.csv
+
 echo "ci.sh: all checks passed"

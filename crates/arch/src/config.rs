@@ -97,6 +97,45 @@ impl HwConfig {
         cfg
     }
 
+    /// Every named configuration variant, in the order [`HwConfig::by_name`]
+    /// accepts them. Sweep grids use these names as their hardware axis.
+    pub fn variant_names() -> &'static [&'static str] {
+        &["scaled", "paper", "tiny", "hbm"]
+    }
+
+    /// Looks up a named configuration variant (`"scaled"`, `"paper"`,
+    /// `"tiny"`, `"hbm"`), the machine axis of a sweep grid.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "scaled" => Some(Self::scaled()),
+            "paper" => Some(Self::paper()),
+            "tiny" => Some(Self::tiny()),
+            "hbm" => Some(Self::hbm_like()),
+            _ => None,
+        }
+    }
+
+    /// Axis constructor: this configuration with a different cube count
+    /// (per-cube structure unchanged) — the Figure 10 scalability axis.
+    pub fn with_cubes(mut self, cubes: usize) -> Self {
+        self.shape.cubes = cubes.max(1);
+        self
+    }
+
+    /// Axis constructor: this configuration with a different L1 CAM set
+    /// count (the Figure 7(a) capacity axis).
+    pub fn with_l1_cam_sets(mut self, sets: usize) -> Self {
+        self.l1_cam.sets = sets.max(1);
+        self
+    }
+
+    /// Axis constructor: this configuration with a different L2 CAM set
+    /// count (the Figure 7(c) capacity axis).
+    pub fn with_l2_cam_sets(mut self, sets: usize) -> Self {
+        self.l2_cam.sets = sets.max(1);
+        self
+    }
+
     /// The paper's component parameters on an arbitrary machine shape.
     pub fn with_shape(shape: MachineShape) -> Self {
         HwConfig {
@@ -234,6 +273,30 @@ mod tests {
             hbm.shape.vaults_per_cube * hbm.tsv_bytes_per_cycle,
             16 * HwConfig::scaled().tsv_bytes_per_cycle
         );
+    }
+
+    #[test]
+    fn named_variants_resolve() {
+        for name in HwConfig::variant_names() {
+            assert!(HwConfig::by_name(name).is_some(), "variant {name} must resolve");
+        }
+        assert_eq!(HwConfig::by_name("scaled"), Some(HwConfig::scaled()));
+        assert_eq!(HwConfig::by_name("hbm"), Some(HwConfig::hbm_like()));
+        assert!(HwConfig::by_name("warp-drive").is_none());
+    }
+
+    #[test]
+    fn axis_constructors_change_one_knob() {
+        let base = HwConfig::tiny();
+        let c = base.clone().with_cubes(3);
+        assert_eq!(c.shape.cubes, 3);
+        assert_eq!(c.shape.vaults_per_cube, base.shape.vaults_per_cube);
+        let c = base.clone().with_l1_cam_sets(64).with_l2_cam_sets(128);
+        assert_eq!((c.l1_cam.sets, c.l2_cam.sets), (64, 128));
+        assert_eq!(c.l1_cam.ways, base.l1_cam.ways);
+        // Degenerate values clamp instead of producing an unusable machine.
+        assert_eq!(base.clone().with_cubes(0).shape.cubes, 1);
+        assert_eq!(base.with_l1_cam_sets(0).l1_cam.sets, 1);
     }
 
     #[test]

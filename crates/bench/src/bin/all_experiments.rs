@@ -14,19 +14,18 @@
 use std::time::Instant;
 
 fn main() {
-    let opts = spacea_bench::parse_args(std::env::args().skip(1));
-    let mut cache = spacea_bench::cache_for(&opts);
+    let mut session = spacea_bench::harness();
     let started = Instant::now();
 
-    let jobs = spacea_core::experiments::all_jobs(&opts.cfg);
-    let manifest = spacea_bench::prewarm(&cache, jobs, opts.jobs);
+    let jobs = spacea_core::experiments::all_jobs(&session.opts.cfg);
+    let manifest = session.prewarm(jobs);
 
-    let outputs = spacea_core::experiments::run_all(&mut cache);
+    let outputs = spacea_core::experiments::run_all(&mut session.cache);
     for out in &outputs {
-        spacea_bench::emit(out, opts.csv);
+        session.emit(out);
         println!();
     }
-    if !opts.csv {
+    if !session.csv {
         println!("## Paper vs measured summary");
         for out in &outputs {
             for (name, paper, measured) in &out.headline {
@@ -35,7 +34,7 @@ fn main() {
         }
     }
     eprint!("{}", manifest.summary());
-    match spacea_bench::write_manifest(&cache, &manifest) {
+    match session.write_manifest(&manifest) {
         Ok(path) => eprintln!("harness: run manifest written to {}", path.display()),
         Err(e) => eprintln!("harness: could not write run manifest: {e}"),
     }

@@ -8,7 +8,9 @@
 use spacea_core::table::{fmt, Table};
 
 fn main() {
-    let (cache, csv) = spacea_bench::harness();
+    let session = spacea_bench::harness();
+    let csv = session.csv;
+    let cache = &session.cache;
     let hw = &cache.cfg.hw;
     let shape = hw.shape;
 

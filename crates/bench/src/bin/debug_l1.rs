@@ -5,7 +5,8 @@ use spacea_core::experiments::MapKind;
 use spacea_mapping::placement::pe_column_sets;
 
 fn main() {
-    let (mut cache, _) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let cache = &mut session.cache;
     let shape = cache.cfg.hw.shape;
     let cam_blocks = cache.cfg.hw.l1_cam.sets * cache.cfg.hw.l1_cam.ways;
     println!("L1 CAM capacity: {cam_blocks} blocks ({} elements)", cam_blocks * 4);

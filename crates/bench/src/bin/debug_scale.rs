@@ -5,7 +5,8 @@ use spacea_core::experiments::MapKind;
 use spacea_mapping::MachineShape;
 
 fn main() {
-    let (mut cache, _) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let cache = &mut session.cache;
     for id in [1u8, 9, 14] {
         for cubes in [2usize, 4, 8] {
             let shape = MachineShape { cubes, ..cache.cfg.hw.shape };

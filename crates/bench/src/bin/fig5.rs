@@ -2,7 +2,7 @@
 //! Run: `cargo run --release -p spacea-bench --bin fig5 [--scale N] [--cubes N] [--jobs N] [--no-cache] [--csv]`
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness_for(spacea_core::experiments::fig5::jobs);
-    let out = spacea_core::experiments::fig5::run(&mut cache);
-    spacea_bench::emit(&out, csv);
+    let mut session = spacea_bench::harness_for(spacea_core::experiments::fig5::jobs);
+    let out = spacea_core::experiments::fig5::run(&mut session.cache);
+    session.emit(&out);
 }

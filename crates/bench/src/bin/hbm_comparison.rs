@@ -10,7 +10,9 @@ use spacea_core::experiments::MapKind;
 use spacea_core::table::{fmt, geo_mean, Table};
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let csv = session.csv;
+    let cache = &mut session.cache;
     let hmc = cache.cfg.hw.clone();
     let hbm = HwConfig::hbm_like();
 

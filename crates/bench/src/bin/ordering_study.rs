@@ -25,7 +25,9 @@ fn shuffled(a: &Csr, seed: u64) -> Csr {
 }
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let csv = session.csv;
+    let cache = &mut session.cache;
     let hw = cache.cfg.hw.clone();
     let machine = Machine::new(hw.clone());
 

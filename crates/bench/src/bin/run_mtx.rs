@@ -17,7 +17,8 @@ fn main() {
         std::process::exit(2);
     };
     let path = args.remove(pos);
-    let opts = spacea_bench::parse_args(args.into_iter());
+    let opts =
+        spacea_bench::HarnessOptions::from_args(args.into_iter()).unwrap_or_else(|e| e.exit());
     let hw = opts.cfg.hw.clone();
 
     let a = match spacea_matrix::mmio::read_file(&path) {

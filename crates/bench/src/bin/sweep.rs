@@ -1,0 +1,157 @@
+//! Grid-spec parameter sweeps over the SpaceA design space, with sharded
+//! execution and cache GC.
+//!
+//! A sweep names axes — matrices, scales, mappings, machine variants, cube
+//! counts, CAM set counts, energy scales, the GPU baseline — either as CLI
+//! flags or as a `key = value` spec file, enumerates their cartesian
+//! product deterministically into deduplicated content-addressed jobs,
+//! computes them in parallel into the shared result cache, and renders one
+//! summary row per point.
+//!
+//! Run: `cargo run --release -p spacea-bench --bin sweep -- --ids 1,2
+//! --scales 8,16 --kinds naive,proposed [--csv]`, or with `--spec FILE`.
+//!
+//! Sharding: `--shard K/N` runs (and renders) only the K-th of N contiguous,
+//! disjoint, union-complete slices of the grid. Shards share the cache
+//! directory, so concatenating the N shard outputs in shard order — CSV
+//! rows after the shared header — reproduces the unsharded output
+//! byte-for-byte, and an unsharded re-run afterwards is answered entirely
+//! from cache. Stdout carries only the (merge-stable) table; telemetry and
+//! shard provenance go to stderr.
+//!
+//! Cache GC: `--gc` (with `--gc-max-kb N` and/or `--gc-max-age-days N`)
+//! enforces size/age budgets on the cache directory after the sweep,
+//! evicting least-recently-hit entries first and never the entries this
+//! run touched.
+
+use spacea_bench::{HarnessOptions, HarnessSession, SweepCli, SWEEP_USAGE};
+use spacea_core::table::{fmt, pct, Table};
+use spacea_harness::{shard_range, JobResult, PointKind, SweepBase, SweepPoint};
+
+fn main() {
+    let mut cli = SweepCli::default();
+    let opts = HarnessOptions::from_args_with(std::env::args().skip(1), |flag, args| {
+        cli.accept(flag, args)
+    })
+    .unwrap_or_else(|e| e.exit_with_usage(SWEEP_USAGE));
+
+    if cli.spec.is_empty() && cli.gc_policy().is_none() {
+        spacea_bench::ArgError::new(
+            "empty grid: set at least one axis (e.g. --ids 1,2 --scales 8,16), or --gc to \
+             only collect the cache",
+        )
+        .exit_with_usage(SWEEP_USAGE);
+    }
+
+    let session = HarnessSession::from_opts(opts);
+    let base = SweepBase {
+        hw_name: "default".into(),
+        hw: session.opts.cfg.hw.clone(),
+        energy: session.opts.cfg.energy,
+        scale: session.opts.cfg.scale,
+        gpu_spec: session.opts.cfg.gpu_spec(),
+    };
+
+    // An all-empty spec only reaches here in `--gc`-only mode; it must not
+    // enumerate (every axis would fall back to the base, simulating one
+    // point nobody asked for).
+    let points = if cli.spec.is_empty() { Vec::new() } else { cli.spec.points(&base) };
+    let range = match cli.shard {
+        Some((k, n)) => shard_range(points.len(), k, n),
+        None => 0..points.len(),
+    };
+    let shard_points = &points[range.clone()];
+    if let Some((k, n)) = cli.shard {
+        eprintln!(
+            "sweep: shard {k}/{n} owns points {}..{} of {}",
+            range.start,
+            range.end,
+            points.len()
+        );
+    }
+
+    if !shard_points.is_empty() {
+        let manifest = session.prewarm(shard_points.iter().map(|p| p.job()).collect());
+        let mut table = sweep_table(&session, shard_points);
+        if let Some((_, n)) = cli.shard {
+            table.push_note(format!(
+                "one of {n} shards; concatenate shard outputs in shard order for the full grid"
+            ));
+        }
+        // Stdout carries only the rows (CSV drops title and notes), so
+        // merged shard output is byte-comparable with an unsharded run.
+        session.emit_table(&table);
+        eprint!("{}", manifest.summary());
+        match session.write_manifest(&manifest) {
+            Ok(path) => eprintln!("harness: run manifest written to {}", path.display()),
+            Err(e) => eprintln!("harness: could not write run manifest: {e}"),
+        }
+    }
+
+    if let Some(policy) = cli.gc_policy() {
+        match session.cache.store().gc(&policy) {
+            Ok(report) => eprintln!("{}", report.summary()),
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Renders one row per grid point, straight from the cache (every job was
+/// just computed or was already cached, so lookups cannot miss).
+fn sweep_table(session: &HarnessSession, points: &[SweepPoint]) -> Table {
+    let mut table = Table::new(
+        "Sweep summary (one row per grid point)",
+        &[
+            "ID", "Matrix", "Scale", "Map", "HW", "Cubes", "L1", "L2", "E", "Cycles", "us",
+            "PE busy", "L1 hit",
+        ],
+    );
+    for p in points {
+        let job = p.job();
+        let Some((result, _)) = session.cache.store().lookup(job.key()) else {
+            // Unreachable after a successful prewarm; keep the row count
+            // stable anyway so shard outputs stay mergeable.
+            table.push_row(vec!["?".into(); 13]);
+            continue;
+        };
+        let mut row = vec![p.id.to_string(), p.matrix_name().into(), p.scale.to_string()];
+        match (&p.kind, &result) {
+            (PointKind::Sim { kind, hw_name, hw, energy_scale, .. }, JobResult::Sim(r)) => {
+                row.extend([
+                    kind.label().to_string(),
+                    hw_name.clone(),
+                    hw.shape.cubes.to_string(),
+                    hw.l1_cam.sets.to_string(),
+                    hw.l2_cam.sets.to_string(),
+                    fmt(*energy_scale, 2),
+                    r.cycles.to_string(),
+                    fmt(r.seconds * 1e6, 2),
+                    pct(r.pe_busy_fraction),
+                    pct(r.l1_hit_rate),
+                ]);
+            }
+            (PointKind::Gpu { .. }, JobResult::Gpu(g)) => {
+                row.extend([
+                    "gpu".into(),
+                    "titan-xp".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    fmt(g.time_s * 1e6, 2),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+            // A key collision across result kinds cannot happen (the kind
+            // feeds the hash), but keep rendering total anyway.
+            _ => row.extend(std::iter::repeat_n("?".to_string(), 10)),
+        }
+        table.push_row(row);
+    }
+    table
+}

@@ -2,7 +2,7 @@
 //! Run: `cargo run --release -p spacea-bench --bin table1 [--scale N] [--cubes N] [--csv]`
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
-    let out = spacea_core::experiments::table1::run(&mut cache);
-    spacea_bench::emit(&out, csv);
+    let mut session = spacea_bench::harness();
+    let out = spacea_core::experiments::table1::run(&mut session.cache);
+    session.emit(&out);
 }

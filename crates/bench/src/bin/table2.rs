@@ -2,7 +2,7 @@
 //! Run: `cargo run --release -p spacea-bench --bin table2`
 
 fn main() {
-    let (_cache, csv) = spacea_bench::harness();
+    let session = spacea_bench::harness();
     let out = spacea_core::experiments::table2::run();
-    spacea_bench::emit(&out, csv);
+    session.emit(&out);
 }

@@ -7,7 +7,8 @@ use spacea_arch::Machine;
 use spacea_core::experiments::MapKind;
 
 fn main() {
-    let (mut cache, _) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let cache = &mut session.cache;
     let id = 1u8; // bcsstk32
     let a = cache.matrix(id);
     let mapping = cache.mapping(id, MapKind::Proposed);

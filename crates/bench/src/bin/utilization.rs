@@ -12,7 +12,9 @@ use spacea_core::experiments::MapKind;
 use spacea_core::table::{pct, Table};
 
 fn main() {
-    let (mut cache, csv) = spacea_bench::harness();
+    let mut session = spacea_bench::harness();
+    let csv = session.csv;
+    let cache = &mut session.cache;
     let mut table = Table::new(
         "Component busy fractions (proposed mapping)",
         &["ID", "Matrix", "PE busy", "Matrix banks busy", "Vector banks busy", "L1 hit"],

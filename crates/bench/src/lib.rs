@@ -13,20 +13,31 @@
 //!   machine's available parallelism, capped at 8)
 //! * `--no-cache` — skip the persistent result cache under
 //!   `target/spacea-cache/`
+//! * `--cache-dir DIR` — use a different cache directory (CI isolation,
+//!   scratch sweeps)
 //! * `--csv` — emit CSV instead of aligned text
 //!
-//! The figure/table binaries first enumerate the jobs their experiment
-//! consumes (see `spacea_core::experiments::Experiment::jobs`), compute them
-//! in parallel through [`spacea_harness::run_jobs`] into a content-addressed
-//! [`ResultStore`], and only then render — rendering is pure lookup, so the
-//! output is byte-identical for any `--jobs` value.
+//! Flags parse through [`HarnessOptions::from_args`]; unknown flags are
+//! [`ArgError`]s carrying a usage string, and binaries with extra flags (the
+//! sweep grid, sharding, cache GC — see [`SweepCli`]) plug them into the
+//! same parser via [`HarnessOptions::from_args_with`] instead of
+//! hand-rolling a second one.
+//!
+//! Each binary starts from a [`HarnessSession`] — the named successor of the
+//! old `(SuiteCache, bool)` tuple — via [`harness`] (parse args, open the
+//! store) or [`harness_for`] (additionally pre-warm one experiment's jobs in
+//! parallel). The figure/table binaries first enumerate the jobs their
+//! experiment consumes (see `spacea_core::experiments::Experiment::jobs`),
+//! compute them in parallel through [`spacea_harness::run_jobs`] into a
+//! content-addressed [`ResultStore`], and only then render — rendering is
+//! pure lookup, so the output is byte-identical for any `--jobs` value.
 
 #![warn(missing_docs)]
 
-use spacea_arch::HwConfig;
 use spacea_core::experiments::{ExpConfig, ExpOutput, SuiteCache};
-use spacea_harness::{JobCtx, JobSpec, ResultStore, RunManifest, DEFAULT_CACHE_DIR};
-use spacea_mapping::MachineShape;
+use spacea_harness::{
+    GcPolicy, JobCtx, JobSpec, ResultStore, RunManifest, SweepSpec, DEFAULT_CACHE_DIR,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +53,8 @@ pub struct HarnessOptions {
     pub jobs: usize,
     /// Skip the persistent on-disk result cache.
     pub no_cache: bool,
+    /// Override of the cache directory (default [`DEFAULT_CACHE_DIR`]).
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// The default worker count: available parallelism, capped at 8.
@@ -49,74 +62,203 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
-/// Parses harness options from an argument iterator.
-///
-/// Unknown flags abort with a usage message; this is a harness, not a public
-/// CLI, so the parser is intentionally tiny.
-pub fn parse_args<I: Iterator<Item = String>>(args: I) -> HarnessOptions {
-    let args: Vec<String> = args.collect();
-    // `--quick` replaces the whole base configuration, so it is applied
-    // first and the explicit flags overlay it — `--cubes 4 --quick` keeps
-    // the 4 cubes regardless of flag order.
-    let mut cfg =
-        if args.iter().any(|a| a == "--quick") { ExpConfig::quick() } else { ExpConfig::default() };
-    let mut csv = false;
-    let mut jobs = default_jobs();
-    let mut no_cache = false;
-    let mut args = args.into_iter().peekable();
-    while let Some(arg) = args.next() {
-        let mut next_usize = |what: &str| -> usize {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage(&format!("{what} needs a positive integer")))
-        };
-        match arg.as_str() {
-            "--scale" => cfg.scale = next_usize("--scale").max(1),
-            "--graph-scale" => cfg.graph_scale = next_usize("--graph-scale").max(1),
-            "--cubes" => {
-                let cubes = next_usize("--cubes").max(1);
-                let shape = MachineShape { cubes, ..cfg.hw.shape };
-                cfg.hw = HwConfig { shape, ..cfg.hw };
-            }
-            "--jobs" => jobs = next_usize("--jobs").max(1),
-            "--no-cache" => no_cache = true,
-            "--quick" => {} // already applied as the base configuration
-            "--csv" => csv = true,
-            "--help" | "-h" => usage("usage"),
-            other => usage(&format!("unknown flag '{other}'")),
-        }
+/// A rejected argument list: the offending detail plus the usage string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError {
+    /// What was wrong (`"unknown flag '--warp'"`).
+    pub message: String,
+}
+
+/// The usage line for the shared harness flags.
+pub const BASE_USAGE: &str = "flags: --scale N | --graph-scale N | --cubes N | --quick | \
+     --jobs N | --no-cache | --cache-dir DIR | --csv";
+
+impl ArgError {
+    /// A fresh error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ArgError { message: message.into() }
     }
-    HarnessOptions { cfg, csv, jobs, no_cache }
+
+    /// Prints the message plus usage (base and, if non-empty, `extra`) to
+    /// stderr and exits with status 2 — the harness binaries' error path.
+    pub fn exit_with_usage(self, extra: &str) -> ! {
+        eprintln!("{}", self.message);
+        eprintln!("{BASE_USAGE}");
+        if !extra.is_empty() {
+            eprintln!("{extra}");
+        }
+        std::process::exit(2)
+    }
+
+    /// [`ArgError::exit_with_usage`] with no extra flags to advertise.
+    pub fn exit(self) -> ! {
+        self.exit_with_usage("")
+    }
 }
 
-fn usage(msg: &str) -> ! {
-    eprintln!("{msg}");
-    eprintln!(
-        "flags: --scale N | --graph-scale N | --cubes N | --quick | --jobs N | --no-cache | --csv"
-    );
-    std::process::exit(2)
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
 }
 
-/// Opens the result store: disk-backed under [`DEFAULT_CACHE_DIR`] unless
-/// `--no-cache` was given (or the directory cannot be created).
+/// The argument cursor handed to flag handlers: the not-yet-consumed tail
+/// of the argument list, with typed value accessors.
+pub struct ArgStream {
+    inner: std::vec::IntoIter<String>,
+}
+
+impl ArgStream {
+    fn next(&mut self) -> Option<String> {
+        self.inner.next()
+    }
+
+    /// The value following `flag`, or an error naming the flag.
+    pub fn value(&mut self, flag: &str) -> Result<String, ArgError> {
+        self.next().ok_or_else(|| ArgError::new(format!("{flag} needs a value")))
+    }
+
+    /// The positive-integer value following `flag`.
+    pub fn usize_value(&mut self, flag: &str) -> Result<usize, ArgError> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| ArgError::new(format!("{flag} needs a positive integer")))
+    }
+}
+
+impl HarnessOptions {
+    /// Parses the shared harness flags from an argument iterator. Unknown
+    /// flags (and malformed values) are errors, never silently ignored.
+    pub fn from_args<I: Iterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        Self::from_args_with(args, |_, _| Ok(false))
+    }
+
+    /// Like [`HarnessOptions::from_args`], but flags the base parser does
+    /// not recognize are offered to `extra(flag, args)` first: return
+    /// `Ok(true)` if consumed (taking any values from the [`ArgStream`]),
+    /// `Ok(false)` to reject it as unknown. This is how the sweep binary
+    /// plugs its grid/shard/gc flags into the shared parser.
+    pub fn from_args_with<I, F>(args: I, mut extra: F) -> Result<Self, ArgError>
+    where
+        I: Iterator<Item = String>,
+        F: FnMut(&str, &mut ArgStream) -> Result<bool, ArgError>,
+    {
+        let args: Vec<String> = args.collect();
+        // `--quick` replaces the whole base configuration, so it is applied
+        // first and the explicit flags overlay it — `--cubes 4 --quick`
+        // keeps the 4 cubes regardless of flag order.
+        let mut cfg = if args.iter().any(|a| a == "--quick") {
+            ExpConfig::quick()
+        } else {
+            ExpConfig::default()
+        };
+        let mut csv = false;
+        let mut jobs = default_jobs();
+        let mut no_cache = false;
+        let mut cache_dir = None;
+        let mut stream = ArgStream { inner: args.into_iter() };
+        while let Some(arg) = stream.next() {
+            match arg.as_str() {
+                "--scale" => cfg = cfg.with_scale(stream.usize_value("--scale")?),
+                "--graph-scale" => cfg = cfg.with_graph_scale(stream.usize_value("--graph-scale")?),
+                "--cubes" => cfg = cfg.with_cubes(stream.usize_value("--cubes")?),
+                "--jobs" => jobs = stream.usize_value("--jobs")?.max(1),
+                "--no-cache" => no_cache = true,
+                "--cache-dir" => cache_dir = Some(PathBuf::from(stream.value("--cache-dir")?)),
+                "--quick" => {} // already applied as the base configuration
+                "--csv" => csv = true,
+                "--help" | "-h" => return Err(ArgError::new("usage")),
+                other => {
+                    if !extra(other, &mut stream)? {
+                        return Err(ArgError::new(format!("unknown flag '{other}'")));
+                    }
+                }
+            }
+        }
+        Ok(HarnessOptions { cfg, csv, jobs, no_cache, cache_dir })
+    }
+
+    /// The cache directory this run persists to (even with `--no-cache`,
+    /// where it is only used for the run manifest).
+    pub fn cache_dir(&self) -> PathBuf {
+        self.cache_dir.clone().unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR))
+    }
+}
+
+/// Opens the result store: disk-backed under [`HarnessOptions::cache_dir`]
+/// unless `--no-cache` was given (or the directory cannot be created).
 pub fn open_store(opts: &HarnessOptions) -> Arc<ResultStore> {
     if opts.no_cache {
         return Arc::new(ResultStore::in_memory());
     }
-    match ResultStore::with_disk(DEFAULT_CACHE_DIR) {
+    let dir = opts.cache_dir();
+    match ResultStore::with_disk(&dir) {
         Ok(store) => Arc::new(store),
         Err(e) => {
             eprintln!(
-                "harness: cannot open cache dir {DEFAULT_CACHE_DIR} ({e}); continuing without disk cache"
+                "harness: cannot open cache dir {} ({e}); continuing without disk cache",
+                dir.display()
             );
             Arc::new(ResultStore::in_memory())
         }
     }
 }
 
-/// Builds the shared cache for parsed options.
-pub fn cache_for(opts: &HarnessOptions) -> SuiteCache {
-    SuiteCache::with_store(opts.cfg.clone(), open_store(opts), Arc::new(JobCtx::new()))
+/// One configured harness run: the shared computation cache, the resolved
+/// options, and where its run manifest goes. Replaces the anonymous
+/// `(SuiteCache, bool)` tuples the binaries used to destructure.
+pub struct HarnessSession {
+    /// Store-backed access to matrices, mappings and results.
+    pub cache: SuiteCache,
+    /// Emit CSV instead of aligned text (mirror of `opts.csv`).
+    pub csv: bool,
+    /// The fully resolved options this session was built from.
+    pub opts: HarnessOptions,
+    /// Where [`HarnessSession::write_manifest`] persists run telemetry.
+    pub manifest_path: PathBuf,
+}
+
+impl HarnessSession {
+    /// Builds a session from parsed options.
+    pub fn from_opts(opts: HarnessOptions) -> Self {
+        let cache =
+            SuiteCache::with_store(opts.cfg.clone(), open_store(&opts), Arc::new(JobCtx::new()));
+        let manifest_path = opts.cache_dir().join("last-run.json");
+        HarnessSession { cache, csv: opts.csv, opts, manifest_path }
+    }
+
+    /// Computes `jobs` (deduplicated) in parallel on this session's worker
+    /// count, filling the cache's store, and returns the run telemetry.
+    pub fn prewarm(&self, jobs: Vec<JobSpec>) -> RunManifest {
+        prewarm(&self.cache, jobs, self.opts.jobs)
+    }
+
+    /// Prints one experiment's tables in this session's format.
+    pub fn emit(&self, out: &ExpOutput) {
+        emit(out, self.csv)
+    }
+
+    /// Prints a single table in this session's format. CSV mode emits only
+    /// the header and rows (no title/notes), which is what makes per-shard
+    /// sweep output concatenable into the unsharded output.
+    pub fn emit_table(&self, table: &spacea_core::table::Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_text());
+        }
+    }
+
+    /// Writes the run manifest JSON to [`HarnessSession::manifest_path`]
+    /// (also flushing the cache's GC index) and returns that path.
+    pub fn write_manifest(&self, manifest: &RunManifest) -> std::io::Result<PathBuf> {
+        if let Some(dir) = self.manifest_path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        self.cache.store().persist_index()?;
+        std::fs::write(&self.manifest_path, manifest.to_json())?;
+        Ok(self.manifest_path.clone())
+    }
 }
 
 /// Computes `jobs` (deduplicated) on `workers` threads, filling the cache's
@@ -130,39 +272,29 @@ pub fn prewarm(cache: &SuiteCache, jobs: Vec<JobSpec>, workers: usize) -> RunMan
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
         records,
         stats: cache.store().stats(),
+        corrupt_paths: cache
+            .store()
+            .corrupt_paths()
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect(),
     }
 }
 
-/// Writes the run manifest JSON under the cache directory (or the default
-/// directory when running with `--no-cache`) and returns its path.
-pub fn write_manifest(cache: &SuiteCache, manifest: &RunManifest) -> std::io::Result<PathBuf> {
-    let dir = cache
-        .store()
-        .disk_dir()
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR));
-    std::fs::create_dir_all(&dir)?;
-    let path = dir.join("last-run.json");
-    std::fs::write(&path, manifest.to_json())?;
-    Ok(path)
+/// Parses the process arguments and builds the session (no job pre-warming
+/// — for binaries whose work is not expressible as jobs).
+pub fn harness() -> HarnessSession {
+    let opts = HarnessOptions::from_args(std::env::args().skip(1)).unwrap_or_else(|e| e.exit());
+    HarnessSession::from_opts(opts)
 }
 
-/// Parses the process arguments and builds the shared cache (no job
-/// pre-warming — for binaries whose work is not expressible as jobs).
-pub fn harness() -> (SuiteCache, bool) {
-    let opts = parse_args(std::env::args().skip(1));
-    let csv = opts.csv;
-    (cache_for(&opts), csv)
-}
-
-/// Parses the process arguments, builds the cache, and pre-warms one
+/// Parses the process arguments, builds the session, and pre-warms one
 /// experiment's jobs in parallel; the run summary goes to stderr.
-pub fn harness_for(jobs_of: fn(&ExpConfig) -> Vec<JobSpec>) -> (SuiteCache, bool) {
-    let opts = parse_args(std::env::args().skip(1));
-    let cache = cache_for(&opts);
-    let manifest = prewarm(&cache, jobs_of(&opts.cfg), opts.jobs);
+pub fn harness_for(jobs_of: fn(&ExpConfig) -> Vec<JobSpec>) -> HarnessSession {
+    let session = harness();
+    let manifest = session.prewarm(jobs_of(&session.opts.cfg));
     eprint!("{}", manifest.summary());
-    (cache, opts.csv)
+    session
 }
 
 /// Prints one experiment's tables in the selected format.
@@ -189,12 +321,121 @@ pub fn emit(out: &ExpOutput, csv: bool) {
     }
 }
 
+/// The sweep binary's extra flags — grid axes, sharding, cache GC — in a
+/// form any binary can plug into [`HarnessOptions::from_args_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepCli {
+    /// The accumulated grid (spec file first, then per-axis flags overlay).
+    pub spec: SweepSpec,
+    /// `--shard K/N`: run (and render) only shard K of N.
+    pub shard: Option<(usize, usize)>,
+    /// `--gc`: run cache GC after the sweep.
+    pub gc: bool,
+    /// `--gc-max-kb N`: size budget for `--gc`, in KiB.
+    pub gc_max_kb: Option<u64>,
+    /// `--gc-max-age-days N`: age budget for `--gc`, in days.
+    pub gc_max_age_days: Option<u64>,
+}
+
+/// Usage line for the sweep flags (shown next to [`BASE_USAGE`]).
+pub const SWEEP_USAGE: &str = "sweep: --spec FILE | --ids L|all | --scales L | --kinds L | \
+     --hw L | --cubes-axis L | --l1-sets L | --l2-sets L | --energy-scale L | --gpu | \
+     --shard K/N | --gc | --gc-max-kb N | --gc-max-age-days N   (L = comma-separated list)";
+
+impl SweepCli {
+    /// Offers `flag` to the sweep parser; `Ok(true)` if it was consumed.
+    /// Pass this (as a closure) to [`HarnessOptions::from_args_with`].
+    pub fn accept(&mut self, flag: &str, args: &mut ArgStream) -> Result<bool, ArgError> {
+        let mut axis = |key: &str, value: &str| self.spec.set(key, value).map_err(ArgError::new);
+        match flag {
+            "--spec" => {
+                let path = args.value("--spec")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| ArgError::new(format!("cannot read spec {path}: {e}")))?;
+                let file_spec = SweepSpec::from_spec_text(&text)
+                    .map_err(|e| ArgError::new(format!("{path}: {e}")))?;
+                // The file is the base; axis flags given before or after
+                // --spec overlay it only where they were explicitly set.
+                let overlay = std::mem::take(&mut self.spec);
+                self.spec = merge_specs(file_spec, overlay);
+            }
+            "--ids" => axis("ids", &args.value("--ids")?)?,
+            "--scales" => axis("scales", &args.value("--scales")?)?,
+            "--kinds" => axis("kinds", &args.value("--kinds")?)?,
+            "--hw" => axis("hw", &args.value("--hw")?)?,
+            "--cubes-axis" => axis("cubes", &args.value("--cubes-axis")?)?,
+            "--l1-sets" => axis("l1-sets", &args.value("--l1-sets")?)?,
+            "--l2-sets" => axis("l2-sets", &args.value("--l2-sets")?)?,
+            "--energy-scale" => axis("energy-scale", &args.value("--energy-scale")?)?,
+            "--gpu" => self.spec.gpu = true,
+            "--shard" => {
+                let v = args.value("--shard")?;
+                let parsed = v.split_once('/').and_then(|(k, n)| {
+                    Some((k.trim().parse::<usize>().ok()?, n.trim().parse::<usize>().ok()?))
+                });
+                match parsed {
+                    Some((k, n)) if n > 0 && k < n => self.shard = Some((k, n)),
+                    _ => {
+                        return Err(ArgError::new(format!(
+                            "--shard needs K/N with K < N, got '{v}'"
+                        )))
+                    }
+                }
+            }
+            "--gc" => self.gc = true,
+            "--gc-max-kb" => {
+                self.gc_max_kb = Some(args.usize_value("--gc-max-kb")? as u64);
+                self.gc = true;
+            }
+            "--gc-max-age-days" => {
+                self.gc_max_age_days = Some(args.usize_value("--gc-max-age-days")? as u64);
+                self.gc = true;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The GC policy the flags requested, if `--gc` was given.
+    pub fn gc_policy(&self) -> Option<GcPolicy> {
+        if !self.gc {
+            return None;
+        }
+        Some(GcPolicy {
+            max_bytes: self.gc_max_kb.map(|kb| kb * 1024),
+            max_age_secs: self.gc_max_age_days.map(|d| d * 24 * 3600),
+        })
+    }
+}
+
+/// Overlays `over` onto `base`: every axis `over` explicitly set wins.
+fn merge_specs(base: SweepSpec, over: SweepSpec) -> SweepSpec {
+    fn pick<T>(base: Vec<T>, over: Vec<T>) -> Vec<T> {
+        if over.is_empty() {
+            base
+        } else {
+            over
+        }
+    }
+    SweepSpec {
+        ids: pick(base.ids, over.ids),
+        scales: pick(base.scales, over.scales),
+        kinds: pick(base.kinds, over.kinds),
+        hw: pick(base.hw, over.hw),
+        cubes: pick(base.cubes, over.cubes),
+        l1_sets: pick(base.l1_sets, over.l1_sets),
+        l2_sets: pick(base.l2_sets, over.l2_sets),
+        energy_scale: pick(base.energy_scale, over.energy_scale),
+        gpu: base.gpu || over.gpu,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> HarnessOptions {
-        parse_args(args.iter().map(|s| s.to_string()))
+        HarnessOptions::from_args(args.iter().map(|s| s.to_string())).expect("args parse")
     }
 
     #[test]
@@ -203,6 +444,7 @@ mod tests {
         assert_eq!(o.cfg.scale, 8);
         assert!(!o.csv);
         assert!(!o.no_cache);
+        assert!(o.cache_dir.is_none());
         assert!(o.jobs >= 1);
     }
 
@@ -237,15 +479,100 @@ mod tests {
     }
 
     #[test]
-    fn jobs_and_no_cache_flags() {
-        let o = parse(&["--jobs", "3", "--no-cache"]);
+    fn jobs_no_cache_and_cache_dir_flags() {
+        let o = parse(&["--jobs", "3", "--no-cache", "--cache-dir", "/tmp/x"]);
         assert_eq!(o.jobs, 3);
         assert!(o.no_cache);
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(o.cache_dir(), PathBuf::from("/tmp/x"));
+        assert_eq!(parse(&[]).cache_dir(), PathBuf::from(DEFAULT_CACHE_DIR));
         assert_eq!(parse(&["--jobs", "0"]).jobs, 1, "worker count clamps to 1");
     }
 
     #[test]
     fn csv_flag() {
         assert!(parse(&["--csv"]).csv);
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_errors_not_exits() {
+        let err = |args: &[&str]| {
+            HarnessOptions::from_args(args.iter().map(|s| s.to_string())).unwrap_err()
+        };
+        assert!(err(&["--warp"]).message.contains("unknown flag '--warp'"));
+        assert!(err(&["--scale"]).message.contains("needs a value"));
+        assert!(err(&["--scale", "many"]).message.contains("positive integer"));
+    }
+
+    #[test]
+    fn extra_hook_consumes_flags_the_base_parser_rejects() {
+        let mut seen = Vec::new();
+        let opts = HarnessOptions::from_args_with(
+            ["--csv", "--wings", "2", "--scale", "16"].iter().map(|s| s.to_string()),
+            |flag, args| {
+                if flag == "--wings" {
+                    seen.push(args.usize_value("--wings")?);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, vec![2]);
+        assert!(opts.csv);
+        assert_eq!(opts.cfg.scale, 16, "base flags after extra flags still parse");
+    }
+
+    fn sweep(args: &[&str]) -> (HarnessOptions, SweepCli) {
+        let mut cli = SweepCli::default();
+        let opts = HarnessOptions::from_args_with(args.iter().map(|s| s.to_string()), |f, a| {
+            cli.accept(f, a)
+        })
+        .expect("sweep args parse");
+        (opts, cli)
+    }
+
+    #[test]
+    fn sweep_flags_build_a_grid() {
+        let (opts, cli) =
+            sweep(&["--ids", "1,2", "--kinds", "naive,proposed", "--shard", "1/3", "--quick"]);
+        assert_eq!(cli.spec.ids, vec![1, 2]);
+        assert_eq!(cli.spec.kinds.len(), 2);
+        assert_eq!(cli.shard, Some((1, 3)));
+        assert_eq!(opts.cfg, ExpConfig::quick(), "base flags co-exist with sweep flags");
+    }
+
+    #[test]
+    fn sweep_shard_and_gc_flags_validate() {
+        let err = |args: &[&str]| {
+            let mut cli = SweepCli::default();
+            HarnessOptions::from_args_with(args.iter().map(|s| s.to_string()), |f, a| {
+                cli.accept(f, a)
+            })
+            .unwrap_err()
+        };
+        assert!(err(&["--shard", "3/3"]).message.contains("K < N"));
+        assert!(err(&["--shard", "nope"]).message.contains("K < N"));
+        assert!(err(&["--ids", "99"]).message.contains("Table I"));
+
+        let (_, cli) = sweep(&["--gc-max-kb", "64", "--gc-max-age-days", "7"]);
+        let policy = cli.gc_policy().expect("budget flags imply --gc");
+        assert_eq!(policy.max_bytes, Some(64 * 1024));
+        assert_eq!(policy.max_age_secs, Some(7 * 24 * 3600));
+        let (_, cli) = sweep(&["--ids", "1"]);
+        assert!(cli.gc_policy().is_none());
+    }
+
+    #[test]
+    fn spec_file_overlays_with_cli_axes() {
+        let dir = std::env::temp_dir().join(format!("spacea-speccli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.spec");
+        std::fs::write(&path, "ids = 1,2\nscales = 256\n").unwrap();
+        let (_, cli) = sweep(&["--spec", path.to_str().unwrap(), "--ids", "3"]);
+        assert_eq!(cli.spec.ids, vec![3], "CLI axis overrides the file");
+        assert_eq!(cli.spec.scales, vec![256], "file axes not overridden survive");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -52,6 +52,33 @@ impl ExpConfig {
         }
     }
 
+    /// Axis constructor: this configuration at a different Table I matrix
+    /// scale.
+    pub fn with_scale(mut self, scale: usize) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Axis constructor: this configuration at a different case-study graph
+    /// scale.
+    pub fn with_graph_scale(mut self, graph_scale: usize) -> Self {
+        self.graph_scale = graph_scale.max(1);
+        self
+    }
+
+    /// Axis constructor: this configuration on a different machine.
+    pub fn with_hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
+
+    /// Axis constructor: this configuration's machine with a different cube
+    /// count (per-cube structure unchanged).
+    pub fn with_cubes(mut self, cubes: usize) -> Self {
+        self.hw = self.hw.with_cubes(cubes);
+        self
+    }
+
     /// The iso-area scale factor for baselines: the paper compares its
     /// 3584-Product-PE machine (16 cubes) against a full Titan Xp / DGX-1,
     /// so a smaller machine is compared against a proportional slice of the
@@ -343,6 +370,18 @@ mod tests {
         b.sim(5, MapKind::Proposed);
         let stats = b.store().stats();
         assert_eq!(stats.mem_hits, 1, "second cache must reuse the first's sim");
+    }
+
+    #[test]
+    fn axis_constructors_compose() {
+        let cfg = ExpConfig::quick().with_scale(32).with_graph_scale(512).with_cubes(4);
+        assert_eq!(cfg.scale, 32);
+        assert_eq!(cfg.graph_scale, 512);
+        assert_eq!(cfg.hw.shape.cubes, 4);
+        assert_eq!(cfg.hw.shape.vaults_per_cube, ExpConfig::quick().hw.shape.vaults_per_cube);
+        let cfg = ExpConfig::quick().with_hw(HwConfig::hbm_like());
+        assert_eq!(cfg.hw, HwConfig::hbm_like());
+        assert_eq!(ExpConfig::quick().with_scale(0).scale, 1, "scale clamps to 1");
     }
 
     #[test]

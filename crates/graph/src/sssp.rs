@@ -116,8 +116,8 @@ mod tests {
         let g = random_weighted(64, 300, 77);
         let r = sssp(&g, 0);
         let d = dijkstra(&g, 0);
-        for v in 0..64 {
-            let (a, b) = (r.distances[v], d[v]);
+        for (v, &b) in d.iter().enumerate() {
+            let a = r.distances[v];
             assert!(
                 (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
                 "vertex {v}: bellman-ford {a} vs dijkstra {b}"

@@ -22,6 +22,12 @@
 //! * [`RunManifest`] records per-job telemetry — wall time, simulated
 //!   cycles, events processed, cache hit/miss — as JSON plus a
 //!   human-readable summary.
+//! * [`SweepSpec`] names a grid over the design space (matrices, scales,
+//!   mappings, machine variants, cube counts, CAM sizes, energy parameters)
+//!   and enumerates it deterministically into deduped job lists;
+//!   [`shard_range`] splits the grid across cooperating processes, and
+//!   [`ResultStore::gc`] keeps the shared disk cache within size/age
+//!   budgets using the persisted per-key index.
 //!
 //! The crate sits *below* the experiment definitions: it knows how to
 //! execute a job, not which jobs a figure needs (that enumeration lives
@@ -33,11 +39,15 @@ pub mod exec;
 pub mod job;
 pub mod json;
 pub mod store;
+pub mod sweep;
 pub mod telemetry;
 
 pub use exec::{dedup_jobs, input_vector, run_jobs, JobCtx};
 pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
-pub use store::{CacheOutcome, CacheStats, JobResult, ResultStore};
+pub use store::{
+    CacheOutcome, CacheStats, GcPolicy, GcReport, IndexEntry, JobResult, ResultStore, INDEX_FILE,
+};
+pub use sweep::{dedup_points, shard_range, PointKind, SweepBase, SweepPoint, SweepSpec};
 pub use telemetry::{JobRecord, RunManifest};
 
 /// The default on-disk cache location, relative to the workspace root.

@@ -1,4 +1,5 @@
-//! The shared result store: in-memory map plus optional on-disk JSON cache.
+//! The shared result store: in-memory map plus optional on-disk JSON cache,
+//! with a persisted per-key index (`index.json`) driving cache GC.
 
 use crate::job::JobKey;
 use crate::json::{self, Json};
@@ -6,10 +7,11 @@ use spacea_arch::SimReport;
 use spacea_gpu::GpuRun;
 use spacea_model::ActivitySummary;
 use spacea_sim::stats::{CamCounters, LdqCounters, SramCounters};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 /// A finished job's result.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +53,11 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Lookups that found nothing (the caller computed the result).
     pub misses: u64,
+    /// On-disk entries that existed but could not be decoded. Every corrupt
+    /// entry is also counted as a miss (the caller recomputes); this counter
+    /// makes the damage visible instead of silently swallowed. The offending
+    /// paths are in [`ResultStore::corrupt_paths`].
+    pub corrupt: u64,
 }
 
 impl CacheStats {
@@ -64,15 +71,82 @@ impl CacheStats {
     }
 }
 
+/// Per-key bookkeeping persisted as `index.json` next to the cached
+/// results: entry size plus creation and last-hit times (unix seconds).
+/// [`ResultStore::gc`] reads it to order evictions by recency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Size of the persisted entry in bytes.
+    pub bytes: u64,
+    /// When the entry was first persisted (unix seconds).
+    pub created: u64,
+    /// When the entry was last served from disk or (re)written.
+    pub last_hit: u64,
+}
+
+/// Eviction budgets for [`ResultStore::gc`]. `None` disables that budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Keep the cache directory at or below this many bytes of entries.
+    pub max_bytes: Option<u64>,
+    /// Evict entries whose last hit is older than this many seconds.
+    pub max_age_secs: Option<u64>,
+}
+
+/// What one [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Cache entries found on disk.
+    pub scanned: usize,
+    /// Their total size in bytes.
+    pub scanned_bytes: u64,
+    /// Entries removed.
+    pub evicted: usize,
+    /// Bytes removed.
+    pub evicted_bytes: u64,
+    /// Entries kept.
+    pub kept: usize,
+    /// Bytes kept.
+    pub kept_bytes: u64,
+    /// Entries exempt from eviction because this process hit or wrote them.
+    pub protected: usize,
+}
+
+impl GcReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "gc: scanned {} entries ({} B), evicted {} ({} B), kept {} ({} B), {} protected",
+            self.scanned,
+            self.scanned_bytes,
+            self.evicted,
+            self.evicted_bytes,
+            self.kept,
+            self.kept_bytes,
+            self.protected
+        )
+    }
+}
+
 /// Job results keyed by content hash, shared by every worker and every
 /// experiment in a process; optionally persisted to a directory with one
-/// JSON file per key.
+/// JSON file per key plus an `index.json` recording per-entry size and
+/// recency for [`ResultStore::gc`].
 pub struct ResultStore {
     mem: Mutex<HashMap<u64, JobResult>>,
     disk: Option<PathBuf>,
+    index: Mutex<HashMap<u64, IndexEntry>>,
+    /// Keys this process hit or wrote — never evicted by `gc` in this run.
+    touched: Mutex<HashSet<u64>>,
+    corrupt_paths: Mutex<Vec<PathBuf>>,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+fn now_secs() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
 }
 
 impl ResultStore {
@@ -81,17 +155,24 @@ impl ResultStore {
         ResultStore {
             mem: Mutex::new(HashMap::new()),
             disk: None,
+            index: Mutex::new(HashMap::new()),
+            touched: Mutex::new(HashSet::new()),
+            corrupt_paths: Mutex::new(Vec::new()),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         }
     }
 
-    /// A store persisting results under `dir` (created if missing).
+    /// A store persisting results under `dir` (created if missing). A
+    /// pre-existing `index.json` is loaded; a missing or unreadable one is
+    /// rebuilt over time from file metadata.
     pub fn with_disk(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let mut store = ResultStore::in_memory();
+        store.index = Mutex::new(load_index(&dir));
         store.disk = Some(dir);
         Ok(store)
     }
@@ -104,17 +185,33 @@ impl ResultStore {
     /// Looks up a result, recording a hit or miss in the stats.
     ///
     /// A disk hit is promoted into the in-memory map so later lookups are
-    /// memory hits.
+    /// memory hits. A corrupt on-disk entry counts as a miss *and* bumps
+    /// [`CacheStats::corrupt`], recording the offending path.
     pub fn lookup(&self, key: JobKey) -> Option<(JobResult, CacheOutcome)> {
         if let Some(r) = self.mem.lock().expect("store lock").get(&key.0) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.touched.lock().expect("touched lock").insert(key.0);
             return Some((r.clone(), CacheOutcome::MemoryHit));
         }
         if let Some(dir) = &self.disk {
-            if let Some(r) = load_from_disk(dir, key) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.mem.lock().expect("store lock").insert(key.0, r.clone());
-                return Some((r, CacheOutcome::DiskHit));
+            match load_from_disk(dir, key) {
+                DiskRead::Hit(r) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.touched.lock().expect("touched lock").insert(key.0);
+                    self.mem.lock().expect("store lock").insert(key.0, r.clone());
+                    self.note_hit(key);
+                    return Some((r, CacheOutcome::DiskHit));
+                }
+                DiskRead::Corrupt(reason) => {
+                    let path = cache_path(dir, key);
+                    eprintln!(
+                        "spacea-harness: corrupt cache entry {} ({reason}); recomputing",
+                        path.display()
+                    );
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    self.corrupt_paths.lock().expect("corrupt lock").push(path);
+                }
+                DiskRead::Missing => {}
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -126,12 +223,183 @@ impl ResultStore {
     /// Disk write failures are reported on stderr and otherwise ignored: the
     /// cache is an accelerator, not a correctness dependency.
     pub fn insert(&self, key: JobKey, result: JobResult) {
+        self.touched.lock().expect("touched lock").insert(key.0);
         if let Some(dir) = &self.disk {
-            if let Err(e) = save_to_disk(dir, key, &result) {
-                eprintln!("spacea-harness: failed to persist job {key}: {e}");
+            match save_to_disk(dir, key, &result) {
+                Ok(bytes) => {
+                    let now = now_secs();
+                    let mut index = self.index.lock().expect("index lock");
+                    let created = index.get(&key.0).map(|e| e.created).unwrap_or(now);
+                    index.insert(key.0, IndexEntry { bytes, created, last_hit: now });
+                    drop(index);
+                    let _ = self.persist_index();
+                }
+                Err(e) => eprintln!("spacea-harness: failed to persist job {key}: {e}"),
             }
         }
         self.mem.lock().expect("store lock").insert(key.0, result);
+    }
+
+    fn note_hit(&self, key: JobKey) {
+        let now = now_secs();
+        let mut index = self.index.lock().expect("index lock");
+        let entry = index.entry(key.0).or_insert(IndexEntry {
+            bytes: self
+                .disk
+                .as_ref()
+                .and_then(|d| std::fs::metadata(cache_path(d, key)).ok())
+                .map(|m| m.len())
+                .unwrap_or(0),
+            created: now,
+            last_hit: now,
+        });
+        entry.last_hit = now;
+        drop(index);
+        let _ = self.persist_index();
+    }
+
+    /// Writes `index.json` (sorted by key, write-then-rename). No-op for
+    /// in-memory stores.
+    pub fn persist_index(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.disk else { return Ok(()) };
+        let entries = {
+            let index = self.index.lock().expect("index lock");
+            let mut entries: Vec<(u64, IndexEntry)> = index.iter().map(|(&k, &e)| (k, e)).collect();
+            entries.sort_unstable_by_key(|(k, _)| *k);
+            entries
+        };
+        let rows: Vec<Json> = entries
+            .iter()
+            .map(|(k, e)| {
+                Json::obj(vec![
+                    ("key", Json::Str(JobKey(*k).to_string())),
+                    ("bytes", Json::U64(e.bytes)),
+                    ("created", Json::U64(e.created)),
+                    ("last_hit", Json::U64(e.last_hit)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("schema", Json::Str("spacea-cache-index-v1".into())),
+            ("entries", Json::Arr(rows)),
+        ]);
+        let tmp = dir.join(format!(".index.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, doc.to_text())?;
+        std::fs::rename(&tmp, dir.join(INDEX_FILE))
+    }
+
+    /// The current index, sorted by key (tests and doctors).
+    pub fn index_snapshot(&self) -> Vec<(JobKey, IndexEntry)> {
+        let index = self.index.lock().expect("index lock");
+        let mut entries: Vec<(JobKey, IndexEntry)> =
+            index.iter().map(|(&k, &e)| (JobKey(k), e)).collect();
+        entries.sort_unstable_by_key(|(k, _)| k.0);
+        entries
+    }
+
+    /// Paths of on-disk entries that failed to decode this run.
+    pub fn corrupt_paths(&self) -> Vec<PathBuf> {
+        self.corrupt_paths.lock().expect("corrupt lock").clone()
+    }
+
+    /// Enforces `policy` on the disk cache: evicts entries past the age
+    /// budget, then least-recently-hit entries until the directory fits the
+    /// size budget. Eviction stops as soon as the budget is met (never
+    /// over-evicts), and entries this process hit or wrote are never removed
+    /// — a running sweep cannot lose its own results. In-memory copies are
+    /// untouched (they stay valid; gc manages the disk footprint only).
+    ///
+    /// The index is rewritten to exactly the surviving files, so a gc pass
+    /// also repairs a stale or missing `index.json`.
+    pub fn gc(&self, policy: &GcPolicy) -> std::io::Result<GcReport> {
+        let Some(dir) = self.disk.clone() else { return Ok(GcReport::default()) };
+        let now = now_secs();
+        // Snapshot the disk contents: (key, bytes, last_hit), recency from
+        // the index with file mtime as the fallback for unindexed entries.
+        let mut on_disk: Vec<(u64, u64, u64)> = Vec::new();
+        {
+            let index = self.index.lock().expect("index lock");
+            for entry in std::fs::read_dir(&dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(stem) = name.strip_suffix(".json") else { continue };
+                if stem.len() != 16 {
+                    continue; // index.json, last-run.json, foreign files
+                }
+                let Ok(key) = u64::from_str_radix(stem, 16) else { continue };
+                let meta = entry.metadata()?;
+                let last_hit = index.get(&key).map(|e| e.last_hit).unwrap_or_else(|| {
+                    meta.modified()
+                        .ok()
+                        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                        .map(|d| d.as_secs())
+                        .unwrap_or(now)
+                });
+                on_disk.push((key, meta.len(), last_hit));
+            }
+        }
+        // Deterministic LRU order: oldest hit first, key as the tie-break.
+        on_disk.sort_unstable_by_key(|&(key, _, last_hit)| (last_hit, key));
+        let touched = self.touched.lock().expect("touched lock").clone();
+
+        let mut report = GcReport {
+            scanned: on_disk.len(),
+            scanned_bytes: on_disk.iter().map(|&(_, b, _)| b).sum(),
+            protected: on_disk.iter().filter(|&&(k, _, _)| touched.contains(&k)).count(),
+            ..GcReport::default()
+        };
+        let mut total = report.scanned_bytes;
+        let mut evict: HashSet<u64> = HashSet::new();
+        if let Some(max_age) = policy.max_age_secs {
+            for &(key, bytes, last_hit) in &on_disk {
+                if now.saturating_sub(last_hit) > max_age && !touched.contains(&key) {
+                    evict.insert(key);
+                    total -= bytes;
+                }
+            }
+        }
+        if let Some(max_bytes) = policy.max_bytes {
+            for &(key, bytes, _) in &on_disk {
+                if total <= max_bytes {
+                    break; // budget met: never evict more than needed
+                }
+                if touched.contains(&key) || evict.contains(&key) {
+                    continue;
+                }
+                evict.insert(key);
+                total -= bytes;
+            }
+        }
+
+        for &(key, bytes, _) in &on_disk {
+            if evict.contains(&key) {
+                std::fs::remove_file(cache_path(&dir, JobKey(key)))?;
+                report.evicted += 1;
+                report.evicted_bytes += bytes;
+            } else {
+                report.kept += 1;
+                report.kept_bytes += bytes;
+            }
+        }
+
+        // Rewrite the index to exactly the surviving files.
+        {
+            let mut index = self.index.lock().expect("index lock");
+            let survivors: HashMap<u64, (u64, u64)> = on_disk
+                .iter()
+                .filter(|(k, _, _)| !evict.contains(k))
+                .map(|&(k, b, lh)| (k, (b, lh)))
+                .collect();
+            index.retain(|k, _| survivors.contains_key(k));
+            for (&key, &(bytes, last_hit)) in &survivors {
+                let entry =
+                    index.entry(key).or_insert(IndexEntry { bytes, created: last_hit, last_hit });
+                entry.bytes = bytes;
+            }
+        }
+        self.persist_index()?;
+        Ok(report)
     }
 
     /// Snapshot of the hit/miss counters.
@@ -140,6 +408,7 @@ impl ResultStore {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
         }
     }
 
@@ -154,28 +423,64 @@ impl ResultStore {
     }
 }
 
+/// The index file name inside a cache directory.
+pub const INDEX_FILE: &str = "index.json";
+
 fn cache_path(dir: &Path, key: JobKey) -> PathBuf {
     dir.join(format!("{key}.json"))
 }
 
-fn load_from_disk(dir: &Path, key: JobKey) -> Option<JobResult> {
-    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+enum DiskRead {
+    /// No file for this key.
+    Missing,
+    /// The file decoded cleanly.
+    Hit(JobResult),
+    /// The file exists but cannot be decoded.
+    Corrupt(String),
+}
+
+fn load_from_disk(dir: &Path, key: JobKey) -> DiskRead {
+    let Ok(text) = std::fs::read_to_string(cache_path(dir, key)) else {
+        return DiskRead::Missing;
+    };
     match json::parse(&text).and_then(|v| decode_result(&v)) {
-        Ok(r) => Some(r),
-        Err(e) => {
-            // A corrupt or stale-format entry is a miss, not an error.
-            eprintln!("spacea-harness: ignoring unreadable cache entry {key}: {e}");
-            None
-        }
+        Ok(r) => DiskRead::Hit(r),
+        Err(e) => DiskRead::Corrupt(e),
     }
 }
 
-fn save_to_disk(dir: &Path, key: JobKey, result: &JobResult) -> std::io::Result<()> {
+fn save_to_disk(dir: &Path, key: JobKey, result: &JobResult) -> std::io::Result<u64> {
     let path = cache_path(dir, key);
     // Write-then-rename so concurrent readers never see a torn file.
     let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
-    std::fs::write(&tmp, encode_result(result).to_text())?;
-    std::fs::rename(&tmp, &path)
+    let text = encode_result(result).to_text();
+    std::fs::write(&tmp, &text)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(text.len() as u64)
+}
+
+fn load_index(dir: &Path) -> HashMap<u64, IndexEntry> {
+    let mut out = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(dir.join(INDEX_FILE)) else { return out };
+    let Ok(doc) = json::parse(&text) else { return out };
+    let Some(rows) = doc.get("entries").and_then(Json::as_arr) else { return out };
+    for row in rows {
+        let Some(key) =
+            row.get("key").and_then(Json::as_str).and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        let field = |name: &str| row.get(name).and_then(Json::as_u64).unwrap_or(0);
+        out.insert(
+            key,
+            IndexEntry {
+                bytes: field("bytes"),
+                created: field("created"),
+                last_hit: field("last_hit"),
+            },
+        );
+    }
+    out
 }
 
 // --- serialization -------------------------------------------------------
@@ -441,14 +746,161 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entry_is_a_miss() {
+    fn corrupt_disk_entry_is_a_counted_miss() {
         let dir = std::env::temp_dir().join(format!("spacea-store-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = ResultStore::with_disk(&dir).unwrap();
         let key = JobKey(9);
         std::fs::write(dir.join(format!("{key}.json")), "{not json").unwrap();
         assert!(store.lookup(key).is_none());
-        assert_eq!(store.stats().misses, 1);
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.corrupt, 1, "corrupt entries must be counted, not swallowed");
+        let paths = store.corrupt_paths();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].ends_with(format!("{key}.json")), "{paths:?}");
+        // A plain missing entry is a miss but NOT corrupt.
+        assert!(store.lookup(JobKey(10)).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spacea-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry_bytes(dir: &Path, key: JobKey) -> u64 {
+        std::fs::metadata(dir.join(format!("{key}.json"))).unwrap().len()
+    }
+
+    #[test]
+    fn index_round_trips_across_stores() {
+        let dir = tmp_dir("index-rt");
+        {
+            let store = ResultStore::with_disk(&dir).unwrap();
+            store.insert(JobKey(1), JobResult::Gpu(sample_gpu()));
+            store.insert(JobKey(2), JobResult::Gpu(sample_gpu()));
+        }
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let snap = store.index_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, JobKey(1));
+        assert_eq!(snap[0].1.bytes, entry_bytes(&dir, JobKey(1)));
+        assert!(snap[0].1.created > 0 && snap[0].1.last_hit >= snap[0].1.created);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_never_evicts_below_the_byte_budget() {
+        let dir = tmp_dir("gc-budget");
+        {
+            let store = ResultStore::with_disk(&dir).unwrap();
+            for k in 1..=4u64 {
+                store.insert(JobKey(k), JobResult::Gpu(sample_gpu()));
+            }
+        }
+        // Fresh process (nothing touched): all four entries are fair game.
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let per_entry = entry_bytes(&dir, JobKey(1));
+        // Budget for exactly two entries: gc must evict two, not three.
+        let budget = 2 * per_entry;
+        let report = store.gc(&GcPolicy { max_bytes: Some(budget), max_age_secs: None }).unwrap();
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.evicted, 2, "{report:?}");
+        assert_eq!(report.kept, 2);
+        assert!(report.kept_bytes <= budget);
+        // Survivors still load from a fresh store: the cache round-trips.
+        let fresh = ResultStore::with_disk(&dir).unwrap();
+        let served: usize = (1..=4u64)
+            .filter(|&k| {
+                fresh
+                    .lookup(JobKey(k))
+                    .map(|(r, o)| {
+                        assert_eq!(o, CacheOutcome::DiskHit);
+                        assert_eq!(r, JobResult::Gpu(sample_gpu()));
+                        true
+                    })
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(served, 2);
+        // Index lists exactly the surviving files.
+        assert_eq!(store.index_snapshot().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_spares_entries_touched_this_run() {
+        let dir = tmp_dir("gc-touched");
+        let store = ResultStore::with_disk(&dir).unwrap();
+        store.insert(JobKey(1), JobResult::Gpu(sample_gpu()));
+        store.insert(JobKey(2), JobResult::Gpu(sample_gpu()));
+        // A zero-byte budget would evict everything — but both entries were
+        // written by this process, so they are protected.
+        let report = store.gc(&GcPolicy { max_bytes: Some(0), max_age_secs: None }).unwrap();
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.protected, 2);
+        assert_eq!(report.kept, 2);
+        // A fresh process with no touches evicts them all.
+        let fresh = ResultStore::with_disk(&dir).unwrap();
+        let report = fresh.gc(&GcPolicy { max_bytes: Some(0), max_age_secs: None }).unwrap();
+        assert_eq!(report.evicted, 2);
+        assert_eq!(fresh.index_snapshot().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_age_budget_uses_index_recency() {
+        let dir = tmp_dir("gc-age");
+        {
+            let store = ResultStore::with_disk(&dir).unwrap();
+            store.insert(JobKey(1), JobResult::Gpu(sample_gpu()));
+            store.insert(JobKey(2), JobResult::Gpu(sample_gpu()));
+        }
+        // Backdate entry 1 in the index: last hit in 1970.
+        let store = ResultStore::with_disk(&dir).unwrap();
+        {
+            let mut index = store.index.lock().unwrap();
+            index.get_mut(&1).unwrap().last_hit = 1;
+        }
+        store.persist_index().unwrap();
+        let reopened = ResultStore::with_disk(&dir).unwrap();
+        let report = reopened.gc(&GcPolicy { max_bytes: None, max_age_secs: Some(3600) }).unwrap();
+        assert_eq!(report.evicted, 1, "{report:?}");
+        assert!(reopened.lookup(JobKey(1)).is_none());
+        assert!(reopened.lookup(JobKey(2)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_without_budgets_is_a_no_op_and_repairs_the_index() {
+        let dir = tmp_dir("gc-noop");
+        {
+            let store = ResultStore::with_disk(&dir).unwrap();
+            store.insert(JobKey(1), JobResult::Gpu(sample_gpu()));
+        }
+        // Lose the index; gc must rebuild it from the directory.
+        std::fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let report = store.gc(&GcPolicy::default()).unwrap();
+        assert_eq!((report.scanned, report.evicted, report.kept), (1, 0, 1));
+        assert_eq!(store.index_snapshot().len(), 1);
+        assert!(dir.join(INDEX_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_ignores_foreign_files() {
+        let dir = tmp_dir("gc-foreign");
+        let store = ResultStore::with_disk(&dir).unwrap();
+        std::fs::write(dir.join("last-run.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        let report = store.gc(&GcPolicy { max_bytes: Some(0), max_age_secs: Some(0) }).unwrap();
+        assert_eq!(report.scanned, 0);
+        assert!(dir.join("last-run.json").exists());
+        assert!(dir.join("notes.txt").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

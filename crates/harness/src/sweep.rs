@@ -1,0 +1,538 @@
+//! Grid-spec parameter sweeps: a [`SweepSpec`] names axes over the design
+//! space the paper evaluates pointwise — matrix, scale, mapping, machine
+//! variant, cube count, CAM capacity, energy parameters — and deterministically
+//! enumerates their cartesian product into deduplicated, content-addressed
+//! [`JobSpec`] lists.
+//!
+//! Sharding ([`shard_range`]) partitions the enumerated points into N
+//! disjoint, union-complete contiguous slices, so N processes sharing the
+//! disk cache can split a grid (`--shard K/N`) and together reproduce the
+//! unsharded run byte-for-byte: every point is computed by exactly one
+//! shard, results meet in `target/spacea-cache/`, and rendering is pure
+//! cache lookup.
+
+use crate::job::{JobSpec, MatrixSource};
+use spacea_arch::HwConfig;
+use spacea_gpu::spec::TitanXpSpec;
+use spacea_mapping::MapKind;
+use spacea_matrix::suite;
+use spacea_model::EnergyParams;
+
+/// The baseline values a sweep falls back to for axes the spec leaves
+/// empty: the session's machine, energy parameters, matrix scale, and GPU
+/// baseline spec (normally derived from `ExpConfig` by the sweep binary).
+#[derive(Debug, Clone)]
+pub struct SweepBase {
+    /// Display name of the base machine (`"default"` unless overridden).
+    pub hw_name: String,
+    /// The base machine configuration.
+    pub hw: HwConfig,
+    /// The base energy parameters.
+    pub energy: EnergyParams,
+    /// The base Table I matrix scale.
+    pub scale: usize,
+    /// The GPU baseline spec used for `gpu = true` grids.
+    pub gpu_spec: TitanXpSpec,
+}
+
+impl Default for SweepBase {
+    fn default() -> Self {
+        SweepBase {
+            hw_name: "default".into(),
+            hw: HwConfig::default(),
+            energy: EnergyParams::default(),
+            scale: suite::DEFAULT_SCALE,
+            gpu_spec: TitanXpSpec::default(),
+        }
+    }
+}
+
+/// A sweep grid: one `Vec` per axis. An empty axis means "the base value
+/// only", so a spec with every axis empty is the empty grid (nothing to do)
+/// — callers should reject it with a usage hint.
+///
+/// Axes are set either programmatically or by feeding `key = value` pairs
+/// (CLI flags and spec files share [`SweepSpec::set`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepSpec {
+    /// Table I matrix ids (axis key `ids`; `all` expands to the whole suite).
+    pub ids: Vec<u8>,
+    /// Matrix down-scale factors (axis key `scales`).
+    pub scales: Vec<usize>,
+    /// Mapping algorithms (axis key `kinds`: `naive`, `proposed`).
+    pub kinds: Vec<MapKind>,
+    /// Named machine variants (axis key `hw`: see [`HwConfig::variant_names`]).
+    pub hw: Vec<(String, HwConfig)>,
+    /// Cube-count overrides applied to each machine variant (axis key `cubes`).
+    pub cubes: Vec<usize>,
+    /// L1 CAM set-count overrides (axis key `l1-sets`).
+    pub l1_sets: Vec<usize>,
+    /// L2 CAM set-count overrides (axis key `l2-sets`).
+    pub l2_sets: Vec<usize>,
+    /// Energy-parameter scale factors (axis key `energy-scale`).
+    pub energy_scale: Vec<f64>,
+    /// Also enumerate the GPU baseline per (matrix, scale) point (key `gpu`).
+    pub gpu: bool,
+}
+
+impl SweepSpec {
+    /// Whether no axis has been set (the empty grid).
+    pub fn is_empty(&self) -> bool {
+        self == &SweepSpec::default()
+    }
+
+    /// Sets one axis from its `key = value` form. Shared by the CLI flags
+    /// and the spec-file parser, so both accept exactly the same grammar.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "ids" => {
+                self.ids = if value.trim() == "all" {
+                    suite::entries().iter().map(|e| e.id).collect()
+                } else {
+                    let ids = parse_list::<u8>(key, value)?;
+                    for &id in &ids {
+                        if suite::entry_by_id(id).is_none() {
+                            return Err(format!("ids: {id} is not a Table I matrix id"));
+                        }
+                    }
+                    ids
+                }
+            }
+            "scales" => self.scales = parse_positive_list(key, value)?,
+            "kinds" => {
+                self.kinds = split(value)
+                    .map(|k| match k {
+                        "naive" => Ok(MapKind::Naive),
+                        "proposed" => Ok(MapKind::Proposed),
+                        other => Err(format!("kinds: unknown mapping '{other}'")),
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "hw" => {
+                self.hw = split(value)
+                    .map(|name| {
+                        HwConfig::by_name(name).map(|c| (name.to_string(), c)).ok_or_else(|| {
+                            format!(
+                                "hw: unknown variant '{name}' (expected one of {})",
+                                HwConfig::variant_names().join(", ")
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "cubes" => self.cubes = parse_positive_list(key, value)?,
+            "l1-sets" => self.l1_sets = parse_positive_list(key, value)?,
+            "l2-sets" => self.l2_sets = parse_positive_list(key, value)?,
+            "energy-scale" => {
+                self.energy_scale = split(value)
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|f| f.is_finite() && *f > 0.0)
+                            .ok_or_else(|| format!("energy-scale: '{v}' is not a positive number"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "gpu" => {
+                self.gpu = match value.trim() {
+                    "true" | "1" | "yes" => true,
+                    "false" | "0" | "no" => false,
+                    other => return Err(format!("gpu: expected true/false, got '{other}'")),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown sweep key '{other}' (expected ids, scales, kinds, hw, cubes, \
+                     l1-sets, l2-sets, energy-scale, gpu)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a spec file: one `key = value` per line, `#` comments, blank
+    /// lines ignored. Errors carry the line number.
+    pub fn from_spec_text(text: &str) -> Result<Self, String> {
+        let mut spec = SweepSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected 'key = value', got '{line}'", lineno + 1));
+            };
+            spec.set(key.trim(), value.trim()).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(spec)
+    }
+
+    /// Enumerates the grid into concrete points, in a fixed nesting order
+    /// (ids outermost, energy innermost, GPU baselines last), with
+    /// duplicate job keys removed (first occurrence wins). Deterministic:
+    /// the same spec and base always yield the same list, which is what
+    /// makes sharded execution reproducible.
+    pub fn points(&self, base: &SweepBase) -> Vec<SweepPoint> {
+        fn axis<T: Clone>(values: &[T], default: T) -> Vec<T> {
+            if values.is_empty() {
+                vec![default]
+            } else {
+                values.to_vec()
+            }
+        }
+        let ids = axis(&self.ids, 1);
+        let scales = axis(&self.scales, base.scale);
+        let kinds = axis(&self.kinds, MapKind::Proposed);
+        let hw = axis(&self.hw, (base.hw_name.clone(), base.hw.clone()));
+        let cubes: Vec<Option<usize>> = if self.cubes.is_empty() {
+            vec![None]
+        } else {
+            self.cubes.iter().map(|&c| Some(c)).collect()
+        };
+        let l1: Vec<Option<usize>> = if self.l1_sets.is_empty() {
+            vec![None]
+        } else {
+            self.l1_sets.iter().map(|&s| Some(s)).collect()
+        };
+        let l2: Vec<Option<usize>> = if self.l2_sets.is_empty() {
+            vec![None]
+        } else {
+            self.l2_sets.iter().map(|&s| Some(s)).collect()
+        };
+        let energy = axis(&self.energy_scale, 1.0);
+
+        let mut points = Vec::new();
+        for &id in &ids {
+            for &scale in &scales {
+                for &kind in &kinds {
+                    for (hw_name, hw_base) in &hw {
+                        for &cube in &cubes {
+                            for &l1_sets in &l1 {
+                                for &l2_sets in &l2 {
+                                    for &es in &energy {
+                                        let mut machine = hw_base.clone();
+                                        if let Some(c) = cube {
+                                            machine = machine.with_cubes(c);
+                                        }
+                                        if let Some(s) = l1_sets {
+                                            machine = machine.with_l1_cam_sets(s);
+                                        }
+                                        if let Some(s) = l2_sets {
+                                            machine = machine.with_l2_cam_sets(s);
+                                        }
+                                        points.push(SweepPoint {
+                                            id,
+                                            scale,
+                                            kind: PointKind::Sim {
+                                                kind,
+                                                hw_name: hw_name.clone(),
+                                                hw: Box::new(machine),
+                                                energy: if es == 1.0 {
+                                                    base.energy
+                                                } else {
+                                                    base.energy.scaled(es)
+                                                },
+                                                energy_scale: es,
+                                            },
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.gpu {
+            for &id in &ids {
+                for &scale in &scales {
+                    points.push(SweepPoint {
+                        id,
+                        scale,
+                        kind: PointKind::Gpu { spec: base.gpu_spec },
+                    });
+                }
+            }
+        }
+        dedup_points(points)
+    }
+}
+
+fn split(value: &str) -> impl Iterator<Item = &str> {
+    value.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_list<T: std::str::FromStr>(key: &str, value: &str) -> Result<Vec<T>, String> {
+    split(value).map(|v| v.parse::<T>().map_err(|_| format!("{key}: cannot parse '{v}'"))).collect()
+}
+
+fn parse_positive_list(key: &str, value: &str) -> Result<Vec<usize>, String> {
+    let list = parse_list::<usize>(key, value)?;
+    if list.contains(&0) {
+        return Err(format!("{key}: values must be positive"));
+    }
+    Ok(list)
+}
+
+/// What one grid point runs: a SpaceA simulation at a resolved machine and
+/// energy configuration, or the GPU baseline model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointKind {
+    /// A cycle-level SpaceA simulation.
+    Sim {
+        /// The mapping algorithm.
+        kind: MapKind,
+        /// Name of the machine variant this point was derived from.
+        hw_name: String,
+        /// The fully resolved machine (variant + cube/CAM overrides).
+        /// Boxed: `HwConfig` dwarfs the GPU variant's payload.
+        hw: Box<HwConfig>,
+        /// The resolved energy parameters.
+        energy: EnergyParams,
+        /// The energy scale factor that produced them (for display).
+        energy_scale: f64,
+    },
+    /// The GPU baseline model run.
+    Gpu {
+        /// The baseline's (iso-area scaled) parameters.
+        spec: TitanXpSpec,
+    },
+}
+
+/// One concrete grid point: a Table I matrix at a scale, plus what to run
+/// on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Table I matrix id.
+    pub id: u8,
+    /// Matrix down-scale factor.
+    pub scale: usize,
+    /// What this point runs.
+    pub kind: PointKind,
+}
+
+impl SweepPoint {
+    /// The content-addressed job computing this point.
+    pub fn job(&self) -> JobSpec {
+        let source = MatrixSource::Suite { id: self.id, scale: self.scale };
+        match &self.kind {
+            PointKind::Sim { kind, hw, energy, .. } => {
+                JobSpec::Sim { source, kind: *kind, hw: hw.as_ref().clone(), energy: *energy }
+            }
+            PointKind::Gpu { spec } => JobSpec::Gpu { source, spec: *spec },
+        }
+    }
+
+    /// The Table I matrix name.
+    pub fn matrix_name(&self) -> &'static str {
+        suite::entry_by_id(self.id).map(|e| e.name).unwrap_or("?")
+    }
+}
+
+/// Removes points whose job key already appeared earlier, preserving order
+/// — duplicate axis values (`--scales 8,8`) or overrides that resolve to
+/// the same machine must not run (or render) twice.
+pub fn dedup_points(points: Vec<SweepPoint>) -> Vec<SweepPoint> {
+    let mut seen = std::collections::HashSet::new();
+    points.into_iter().filter(|p| seen.insert(p.job().key())).collect()
+}
+
+/// The contiguous slice of `total` grid points that shard `k` of `n` owns:
+/// `total*k/n .. total*(k+1)/n`. For every `n ≥ 1` the shards are disjoint,
+/// their union is `0..total`, sizes differ by at most one, and slices are
+/// contiguous — so concatenating the shard outputs in shard order
+/// reproduces the unsharded row order exactly.
+///
+/// # Panics
+/// If `k >= n` or `n == 0`.
+pub fn shard_range(total: usize, k: usize, n: usize) -> std::ops::Range<usize> {
+    assert!(n > 0, "shard count must be positive");
+    assert!(k < n, "shard index {k} out of range for {n} shards");
+    (total * k / n)..(total * (k + 1) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_base() -> SweepBase {
+        SweepBase {
+            hw_name: "tiny".into(),
+            hw: HwConfig::tiny(),
+            scale: 256,
+            ..SweepBase::default()
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_empty_and_one_axis_is_not() {
+        assert!(SweepSpec::default().is_empty());
+        let mut s = SweepSpec::default();
+        s.set("ids", "1").unwrap();
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn set_parses_every_axis() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1, 2,3").unwrap();
+        s.set("scales", "8,16").unwrap();
+        s.set("kinds", "naive,proposed").unwrap();
+        s.set("hw", "scaled,hbm").unwrap();
+        s.set("cubes", "1,2,4").unwrap();
+        s.set("l1-sets", "16,32").unwrap();
+        s.set("l2-sets", "1024").unwrap();
+        s.set("energy-scale", "0.5,1.0").unwrap();
+        s.set("gpu", "true").unwrap();
+        assert_eq!(s.ids, vec![1, 2, 3]);
+        assert_eq!(s.scales, vec![8, 16]);
+        assert_eq!(s.kinds, vec![MapKind::Naive, MapKind::Proposed]);
+        assert_eq!(s.hw.len(), 2);
+        assert_eq!(s.hw[1].1, HwConfig::hbm_like());
+        assert_eq!(s.cubes, vec![1, 2, 4]);
+        assert!(s.gpu);
+    }
+
+    #[test]
+    fn set_rejects_bad_values() {
+        let mut s = SweepSpec::default();
+        assert!(s.set("ids", "99").is_err(), "id 99 is not in Table I");
+        assert!(s.set("scales", "0").is_err(), "scale must be positive");
+        assert!(s.set("kinds", "quantum").is_err());
+        assert!(s.set("hw", "warp-drive").is_err());
+        assert!(s.set("energy-scale", "-1").is_err());
+        assert!(s.set("warp", "9").is_err(), "unknown keys are errors");
+    }
+
+    #[test]
+    fn ids_all_expands_to_the_suite() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "all").unwrap();
+        assert_eq!(s.ids.len(), suite::entries().len());
+    }
+
+    #[test]
+    fn spec_text_round_trips_and_reports_line_numbers() {
+        let text = "# a 2x2 grid\nids = 1,2\n\nscales = 8, 16  # inline comment\n";
+        let s = SweepSpec::from_spec_text(text).unwrap();
+        assert_eq!(s.ids, vec![1, 2]);
+        assert_eq!(s.scales, vec![8, 16]);
+        let err = SweepSpec::from_spec_text("ids = 1\nbogus line\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = SweepSpec::from_spec_text("\n\nids = zebra\n").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1,2").unwrap();
+        s.set("kinds", "naive,proposed").unwrap();
+        s.set("cubes", "1,2").unwrap();
+        let base = quick_base();
+        let a = s.points(&base);
+        let b = s.points(&base);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        let keys: Vec<_> = a.iter().map(|p| p.job().key()).collect();
+        let keys2: Vec<_> = b.iter().map(|p| p.job().key()).collect();
+        assert_eq!(keys, keys2);
+    }
+
+    #[test]
+    fn enumeration_dedups_duplicate_axis_values() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1,1").unwrap();
+        s.set("scales", "256,256").unwrap();
+        let base = quick_base();
+        assert_eq!(s.points(&base).len(), 1);
+        // A cube override equal to the variant's own cube count collapses too.
+        let mut s = SweepSpec::default();
+        s.set("ids", "1").unwrap();
+        s.set("hw", "tiny").unwrap();
+        s.set("cubes", &format!("{}", HwConfig::tiny().shape.cubes)).unwrap();
+        let with_override = s.points(&base);
+        s.cubes.clear();
+        assert_eq!(with_override, s.points(&base));
+    }
+
+    #[test]
+    fn empty_axes_fall_back_to_the_base() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "3").unwrap();
+        let base = quick_base();
+        let points = s.points(&base);
+        assert_eq!(points.len(), 1);
+        let SweepPoint { id, scale, kind: PointKind::Sim { kind, hw_name, hw, .. } } = &points[0]
+        else {
+            panic!("expected a sim point")
+        };
+        assert_eq!((*id, *scale), (3, 256));
+        assert_eq!(*kind, MapKind::Proposed);
+        assert_eq!(hw_name, "tiny");
+        assert_eq!(**hw, HwConfig::tiny());
+    }
+
+    #[test]
+    fn gpu_axis_appends_one_baseline_per_matrix_scale() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1,2").unwrap();
+        s.set("kinds", "naive,proposed").unwrap();
+        s.set("gpu", "true").unwrap();
+        let points = s.points(&quick_base());
+        assert_eq!(points.len(), 2 * 2 + 2);
+        let gpus: Vec<_> =
+            points.iter().filter(|p| matches!(p.kind, PointKind::Gpu { .. })).collect();
+        assert_eq!(gpus.len(), 2);
+        assert!(
+            points[points.len() - 2..].iter().all(|p| matches!(p.kind, PointKind::Gpu { .. })),
+            "GPU baselines enumerate last"
+        );
+    }
+
+    #[test]
+    fn energy_scale_axis_changes_job_keys_but_identity_does_not() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1").unwrap();
+        s.set("energy-scale", "1.0,0.5").unwrap();
+        let points = s.points(&quick_base());
+        assert_eq!(points.len(), 2);
+        assert_ne!(points[0].job().key(), points[1].job().key());
+        // The 1.0 point must key identically to not sweeping energy at all.
+        let mut plain = SweepSpec::default();
+        plain.set("ids", "1").unwrap();
+        assert_eq!(points[0].job().key(), plain.points(&quick_base())[0].job().key());
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for total in 0..64 {
+            for n in 1..10 {
+                let mut covered = Vec::new();
+                let mut sizes = Vec::new();
+                for k in 0..n {
+                    let r = shard_range(total, k, n);
+                    sizes.push(r.len());
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>(), "total={total} n={n}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: total={total} n={n} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        shard_range(10, 3, 3);
+    }
+
+    #[test]
+    fn point_labels_and_names() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "13").unwrap();
+        let points = s.points(&quick_base());
+        assert_eq!(points[0].matrix_name(), "Stanford");
+    }
+}

@@ -35,6 +35,9 @@ pub struct RunManifest {
     pub records: Vec<JobRecord>,
     /// The store's aggregate counters at the end of the run.
     pub stats: CacheStats,
+    /// On-disk cache entries that failed to decode (treated as misses); the
+    /// run summary surfaces them so silent cache damage is visible.
+    pub corrupt_paths: Vec<String>,
 }
 
 impl RunManifest {
@@ -81,7 +84,12 @@ impl RunManifest {
                     ("mem_hits", Json::U64(self.stats.mem_hits)),
                     ("disk_hits", Json::U64(self.stats.disk_hits)),
                     ("misses", Json::U64(self.stats.misses)),
+                    ("corrupt", Json::U64(self.stats.corrupt)),
                 ]),
+            ),
+            (
+                "corrupt_paths",
+                Json::Arr(self.corrupt_paths.iter().map(|p| Json::Str(p.clone())).collect()),
             ),
             ("jobs", Json::Arr(jobs)),
         ])
@@ -113,6 +121,20 @@ impl RunManifest {
         slowest.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
         for r in slowest.iter().take(3) {
             out.push_str(&format!("harness:   slowest: {} ({:.0} ms)\n", r.label, r.wall_ms));
+        }
+        if self.stats.corrupt > 0 {
+            out.push_str(&format!(
+                "harness: {} corrupt cache entr{} recomputed:\n",
+                self.stats.corrupt,
+                if self.stats.corrupt == 1 {
+                    "y treated as a miss and"
+                } else {
+                    "ies treated as misses and"
+                },
+            ));
+            for p in &self.corrupt_paths {
+                out.push_str(&format!("harness:   corrupt: {p}\n"));
+            }
         }
         out
     }
@@ -147,7 +169,8 @@ mod tests {
                     events: None,
                 },
             ],
-            stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1 },
+            stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1, corrupt: 0 },
+            corrupt_paths: Vec::new(),
         }
     }
 
@@ -176,5 +199,20 @@ mod tests {
         assert!(s.contains("2 jobs on 4 workers"), "{s}");
         assert!(s.contains("1 computed, 1 disk hits"), "{s}");
         assert!(s.contains("slowest: sim:m1/256:proposed"), "{s}");
+        assert!(!s.contains("corrupt"), "clean runs must not mention corruption: {s}");
+    }
+
+    #[test]
+    fn summary_and_json_report_corrupt_entries() {
+        let mut m = manifest();
+        m.stats.corrupt = 1;
+        m.corrupt_paths = vec!["target/spacea-cache/dead.json".into()];
+        let s = m.summary();
+        assert!(s.contains("1 corrupt cache entry"), "{s}");
+        assert!(s.contains("target/spacea-cache/dead.json"), "{s}");
+        let v = json::parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("cache").unwrap().get("corrupt").unwrap().as_u64(), Some(1));
+        let paths = v.get("corrupt_paths").unwrap().as_arr().unwrap();
+        assert_eq!(paths[0].as_str(), Some("target/spacea-cache/dead.json"));
     }
 }

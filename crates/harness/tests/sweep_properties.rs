@@ -1,0 +1,93 @@
+//! Property tests for the sweep semantics the sharding recipe relies on:
+//! deterministic, dedup-stable grid enumeration and exact shard partitions.
+
+use proptest::prelude::*;
+use spacea_harness::{shard_range, SweepBase, SweepSpec};
+
+fn arb_spec() -> impl Strategy<Value = SweepSpec> {
+    (
+        proptest::collection::vec(1u8..16, 0..3),
+        proptest::collection::vec(1usize..5, 0..3),
+        proptest::collection::vec(0usize..2, 0..3), // 0 => naive, 1 => proposed
+        proptest::collection::vec(1usize..4, 0..3),
+        proptest::collection::vec(1usize..64, 0..3),
+    )
+        .prop_map(|(ids, scale_shifts, kind_tags, cubes, l1_sets)| {
+            let mut spec = SweepSpec::default();
+            if !ids.is_empty() {
+                let list = ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+                spec.set("ids", &list).expect("ids in range");
+            }
+            if !scale_shifts.is_empty() {
+                // Scales as powers of two: 256, 512, 1024, 2048.
+                let list = scale_shifts
+                    .iter()
+                    .map(|s| (256usize << s).to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                spec.set("scales", &list).expect("positive scales");
+            }
+            if !kind_tags.is_empty() {
+                let list = kind_tags
+                    .iter()
+                    .map(|&t| if t == 0 { "naive" } else { "proposed" })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                spec.set("kinds", &list).expect("valid kinds");
+            }
+            if !cubes.is_empty() {
+                let list = cubes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+                spec.set("cubes", &list).expect("positive cubes");
+            }
+            if !l1_sets.is_empty() {
+                let list = l1_sets.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",");
+                spec.set("l1-sets", &list).expect("positive set counts");
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn enumeration_is_deterministic_and_dedup_stable(spec in arb_spec()) {
+        let base = SweepBase::default();
+        let a = spec.points(&base);
+        let b = spec.points(&base);
+        prop_assert_eq!(&a, &b, "two enumerations of the same spec must agree");
+        // Dedup-stable: every job key appears exactly once.
+        let mut keys: Vec<u64> = a.iter().map(|p| p.job().key().0).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), n, "enumeration must not repeat a job key");
+    }
+
+    #[test]
+    fn shards_partition_the_grid(total in 0usize..500, n in 1usize..33) {
+        let mut union = Vec::new();
+        for k in 0..n {
+            let r = shard_range(total, k, n);
+            if k > 0 {
+                // Contiguous and disjoint: each shard starts where the
+                // previous one ended.
+                prop_assert_eq!(r.start, shard_range(total, k - 1, n).end);
+            }
+            union.extend(r);
+        }
+        let expect: Vec<usize> = (0..total).collect();
+        prop_assert_eq!(union, expect, "shard union must be exactly 0..total");
+    }
+
+    #[test]
+    fn sharded_points_reassemble_the_full_list(spec in arb_spec(), n in 1usize..7) {
+        let base = SweepBase::default();
+        let points = spec.points(&base);
+        let mut reassembled = Vec::new();
+        for k in 0..n {
+            reassembled.extend_from_slice(&points[shard_range(points.len(), k, n)]);
+        }
+        prop_assert_eq!(reassembled, points);
+    }
+}

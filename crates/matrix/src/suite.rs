@@ -333,7 +333,7 @@ mod tests {
         // The paper calls out matrices 12, 13, 14 as the poorly-utilizing
         // social/web graphs.
         for e in entries() {
-            assert_eq!(e.is_power_law(), matches!(e.id, 12 | 13 | 14), "{}", e.name);
+            assert_eq!(e.is_power_law(), matches!(e.id, 12..=14), "{}", e.name);
         }
     }
 

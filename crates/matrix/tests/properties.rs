@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
-use spacea_matrix::{Coo, Csr, MatrixStats};
+use spacea_matrix::{Coo, MatrixStats};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
