@@ -24,4 +24,16 @@ cargo run --release -p spacea-bench --bin sweep -- --cache-dir "$SWEEP_CACHE" --
 cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS > target/sweep-regc.csv
 cmp target/sweep-regc.csv target/sweep-full.csv
 
+# Fault-injection smoke test: a sweep with a deliberately stalled vault and a
+# panicking job must still exit 0, render every row, and record the failures
+# (with the watchdog's diagnosis naming the vault) in the manifest.
+FAULT_CACHE=target/spacea-cache-faults
+rm -rf "$FAULT_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- --quick --ids 1,2,3 --csv --jobs 2 \
+  --cache-dir "$FAULT_CACHE" --faults "0:stall-vault=0@100;1:panic" > target/sweep-faults.csv
+grep -q "timed-out" target/sweep-faults.csv
+grep -q "failed" target/sweep-faults.csv
+grep -q '"status":"timed-out"' "$FAULT_CACHE/last-run.json"
+grep -q "vault 0" "$FAULT_CACHE/last-run.json"
+
 echo "ci.sh: all checks passed"

@@ -3,6 +3,7 @@
 use spacea_mapping::MachineShape;
 use spacea_sim::cam::CamConfig;
 use spacea_sim::dram::DramTiming;
+use spacea_sim::fault::{FaultPlan, WatchdogConfig};
 use spacea_sim::Cycle;
 
 /// Full hardware configuration of a SpaceA machine.
@@ -55,6 +56,11 @@ pub struct HwConfig {
     /// Whether the load queues deduplicate outstanding requests (the
     /// Section III-B design; disable only for the ablation study).
     pub ldq_dedup: bool,
+    /// Deterministic fault-injection plan (empty by default; used to prove
+    /// the robustness layer fails loudly).
+    pub faults: FaultPlan,
+    /// Forward-progress watchdog budgets for the run loop.
+    pub watchdog: WatchdogConfig,
 }
 
 impl HwConfig {
@@ -158,6 +164,8 @@ impl HwConfig {
             l2_cam_latency: 4,
             fpu_latency: 4,
             ldq_dedup: true,
+            faults: FaultPlan::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -210,6 +218,20 @@ impl HwConfig {
         }
         if self.l_p == 0 {
             return Err("L_p must be at least one cycle".into());
+        }
+        if self.l1_cam.way_bytes != 32 {
+            return Err(format!(
+                "the block-based data path assumes 32-byte (4-element) CAM ways, got {}",
+                self.l1_cam.way_bytes
+            ));
+        }
+        if let Some((vault, _)) = self.faults.stall_vault {
+            if vault >= self.shape.vaults() {
+                return Err(format!(
+                    "fault plan stalls vault {vault}, but the machine has only {} vaults",
+                    self.shape.vaults()
+                ));
+            }
         }
         Ok(())
     }
@@ -308,5 +330,13 @@ mod tests {
         let mut c2 = HwConfig::tiny();
         c2.pe_queue_rows = 0;
         assert!(c2.validate().is_err());
+        let mut c3 = HwConfig::tiny();
+        c3.l1_cam.way_bytes = 16;
+        assert!(c3.validate().is_err());
+        let mut c4 = HwConfig::tiny();
+        c4.faults.stall_vault = Some((99, 0));
+        assert!(c4.validate().is_err(), "stalling a non-existent vault must be rejected");
+        c4.faults.stall_vault = Some((0, 0));
+        assert!(c4.validate().is_ok());
     }
 }

@@ -49,4 +49,5 @@ pub use config::HwConfig;
 pub use layout::{DataLayout, SlotId};
 pub use machine::{Machine, SimError};
 pub use report::SimReport;
+pub use spacea_sim::fault::{FaultPlan, StallDiagnosis, VaultOccupancy, WatchdogConfig};
 pub use trace::{TraceEvent, TraceRecord};

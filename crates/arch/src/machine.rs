@@ -41,6 +41,7 @@ use spacea_model::ActivitySummary;
 use spacea_sim::cam::Cam;
 use spacea_sim::dram::{AccessKind, DramBank};
 use spacea_sim::engine::EventQueue;
+use spacea_sim::fault::{StallDiagnosis, VaultOccupancy};
 use spacea_sim::ldq::{LdqPush, LoadQueue};
 use spacea_sim::link::Link;
 use spacea_sim::noc::MeshNoc;
@@ -77,6 +78,49 @@ pub enum SimError {
         /// Oracle value.
         expected: f64,
     },
+    /// The event queue drained while PEs/vaults still held in-flight work.
+    Deadlock(StallDiagnosis),
+    /// No retirement happened within the watchdog's stall window.
+    NoProgress {
+        /// The configured stall window, cycles.
+        window: Cycle,
+        /// Machine state at abort.
+        diagnosis: StallDiagnosis,
+    },
+    /// Simulated time passed the watchdog's total cycle budget.
+    CycleBudgetExceeded {
+        /// The configured budget, cycles.
+        budget: Cycle,
+        /// Machine state at abort.
+        diagnosis: StallDiagnosis,
+    },
+    /// The engine's counter invariant was violated (events lost or
+    /// double-delivered — a simulator bug, never data-dependent).
+    CounterInvariant(String),
+}
+
+impl SimError {
+    /// True for hang-class failures (deadlock, livelock, cycle budget).
+    /// Hangs are deterministic — retrying one burns the same budget again —
+    /// so supervisors report them as timeouts instead of retrying.
+    pub fn is_hang(&self) -> bool {
+        matches!(
+            self,
+            SimError::Deadlock(_)
+                | SimError::NoProgress { .. }
+                | SimError::CycleBudgetExceeded { .. }
+        )
+    }
+
+    /// The stall diagnosis carried by hang-class failures.
+    pub fn diagnosis(&self) -> Option<&StallDiagnosis> {
+        match self {
+            SimError::Deadlock(d) => Some(d),
+            SimError::NoProgress { diagnosis, .. }
+            | SimError::CycleBudgetExceeded { diagnosis, .. } => Some(diagnosis),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +135,16 @@ impl fmt::Display for SimError {
                 f,
                 "output validation failed at element {index}: simulated {simulated}, expected {expected}"
             ),
+            SimError::Deadlock(d) => {
+                write!(f, "deadlock: event queue drained with work outstanding — {d}")
+            }
+            SimError::NoProgress { window, diagnosis } => {
+                write!(f, "livelock: no retirement in {window} cycles — {diagnosis}")
+            }
+            SimError::CycleBudgetExceeded { budget, diagnosis } => {
+                write!(f, "cycle budget of {budget} exceeded — {diagnosis}")
+            }
+            SimError::CounterInvariant(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -114,14 +168,8 @@ impl Machine {
         &self.cfg
     }
 
-    /// Simulates `y = A·x` under `mapping` and returns the full report.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] on configuration, dimension or mapping mismatch,
-    /// or if the simulated output fails oracle validation (which would
-    /// indicate a simulator bug, never a data-dependent condition).
-    pub fn run_spmv(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<SimReport, SimError> {
+    /// Validates configuration, dimensions, and mapping before a run.
+    fn preflight(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<(), SimError> {
         self.cfg.validate().map_err(SimError::BadConfig)?;
         if x.len() != a.cols() {
             return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
@@ -140,8 +188,23 @@ impl Machine {
                 a.rows()
             )));
         }
+        Ok(())
+    }
+
+    /// Simulates `y = A·x` under `mapping` and returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on configuration, dimension or mapping mismatch;
+    /// if the simulated output fails oracle validation (which would indicate
+    /// a simulator bug, never a data-dependent condition); or with a
+    /// hang-class error carrying a [`StallDiagnosis`] when the
+    /// forward-progress watchdog aborts the run (deadlock, stall window, or
+    /// cycle budget — see [`spacea_sim::fault::WatchdogConfig`]).
+    pub fn run_spmv(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<SimReport, SimError> {
+        self.preflight(a, x, mapping)?;
         let mut sim = Sim::build(&self.cfg, a, x, mapping);
-        sim.run();
+        sim.run()?;
         sim.finish(a, x)
     }
 
@@ -159,27 +222,10 @@ impl Machine {
         mapping: &Mapping,
         trace_capacity: usize,
     ) -> Result<(SimReport, TraceLog<TraceRecord>), SimError> {
-        self.cfg.validate().map_err(SimError::BadConfig)?;
-        if x.len() != a.cols() {
-            return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
-        }
-        if mapping.assignment.num_pes() != self.cfg.shape.product_pes() {
-            return Err(SimError::MappingMismatch(format!(
-                "mapping has {} PEs, machine has {}",
-                mapping.assignment.num_pes(),
-                self.cfg.shape.product_pes()
-            )));
-        }
-        if mapping.assignment.total_rows() != a.rows() {
-            return Err(SimError::MappingMismatch(format!(
-                "mapping covers {} rows, matrix has {}",
-                mapping.assignment.total_rows(),
-                a.rows()
-            )));
-        }
+        self.preflight(a, x, mapping)?;
         let mut sim = Sim::build(&self.cfg, a, x, mapping);
         sim.trace = TraceLog::new(trace_capacity);
-        sim.run();
+        sim.run()?;
         let trace = std::mem::take(&mut sim.trace);
         Ok((sim.finish(a, x)?, trace))
     }
@@ -254,6 +300,11 @@ struct Sim<'a> {
     y_left: u64,
     end_time: Cycle,
 
+    // Fault-injection ordinals: routed cross-vault NoC packets and
+    // accumulator updates seen so far.
+    noc_packets: u64,
+    accum_updates: u64,
+
     rf: SramCounters,
     queue_sram: SramCounters,
     fpu_ops: u64,
@@ -262,9 +313,9 @@ struct Sim<'a> {
 
 impl<'a> Sim<'a> {
     fn build(cfg: &'a HwConfig, a: &'a Csr, x: &'a [f64], mapping: &Mapping) -> Self {
-        assert_eq!(
+        debug_assert_eq!(
             cfg.l1_cam.way_bytes, 32,
-            "the block-based data path assumes 32-byte (4-element) CAM ways"
+            "preflight validation enforces the 32-byte (4-element) CAM way assumption"
         );
         let layout = DataLayout::new(cfg);
         let num_pes = cfg.shape.product_pes();
@@ -325,6 +376,8 @@ impl<'a> Sim<'a> {
             entries_left,
             y_left,
             end_time: 0,
+            noc_packets: 0,
+            accum_updates: 0,
             rf: SramCounters::default(),
             queue_sram: SramCounters::default(),
             fpu_ops: 0,
@@ -344,7 +397,10 @@ impl<'a> Sim<'a> {
         v
     }
 
-    /// Routes a packet between two global vaults; returns the arrival cycle.
+    /// Routes a packet between two global vaults; returns the arrival
+    /// cycle, or `None` when an injected fault dropped the packet (the
+    /// caller then skips the delivery and the lost message eventually
+    /// surfaces as a diagnosed deadlock).
     ///
     /// Same vault: free (the packet never leaves the vault controller).
     /// Same cube: the intra-cube vault mesh. Different cubes: the base-die
@@ -353,30 +409,92 @@ impl<'a> Sim<'a> {
     /// inter-cube traffic is not funnelled through one vault), across the
     /// cube mesh, then over the remote cube's mesh from the mirrored entry
     /// position to the target vault.
-    fn route(&mut self, t: Cycle, src: usize, dst: usize, bytes: usize) -> Cycle {
+    fn route(&mut self, t: Cycle, src: usize, dst: usize, bytes: usize) -> Option<Cycle> {
         if src == dst {
-            return t;
+            return Some(t);
         }
+        let n = self.noc_packets;
+        self.noc_packets += 1;
+        if self.cfg.faults.drop_noc_packet == Some(n) {
+            return None;
+        }
+        let t = match self.cfg.faults.delay_noc {
+            Some((from, delay)) if n >= from => t + delay,
+            _ => t,
+        };
         let (sc, sv) = (self.layout.cube_of_vault(src), self.layout.local_vault(src));
         let (dc, dv) = (self.layout.cube_of_vault(dst), self.layout.local_vault(dst));
         if sc == dc {
-            return self.nocs[sc].send(t, sv, dv, bytes);
+            return Some(self.nocs[sc].send(t, sv, dv, bytes));
         }
         let t = self
             .serdes
             .as_mut()
             .expect("multi-cube shape always builds a SerDes mesh")
             .send(t, sc, dc, bytes);
-        self.nocs[dc].send(t, sv, dv, bytes)
+        Some(self.nocs[dc].send(t, sv, dv, bytes))
     }
 
-    fn run(&mut self) {
+    /// Cycles an injected vault stall holds an event before retrying it.
+    const STALL_RETRY: Cycle = 256;
+
+    /// True when an injected vault stall wedges `ev` at cycle `t`.
+    fn stalled(&self, ev: &Ev, t: Cycle) -> bool {
+        let Some((stalled_vault, from)) = self.cfg.faults.stall_vault else {
+            return false;
+        };
+        if t < from {
+            return false;
+        }
+        match *ev {
+            Ev::VaultXReq { vault, .. }
+            | Ev::VaultXResp { vault, .. }
+            | Ev::YAtVault { vault, .. } => vault as usize == stalled_vault,
+            _ => false,
+        }
+    }
+
+    fn run(&mut self) -> Result<(), SimError> {
+        if self.cfg.faults.panic_on_run {
+            panic!("injected fault: deliberate panic at simulation start");
+        }
         // Kick off the first DRAM row load of every PE.
         for pe in 0..self.pes.len() {
             self.try_load(pe as u32, 0);
         }
+        // Forward-progress watchdog: retirement means the (entries_left,
+        // y_left) pair moved. A healthy run retires continuously; a stalled
+        // one trips the window long before any wall-clock patience runs out.
+        let watchdog = self.cfg.watchdog;
+        let mut last_progress = (self.entries_left, self.y_left);
+        let mut last_progress_cycle: Cycle = 0;
         while let Some((t, ev)) = self.q.pop() {
             self.end_time = self.end_time.max(t);
+            if let Some(budget) = watchdog.max_cycles {
+                if t > budget {
+                    return Err(SimError::CycleBudgetExceeded {
+                        budget,
+                        diagnosis: self.diagnose(),
+                    });
+                }
+            }
+            // Check the stall window before handling (and in particular
+            // before the stall intercept below, whose bounced events would
+            // otherwise starve this check forever).
+            if last_progress != (0, 0) {
+                if let Some(window) = watchdog.stall_window {
+                    if t.saturating_sub(last_progress_cycle) > window {
+                        return Err(SimError::NoProgress { window, diagnosis: self.diagnose() });
+                    }
+                }
+            }
+            if self.stalled(&ev, t) {
+                // The vault controller is wedged: bounce the event forward
+                // instead of handling it. Retirement stops while the queue
+                // never drains, so only the stall window can catch it.
+                self.q.schedule(t + Self::STALL_RETRY, ev);
+                continue;
+            }
             if self.trace.is_enabled() {
                 self.trace.push_with(|| TraceRecord { cycle: t, event: trace_event(&ev) });
             }
@@ -390,10 +508,47 @@ impl<'a> Sim<'a> {
                 Ev::YAtVault { vault, row, val } => self.y_at_vault(vault, row, val, t),
                 Ev::YAtBank { bank, row, val } => self.y_at_bank(bank, row, val, t),
             }
+            let progress = (self.entries_left, self.y_left);
+            if progress != last_progress {
+                last_progress = progress;
+                last_progress_cycle = t;
+            }
         }
-        debug_assert_eq!(self.entries_left, 0, "simulation drained with unprocessed entries");
-        debug_assert_eq!(self.y_left, 0, "simulation drained with missing Y partials");
-        debug_assert!(self.pes.iter().all(ProductPe::finished), "every PE must drain");
+        if self.entries_left > 0 || self.y_left > 0 || !self.pes.iter().all(ProductPe::finished) {
+            return Err(SimError::Deadlock(self.diagnose()));
+        }
+        Ok(())
+    }
+
+    /// Snapshots outstanding work for a watchdog report: per-vault LDQ
+    /// occupancy and PE in-flight requests, naming the most loaded vault
+    /// (ties broken toward the lowest id) as the suspect.
+    fn diagnose(&self) -> StallDiagnosis {
+        let mut occ: Vec<VaultOccupancy> = (0..self.cfg.shape.vaults())
+            .map(|vault| VaultOccupancy { vault, ..VaultOccupancy::default() })
+            .collect();
+        for (v, ldq) in self.l2_ldq.iter().enumerate() {
+            occ[v].l2_ldq = ldq.len();
+        }
+        for (bg, ldq) in self.l1_ldq.iter().enumerate() {
+            occ[bg / self.cfg.shape.product_bgs_per_vault].l1_ldq += ldq.len();
+        }
+        for (p, pe) in self.pes.iter().enumerate() {
+            occ[self.pe_slots[p].global_vault(self.cfg)].pe_pending += pe.pending;
+        }
+        let suspect_vault = occ
+            .iter()
+            .filter(|o| o.total() > 0)
+            .max_by_key(|o| (o.total(), std::cmp::Reverse(o.vault)))
+            .map(|o| o.vault);
+        StallDiagnosis {
+            cycle: self.q.now(),
+            entries_left: self.entries_left,
+            y_left: self.y_left,
+            pending_events: self.q.len(),
+            suspect_vault,
+            vaults: occ.into_iter().filter(|o| o.total() > 0).collect(),
+        }
     }
 
     /// Issues the next DRAM row load if the PE queue has space.
@@ -524,7 +679,9 @@ impl<'a> Sim<'a> {
         let block = self.layout.block_of_element(row as usize);
         let home_vault = self.layout.home_vault_of_block(block);
         let t1 = self.tsv[src_vault].transfer(t, size::Y_PARTIAL);
-        let t2 = self.route(t1, src_vault, home_vault, size::Y_PARTIAL);
+        let Some(t2) = self.route(t1, src_vault, home_vault, size::Y_PARTIAL) else {
+            return;
+        };
         self.q.schedule(t2, Ev::YAtVault { vault: home_vault as u32, row, val });
     }
 
@@ -545,7 +702,9 @@ impl<'a> Sim<'a> {
             let t1 = self.tsv[v].transfer(t_look, size::X_REQUEST);
             self.q.schedule(t1, Ev::BankXReq { bank: bank as u32, block });
         } else {
-            let t1 = self.route(t_look, v, home_vault, size::X_REQUEST);
+            let Some(t1) = self.route(t_look, v, home_vault, size::X_REQUEST) else {
+                return;
+            };
             self.q.schedule(
                 t1,
                 Ev::VaultXReq { vault: home_vault as u32, block, from: Requester::Vault(v) },
@@ -561,7 +720,9 @@ impl<'a> Sim<'a> {
                 self.q.schedule(t1, Ev::L1Fill { bg: bg as u32, block });
             }
             Requester::Vault(w) => {
-                let t1 = self.route(t, v, w, size::X_RESPONSE);
+                let Some(t1) = self.route(t, v, w, size::X_RESPONSE) else {
+                    return;
+                };
                 self.q.schedule(t1, Ev::VaultXResp { vault: w as u32, block });
             }
         }
@@ -620,7 +781,14 @@ impl<'a> Sim<'a> {
     }
 
     /// Accumulation-PE: merge the partial into the update buffer.
-    fn y_at_bank(&mut self, bank: u32, row: u32, val: f64, t: Cycle) {
+    fn y_at_bank(&mut self, bank: u32, row: u32, mut val: f64, t: Cycle) {
+        let n = self.accum_updates;
+        self.accum_updates += 1;
+        if self.cfg.faults.flip_accum_update == Some(n) {
+            // Injected corruption: large enough that the output oracle in
+            // `finish` must catch it — never a silently wrong result.
+            val += 1.0;
+        }
         let b = bank as usize;
         let start = t.max(self.accum_busy[b]);
         let drow = self.layout.dram_row_of_y(row as usize, self.cfg.timing.row_bytes);
@@ -762,7 +930,7 @@ impl<'a> Sim<'a> {
         // The engine's documented counter invariant: on a drained queue,
         // every scheduled event was processed exactly once. The telemetry
         // counters below are only meaningful because this holds.
-        self.q.check_counters();
+        self.q.try_check_counters().map_err(SimError::CounterInvariant)?;
         debug_assert!(self.q.is_empty(), "simulation finished with pending events");
 
         Ok(SimReport {
@@ -942,6 +1110,101 @@ mod tests {
         let r = run(&a, HwConfig::tiny());
         assert!(r.validated);
         assert_eq!(r.output, vec![0.0; 8]);
+    }
+
+    /// Runs the banded test matrix on `cfg`, returning the error.
+    fn run_err(cfg: HwConfig) -> SimError {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap_err()
+    }
+
+    #[test]
+    fn dropped_noc_packet_is_a_diagnosed_deadlock() {
+        let mut cfg = HwConfig::tiny();
+        cfg.faults.drop_noc_packet = Some(5);
+        let err = run_err(cfg);
+        assert!(err.is_hang(), "{err}");
+        let SimError::Deadlock(d) = &err else { panic!("expected Deadlock, got {err}") };
+        assert!(d.entries_left > 0 || d.y_left > 0, "{d}");
+        assert!(d.suspect_vault.is_some(), "a lost packet must strand waiters somewhere: {d}");
+    }
+
+    #[test]
+    fn stalled_vault_trips_the_stall_window_naming_the_vault() {
+        let mut cfg = HwConfig::tiny();
+        cfg.faults.stall_vault = Some((2, 500));
+        cfg.watchdog.stall_window = Some(20_000);
+        let err = run_err(cfg);
+        assert!(err.is_hang(), "{err}");
+        let SimError::NoProgress { window, diagnosis } = &err else {
+            panic!("expected NoProgress, got {err}")
+        };
+        assert_eq!(*window, 20_000);
+        assert_eq!(diagnosis.suspect_vault, Some(2), "{diagnosis}");
+        assert!(err.to_string().contains("vault 2"), "{err}");
+        assert!(
+            diagnosis.pending_events > 0,
+            "the bounced events keep the queue alive: {diagnosis}"
+        );
+    }
+
+    #[test]
+    fn flipped_accumulator_update_fails_validation_loudly() {
+        let mut cfg = HwConfig::tiny();
+        cfg.faults.flip_accum_update = Some(0);
+        let err = run_err(cfg);
+        assert!(matches!(err, SimError::ValidationFailed { .. }), "{err}");
+        assert!(!err.is_hang());
+    }
+
+    #[test]
+    fn delayed_noc_packets_still_validate() {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let mut cfg = HwConfig::tiny();
+        cfg.faults.delay_noc = Some((0, 50));
+        let r = run(&a, cfg);
+        assert!(r.validated, "a pure delay must not corrupt the result");
+    }
+
+    #[test]
+    fn cycle_budget_exceeded_aborts_with_diagnosis() {
+        let mut cfg = HwConfig::tiny();
+        cfg.watchdog.max_cycles = Some(100);
+        let err = run_err(cfg);
+        let SimError::CycleBudgetExceeded { budget, diagnosis } = &err else {
+            panic!("expected CycleBudgetExceeded, got {err}")
+        };
+        assert_eq!(*budget, 100);
+        assert!(diagnosis.entries_left > 0, "{diagnosis}");
+        assert!(err.is_hang());
+    }
+
+    #[test]
+    fn injected_panic_fires_at_run_start() {
+        let mut cfg = HwConfig::tiny();
+        cfg.faults.panic_on_run = true;
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let x = vec![1.0; a.cols()];
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Machine::new(cfg).run_spmv(&a, &x, &mapping);
+        }))
+        .unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_budgets_do_not_perturb_healthy_runs() {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let base = run(&a, HwConfig::tiny());
+        let mut cfg = HwConfig::tiny();
+        cfg.watchdog.max_cycles = Some(u64::MAX);
+        cfg.watchdog.stall_window = Some(10_000);
+        let r = run(&a, cfg);
+        assert_eq!(r.cycles, base.cycles, "watchdog accounting must be timing-neutral");
     }
 
     fn count_nonempty_rows(a: &Csr) -> usize {

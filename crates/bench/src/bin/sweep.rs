@@ -23,10 +23,18 @@
 //! enforces size/age budgets on the cache directory after the sweep,
 //! evicting least-recently-hit entries first and never the entries this
 //! run touched.
+//!
+//! Fault injection: `--faults '[IDX:]PLAN[;...]'` arms deterministic faults
+//! (`drop-noc=N`, `delay-noc=N@D`, `stall-vault=V@T`, `flip-accum=N`,
+//! `panic`) on the IDX-th grid point (global, pre-shard; omit IDX for all
+//! sim points). Faulted jobs fail or time out with a diagnosis in the
+//! Status column and the manifest; healthy points still complete, and the
+//! sweep still exits 0 — robustness drills don't fail the pipeline.
 
 use spacea_bench::{HarnessOptions, HarnessSession, SweepCli, SWEEP_USAGE};
 use spacea_core::table::{fmt, pct, Table};
-use spacea_harness::{shard_range, JobResult, PointKind, SweepBase, SweepPoint};
+use spacea_harness::{shard_range, JobRecord, JobResult, PointKind, SweepBase, SweepPoint};
+use std::collections::HashMap;
 
 fn main() {
     let mut cli = SweepCli::default();
@@ -55,7 +63,10 @@ fn main() {
     // An all-empty spec only reaches here in `--gc`-only mode; it must not
     // enumerate (every axis would fall back to the base, simulating one
     // point nobody asked for).
-    let points = if cli.spec.is_empty() { Vec::new() } else { cli.spec.points(&base) };
+    let mut points = if cli.spec.is_empty() { Vec::new() } else { cli.spec.points(&base) };
+    // Faults apply to global point indices, before sharding, so a faulted
+    // point is the same point in every shard layout.
+    cli.apply_faults(&mut points);
     let range = match cli.shard {
         Some((k, n)) => shard_range(points.len(), k, n),
         None => 0..points.len(),
@@ -72,7 +83,7 @@ fn main() {
 
     if !shard_points.is_empty() {
         let manifest = session.prewarm(shard_points.iter().map(|p| p.job()).collect());
-        let mut table = sweep_table(&session, shard_points);
+        let mut table = sweep_table(&session, shard_points, &manifest.records);
         if let Some((_, n)) = cli.shard {
             table.push_note(format!(
                 "one of {n} shards; concatenate shard outputs in shard order for the full grid"
@@ -99,59 +110,65 @@ fn main() {
     }
 }
 
-/// Renders one row per grid point, straight from the cache (every job was
-/// just computed or was already cached, so lookups cannot miss).
-fn sweep_table(session: &HarnessSession, points: &[SweepPoint]) -> Table {
+/// Renders one row per grid point from the cache, with a Status column from
+/// this run's job records. Failed/timed-out jobs have no cached result
+/// (failures are never cached): their rows keep the identity columns and
+/// dash out the metrics, so shard outputs stay mergeable and a sweep with
+/// faulted points still accounts for every point.
+fn sweep_table(session: &HarnessSession, points: &[SweepPoint], records: &[JobRecord]) -> Table {
+    let by_key: HashMap<u64, &JobRecord> = records.iter().map(|r| (r.key.0, r)).collect();
     let mut table = Table::new(
         "Sweep summary (one row per grid point)",
         &[
             "ID", "Matrix", "Scale", "Map", "HW", "Cubes", "L1", "L2", "E", "Cycles", "us",
-            "PE busy", "L1 hit",
+            "PE busy", "L1 hit", "Status",
         ],
     );
     for p in points {
         let job = p.job();
-        let Some((result, _)) = session.cache.store().lookup(job.key()) else {
-            // Unreachable after a successful prewarm; keep the row count
-            // stable anyway so shard outputs stay mergeable.
-            table.push_row(vec!["?".into(); 13]);
-            continue;
-        };
+        // Points answered purely from an earlier run's cache (e.g. rendered
+        // by a shard that did not run them) default to "ok" so shard merges
+        // stay byte-stable.
+        let status = by_key.get(&job.key().0).map(|r| r.status.tag()).unwrap_or("ok").to_string();
         let mut row = vec![p.id.to_string(), p.matrix_name().into(), p.scale.to_string()];
-        match (&p.kind, &result) {
-            (PointKind::Sim { kind, hw_name, hw, energy_scale, .. }, JobResult::Sim(r)) => {
+        row.extend(identity_columns(p));
+        match session.cache.store().lookup(job.key()) {
+            Some((JobResult::Sim(r), _)) if matches!(p.kind, PointKind::Sim { .. }) => {
                 row.extend([
-                    kind.label().to_string(),
-                    hw_name.clone(),
-                    hw.shape.cubes.to_string(),
-                    hw.l1_cam.sets.to_string(),
-                    hw.l2_cam.sets.to_string(),
-                    fmt(*energy_scale, 2),
                     r.cycles.to_string(),
                     fmt(r.seconds * 1e6, 2),
                     pct(r.pe_busy_fraction),
                     pct(r.l1_hit_rate),
                 ]);
             }
-            (PointKind::Gpu { .. }, JobResult::Gpu(g)) => {
-                row.extend([
-                    "gpu".into(),
-                    "titan-xp".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    fmt(g.time_s * 1e6, 2),
-                    "-".into(),
-                    "-".into(),
-                ]);
+            Some((JobResult::Gpu(g), _)) if matches!(p.kind, PointKind::Gpu { .. }) => {
+                row.extend(["-".into(), fmt(g.time_s * 1e6, 2), "-".into(), "-".into()]);
             }
-            // A key collision across result kinds cannot happen (the kind
-            // feeds the hash), but keep rendering total anyway.
-            _ => row.extend(std::iter::repeat_n("?".to_string(), 10)),
+            // No result (the job failed — failures are never cached), or a
+            // result kind that cannot belong to this point: dash the
+            // metrics, let the Status column tell the story.
+            _ => row.extend(std::iter::repeat_n("-".to_string(), 4)),
         }
+        row.push(status);
         table.push_row(row);
     }
     table
+}
+
+/// The identity columns (Map, HW, Cubes, L1, L2, E) of a grid point —
+/// renderable whether or not the point's job produced a result.
+fn identity_columns(p: &SweepPoint) -> Vec<String> {
+    match &p.kind {
+        PointKind::Sim { kind, hw_name, hw, energy_scale, .. } => vec![
+            kind.label().to_string(),
+            hw_name.clone(),
+            hw.shape.cubes.to_string(),
+            hw.l1_cam.sets.to_string(),
+            hw.l2_cam.sets.to_string(),
+            fmt(*energy_scale, 2),
+        ],
+        PointKind::Gpu { .. } => {
+            vec!["gpu".into(), "titan-xp".into(), "-".into(), "-".into(), "-".into(), "-".into()]
+        }
+    }
 }

@@ -36,7 +36,8 @@
 
 use spacea_core::experiments::{ExpConfig, ExpOutput, SuiteCache};
 use spacea_harness::{
-    GcPolicy, JobCtx, JobSpec, ResultStore, RunManifest, SweepSpec, DEFAULT_CACHE_DIR,
+    FaultPlan, GcPolicy, JobCtx, JobSpec, PointKind, ResultStore, RunManifest, SupervisionPolicy,
+    SweepPoint, SweepSpec, DEFAULT_CACHE_DIR,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -261,16 +262,24 @@ impl HarnessSession {
     }
 }
 
-/// Computes `jobs` (deduplicated) on `workers` threads, filling the cache's
-/// store, and returns the run telemetry.
+/// Computes `jobs` (deduplicated) on `workers` threads under the default
+/// [`SupervisionPolicy`], filling the cache's store, and returns the run
+/// telemetry. A panicking or hung job ends up as a failure record in the
+/// manifest; the rest of the sweep still completes.
 pub fn prewarm(cache: &SuiteCache, jobs: Vec<JobSpec>, workers: usize) -> RunManifest {
     let jobs = spacea_harness::dedup_jobs(jobs);
     let started = Instant::now();
-    let records = spacea_harness::run_jobs(&jobs, cache.store(), cache.ctx(), workers);
+    let out = spacea_harness::run_jobs_supervised(
+        &jobs,
+        cache.store(),
+        cache.ctx(),
+        workers,
+        &SupervisionPolicy::default(),
+    );
     RunManifest {
         workers,
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
-        records,
+        records: out.records,
         stats: cache.store().stats(),
         corrupt_paths: cache
             .store()
@@ -278,6 +287,7 @@ pub fn prewarm(cache: &SuiteCache, jobs: Vec<JobSpec>, workers: usize) -> RunMan
             .iter()
             .map(|p| p.display().to_string())
             .collect(),
+        abandoned: out.abandoned,
     }
 }
 
@@ -335,12 +345,17 @@ pub struct SweepCli {
     pub gc_max_kb: Option<u64>,
     /// `--gc-max-age-days N`: age budget for `--gc`, in days.
     pub gc_max_age_days: Option<u64>,
+    /// `--faults SPEC`: fault plans to inject, as `(point index, plan)`
+    /// pairs; `None` index means every sim point. See [`SweepCli::accept`].
+    pub faults: Vec<(Option<usize>, FaultPlan)>,
 }
 
 /// Usage line for the sweep flags (shown next to [`BASE_USAGE`]).
 pub const SWEEP_USAGE: &str = "sweep: --spec FILE | --ids L|all | --scales L | --kinds L | \
      --hw L | --cubes-axis L | --l1-sets L | --l2-sets L | --energy-scale L | --gpu | \
-     --shard K/N | --gc | --gc-max-kb N | --gc-max-age-days N   (L = comma-separated list)";
+     --shard K/N | --gc | --gc-max-kb N | --gc-max-age-days N | \
+     --faults '[IDX:]PLAN[;...]' (PLAN e.g. stall-vault=0@100, drop-noc=5, panic)   \
+     (L = comma-separated list)";
 
 impl SweepCli {
     /// Offers `flag` to the sweep parser; `Ok(true)` if it was consumed.
@@ -391,9 +406,60 @@ impl SweepCli {
                 self.gc_max_age_days = Some(args.usize_value("--gc-max-age-days")? as u64);
                 self.gc = true;
             }
+            "--faults" => {
+                // `;`-separated `[IDX:]PLAN` entries. Fault directives never
+                // contain ':', so the first ':' always splits off the index.
+                let v = args.value("--faults")?;
+                for part in v.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+                    let (idx, plan_text) = match part.split_once(':') {
+                        Some((i, rest)) => {
+                            let i = i.trim().parse::<usize>().map_err(|_| {
+                                ArgError::new(format!("--faults: bad point index in '{part}'"))
+                            })?;
+                            (Some(i), rest)
+                        }
+                        None => (None, part),
+                    };
+                    let plan = FaultPlan::parse(plan_text)
+                        .map_err(|e| ArgError::new(format!("--faults: {e}")))?;
+                    self.faults.push((idx, plan));
+                }
+            }
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Applies the `--faults` plans to the enumerated sweep points. Indices
+    /// are **global** (pre-shard) point positions, so a faulted sharded
+    /// sweep targets the same point regardless of which shard runs it; a
+    /// plan with no index applies to every simulation point. Plans aimed at
+    /// GPU points or out-of-range indices are reported on stderr and
+    /// skipped.
+    pub fn apply_faults(&self, points: &mut [SweepPoint]) {
+        for (idx, plan) in &self.faults {
+            match idx {
+                None => {
+                    for p in points.iter_mut() {
+                        if let PointKind::Sim { hw, .. } = &mut p.kind {
+                            hw.faults = *plan;
+                        }
+                    }
+                }
+                Some(i) => match points.get_mut(*i) {
+                    Some(p) => match &mut p.kind {
+                        PointKind::Sim { hw, .. } => hw.faults = *plan,
+                        PointKind::Gpu { .. } => {
+                            eprintln!("sweep: --faults index {i} names a GPU point; fault ignored")
+                        }
+                    },
+                    None => eprintln!(
+                        "sweep: --faults index {i} out of range ({} points); ignored",
+                        points.len()
+                    ),
+                },
+            }
+        }
     }
 
     /// The GC policy the flags requested, if `--gc` was given.
@@ -562,6 +628,26 @@ mod tests {
         assert_eq!(policy.max_age_secs, Some(7 * 24 * 3600));
         let (_, cli) = sweep(&["--ids", "1"]);
         assert!(cli.gc_policy().is_none());
+    }
+
+    #[test]
+    fn faults_flag_parses_indices_and_plans() {
+        let (_, cli) = sweep(&["--faults", "0:stall-vault=2@100; panic", "--ids", "1"]);
+        assert_eq!(cli.faults.len(), 2);
+        assert_eq!(cli.faults[0].0, Some(0));
+        assert_eq!(cli.faults[0].1.stall_vault, Some((2, 100)));
+        assert_eq!(cli.faults[1].0, None);
+        assert!(cli.faults[1].1.panic_on_run);
+
+        let err = |args: &[&str]| {
+            let mut cli = SweepCli::default();
+            HarnessOptions::from_args_with(args.iter().map(|s| s.to_string()), |f, a| {
+                cli.accept(f, a)
+            })
+            .unwrap_err()
+        };
+        assert!(err(&["--faults", "0:bogus=1"]).message.contains("--faults"));
+        assert!(err(&["--faults", "x:panic"]).message.contains("point index"));
     }
 
     #[test]

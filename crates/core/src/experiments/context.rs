@@ -254,12 +254,19 @@ impl SuiteCache {
 
     /// Runs a job through the store: hit → cached result, miss → execute
     /// here (serially) and insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job fails. Rendering runs on the serial path with
+    /// trusted experiment definitions; supervised sweeps go through
+    /// [`spacea_harness::run_jobs_supervised`] instead.
     pub fn run_job(&mut self, job: &JobSpec) -> JobResult {
         let key = job.key();
         if let Some((result, _)) = self.store.lookup(key) {
             return result;
         }
-        let result = spacea_harness::exec::execute(job, &self.ctx);
+        let result = spacea_harness::exec::execute(job, &self.ctx)
+            .unwrap_or_else(|e| panic!("job {} failed: {e}", job.label()));
         self.store.insert(key, result.clone());
         result
     }

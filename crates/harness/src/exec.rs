@@ -1,17 +1,32 @@
-//! Job execution: shared in-process caches and the worker pool.
+//! Job execution: shared in-process caches and the supervised worker pool.
+//!
+//! Workers never let one bad job take down a sweep: every attempt runs under
+//! [`std::panic::catch_unwind`], hangs are cut off by the sim watchdog or an
+//! optional per-attempt wall-clock budget, and transient errors are retried
+//! with exponential backoff. [`run_jobs_supervised`] always returns one
+//! [`JobRecord`] per submitted job — failed jobs carry a
+//! [`JobStatus`] explaining what happened instead of a result.
 
 use crate::job::{JobSpec, MatrixSource};
 use crate::store::{CacheOutcome, JobResult, ResultStore};
-use crate::telemetry::JobRecord;
-use spacea_arch::Machine;
+use crate::telemetry::{JobRecord, JobStatus};
+use spacea_arch::{Machine, SimError};
 use spacea_gpu::simulate_csrmv;
 use spacea_mapping::{MachineShape, MapKind, Mapping};
 use spacea_matrix::Csr;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a memo mutex, recovering from poisoning: the maps only hold
+/// [`OnceLock`] cells (an interrupted init leaves the cell empty and
+/// retryable), so a worker that panicked cannot leave torn state behind.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The deterministic input vector used by every SpMV experiment.
 ///
@@ -52,7 +67,7 @@ impl JobCtx {
     /// iteration-count analysis.
     pub fn matrix(&self, source: &MatrixSource) -> Arc<Csr> {
         use crate::job::GraphOperand;
-        let cell = Arc::clone(self.matrices.lock().expect("ctx lock").entry(*source).or_default());
+        let cell = Arc::clone(lock(&self.matrices).entry(*source).or_default());
         Arc::clone(cell.get_or_init(|| match source {
             MatrixSource::Graph { graph, scale, operand }
                 if *operand != GraphOperand::Adjacency =>
@@ -79,9 +94,7 @@ impl JobCtx {
         kind: MapKind,
         shape: MachineShape,
     ) -> Arc<Mapping> {
-        let cell = Arc::clone(
-            self.mappings.lock().expect("ctx lock").entry((*source, kind, shape)).or_default(),
-        );
+        let cell = Arc::clone(lock(&self.mappings).entry((*source, kind, shape)).or_default());
         Arc::clone(cell.get_or_init(|| {
             let a = self.matrix(source);
             Arc::new(kind.strategy().map(&a, &shape))
@@ -89,12 +102,56 @@ impl JobCtx {
     }
 }
 
-/// Executes one job (no cache involvement).
-pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> JobResult {
+/// Why one execution attempt produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecFailure {
+    /// The attempt hung — the sim watchdog tripped (deadlock, livelock, or
+    /// cycle budget) or the wall-clock budget expired. Hangs are
+    /// deterministic for a fixed job, so the supervisor never retries them.
+    Hang {
+        /// The watchdog's diagnosis, or the wall-budget message.
+        diagnosis: String,
+    },
+    /// The attempt failed with an error or a panic; possibly transient.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ExecFailure {
+    fn from_sim(e: SimError) -> Self {
+        if e.is_hang() {
+            ExecFailure::Hang { diagnosis: e.to_string() }
+        } else {
+            ExecFailure::Error { message: e.to_string() }
+        }
+    }
+}
+
+impl std::fmt::Display for ExecFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecFailure::Hang { diagnosis } => write!(f, "hang: {diagnosis}"),
+            ExecFailure::Error { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+/// Executes one job (no cache involvement, no panic guard).
+///
+/// Untrusted inputs — the matrix source and the hardware config (validated
+/// inside [`Machine::run_spmv`]) — are checked up front and reported as
+/// [`ExecFailure::Error`] rather than panicking the worker.
+pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
+    let source = match spec {
+        JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
+    };
+    source.validate().map_err(|message| ExecFailure::Error { message })?;
     match spec {
         JobSpec::Gpu { source, spec } => {
             let a = ctx.matrix(source);
-            JobResult::Gpu(simulate_csrmv(spec, &a))
+            Ok(JobResult::Gpu(simulate_csrmv(spec, &a)))
         }
         JobSpec::Sim { source, kind, hw, .. } => {
             let a = ctx.matrix(source);
@@ -102,8 +159,118 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> JobResult {
             let x = input_vector(a.cols());
             let report = Machine::new(hw.clone())
                 .run_spmv(&a, &x, &mapping)
-                .expect("harness simulation must validate");
-            JobResult::Sim(Arc::new(report))
+                .map_err(ExecFailure::from_sim)?;
+            Ok(JobResult::Sim(Arc::new(report)))
+        }
+    }
+}
+
+/// [`execute`] behind a panic guard: a panicking job becomes an
+/// [`ExecFailure::Error`] instead of unwinding through the worker pool.
+fn guarded_execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
+    // AssertUnwindSafe: the only state shared across the boundary is the
+    // JobCtx memo (poison-tolerant locks over OnceLock cells; an interrupted
+    // init leaves the cell empty and retryable) and the panic payload itself.
+    match catch_unwind(AssertUnwindSafe(|| execute(spec, ctx))) {
+        Ok(r) => r,
+        Err(payload) => Err(ExecFailure::Error {
+            message: format!("job panicked: {}", panic_message(payload.as_ref())),
+        }),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// One execution attempt, optionally bounded by a wall-clock budget.
+///
+/// With a budget, the job runs on its own (named) thread and the worker
+/// waits at most `limit`; on expiry the attempt is reported as a
+/// [`ExecFailure::Hang`] and the thread is abandoned (detached) — it keeps
+/// the CPU it already holds but can no longer block the sweep.
+fn attempt(
+    spec: &JobSpec,
+    ctx: &Arc<JobCtx>,
+    wall_budget: Option<Duration>,
+) -> Result<JobResult, ExecFailure> {
+    let Some(limit) = wall_budget else { return guarded_execute(spec, ctx) };
+    let (tx, rx) = mpsc::channel();
+    let thread_spec = spec.clone();
+    let thread_ctx = Arc::clone(ctx);
+    let handle =
+        std::thread::Builder::new().name(format!("spacea-job:{}", spec.label())).spawn(move || {
+            let _ = tx.send(guarded_execute(&thread_spec, &thread_ctx));
+        });
+    let handle = match handle {
+        Ok(h) => h,
+        Err(e) => {
+            return Err(ExecFailure::Error { message: format!("failed to spawn job thread: {e}") })
+        }
+    };
+    match rx.recv_timeout(limit) {
+        Ok(result) => {
+            let _ = handle.join();
+            result
+        }
+        Err(_) => Err(ExecFailure::Hang {
+            diagnosis: format!(
+                "wall-clock budget of {:.3}s exceeded; attempt abandoned on its detached thread",
+                limit.as_secs_f64()
+            ),
+        }),
+    }
+}
+
+/// Retry and budget policy for supervised job execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// Wall-clock budget per attempt; `None` runs attempts inline on the
+    /// worker with no budget (the sim watchdog still bounds simulations).
+    pub wall_budget: Option<Duration>,
+    /// How many times a failed (not hung) attempt is retried.
+    pub max_retries: u32,
+    /// Backoff slept before the first retry; doubled for each further one.
+    pub backoff: Duration,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy { wall_budget: None, max_retries: 1, backoff: Duration::from_millis(20) }
+    }
+}
+
+/// Runs attempts under `policy` until one succeeds, the retry budget is
+/// spent, or the job hangs (hangs are deterministic: never retried).
+fn supervise(
+    spec: &JobSpec,
+    ctx: &Arc<JobCtx>,
+    policy: &SupervisionPolicy,
+) -> (Option<JobResult>, JobStatus) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt(spec, ctx, policy.wall_budget) {
+            Ok(result) => {
+                let status =
+                    if attempts == 1 { JobStatus::Ok } else { JobStatus::Retried { attempts } };
+                return (Some(result), status);
+            }
+            Err(ExecFailure::Hang { diagnosis }) => {
+                return (None, JobStatus::TimedOut { diagnosis });
+            }
+            Err(ExecFailure::Error { message }) => {
+                if attempts > policy.max_retries {
+                    return (None, JobStatus::Failed { error: message });
+                }
+                std::thread::sleep(policy.backoff.saturating_mul(1u32 << (attempts - 1).min(16)));
+            }
         }
     }
 }
@@ -117,7 +284,20 @@ pub fn dedup_jobs(jobs: Vec<JobSpec>) -> Vec<JobSpec> {
     jobs.into_iter().filter(|j| seen.insert(j.key())).collect()
 }
 
-/// Runs a job list on `workers` threads, filling `store`.
+/// What [`run_jobs_supervised`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// One record per submitted job, in input order. Failed jobs are
+    /// present with a failure [`JobStatus`], not dropped.
+    pub records: Vec<JobRecord>,
+    /// Labels of jobs whose worker could not deliver its record (the result
+    /// channel closed under it) — the record is still in `records`, this
+    /// list flags that the delivery path broke.
+    pub abandoned: Vec<String>,
+}
+
+/// Runs a job list on `workers` threads with the default
+/// [`SupervisionPolicy`], filling `store`.
 ///
 /// Returns one [`JobRecord`] per job **in input order**, regardless of which
 /// worker ran what when — combined with results living in the content-keyed
@@ -125,24 +305,46 @@ pub fn dedup_jobs(jobs: Vec<JobSpec>) -> Vec<JobSpec> {
 pub fn run_jobs(
     jobs: &[JobSpec],
     store: &ResultStore,
-    ctx: &JobCtx,
+    ctx: &Arc<JobCtx>,
     workers: usize,
 ) -> Vec<JobRecord> {
+    run_jobs_supervised(jobs, store, ctx, workers, &SupervisionPolicy::default()).records
+}
+
+/// [`run_jobs`] with an explicit [`SupervisionPolicy`].
+///
+/// A panicking, erroring, or hung job never takes the sweep down: its record
+/// carries a failure [`JobStatus`] and every other job still runs. Workers
+/// that cannot deliver a record (channel closed) park it in a side buffer
+/// instead of dropping it; any job that still ends up without a record gets
+/// a synthesized failure record so the accounting is always complete.
+pub fn run_jobs_supervised(
+    jobs: &[JobSpec],
+    store: &ResultStore,
+    ctx: &Arc<JobCtx>,
+    workers: usize,
+    policy: &SupervisionPolicy,
+) -> RunOutput {
     let workers = workers.max(1).min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobRecord)>();
+    let stranded: Mutex<Vec<(usize, JobRecord)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let stranded = &stranded;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
-                let record = run_one(i, &jobs[i], store, ctx);
-                if tx.send((i, record)).is_err() {
+                let record = run_one(i, &jobs[i], store, ctx, policy);
+                if let Err(e) = tx.send((i, record)) {
+                    // The receiver is gone. Keep the record instead of
+                    // dropping the evidence; the merge below logs it.
+                    lock(stranded).push(e.0);
                     break;
                 }
             });
@@ -154,26 +356,71 @@ pub fn run_jobs(
     for (i, record) in rx {
         ordered[i] = Some(record);
     }
-    ordered.into_iter().map(|r| r.expect("every job reports exactly once")).collect()
+    let mut abandoned = Vec::new();
+    for (i, record) in lock(&stranded).drain(..) {
+        abandoned.push(record.label.clone());
+        ordered[i] = Some(record);
+    }
+    let mut records = Vec::with_capacity(jobs.len());
+    for (i, slot) in ordered.into_iter().enumerate() {
+        records.push(match slot {
+            Some(r) => r,
+            None => {
+                // A worker died without reporting at all (should be
+                // impossible — attempts are panic-guarded). Synthesize a
+                // failure so the sweep's accounting stays complete.
+                let label = jobs[i].label();
+                eprintln!("spacea-harness: job {label} abandoned by its worker");
+                abandoned.push(label.clone());
+                JobRecord {
+                    index: i,
+                    label,
+                    key: jobs[i].key(),
+                    outcome: CacheOutcome::Computed,
+                    status: JobStatus::Failed {
+                        error: "worker abandoned the job without reporting".into(),
+                    },
+                    wall_ms: 0.0,
+                    cycles: None,
+                    events: None,
+                }
+            }
+        });
+    }
+    RunOutput { records, abandoned }
 }
 
-fn run_one(index: usize, spec: &JobSpec, store: &ResultStore, ctx: &JobCtx) -> JobRecord {
+fn run_one(
+    index: usize,
+    spec: &JobSpec,
+    store: &ResultStore,
+    ctx: &Arc<JobCtx>,
+    policy: &SupervisionPolicy,
+) -> JobRecord {
     let key = spec.key();
     let started = Instant::now();
-    let (result, outcome) = match store.lookup(key) {
-        Some((result, outcome)) => (result, outcome),
+    let (result, outcome, status) = match store.lookup(key) {
+        Some((result, outcome)) => (Some(result), outcome, JobStatus::Ok),
         None => {
-            let result = execute(spec, ctx);
-            store.insert(key, result.clone());
-            (result, CacheOutcome::Computed)
+            let (result, status) = supervise(spec, ctx, policy);
+            match &result {
+                // Only successes are cached: a failure must be re-attempted
+                // (and its cause visible) on every run that needs it.
+                Some(r) => store.insert(key, r.clone()),
+                None => {
+                    let reason = status.failure().unwrap_or("unknown");
+                    eprintln!("spacea-harness: job {} {}: {reason}", spec.label(), status.tag());
+                }
+            }
+            (result, CacheOutcome::Computed, status)
         }
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let (cycles, events) = match &result {
-        JobResult::Sim(report) => (Some(report.cycles), Some(report.events_processed)),
-        JobResult::Gpu(_) => (None, None),
+        Some(JobResult::Sim(report)) => (Some(report.cycles), Some(report.events_processed)),
+        _ => (None, None),
     };
-    JobRecord { index, label: spec.label(), key, outcome, wall_ms, cycles, events }
+    JobRecord { index, label: spec.label(), key, outcome, status, wall_ms, cycles, events }
 }
 
 #[cfg(test)]
@@ -233,13 +480,14 @@ mod tests {
     fn parallel_records_in_input_order_and_store_filled() {
         let jobs: Vec<JobSpec> = (1..=4).map(quick_sim).collect();
         let store = ResultStore::in_memory();
-        let ctx = JobCtx::new();
+        let ctx = Arc::new(JobCtx::new());
         let records = run_jobs(&jobs, &store, &ctx, 4);
         assert_eq!(records.len(), 4);
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.index, i);
             assert_eq!(r.key, jobs[i].key());
             assert_eq!(r.outcome, CacheOutcome::Computed);
+            assert_eq!(r.status, JobStatus::Ok);
             assert!(r.cycles.unwrap() > 0);
         }
         assert_eq!(store.len(), 4);
@@ -249,12 +497,25 @@ mod tests {
     }
 
     #[test]
+    fn invalid_source_is_a_failed_record_not_a_crash() {
+        let mut jobs = vec![quick_sim(1)];
+        if let JobSpec::Sim { source, .. } = &mut jobs[0] {
+            *source = MatrixSource::Suite { id: 99, scale: 256 };
+        }
+        let store = ResultStore::in_memory();
+        let records = run_jobs(&jobs, &store, &Arc::new(JobCtx::new()), 1);
+        assert_eq!(records[0].status.tag(), "failed");
+        assert!(records[0].status.failure().unwrap().contains("99"), "{:?}", records[0].status);
+        assert!(store.is_empty(), "failures must never be cached");
+    }
+
+    #[test]
     fn parallel_equals_serial_bit_for_bit() {
         let jobs: Vec<JobSpec> = (1..=6).map(quick_sim).collect();
         let serial_store = ResultStore::in_memory();
-        run_jobs(&jobs, &serial_store, &JobCtx::new(), 1);
+        run_jobs(&jobs, &serial_store, &Arc::new(JobCtx::new()), 1);
         let parallel_store = ResultStore::in_memory();
-        run_jobs(&jobs, &parallel_store, &JobCtx::new(), 4);
+        run_jobs(&jobs, &parallel_store, &Arc::new(JobCtx::new()), 4);
         for job in &jobs {
             let (a, _) = serial_store.lookup(job.key()).unwrap();
             let (b, _) = parallel_store.lookup(job.key()).unwrap();

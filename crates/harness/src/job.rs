@@ -52,7 +52,40 @@ pub enum MatrixSource {
 }
 
 impl MatrixSource {
+    /// Checks that this source names a generatable matrix, without
+    /// generating it. [`MatrixSource::generate`] panics on an unknown
+    /// Table I id (a programming error in the hard-coded experiment
+    /// enumerations), so user-supplied sources — sweep flags, spec files —
+    /// go through here first and fail as a structured job error instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad field.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            MatrixSource::Suite { id, scale } => {
+                if suite::entry_by_id(*id).is_none() {
+                    return Err(format!("unknown Table I matrix id {id}"));
+                }
+                if *scale == 0 {
+                    return Err("matrix scale must be positive".into());
+                }
+            }
+            MatrixSource::Graph { scale, .. } => {
+                if *scale == 0 {
+                    return Err("graph scale must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Generates the matrix this source names (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a source that fails [`MatrixSource::validate`]; callers
+    /// handling untrusted input validate first.
     pub fn generate(&self) -> Csr {
         match self {
             MatrixSource::Suite { id, scale } => {
@@ -289,6 +322,41 @@ fn feed_hw(h: &mut Fnv, hw: &HwConfig) {
     h.u64(hw.l2_cam_latency);
     h.u64(hw.fpu_latency);
     h.bool(hw.ldq_dedup);
+    // An injected fault changes what the run produces, so it is part of the
+    // job identity — but only when one is set, so every fault-free key (the
+    // entire pre-existing cache population) is preserved. The watchdog
+    // budgets are deliberately NOT hashed: they cannot change a successful
+    // result (failures are never cached), so hashing them would only split
+    // the cache.
+    if !hw.faults.is_empty() {
+        h.str("faults");
+        feed_opt_u64(h, hw.faults.drop_noc_packet);
+        feed_opt_pair(h, hw.faults.delay_noc);
+        feed_opt_pair(h, hw.faults.stall_vault.map(|(v, t)| (v as u64, t)));
+        feed_opt_u64(h, hw.faults.flip_accum_update);
+        h.bool(hw.faults.panic_on_run);
+    }
+}
+
+fn feed_opt_u64(h: &mut Fnv, v: Option<u64>) {
+    match v {
+        None => h.u8(0),
+        Some(x) => {
+            h.u8(1);
+            h.u64(x);
+        }
+    }
+}
+
+fn feed_opt_pair(h: &mut Fnv, v: Option<(u64, u64)>) {
+    match v {
+        None => h.u8(0),
+        Some((a, b)) => {
+            h.u8(1);
+            h.u64(a);
+            h.u64(b);
+        }
+    }
 }
 
 fn feed_gpu_spec(h: &mut Fnv, s: &TitanXpSpec) {
@@ -373,6 +441,35 @@ mod tests {
             energy.fpu_op_pj += 1.0;
         }
         assert_ne!(j.key(), base, "energy params must change the key");
+    }
+
+    #[test]
+    fn fault_plan_changes_key_but_watchdog_does_not() {
+        let base = sim_job().key();
+        let mut j = sim_job();
+        if let JobSpec::Sim { hw, .. } = &mut j {
+            hw.watchdog.stall_window = Some(123);
+            hw.watchdog.max_cycles = Some(9);
+        }
+        assert_eq!(j.key(), base, "watchdog budgets must not split the cache");
+        let mut j = sim_job();
+        if let JobSpec::Sim { hw, .. } = &mut j {
+            hw.faults.stall_vault = Some((0, 100));
+        }
+        assert_ne!(j.key(), base, "an injected fault must change the job identity");
+    }
+
+    #[test]
+    fn sources_validate_untrusted_fields() {
+        assert!(MatrixSource::Suite { id: 3, scale: 256 }.validate().is_ok());
+        assert!(MatrixSource::Suite { id: 99, scale: 256 }.validate().is_err());
+        assert!(MatrixSource::Suite { id: 3, scale: 0 }.validate().is_err());
+        let g = MatrixSource::Graph {
+            graph: CaseStudyGraph::Wiki,
+            scale: 0,
+            operand: GraphOperand::PageRank,
+        };
+        assert!(g.validate().is_err());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   land in a shared [`ResultStore`] keyed by [`JobKey`]; because rendering
 //!   reads results from the store (serially), table output is bit-for-bit
 //!   identical whatever the worker count or completion order.
+//! * [`run_jobs_supervised`] adds crash isolation on top: every attempt is
+//!   panic-guarded, hung simulations are cut off by the sim watchdog or a
+//!   per-attempt wall-clock budget, transient errors retry with backoff, and
+//!   each job ends with an explicit [`JobStatus`] so one bad job never takes
+//!   a sweep down.
 //! * [`ResultStore`] optionally persists every result as one JSON file per
 //!   key (default directory `target/spacea-cache/`), so a re-run only
 //!   simulates what changed. Floats are stored as IEEE-754 bit patterns and
@@ -42,13 +47,21 @@ pub mod store;
 pub mod sweep;
 pub mod telemetry;
 
-pub use exec::{dedup_jobs, input_vector, run_jobs, JobCtx};
+pub use exec::{
+    dedup_jobs, input_vector, run_jobs, run_jobs_supervised, ExecFailure, JobCtx, RunOutput,
+    SupervisionPolicy,
+};
 pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
 pub use store::{
     CacheOutcome, CacheStats, GcPolicy, GcReport, IndexEntry, JobResult, ResultStore, INDEX_FILE,
+    QUARANTINE_DIR,
 };
 pub use sweep::{dedup_points, shard_range, PointKind, SweepBase, SweepPoint, SweepSpec};
-pub use telemetry::{JobRecord, RunManifest};
+pub use telemetry::{JobRecord, JobStatus, RunManifest};
+
+// Fault-injection and watchdog knobs, re-exported so harness users (the
+// sweep binary, tests) need not depend on the arch crate directly.
+pub use spacea_arch::{FaultPlan, StallDiagnosis, WatchdogConfig};
 
 /// The default on-disk cache location, relative to the workspace root.
 pub const DEFAULT_CACHE_DIR: &str = "target/spacea-cache";

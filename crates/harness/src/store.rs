@@ -10,8 +10,16 @@ use spacea_sim::stats::{CamCounters, LdqCounters, SramCounters};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Locks a mutex, recovering the data from a poisoned lock. Every mutation
+/// under these locks is a single map/vec operation, so a worker that panicked
+/// mid-update can at worst leave a stale counter — never a torn result. The
+/// store must keep serving the surviving workers of a supervised sweep.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A finished job's result.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,17 +118,23 @@ pub struct GcReport {
     pub kept_bytes: u64,
     /// Entries exempt from eviction because this process hit or wrote them.
     pub protected: usize,
+    /// Quarantined (corrupt) files removed by this pass. Also counted in
+    /// `evicted`/`evicted_bytes`; this breaks out how many were quarantine
+    /// sweepings rather than live cache entries.
+    pub quarantined: usize,
 }
 
 impl GcReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "gc: scanned {} entries ({} B), evicted {} ({} B), kept {} ({} B), {} protected",
+            "gc: scanned {} entries ({} B), evicted {} ({} B, {} from quarantine), \
+             kept {} ({} B), {} protected",
             self.scanned,
             self.scanned_bytes,
             self.evicted,
             self.evicted_bytes,
+            self.quarantined,
             self.kept,
             self.kept_bytes,
             self.protected
@@ -188,28 +202,38 @@ impl ResultStore {
     /// memory hits. A corrupt on-disk entry counts as a miss *and* bumps
     /// [`CacheStats::corrupt`], recording the offending path.
     pub fn lookup(&self, key: JobKey) -> Option<(JobResult, CacheOutcome)> {
-        if let Some(r) = self.mem.lock().expect("store lock").get(&key.0) {
+        if let Some(r) = lock(&self.mem).get(&key.0) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
-            self.touched.lock().expect("touched lock").insert(key.0);
+            lock(&self.touched).insert(key.0);
             return Some((r.clone(), CacheOutcome::MemoryHit));
         }
         if let Some(dir) = &self.disk {
             match load_from_disk(dir, key) {
                 DiskRead::Hit(r) => {
                     self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                    self.touched.lock().expect("touched lock").insert(key.0);
-                    self.mem.lock().expect("store lock").insert(key.0, r.clone());
+                    lock(&self.touched).insert(key.0);
+                    lock(&self.mem).insert(key.0, r.clone());
                     self.note_hit(key);
                     return Some((r, CacheOutcome::DiskHit));
                 }
                 DiskRead::Corrupt(reason) => {
                     let path = cache_path(dir, key);
-                    eprintln!(
-                        "spacea-harness: corrupt cache entry {} ({reason}); recomputing",
-                        path.display()
-                    );
+                    match quarantine_entry(dir, key) {
+                        Ok(dest) => eprintln!(
+                            "spacea-harness: corrupt cache entry {} ({reason}); \
+                             quarantined to {} and recomputing",
+                            path.display(),
+                            dest.display()
+                        ),
+                        Err(e) => eprintln!(
+                            "spacea-harness: corrupt cache entry {} ({reason}); \
+                             quarantine failed ({e}); recomputing",
+                            path.display()
+                        ),
+                    }
                     self.corrupt.fetch_add(1, Ordering::Relaxed);
-                    self.corrupt_paths.lock().expect("corrupt lock").push(path);
+                    lock(&self.corrupt_paths).push(path);
+                    lock(&self.index).remove(&key.0);
                 }
                 DiskRead::Missing => {}
             }
@@ -223,12 +247,12 @@ impl ResultStore {
     /// Disk write failures are reported on stderr and otherwise ignored: the
     /// cache is an accelerator, not a correctness dependency.
     pub fn insert(&self, key: JobKey, result: JobResult) {
-        self.touched.lock().expect("touched lock").insert(key.0);
+        lock(&self.touched).insert(key.0);
         if let Some(dir) = &self.disk {
             match save_to_disk(dir, key, &result) {
                 Ok(bytes) => {
                     let now = now_secs();
-                    let mut index = self.index.lock().expect("index lock");
+                    let mut index = lock(&self.index);
                     let created = index.get(&key.0).map(|e| e.created).unwrap_or(now);
                     index.insert(key.0, IndexEntry { bytes, created, last_hit: now });
                     drop(index);
@@ -237,12 +261,12 @@ impl ResultStore {
                 Err(e) => eprintln!("spacea-harness: failed to persist job {key}: {e}"),
             }
         }
-        self.mem.lock().expect("store lock").insert(key.0, result);
+        lock(&self.mem).insert(key.0, result);
     }
 
     fn note_hit(&self, key: JobKey) {
         let now = now_secs();
-        let mut index = self.index.lock().expect("index lock");
+        let mut index = lock(&self.index);
         let entry = index.entry(key.0).or_insert(IndexEntry {
             bytes: self
                 .disk
@@ -263,7 +287,7 @@ impl ResultStore {
     pub fn persist_index(&self) -> std::io::Result<()> {
         let Some(dir) = &self.disk else { return Ok(()) };
         let entries = {
-            let index = self.index.lock().expect("index lock");
+            let index = lock(&self.index);
             let mut entries: Vec<(u64, IndexEntry)> = index.iter().map(|(&k, &e)| (k, e)).collect();
             entries.sort_unstable_by_key(|(k, _)| *k);
             entries
@@ -290,7 +314,7 @@ impl ResultStore {
 
     /// The current index, sorted by key (tests and doctors).
     pub fn index_snapshot(&self) -> Vec<(JobKey, IndexEntry)> {
-        let index = self.index.lock().expect("index lock");
+        let index = lock(&self.index);
         let mut entries: Vec<(JobKey, IndexEntry)> =
             index.iter().map(|(&k, &e)| (JobKey(k), e)).collect();
         entries.sort_unstable_by_key(|(k, _)| k.0);
@@ -299,7 +323,7 @@ impl ResultStore {
 
     /// Paths of on-disk entries that failed to decode this run.
     pub fn corrupt_paths(&self) -> Vec<PathBuf> {
-        self.corrupt_paths.lock().expect("corrupt lock").clone()
+        lock(&self.corrupt_paths).clone()
     }
 
     /// Enforces `policy` on the disk cache: evicts entries past the age
@@ -311,6 +335,11 @@ impl ResultStore {
     ///
     /// The index is rewritten to exactly the surviving files, so a gc pass
     /// also repairs a stale or missing `index.json`.
+    ///
+    /// Files under [`QUARANTINE_DIR`] (corrupt entries moved aside by
+    /// [`ResultStore::lookup`]) count against the same budgets: the age pass
+    /// removes old ones by file mtime, and the size pass evicts them before
+    /// any live entry — corrupt bytes never outcompete real results.
     pub fn gc(&self, policy: &GcPolicy) -> std::io::Result<GcReport> {
         let Some(dir) = self.disk.clone() else { return Ok(GcReport::default()) };
         let now = now_secs();
@@ -318,7 +347,7 @@ impl ResultStore {
         // the index with file mtime as the fallback for unindexed entries.
         let mut on_disk: Vec<(u64, u64, u64)> = Vec::new();
         {
-            let index = self.index.lock().expect("index lock");
+            let index = lock(&self.index);
             for entry in std::fs::read_dir(&dir)? {
                 let entry = entry?;
                 let name = entry.file_name();
@@ -341,17 +370,46 @@ impl ResultStore {
         }
         // Deterministic LRU order: oldest hit first, key as the tie-break.
         on_disk.sort_unstable_by_key(|&(key, _, last_hit)| (last_hit, key));
-        let touched = self.touched.lock().expect("touched lock").clone();
+        let touched = lock(&self.touched).clone();
+
+        // Quarantined (corrupt) files live under the same budgets: recency is
+        // their file mtime, they are never protected, and the size pass
+        // removes them before any live entry.
+        let mut quarantined: Vec<(PathBuf, u64, u64)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(dir.join(QUARANTINE_DIR)) {
+            for entry in entries.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                let mtime = meta
+                    .modified()
+                    .ok()
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map(|d| d.as_secs())
+                    .unwrap_or(now);
+                quarantined.push((entry.path(), meta.len(), mtime));
+            }
+        }
+        quarantined.sort_unstable_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
 
         let mut report = GcReport {
-            scanned: on_disk.len(),
-            scanned_bytes: on_disk.iter().map(|&(_, b, _)| b).sum(),
+            scanned: on_disk.len() + quarantined.len(),
+            scanned_bytes: on_disk.iter().map(|&(_, b, _)| b).sum::<u64>()
+                + quarantined.iter().map(|&(_, b, _)| b).sum::<u64>(),
             protected: on_disk.iter().filter(|&&(k, _, _)| touched.contains(&k)).count(),
             ..GcReport::default()
         };
         let mut total = report.scanned_bytes;
         let mut evict: HashSet<u64> = HashSet::new();
+        let mut q_evict: HashSet<usize> = HashSet::new();
         if let Some(max_age) = policy.max_age_secs {
+            for (i, &(_, bytes, mtime)) in quarantined.iter().enumerate() {
+                if now.saturating_sub(mtime) > max_age {
+                    q_evict.insert(i);
+                    total -= bytes;
+                }
+            }
             for &(key, bytes, last_hit) in &on_disk {
                 if now.saturating_sub(last_hit) > max_age && !touched.contains(&key) {
                     evict.insert(key);
@@ -360,6 +418,16 @@ impl ResultStore {
             }
         }
         if let Some(max_bytes) = policy.max_bytes {
+            for (i, &(_, bytes, _)) in quarantined.iter().enumerate() {
+                if total <= max_bytes {
+                    break;
+                }
+                if q_evict.contains(&i) {
+                    continue;
+                }
+                q_evict.insert(i);
+                total -= bytes;
+            }
             for &(key, bytes, _) in &on_disk {
                 if total <= max_bytes {
                     break; // budget met: never evict more than needed
@@ -372,6 +440,17 @@ impl ResultStore {
             }
         }
 
+        for (i, (path, bytes, _)) in quarantined.iter().enumerate() {
+            if q_evict.contains(&i) {
+                std::fs::remove_file(path)?;
+                report.evicted += 1;
+                report.evicted_bytes += bytes;
+                report.quarantined += 1;
+            } else {
+                report.kept += 1;
+                report.kept_bytes += bytes;
+            }
+        }
         for &(key, bytes, _) in &on_disk {
             if evict.contains(&key) {
                 std::fs::remove_file(cache_path(&dir, JobKey(key)))?;
@@ -385,7 +464,7 @@ impl ResultStore {
 
         // Rewrite the index to exactly the surviving files.
         {
-            let mut index = self.index.lock().expect("index lock");
+            let mut index = lock(&self.index);
             let survivors: HashMap<u64, (u64, u64)> = on_disk
                 .iter()
                 .filter(|(k, _, _)| !evict.contains(k))
@@ -414,7 +493,7 @@ impl ResultStore {
 
     /// Number of results currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("store lock").len()
+        lock(&self.mem).len()
     }
 
     /// Whether the in-memory map is empty.
@@ -426,8 +505,25 @@ impl ResultStore {
 /// The index file name inside a cache directory.
 pub const INDEX_FILE: &str = "index.json";
 
+/// Subdirectory of a cache directory holding corrupt entries moved aside by
+/// [`ResultStore::lookup`]. Swept by [`ResultStore::gc`] under the same
+/// budgets as live entries (quarantined files are evicted first and are
+/// never protected).
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 fn cache_path(dir: &Path, key: JobKey) -> PathBuf {
     dir.join(format!("{key}.json"))
+}
+
+/// Moves a corrupt cache entry into `<dir>/quarantine/` so later runs do not
+/// keep re-parsing (and re-reporting) the same damaged file, while keeping
+/// the bytes around for a post-mortem.
+fn quarantine_entry(dir: &Path, key: JobKey) -> std::io::Result<PathBuf> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir)?;
+    let dest = qdir.join(format!("{key}.json"));
+    std::fs::rename(cache_path(dir, key), &dest)?;
+    Ok(dest)
 }
 
 enum DiskRead {
@@ -888,6 +984,72 @@ mod tests {
         assert_eq!((report.scanned, report.evicted, report.kept), (1, 0, 1));
         assert_eq!(store.index_snapshot().len(), 1);
         assert!(dir.join(INDEX_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_reparsed() {
+        let dir = tmp_dir("quarantine");
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let key = JobKey(11);
+        std::fs::write(cache_path(&dir, key), "{not json").unwrap();
+        assert!(store.lookup(key).is_none());
+        // The damaged file moved aside...
+        assert!(!cache_path(&dir, key).exists());
+        assert!(dir.join(QUARANTINE_DIR).join(format!("{key}.json")).exists());
+        // ...so the next lookup is a plain miss, not another corrupt parse.
+        assert!(store.lookup(key).is_none());
+        assert_eq!(store.stats().corrupt, 1);
+        // And the slot is usable again.
+        store.insert(key, JobResult::Gpu(sample_gpu()));
+        assert_eq!(store.lookup(key).unwrap().1, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_byte_budget_sweeps_quarantine_before_live_entries() {
+        let dir = tmp_dir("gc-quarantine");
+        let store = ResultStore::with_disk(&dir).unwrap();
+        store.insert(JobKey(1), JobResult::Gpu(sample_gpu()));
+        let bad = JobKey(0x2222);
+        std::fs::write(cache_path(&dir, bad), "{not json").unwrap();
+        assert!(store.lookup(bad).is_none());
+        let qfile = dir.join(QUARANTINE_DIR).join(format!("{bad}.json"));
+        assert!(qfile.exists());
+        // Byte budget 0: the entry written by this run is protected, but the
+        // quarantined file never is — it must go.
+        let report = store.gc(&GcPolicy { max_bytes: Some(0), max_age_secs: None }).unwrap();
+        assert_eq!(report.quarantined, 1, "{report:?}");
+        assert_eq!(report.scanned, 2);
+        assert!(!qfile.exists());
+        assert!(cache_path(&dir, JobKey(1)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_age_budget_sweeps_old_quarantined_files() {
+        let dir = tmp_dir("gc-quarantine-age");
+        let store = ResultStore::with_disk(&dir).unwrap();
+        let bad = JobKey(0x3333);
+        std::fs::write(cache_path(&dir, bad), "{not json").unwrap();
+        assert!(store.lookup(bad).is_none());
+        let qfile = dir.join(QUARANTINE_DIR).join(format!("{bad}.json"));
+        // Backdate the quarantined file two hours; a one-hour age budget
+        // must sweep it while leaving a fresh one alone.
+        let old = SystemTime::now() - std::time::Duration::from_secs(7200);
+        std::fs::File::options()
+            .write(true)
+            .open(&qfile)
+            .unwrap()
+            .set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        let fresh = JobKey(0x4444);
+        std::fs::write(cache_path(&dir, fresh), "{not json").unwrap();
+        assert!(store.lookup(fresh).is_none());
+        let report = store.gc(&GcPolicy { max_bytes: None, max_age_secs: Some(3600) }).unwrap();
+        assert_eq!(report.quarantined, 1, "{report:?}");
+        assert!(!qfile.exists());
+        assert!(dir.join(QUARANTINE_DIR).join(format!("{fresh}.json")).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,6 +5,55 @@ use crate::job::JobKey;
 use crate::json::Json;
 use crate::store::{CacheOutcome, CacheStats};
 
+/// How one supervised job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job produced a result on its first attempt (or from cache).
+    Ok,
+    /// The job produced a result after one or more failed attempts.
+    Retried {
+        /// Total attempts, including the final successful one.
+        attempts: u32,
+    },
+    /// Every attempt failed; no result exists for this job.
+    Failed {
+        /// The last attempt's error message.
+        error: String,
+    },
+    /// The job hung (sim watchdog or wall-clock budget); hangs are
+    /// deterministic for a fixed job, so it was not retried.
+    TimedOut {
+        /// The watchdog's stall diagnosis, or the wall-budget message.
+        diagnosis: String,
+    },
+}
+
+impl JobStatus {
+    /// Short JSON/display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Retried { .. } => "retried",
+            JobStatus::Failed { .. } => "failed",
+            JobStatus::TimedOut { .. } => "timed-out",
+        }
+    }
+
+    /// Whether a result exists for this job.
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobStatus::Ok | JobStatus::Retried { .. })
+    }
+
+    /// The failure message, if the job did not produce a result.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            JobStatus::Failed { error } => Some(error),
+            JobStatus::TimedOut { diagnosis } => Some(diagnosis),
+            _ => None,
+        }
+    }
+}
+
 /// Telemetry for one job in a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
@@ -16,6 +65,9 @@ pub struct JobRecord {
     pub key: JobKey,
     /// Where the result came from.
     pub outcome: CacheOutcome,
+    /// How the job ended (a failed job's `outcome` is `Computed`: the cache
+    /// had nothing and the worker attempted the computation).
+    pub status: JobStatus,
     /// Wall time spent obtaining the result (lookup or compute), ms.
     pub wall_ms: f64,
     /// Simulated cycles (simulation jobs only).
@@ -38,6 +90,10 @@ pub struct RunManifest {
     /// On-disk cache entries that failed to decode (treated as misses); the
     /// run summary surfaces them so silent cache damage is visible.
     pub corrupt_paths: Vec<String>,
+    /// Labels of jobs whose worker could not report back (the result channel
+    /// closed under it). Their records are synthesized as failures; this list
+    /// makes the abandonment itself visible.
+    pub abandoned: Vec<String>,
 }
 
 impl RunManifest {
@@ -63,8 +119,15 @@ impl RunManifest {
                     ("label", Json::Str(r.label.clone())),
                     ("key", Json::Str(r.key.to_string())),
                     ("outcome", Json::Str(r.outcome.tag().into())),
+                    ("status", Json::Str(r.status.tag().into())),
                     ("wall_us", Json::U64((r.wall_ms * 1e3) as u64)),
                 ];
+                if let JobStatus::Retried { attempts } = r.status {
+                    pairs.push(("attempts", Json::U64(attempts as u64)));
+                }
+                if let Some(f) = r.status.failure() {
+                    pairs.push(("failure", Json::Str(f.to_string())));
+                }
                 if let Some(c) = r.cycles {
                     pairs.push(("cycles", Json::U64(c)));
                 }
@@ -91,6 +154,7 @@ impl RunManifest {
                 "corrupt_paths",
                 Json::Arr(self.corrupt_paths.iter().map(|p| Json::Str(p.clone())).collect()),
             ),
+            ("abandoned", Json::Arr(self.abandoned.iter().map(|l| Json::Str(l.clone())).collect())),
             ("jobs", Json::Arr(jobs)),
         ])
         .to_text()
@@ -116,6 +180,26 @@ impl RunManifest {
         out.push_str(&format!(
             "harness: {sim_cycles} simulated cycles, {events} events processed\n"
         ));
+        let failed = self.records.iter().filter(|r| r.status.tag() == "failed").count();
+        let timed_out = self.records.iter().filter(|r| r.status.tag() == "timed-out").count();
+        let retried = self.records.iter().filter(|r| r.status.tag() == "retried").count();
+        if failed + timed_out + retried > 0 {
+            out.push_str(&format!(
+                "harness: {failed} failed, {timed_out} timed out, {retried} retried\n"
+            ));
+            for r in &self.records {
+                if let Some(f) = r.status.failure() {
+                    out.push_str(&format!("harness:   {}: {} — {f}\n", r.status.tag(), r.label));
+                }
+            }
+        }
+        if !self.abandoned.is_empty() {
+            out.push_str(&format!(
+                "harness: {} job(s) abandoned by their worker: {}\n",
+                self.abandoned.len(),
+                self.abandoned.join(", ")
+            ));
+        }
         let mut slowest: Vec<&JobRecord> =
             self.records.iter().filter(|r| r.outcome == CacheOutcome::Computed).collect();
         slowest.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
@@ -155,6 +239,7 @@ mod tests {
                     label: "sim:m1/256:proposed".into(),
                     key: JobKey(1),
                     outcome: CacheOutcome::Computed,
+                    status: JobStatus::Ok,
                     wall_ms: 900.0,
                     cycles: Some(1000),
                     events: Some(5000),
@@ -164,6 +249,7 @@ mod tests {
                     label: "gpu:m1/256".into(),
                     key: JobKey(2),
                     outcome: CacheOutcome::DiskHit,
+                    status: JobStatus::Ok,
                     wall_ms: 1.5,
                     cycles: None,
                     events: None,
@@ -171,6 +257,7 @@ mod tests {
             ],
             stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1, corrupt: 0 },
             corrupt_paths: Vec::new(),
+            abandoned: Vec::new(),
         }
     }
 
@@ -182,6 +269,8 @@ mod tests {
         let jobs = v.get("jobs").unwrap().as_arr().unwrap();
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].get("outcome").unwrap().as_str(), Some("computed"));
+        assert_eq!(jobs[0].get("status").unwrap().as_str(), Some("ok"));
+        assert!(jobs[0].get("failure").is_none());
         assert_eq!(jobs[0].get("cycles").unwrap().as_u64(), Some(1000));
         assert_eq!(jobs[1].get("outcome").unwrap().as_str(), Some("disk-hit"));
         assert!(jobs[1].get("cycles").is_none());
@@ -200,6 +289,38 @@ mod tests {
         assert!(s.contains("1 computed, 1 disk hits"), "{s}");
         assert!(s.contains("slowest: sim:m1/256:proposed"), "{s}");
         assert!(!s.contains("corrupt"), "clean runs must not mention corruption: {s}");
+    }
+
+    #[test]
+    fn failures_surface_in_json_and_summary() {
+        let mut m = manifest();
+        m.records[0].status =
+            JobStatus::TimedOut { diagnosis: "no retirement in 1000 cycles; vault 2".into() };
+        m.records[1].status = JobStatus::Failed { error: "job panicked: boom".into() };
+        m.abandoned = vec!["sim:m9/8:proposed".into()];
+        let v = json::parse(&m.to_json()).unwrap();
+        let jobs = v.get("jobs").unwrap().as_arr().unwrap();
+        assert_eq!(jobs[0].get("status").unwrap().as_str(), Some("timed-out"));
+        assert!(jobs[0].get("failure").unwrap().as_str().unwrap().contains("vault 2"));
+        assert_eq!(jobs[1].get("status").unwrap().as_str(), Some("failed"));
+        let abandoned = v.get("abandoned").unwrap().as_arr().unwrap();
+        assert_eq!(abandoned[0].as_str(), Some("sim:m9/8:proposed"));
+        let s = m.summary();
+        assert!(s.contains("1 failed, 1 timed out, 0 retried"), "{s}");
+        assert!(s.contains("vault 2"), "{s}");
+        assert!(s.contains("abandoned by their worker"), "{s}");
+    }
+
+    #[test]
+    fn retried_status_reports_attempts() {
+        let mut m = manifest();
+        m.records[0].status = JobStatus::Retried { attempts: 3 };
+        assert!(m.records[0].status.is_success());
+        let v = json::parse(&m.to_json()).unwrap();
+        let job = &v.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(job.get("status").unwrap().as_str(), Some("retried"));
+        assert_eq!(job.get("attempts").unwrap().as_u64(), Some(3));
+        assert!(job.get("failure").is_none());
     }
 
     #[test]

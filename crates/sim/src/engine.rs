@@ -162,14 +162,31 @@ impl<E> EventQueue<E> {
     /// Panics if the invariant is violated, which would indicate a bug in
     /// the queue itself (events lost or double-delivered).
     pub fn check_counters(&self) {
-        assert_eq!(
-            self.scheduled - self.processed,
-            self.heap.len() as u64,
-            "event-queue counter invariant violated: scheduled {} - processed {} != pending {}",
-            self.scheduled,
-            self.processed,
-            self.heap.len()
-        );
+        if let Err(msg) = self.try_check_counters() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Checks the counter invariant `scheduled − processed == len`,
+    /// returning the violation as a message instead of panicking — for
+    /// callers (the machine's supervised run path) that surface it as a
+    /// structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming all three counters when the invariant does
+    /// not hold.
+    pub fn try_check_counters(&self) -> Result<(), String> {
+        if self.scheduled.checked_sub(self.processed) == Some(self.heap.len() as u64) {
+            Ok(())
+        } else {
+            Err(format!(
+                "event-queue counter invariant violated: scheduled {} - processed {} != pending {}",
+                self.scheduled,
+                self.processed,
+                self.heap.len()
+            ))
+        }
     }
 }
 
@@ -274,6 +291,15 @@ mod tests {
         }
         assert_eq!(q.processed_count(), processed);
         assert_eq!(q.scheduled_count(), processed, "drained queue: all scheduled were processed");
+    }
+
+    #[test]
+    fn try_check_counters_reports_instead_of_panicking() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        assert!(q.try_check_counters().is_ok());
+        q.pop();
+        assert!(q.try_check_counters().is_ok());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Deterministic fault injection and forward-progress supervision.
+//!
+//! A [`FaultPlan`] describes a single deliberate defect — a dropped or
+//! delayed NoC packet, a wedged vault controller, a corrupted accumulator
+//! update, or an outright panic — that the machine injects at an exact,
+//! counter-addressed point in the run. Plans exist to *prove* the
+//! robustness layer: every fault must surface as a structured failure
+//! (deadlock, livelock, validation error), never as a silently wrong
+//! result.
+//!
+//! A [`WatchdogConfig`] bounds the run loop: a total cycle budget and a
+//! stall window (maximum cycles between two retirements). When either
+//! trips, the machine aborts with a [`StallDiagnosis`] naming the most
+//! loaded vault and its queue occupancy.
+
+use crate::Cycle;
+use std::fmt;
+
+/// A deterministic single-fault injection plan, threaded through the
+/// hardware configuration. The default (empty) plan injects nothing and
+/// is free at runtime.
+///
+/// Faults are addressed by event ordinals, not probabilities, so a plan
+/// reproduces exactly: the Nth routed NoC packet, the Nth accumulator
+/// update, a named vault from a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Drop the Nth cross-vault NoC packet (0-based). The lost message
+    /// strands its waiters, so the run ends in a diagnosed deadlock.
+    pub drop_noc_packet: Option<u64>,
+    /// Delay every cross-vault NoC packet from ordinal N onward by D
+    /// cycles. The run stays correct, just slower.
+    pub delay_noc: Option<(u64, Cycle)>,
+    /// Wedge vault V's controller from cycle T: events addressed to it are
+    /// bounced forward instead of handled, so the run livelocks until the
+    /// stall-window watchdog fires.
+    pub stall_vault: Option<(usize, Cycle)>,
+    /// Corrupt the Nth accumulator update by +1.0. The output oracle must
+    /// catch it as a validation failure.
+    pub flip_accum_update: Option<u64>,
+    /// Panic at the start of the run loop (exercises the harness's
+    /// `catch_unwind` supervision).
+    pub panic_on_run: bool,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing (the default).
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parses a comma-separated list of fault directives:
+    ///
+    /// * `drop-noc=N` — drop the Nth routed NoC packet
+    /// * `delay-noc=N@D` — delay packets from ordinal N by D cycles
+    /// * `stall-vault=V@T` — wedge vault V from cycle T
+    /// * `flip-accum=N` — corrupt the Nth accumulator update
+    /// * `panic` — panic at run start
+    ///
+    /// Directives never contain `:`, so callers can prefix a plan with an
+    /// index (`3:stall-vault=0@100`) unambiguously.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending directive when one is
+    /// unknown or malformed.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for directive in s.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+            match directive.split_once('=') {
+                None if directive == "panic" => plan.panic_on_run = true,
+                Some(("drop-noc", n)) => plan.drop_noc_packet = Some(parse_u64("drop-noc", n)?),
+                Some(("delay-noc", v)) => plan.delay_noc = Some(parse_at("delay-noc", v)?),
+                Some(("stall-vault", v)) => {
+                    let (vault, from) = parse_at("stall-vault", v)?;
+                    plan.stall_vault = Some((vault as usize, from));
+                }
+                Some(("flip-accum", n)) => {
+                    plan.flip_accum_update = Some(parse_u64("flip-accum", n)?)
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown fault directive '{directive}' (expected drop-noc=N, \
+                         delay-noc=N@D, stall-vault=V@T, flip-accum=N, or panic)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        let mut part = |f: &mut fmt::Formatter<'_>, s: String| {
+            let r = write!(f, "{sep}{s}");
+            sep = ",";
+            r
+        };
+        if let Some(n) = self.drop_noc_packet {
+            part(f, format!("drop-noc={n}"))?;
+        }
+        if let Some((n, d)) = self.delay_noc {
+            part(f, format!("delay-noc={n}@{d}"))?;
+        }
+        if let Some((v, t)) = self.stall_vault {
+            part(f, format!("stall-vault={v}@{t}"))?;
+        }
+        if let Some(n) = self.flip_accum_update {
+            part(f, format!("flip-accum={n}"))?;
+        }
+        if self.panic_on_run {
+            part(f, "panic".to_string())?;
+        }
+        if sep.is_empty() {
+            write!(f, "none")?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64(what: &str, v: &str) -> Result<u64, String> {
+    v.trim().parse().map_err(|_| format!("{what} needs an unsigned integer, got '{v}'"))
+}
+
+fn parse_at(what: &str, v: &str) -> Result<(u64, Cycle), String> {
+    let (a, b) =
+        v.split_once('@').ok_or_else(|| format!("{what} needs the form N@M, got '{v}'"))?;
+    Ok((parse_u64(what, a)?, parse_u64(what, b)?))
+}
+
+/// Forward-progress budgets for the machine run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Abort when simulated time passes this cycle count. `None` (the
+    /// default) leaves total time unbounded — the stall window alone
+    /// catches hangs without penalizing large healthy runs.
+    pub max_cycles: Option<Cycle>,
+    /// Abort when no retirement (matrix entry consumed or Y element
+    /// written back) happens for this many cycles while work is still
+    /// outstanding. Healthy runs retire continuously, so the generous
+    /// default never fires on them.
+    pub stall_window: Option<Cycle>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { max_cycles: None, stall_window: Some(1_000_000) }
+    }
+}
+
+/// Outstanding work in one vault at the moment a watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VaultOccupancy {
+    /// Global vault id.
+    pub vault: usize,
+    /// In-flight distinct block requests across the vault's L1 load queues.
+    pub l1_ldq: usize,
+    /// In-flight distinct block requests in the vault's L2 load queue.
+    pub l2_ldq: usize,
+    /// Outstanding row-load requests from the vault's PEs.
+    pub pe_pending: usize,
+}
+
+impl VaultOccupancy {
+    /// Total outstanding requests parked on this vault.
+    pub fn total(&self) -> usize {
+        self.l1_ldq + self.l2_ldq + self.pe_pending
+    }
+}
+
+/// A snapshot of machine state taken when a watchdog aborted the run:
+/// what was left to do, where it was parked, and which vault looks
+/// responsible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnosis {
+    /// Simulated cycle at abort.
+    pub cycle: Cycle,
+    /// Matrix entries not yet consumed.
+    pub entries_left: u64,
+    /// Y elements not yet written back.
+    pub y_left: u64,
+    /// Events still pending in the queue.
+    pub pending_events: usize,
+    /// The most loaded vault (ties broken toward the lowest id), if any
+    /// vault holds outstanding work.
+    pub suspect_vault: Option<usize>,
+    /// Per-vault occupancy, vaults with no outstanding work elided.
+    pub vaults: Vec<VaultOccupancy>,
+}
+
+impl fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} entries + {} Y partials outstanding, {} events pending",
+            self.cycle, self.entries_left, self.y_left, self.pending_events
+        )?;
+        match self.suspect_vault.and_then(|v| self.vaults.iter().find(|o| o.vault == v)) {
+            Some(o) => write!(
+                f,
+                "; suspect vault {} (L1-LDQ {}, L2-LDQ {}, PE in-flight {})",
+                o.vault, o.l1_ldq, o.l2_ldq, o.pe_pending
+            ),
+            None => write!(f, "; no vault holds outstanding requests"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_parses_and_is_empty() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.to_string(), "none");
+    }
+
+    #[test]
+    fn directives_parse_into_the_right_fields() {
+        let plan =
+            FaultPlan::parse("drop-noc=7, delay-noc=3@50, stall-vault=2@100, flip-accum=9, panic")
+                .unwrap();
+        assert_eq!(plan.drop_noc_packet, Some(7));
+        assert_eq!(plan.delay_noc, Some((3, 50)));
+        assert_eq!(plan.stall_vault, Some((2, 100)));
+        assert_eq!(plan.flip_accum_update, Some(9));
+        assert!(plan.panic_on_run);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let plan = FaultPlan::parse("stall-vault=0@100,flip-accum=4").unwrap();
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn malformed_directives_are_named_in_the_error() {
+        for bad in ["drop-noc=x", "delay-noc=5", "stall-vault=1", "warp-core-breach", "panic=1"] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "no message for '{bad}'");
+        }
+    }
+
+    #[test]
+    fn diagnosis_names_the_suspect_vault() {
+        let d = StallDiagnosis {
+            cycle: 1234,
+            entries_left: 10,
+            y_left: 2,
+            pending_events: 3,
+            suspect_vault: Some(0),
+            vaults: vec![VaultOccupancy { vault: 0, l1_ldq: 4, l2_ldq: 1, pe_pending: 2 }],
+        };
+        let text = d.to_string();
+        assert!(text.contains("suspect vault 0"), "{text}");
+        assert!(text.contains("10 entries"), "{text}");
+        assert_eq!(d.vaults[0].total(), 7);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`noc`] — 2D-mesh network-on-chip with X-Y routing and the paper's
 //!   bytes×hops traffic metric.
 //! * [`stats`] — the event ledger consumed by the energy model.
+//! * [`fault`] — deterministic fault-injection plans and the
+//!   forward-progress watchdog configuration/diagnosis types.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 pub mod cam;
 pub mod dram;
 pub mod engine;
+pub mod fault;
 pub mod ldq;
 pub mod link;
 pub mod noc;
