@@ -36,4 +36,18 @@ grep -q "failed" target/sweep-faults.csv
 grep -q '"status":"timed-out"' "$FAULT_CACHE/last-run.json"
 grep -q "vault 0" "$FAULT_CACHE/last-run.json"
 
+# Timeline smoke test: a sweep with one stalled and one healthy job must
+# export a Perfetto-loadable timeline for the healthy job, and the stalled
+# vault's diagnosis must carry its occupancy time series.
+TL_CACHE=target/spacea-cache-timeline
+rm -rf "$TL_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- --quick --ids 1,2 --csv --jobs 2 \
+  --cache-dir "$TL_CACHE" --timeline --faults "1:stall-vault=0@100" > target/sweep-timeline.csv
+grep -q "timed-out" target/sweep-timeline.csv
+for f in "$TL_CACHE"/timelines/*.json; do
+  cargo run --release -p spacea-bench --bin timeline -- --validate "$f"
+done
+grep -q "occupancy history" "$TL_CACHE/last-run.json"
+grep -q "vault 0" "$TL_CACHE/last-run.json"
+
 echo "ci.sh: all checks passed"

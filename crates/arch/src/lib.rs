@@ -47,7 +47,9 @@ pub mod trace;
 
 pub use config::HwConfig;
 pub use layout::{DataLayout, SlotId};
-pub use machine::{Machine, SimError};
+pub use machine::{Machine, ObserveConfig, SimError};
 pub use report::SimReport;
-pub use spacea_sim::fault::{FaultPlan, StallDiagnosis, VaultOccupancy, WatchdogConfig};
-pub use trace::{TraceEvent, TraceRecord};
+pub use spacea_sim::fault::{
+    FaultPlan, OccupancyHistory, OccupancySample, StallDiagnosis, VaultOccupancy, WatchdogConfig,
+};
+pub use trace::{timeline_slices, TraceEvent, TraceRecord};

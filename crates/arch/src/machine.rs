@@ -38,16 +38,19 @@ use crate::trace::{TraceEvent, TraceRecord};
 use spacea_mapping::Mapping;
 use spacea_matrix::Csr;
 use spacea_model::ActivitySummary;
+use spacea_obs::{MetricKey, Sampler, SamplerConfig, Timeline};
 use spacea_sim::cam::Cam;
 use spacea_sim::dram::{AccessKind, DramBank};
 use spacea_sim::engine::EventQueue;
-use spacea_sim::fault::{StallDiagnosis, VaultOccupancy};
+use spacea_sim::fault::{OccupancyHistory, OccupancySample, StallDiagnosis, VaultOccupancy};
 use spacea_sim::ldq::{LdqPush, LoadQueue};
 use spacea_sim::link::Link;
 use spacea_sim::noc::MeshNoc;
-use spacea_sim::stats::SramCounters;
+use spacea_sim::stats::{CamCounters, SramCounters};
 use spacea_sim::trace::TraceLog;
 use spacea_sim::Cycle;
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -229,6 +232,58 @@ impl Machine {
         let trace = std::mem::take(&mut sim.trace);
         Ok((sim.finish(a, x)?, trace))
     }
+
+    /// Like [`Machine::run_spmv`], additionally sampling per-component
+    /// gauges (queue occupancy, CAM and row-buffer hit rates, TSV/NoC
+    /// traffic) on the configured cadence and deriving duration slices from
+    /// the bounded event trace. The returned [`Timeline`] exports to CSV or
+    /// Perfetto-loadable Chrome trace JSON (see `spacea-obs`).
+    ///
+    /// Observation is pure reading: an observed run retires in exactly the
+    /// same cycles as a plain one.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Machine::run_spmv`].
+    pub fn run_spmv_observed(
+        &self,
+        a: &Csr,
+        x: &[f64],
+        mapping: &Mapping,
+        obs: &ObserveConfig,
+    ) -> Result<(SimReport, Timeline), SimError> {
+        self.preflight(a, x, mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        sim.trace = TraceLog::new(obs.trace_capacity);
+        sim.arm_sampler(SamplerConfig { every: obs.every, capacity: obs.capacity });
+        sim.run()?;
+        let end = sim.end_time;
+        let mut sampler = sim.sampler.take().expect("sampler armed above");
+        // Final snapshot at the end cycle so short runs still get a series.
+        sampler.sample_now(end, &sim);
+        let mut timeline = sampler.into_timeline();
+        let trace = std::mem::take(&mut sim.trace);
+        timeline.slices = crate::trace::timeline_slices(trace.records());
+        Ok((sim.finish(a, x)?, timeline))
+    }
+}
+
+/// What [`Machine::run_spmv_observed`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveConfig {
+    /// Sample every gauge each N cycles (clamped to ≥ 1).
+    pub every: Cycle,
+    /// Maximum windows kept per gauge series; beyond that the series
+    /// downsamples, so memory stays flat however long the run is.
+    pub capacity: usize,
+    /// Bounded event-trace prefix length the duration slices derive from.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig { every: 4096, capacity: 256, trace_capacity: 65_536 }
+    }
 }
 
 /// Simulation events. Every event carries its destination component id.
@@ -309,6 +364,15 @@ struct Sim<'a> {
     queue_sram: SramCounters,
     fpu_ops: u64,
     trace: TraceLog<TraceRecord>,
+
+    // Always-on per-vault occupancy history ring (last OCC_HISTORY samples)
+    // feeding `StallDiagnosis::history`, plus the optional full gauge
+    // sampler armed by observed runs. Both are pure readers: they must
+    // never change what the machine does, only record it.
+    occ_hist: Vec<VecDeque<OccupancySample>>,
+    occ_every: Cycle,
+    occ_next: Cycle,
+    sampler: Option<Sampler<Sim<'a>>>,
 }
 
 impl<'a> Sim<'a> {
@@ -382,7 +446,114 @@ impl<'a> Sim<'a> {
             queue_sram: SramCounters::default(),
             fpu_ops: 0,
             trace: TraceLog::disabled(),
+            occ_hist: vec![VecDeque::new(); vaults],
+            // Sixteen history points per stall window give the diagnosis a
+            // trend, not a snapshot; without a window, sample sparsely.
+            occ_every: cfg.watchdog.stall_window.map_or(65_536, |w| (w / 16).max(1)),
+            occ_next: 0,
+            sampler: None,
         }
+    }
+
+    /// Registers the full gauge set on a fresh sampler: per-vault queue
+    /// occupancy, CAM and DRAM row-buffer hit rates and TSV traffic, plus
+    /// machine-wide NoC utilization. Probes capture only index lists, so
+    /// they stay `'static` while reading any `Sim`.
+    fn arm_sampler(&mut self, cfg: SamplerConfig) {
+        // Pin each closure to a higher-ranked signature; without this the
+        // compiler would tie it to this `Sim`'s lifetime and reject the
+        // `'static` registration bound.
+        fn probe<F: for<'x> Fn(&Sim<'x>) -> f64 + 'static>(f: F) -> F {
+            f
+        }
+        let mut s: Sampler<Sim<'a>> = Sampler::new(cfg);
+        let bgs_per_vault = self.cfg.shape.product_bgs_per_vault;
+        for v in 0..self.cfg.shape.vaults() {
+            let bgs: Vec<usize> = (v * bgs_per_vault..(v + 1) * bgs_per_vault).collect();
+            let pes: Vec<usize> = (0..self.pes.len())
+                .filter(|&p| self.pe_slots[p].global_vault(self.cfg) == v)
+                .collect();
+            let banks: Vec<usize> = (0..self.vector_banks.len())
+                .filter(|&b| self.layout.vault_of_vector_bank(b) == v)
+                .collect();
+
+            let b = bgs.clone();
+            s.register(
+                MetricKey::vault("ldq", v, "l1-occupancy"),
+                probe(move |s| b.iter().map(|&g| s.l1_ldq[g].len()).sum::<usize>() as f64),
+            );
+            s.register(
+                MetricKey::vault("ldq", v, "l2-occupancy"),
+                probe(move |s| s.l2_ldq[v].len() as f64),
+            );
+            let p = pes.clone();
+            s.register(
+                MetricKey::vault("pe", v, "pending"),
+                probe(move |s| p.iter().map(|&i| s.pes[i].pending).sum::<usize>() as f64),
+            );
+            let b = bgs;
+            s.register(
+                MetricKey::vault("cam", v, "l1-hit-rate"),
+                probe(move |s| {
+                    let mut c = CamCounters::default();
+                    for &g in &b {
+                        c += *s.prod_l1[g].counters();
+                    }
+                    c.hit_rate()
+                }),
+            );
+            s.register(
+                MetricKey::vault("cam", v, "l2-hit-rate"),
+                probe(move |s| s.l2_cam[v].counters().hit_rate()),
+            );
+            s.register(
+                MetricKey::vault("dram", v, "row-hit-rate"),
+                probe(move |s| {
+                    let (mut hits, mut activates) = (0u64, 0u64);
+                    for &i in &pes {
+                        let c = s.matrix_banks[i].counters();
+                        hits += c.row_hits;
+                        activates += c.activates;
+                    }
+                    for &b in &banks {
+                        let c = s.vector_banks[b].counters();
+                        hits += c.row_hits;
+                        activates += c.activates;
+                    }
+                    if hits + activates == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / (hits + activates) as f64
+                    }
+                }),
+            );
+            s.register(
+                MetricKey::vault("tsv", v, "bytes"),
+                probe(move |s| s.tsv[v].bytes_total() as f64),
+            );
+        }
+        fn total_byte_hops(s: &Sim<'_>) -> u64 {
+            s.nocs.iter().map(MeshNoc::byte_hops).sum::<u64>()
+                + s.serdes.as_ref().map_or(0, MeshNoc::byte_hops)
+        }
+        s.register(MetricKey::global("noc", "byte-hops"), probe(|s| total_byte_hops(s) as f64));
+        // Utilization is the byte-hop delta per cycle since the previous
+        // sample; the Cells carry that previous point between reads.
+        let prev = Cell::new((0u64, 0u64));
+        s.register(
+            MetricKey::global("noc", "utilization"),
+            probe(move |s| {
+                let (hops, now) = (total_byte_hops(s), s.q.now());
+                let (prev_hops, prev_cycle) = prev.replace((hops, now));
+                let dt = now.saturating_sub(prev_cycle);
+                if dt == 0 {
+                    0.0
+                } else {
+                    hops.saturating_sub(prev_hops) as f64 / dt as f64
+                }
+            }),
+        );
+        self.sampler = Some(s);
     }
 
     /// The values of input-vector `block` (zero-padded at the tail).
@@ -488,6 +659,18 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
+            // Observation points, before the stall intercept so a wedged
+            // vault keeps being recorded while it livelocks. Pure reads:
+            // neither can change scheduling.
+            if t >= self.occ_next {
+                self.record_occupancy(t);
+                self.occ_next = (t - t % self.occ_every) + self.occ_every;
+            }
+            if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
+                let mut sampler = self.sampler.take().expect("checked above");
+                sampler.tick(t, self);
+                self.sampler = Some(sampler);
+            }
             if self.stalled(&ev, t) {
                 // The vault controller is wedged: bounce the event forward
                 // instead of handling it. Retirement stops while the queue
@@ -520,10 +703,9 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
-    /// Snapshots outstanding work for a watchdog report: per-vault LDQ
-    /// occupancy and PE in-flight requests, naming the most loaded vault
-    /// (ties broken toward the lowest id) as the suspect.
-    fn diagnose(&self) -> StallDiagnosis {
+    /// Per-vault outstanding work right now: LDQ occupancy and PE in-flight
+    /// requests, indexed by global vault id.
+    fn vault_occupancy(&self) -> Vec<VaultOccupancy> {
         let mut occ: Vec<VaultOccupancy> = (0..self.cfg.shape.vaults())
             .map(|vault| VaultOccupancy { vault, ..VaultOccupancy::default() })
             .collect();
@@ -536,18 +718,63 @@ impl<'a> Sim<'a> {
         for (p, pe) in self.pes.iter().enumerate() {
             occ[self.pe_slots[p].global_vault(self.cfg)].pe_pending += pe.pending;
         }
+        occ
+    }
+
+    /// How many history-ring samples each vault keeps.
+    const OCC_HISTORY: usize = 32;
+
+    /// Pushes the current occupancy of every vault into its history ring.
+    fn record_occupancy(&mut self, t: Cycle) {
+        let occ = self.vault_occupancy();
+        for (ring, o) in self.occ_hist.iter_mut().zip(&occ) {
+            ring.push_back(OccupancySample {
+                cycle: t,
+                l1_ldq: o.l1_ldq,
+                l2_ldq: o.l2_ldq,
+                pe_pending: o.pe_pending,
+            });
+            if ring.len() > Self::OCC_HISTORY {
+                ring.pop_front();
+            }
+        }
+    }
+
+    /// Snapshots outstanding work for a watchdog report: per-vault LDQ
+    /// occupancy and PE in-flight requests (with the recent occupancy time
+    /// series of each), naming the most loaded vault (ties broken toward
+    /// the lowest id) as the suspect.
+    fn diagnose(&self) -> StallDiagnosis {
+        let occ = self.vault_occupancy();
         let suspect_vault = occ
             .iter()
             .filter(|o| o.total() > 0)
             .max_by_key(|o| (o.total(), std::cmp::Reverse(o.vault)))
             .map(|o| o.vault);
+        let now = self.q.now();
+        let history = occ
+            .iter()
+            .filter(|o| o.total() > 0)
+            .map(|o| {
+                let mut samples: Vec<OccupancySample> =
+                    self.occ_hist[o.vault].iter().copied().collect();
+                samples.push(OccupancySample {
+                    cycle: now,
+                    l1_ldq: o.l1_ldq,
+                    l2_ldq: o.l2_ldq,
+                    pe_pending: o.pe_pending,
+                });
+                OccupancyHistory { vault: o.vault, samples }
+            })
+            .collect();
         StallDiagnosis {
-            cycle: self.q.now(),
+            cycle: now,
             entries_left: self.entries_left,
             y_left: self.y_left,
             pending_events: self.q.len(),
             suspect_vault,
             vaults: occ.into_iter().filter(|o| o.total() > 0).collect(),
+            history,
         }
     }
 
@@ -1105,6 +1332,43 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_is_timing_neutral_and_collects_series() {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let machine = Machine::new(cfg.clone());
+        let plain = machine.run_spmv(&a, &x, &mapping).unwrap();
+        let obs = ObserveConfig { every: 64, capacity: 32, trace_capacity: 2000 };
+        let (observed, timeline) = machine.run_spmv_observed(&a, &x, &mapping, &obs).unwrap();
+        assert_eq!(plain.cycles, observed.cycles, "observation must not perturb timing");
+        assert_eq!(plain.tsv_bytes, observed.tsv_bytes);
+
+        // Every vault has counter series, each bounded by the capacity.
+        assert_eq!(timeline.vaults().len(), cfg.shape.vaults());
+        for (key, series) in &timeline.series {
+            assert!(series.windows().len() <= 32, "{key}: unbounded series");
+            assert!(!series.is_empty(), "{key}: the final snapshot guarantees a sample");
+        }
+        // The busy parts of the machine saw real occupancy and traffic.
+        let tsv_total: f64 = (0..cfg.shape.vaults())
+            .map(|v| {
+                timeline.series(&spacea_obs::MetricKey::vault("tsv", v, "bytes")).unwrap().peak()
+            })
+            .sum();
+        assert!(tsv_total > 0.0, "TSVs moved bytes");
+        assert!(
+            !timeline.slices.is_empty(),
+            "the trace prefix must pair into at least one duration slice"
+        );
+        // The export round-trips through the validator.
+        let summary = spacea_obs::json::validate_chrome_trace(&timeline.to_chrome_trace())
+            .expect("export must be valid Chrome trace JSON");
+        assert!(summary.counter_tracks.len() >= cfg.shape.vaults());
+        assert_eq!(summary.duration_events, timeline.slices.len());
+    }
+
+    #[test]
     fn empty_matrix_completes() {
         let a = Csr::from_parts(8, 8, vec![0; 9], vec![], vec![]).unwrap();
         let r = run(&a, HwConfig::tiny());
@@ -1148,6 +1412,19 @@ mod tests {
             diagnosis.pending_events > 0,
             "the bounced events keep the queue alive: {diagnosis}"
         );
+        // The diagnosis carries the stalled vault's occupancy *time series*,
+        // not just the abort-cycle snapshot.
+        let history = diagnosis
+            .history
+            .iter()
+            .find(|h| h.vault == 2)
+            .expect("suspect vault must have an occupancy history");
+        assert!(history.samples.len() > 1, "{diagnosis}");
+        assert!(history.peak() > 0, "{diagnosis}");
+        for w in history.samples.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle, "history must be in cycle order");
+        }
+        assert!(err.to_string().contains("occupancy history"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Typed trace records for the machine's event loop.
 
+use spacea_obs::Slice;
 use spacea_sim::Cycle;
+use std::collections::HashMap;
 use std::fmt;
 
 /// One traced machine event.
@@ -102,9 +104,75 @@ impl fmt::Display for TraceRecord {
     }
 }
 
+/// Pairs request/response trace records into timeline duration slices:
+/// an X request at a vault opens a slice that its X response closes, and a
+/// Y partial's vault arrival opens one that its bank arrival closes. Slices
+/// land on the track of the vault that saw the request, sorted by start.
+///
+/// Unmatched opens (responses past the bounded trace prefix) are dropped —
+/// a slice with no known end would render as running forever.
+pub fn timeline_slices(records: &[TraceRecord]) -> Vec<Slice> {
+    let mut open_x: HashMap<(u32, u64), Cycle> = HashMap::new();
+    let mut open_y: HashMap<u32, (u32, Cycle)> = HashMap::new();
+    let mut slices = Vec::new();
+    for r in records {
+        match r.event {
+            TraceEvent::XRequestAtVault { vault, block } => {
+                open_x.entry((vault, block)).or_insert(r.cycle);
+            }
+            TraceEvent::XResponseAtVault { vault, block } => {
+                if let Some(start) = open_x.remove(&(vault, block)) {
+                    slices.push(Slice {
+                        vault: Some(vault),
+                        name: format!("X block {block}"),
+                        start,
+                        end: r.cycle,
+                    });
+                }
+            }
+            TraceEvent::YAtVault { vault, row } => {
+                open_y.entry(row).or_insert((vault, r.cycle));
+            }
+            TraceEvent::YAtBank { row, .. } => {
+                if let Some((vault, start)) = open_y.remove(&row) {
+                    slices.push(Slice {
+                        vault: Some(vault),
+                        name: format!("Y row {row}"),
+                        start,
+                        end: r.cycle,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    slices.sort_by_key(|s| (s.start, s.vault));
+    slices
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn request_response_pairs_become_slices() {
+        let records = [
+            TraceRecord { cycle: 10, event: TraceEvent::XRequestAtVault { vault: 1, block: 4 } },
+            TraceRecord { cycle: 12, event: TraceEvent::YAtVault { vault: 0, row: 9 } },
+            TraceRecord { cycle: 30, event: TraceEvent::XResponseAtVault { vault: 1, block: 4 } },
+            TraceRecord { cycle: 35, event: TraceEvent::YAtBank { bank: 2, row: 9 } },
+            // Unmatched request: no response in the bounded prefix.
+            TraceRecord { cycle: 40, event: TraceEvent::XRequestAtVault { vault: 2, block: 7 } },
+        ];
+        let slices = timeline_slices(&records);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].name, "X block 4");
+        assert_eq!((slices[0].start, slices[0].end), (10, 30));
+        assert_eq!(slices[0].vault, Some(1));
+        assert_eq!(slices[1].name, "Y row 9");
+        assert_eq!((slices[1].start, slices[1].end), (12, 35));
+        assert_eq!(slices[1].vault, Some(0));
+    }
 
     #[test]
     fn display_is_nonempty_for_all_kinds() {

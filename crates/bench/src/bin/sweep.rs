@@ -30,6 +30,12 @@
 //! sim points). Faulted jobs fail or time out with a diagnosis in the
 //! Status column and the manifest; healthy points still complete, and the
 //! sweep still exits 0 — robustness drills don't fail the pipeline.
+//!
+//! Timelines: `--timeline[=EVERY-CYCLES]` runs every sim point observed and
+//! writes one Chrome-trace JSON per successful job under
+//! `<cache-dir>/timelines/<job-key>.json` — load them in Perfetto
+//! (ui.perfetto.dev) or inspect with the `timeline` binary. Observation is
+//! timing-neutral: cycle counts match an unobserved sweep exactly.
 
 use spacea_bench::{HarnessOptions, HarnessSession, SweepCli, SWEEP_USAGE};
 use spacea_core::table::{fmt, pct, Table};
@@ -51,7 +57,15 @@ fn main() {
         .exit_with_usage(SWEEP_USAGE);
     }
 
-    let session = HarnessSession::from_opts(opts);
+    let mut session = HarnessSession::from_opts(opts);
+    session.timeline = cli.timeline_config(&session.opts.cache_dir());
+    if let Some(tl) = &session.timeline {
+        eprintln!(
+            "sweep: timelines on (every {} cycles) -> {}",
+            tl.observe.every,
+            tl.dir().display()
+        );
+    }
     let base = SweepBase {
         hw_name: "default".into(),
         hw: session.opts.cfg.hw.clone(),

@@ -37,9 +37,10 @@
 use spacea_core::experiments::{ExpConfig, ExpOutput, SuiteCache};
 use spacea_harness::{
     FaultPlan, GcPolicy, JobCtx, JobSpec, PointKind, ResultStore, RunManifest, SupervisionPolicy,
-    SweepPoint, SweepSpec, DEFAULT_CACHE_DIR,
+    SweepPoint, SweepSpec, TimelineConfig, DEFAULT_CACHE_DIR,
 };
-use std::path::PathBuf;
+use spacea_obs::Cycle;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -217,6 +218,9 @@ pub struct HarnessSession {
     pub opts: HarnessOptions,
     /// Where [`HarnessSession::write_manifest`] persists run telemetry.
     pub manifest_path: PathBuf,
+    /// When set, sim jobs run observed and [`HarnessSession::prewarm`]
+    /// writes one Chrome-trace timeline per job (the `--timeline` flag).
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl HarnessSession {
@@ -225,13 +229,15 @@ impl HarnessSession {
         let cache =
             SuiteCache::with_store(opts.cfg.clone(), open_store(&opts), Arc::new(JobCtx::new()));
         let manifest_path = opts.cache_dir().join("last-run.json");
-        HarnessSession { cache, csv: opts.csv, opts, manifest_path }
+        HarnessSession { cache, csv: opts.csv, opts, manifest_path, timeline: None }
     }
 
     /// Computes `jobs` (deduplicated) in parallel on this session's worker
     /// count, filling the cache's store, and returns the run telemetry.
+    /// With [`HarnessSession::timeline`] set, sim jobs also export
+    /// per-job timeline artifacts.
     pub fn prewarm(&self, jobs: Vec<JobSpec>) -> RunManifest {
-        prewarm(&self.cache, jobs, self.opts.jobs)
+        prewarm_observed(&self.cache, jobs, self.opts.jobs, self.timeline.as_ref())
     }
 
     /// Prints one experiment's tables in this session's format.
@@ -267,14 +273,27 @@ impl HarnessSession {
 /// telemetry. A panicking or hung job ends up as a failure record in the
 /// manifest; the rest of the sweep still completes.
 pub fn prewarm(cache: &SuiteCache, jobs: Vec<JobSpec>, workers: usize) -> RunManifest {
+    prewarm_observed(cache, jobs, workers, None)
+}
+
+/// [`prewarm`] with optional timeline export: when `timeline` is set, sim
+/// jobs run observed and each success writes a Chrome-trace JSON artifact
+/// under the timeline directory (see [`TimelineConfig`]).
+pub fn prewarm_observed(
+    cache: &SuiteCache,
+    jobs: Vec<JobSpec>,
+    workers: usize,
+    timeline: Option<&TimelineConfig>,
+) -> RunManifest {
     let jobs = spacea_harness::dedup_jobs(jobs);
     let started = Instant::now();
-    let out = spacea_harness::run_jobs_supervised(
+    let out = spacea_harness::run_jobs_observed(
         &jobs,
         cache.store(),
         cache.ctx(),
         workers,
         &SupervisionPolicy::default(),
+        timeline,
     );
     RunManifest {
         workers,
@@ -348,13 +367,17 @@ pub struct SweepCli {
     /// `--faults SPEC`: fault plans to inject, as `(point index, plan)`
     /// pairs; `None` index means every sim point. See [`SweepCli::accept`].
     pub faults: Vec<(Option<usize>, FaultPlan)>,
+    /// `--timeline[=EVERY]`: export per-job timelines; `Some(0)` means the
+    /// default sampling cadence, any other value is the cadence in cycles.
+    pub timeline: Option<Cycle>,
 }
 
 /// Usage line for the sweep flags (shown next to [`BASE_USAGE`]).
 pub const SWEEP_USAGE: &str = "sweep: --spec FILE | --ids L|all | --scales L | --kinds L | \
      --hw L | --cubes-axis L | --l1-sets L | --l2-sets L | --energy-scale L | --gpu | \
      --shard K/N | --gc | --gc-max-kb N | --gc-max-age-days N | \
-     --faults '[IDX:]PLAN[;...]' (PLAN e.g. stall-vault=0@100, drop-noc=5, panic)   \
+     --faults '[IDX:]PLAN[;...]' (PLAN e.g. stall-vault=0@100, drop-noc=5, panic) | \
+     --timeline[=EVERY-CYCLES] (per-job Perfetto timelines under <cache>/timelines/)   \
      (L = comma-separated list)";
 
 impl SweepCli {
@@ -425,9 +448,26 @@ impl SweepCli {
                     self.faults.push((idx, plan));
                 }
             }
+            "--timeline" => self.timeline = Some(0),
+            other if other.starts_with("--timeline=") => {
+                let v = &other["--timeline=".len()..];
+                // `0` falls back to the default cadence, same as bare
+                // `--timeline` (TimelineConfig::with_every treats 0 as
+                // "keep the default").
+                let every = v.parse::<Cycle>().map_err(|_| {
+                    ArgError::new(format!("--timeline needs a cycle count, got '{v}'"))
+                })?;
+                self.timeline = Some(every);
+            }
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// The timeline configuration `--timeline` requested, rooted under
+    /// `cache_dir` (artifacts go to `<cache_dir>/timelines/<job-key>.json`).
+    pub fn timeline_config(&self, cache_dir: &Path) -> Option<TimelineConfig> {
+        self.timeline.map(|every| TimelineConfig::new(cache_dir).with_every(every))
     }
 
     /// Applies the `--faults` plans to the enumerated sweep points. Indices
@@ -648,6 +688,33 @@ mod tests {
         };
         assert!(err(&["--faults", "0:bogus=1"]).message.contains("--faults"));
         assert!(err(&["--faults", "x:panic"]).message.contains("point index"));
+    }
+
+    #[test]
+    fn timeline_flag_parses_bare_and_with_cadence() {
+        let (_, cli) = sweep(&["--ids", "1"]);
+        assert_eq!(cli.timeline, None);
+        assert!(cli.timeline_config(Path::new("c")).is_none());
+
+        let (_, cli) = sweep(&["--timeline", "--ids", "1"]);
+        assert_eq!(cli.timeline, Some(0));
+        let cfg = cli.timeline_config(Path::new("c")).unwrap();
+        assert_eq!(cfg.dir(), Path::new("c/timelines"));
+        assert_eq!(cfg.observe, spacea_harness::ObserveConfig::default());
+
+        let (_, cli) = sweep(&["--timeline=512"]);
+        assert_eq!(cli.timeline, Some(512));
+        let cfg = cli.timeline_config(Path::new("c")).unwrap();
+        assert_eq!(cfg.observe.every, 512);
+
+        let err = {
+            let mut cli = SweepCli::default();
+            HarnessOptions::from_args_with(["--timeline=soon".to_string()].into_iter(), |f, a| {
+                cli.accept(f, a)
+            })
+            .unwrap_err()
+        };
+        assert!(err.message.contains("cycle count"), "{}", err.message);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`fig9`] | Figure 9 — TSV latency sensitivity |
 //! | [`fig10`] | Figure 10 — cube-count scalability |
 //! | [`table3`] | Table III — graph analytics vs Tesseract/GraphP |
+//! | [`graphs`] | Case-study workloads (BFS, CC, PR, SSSP) as harness jobs |
 //!
 //! All experiments share a [`SuiteCache`] so matrices, mappings and
 //! simulations are computed once per process. The default [`ExpConfig`]
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod graphs;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -110,6 +112,12 @@ pub fn registry() -> Vec<Experiment> {
             title: "Table III: graph analytics case study",
             jobs: table3::jobs,
             run: table3::run,
+        },
+        Experiment {
+            id: "graphs",
+            title: "Graph case-study workloads as harness jobs",
+            jobs: graphs::jobs,
+            run: graphs::run,
         },
     ]
 }

@@ -10,10 +10,12 @@
 use crate::job::{JobSpec, MatrixSource};
 use crate::store::{CacheOutcome, JobResult, ResultStore};
 use crate::telemetry::{JobRecord, JobStatus};
-use spacea_arch::{Machine, SimError};
+use crate::timeline::TimelineConfig;
+use spacea_arch::{Machine, ObserveConfig, SimError};
 use spacea_gpu::simulate_csrmv;
 use spacea_mapping::{MachineShape, MapKind, Mapping};
 use spacea_matrix::Csr;
+use spacea_obs::Timeline;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -144,6 +146,20 @@ impl std::fmt::Display for ExecFailure {
 /// inside [`Machine::run_spmv`]) — are checked up front and reported as
 /// [`ExecFailure::Error`] rather than panicking the worker.
 pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
+    execute_observed(spec, ctx, None).map(|(result, _)| result)
+}
+
+/// [`execute`] with optional gauge observation: with an [`ObserveConfig`],
+/// sim jobs run through [`Machine::run_spmv_observed`] and return the
+/// collected [`Timeline`] alongside the result. GPU model jobs have no
+/// event loop to sample and always return `None`. Observation is
+/// timing-neutral, so the [`JobResult`] is identical either way — cached
+/// results stay valid whether or not the run was observed.
+pub fn execute_observed(
+    spec: &JobSpec,
+    ctx: &JobCtx,
+    observe: Option<ObserveConfig>,
+) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
     let source = match spec {
         JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
     };
@@ -151,27 +167,41 @@ pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
     match spec {
         JobSpec::Gpu { source, spec } => {
             let a = ctx.matrix(source);
-            Ok(JobResult::Gpu(simulate_csrmv(spec, &a)))
+            Ok((JobResult::Gpu(simulate_csrmv(spec, &a)), None))
         }
         JobSpec::Sim { source, kind, hw, .. } => {
             let a = ctx.matrix(source);
             let mapping = ctx.mapping(source, *kind, hw.shape);
             let x = input_vector(a.cols());
-            let report = Machine::new(hw.clone())
-                .run_spmv(&a, &x, &mapping)
-                .map_err(ExecFailure::from_sim)?;
-            Ok(JobResult::Sim(Arc::new(report)))
+            let machine = Machine::new(hw.clone());
+            match observe {
+                Some(obs) => {
+                    let (report, timeline) = machine
+                        .run_spmv_observed(&a, &x, &mapping, &obs)
+                        .map_err(ExecFailure::from_sim)?;
+                    Ok((JobResult::Sim(Arc::new(report)), Some(timeline)))
+                }
+                None => {
+                    let report =
+                        machine.run_spmv(&a, &x, &mapping).map_err(ExecFailure::from_sim)?;
+                    Ok((JobResult::Sim(Arc::new(report)), None))
+                }
+            }
         }
     }
 }
 
-/// [`execute`] behind a panic guard: a panicking job becomes an
+/// [`execute_observed`] behind a panic guard: a panicking job becomes an
 /// [`ExecFailure::Error`] instead of unwinding through the worker pool.
-fn guarded_execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
+fn guarded_execute(
+    spec: &JobSpec,
+    ctx: &JobCtx,
+    observe: Option<ObserveConfig>,
+) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
     // AssertUnwindSafe: the only state shared across the boundary is the
     // JobCtx memo (poison-tolerant locks over OnceLock cells; an interrupted
     // init leaves the cell empty and retryable) and the panic payload itself.
-    match catch_unwind(AssertUnwindSafe(|| execute(spec, ctx))) {
+    match catch_unwind(AssertUnwindSafe(|| execute_observed(spec, ctx, observe))) {
         Ok(r) => r,
         Err(payload) => Err(ExecFailure::Error {
             message: format!("job panicked: {}", panic_message(payload.as_ref())),
@@ -199,14 +229,15 @@ fn attempt(
     spec: &JobSpec,
     ctx: &Arc<JobCtx>,
     wall_budget: Option<Duration>,
-) -> Result<JobResult, ExecFailure> {
-    let Some(limit) = wall_budget else { return guarded_execute(spec, ctx) };
+    observe: Option<ObserveConfig>,
+) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
+    let Some(limit) = wall_budget else { return guarded_execute(spec, ctx, observe) };
     let (tx, rx) = mpsc::channel();
     let thread_spec = spec.clone();
     let thread_ctx = Arc::clone(ctx);
     let handle =
         std::thread::Builder::new().name(format!("spacea-job:{}", spec.label())).spawn(move || {
-            let _ = tx.send(guarded_execute(&thread_spec, &thread_ctx));
+            let _ = tx.send(guarded_execute(&thread_spec, &thread_ctx, observe));
         });
     let handle = match handle {
         Ok(h) => h,
@@ -246,17 +277,34 @@ impl Default for SupervisionPolicy {
     }
 }
 
+/// Deterministic backoff jitter in `[0.5, 1.5)`, derived from the job key
+/// and the attempt number (splitmix64-style bit mixing — no wall-clock
+/// randomness, so a given job retries on the same schedule in every
+/// process). Cooperating shards sweep disjoint grid ranges, so their
+/// concurrently-retrying jobs have different keys and therefore different
+/// backoff phases instead of racing in lockstep.
+fn jitter_factor(key: u64, attempt: u32) -> f64 {
+    let mut z = key ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Top 53 bits give a uniform f64 in [0, 1).
+    0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Runs attempts under `policy` until one succeeds, the retry budget is
 /// spent, or the job hangs (hangs are deterministic: never retried).
 fn supervise(
     spec: &JobSpec,
     ctx: &Arc<JobCtx>,
     policy: &SupervisionPolicy,
-) -> (Option<JobResult>, JobStatus) {
+    observe: Option<ObserveConfig>,
+) -> (Option<(JobResult, Option<Timeline>)>, JobStatus) {
+    let key = spec.key();
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        match attempt(spec, ctx, policy.wall_budget) {
+        match attempt(spec, ctx, policy.wall_budget, observe) {
             Ok(result) => {
                 let status =
                     if attempts == 1 { JobStatus::Ok } else { JobStatus::Retried { attempts } };
@@ -269,7 +317,8 @@ fn supervise(
                 if attempts > policy.max_retries {
                     return (None, JobStatus::Failed { error: message });
                 }
-                std::thread::sleep(policy.backoff.saturating_mul(1u32 << (attempts - 1).min(16)));
+                let base = policy.backoff.saturating_mul(1u32 << (attempts - 1).min(16));
+                std::thread::sleep(base.mul_f64(jitter_factor(key.0, attempts)));
             }
         }
     }
@@ -325,6 +374,24 @@ pub fn run_jobs_supervised(
     workers: usize,
     policy: &SupervisionPolicy,
 ) -> RunOutput {
+    run_jobs_observed(jobs, store, ctx, workers, policy, None)
+}
+
+/// [`run_jobs_supervised`] with per-job timeline artifacts: sim jobs run
+/// observed (gauge sampling + trace slices) and each success writes a
+/// Chrome-trace JSON next to the cached result (see [`TimelineConfig`]).
+/// A cache hit whose artifact is missing re-runs the job observed to
+/// regenerate it — observation is timing-neutral and sims deterministic,
+/// so the regenerated timeline matches what the original run would have
+/// produced, and the cached result is returned untouched.
+pub fn run_jobs_observed(
+    jobs: &[JobSpec],
+    store: &ResultStore,
+    ctx: &Arc<JobCtx>,
+    workers: usize,
+    policy: &SupervisionPolicy,
+    timeline: Option<&TimelineConfig>,
+) -> RunOutput {
     let workers = workers.max(1).min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, JobRecord)>();
@@ -340,7 +407,7 @@ pub fn run_jobs_supervised(
                 if i >= jobs.len() {
                     break;
                 }
-                let record = run_one(i, &jobs[i], store, ctx, policy);
+                let record = run_one(i, &jobs[i], store, ctx, policy, timeline);
                 if let Err(e) = tx.send((i, record)) {
                     // The receiver is gone. Keep the record instead of
                     // dropping the evidence; the merge below logs it.
@@ -390,28 +457,58 @@ pub fn run_jobs_supervised(
     RunOutput { records, abandoned }
 }
 
+/// Writes a collected timeline artifact, logging (not failing) on I/O
+/// errors: a missing timeline never costs a sweep its results.
+fn write_timeline(cfg: &TimelineConfig, key: crate::job::JobKey, spec: &JobSpec, tl: &Timeline) {
+    if let Err(e) = cfg.write(key, tl) {
+        eprintln!("spacea-harness: job {}: could not write timeline: {e}", spec.label());
+    }
+}
+
 fn run_one(
     index: usize,
     spec: &JobSpec,
     store: &ResultStore,
     ctx: &Arc<JobCtx>,
     policy: &SupervisionPolicy,
+    timeline: Option<&TimelineConfig>,
 ) -> JobRecord {
     let key = spec.key();
     let started = Instant::now();
+    let observe = timeline.map(|t| t.observe);
     let (result, outcome, status) = match store.lookup(key) {
-        Some((result, outcome)) => (Some(result), outcome, JobStatus::Ok),
+        Some((result, outcome)) => {
+            // A hit with its timeline artifact missing (older sweep, pruned
+            // directory): re-run observed purely for the artifact, keeping
+            // the cached result authoritative.
+            if let Some(cfg) = timeline {
+                if matches!(spec, JobSpec::Sim { .. }) && !cfg.path_for(key).exists() {
+                    if let (Some((_, Some(tl))), _) = supervise(spec, ctx, policy, observe) {
+                        write_timeline(cfg, key, spec, &tl);
+                    }
+                }
+            }
+            (Some(result), outcome, JobStatus::Ok)
+        }
         None => {
-            let (result, status) = supervise(spec, ctx, policy);
-            match &result {
-                // Only successes are cached: a failure must be re-attempted
-                // (and its cause visible) on every run that needs it.
-                Some(r) => store.insert(key, r.clone()),
+            let (outcome, status) = supervise(spec, ctx, policy, observe);
+            let result = match outcome {
+                Some((r, tl)) => {
+                    // Only successes are cached: a failure must be
+                    // re-attempted (and its cause visible) on every run
+                    // that needs it.
+                    store.insert(key, r.clone());
+                    if let (Some(cfg), Some(tl)) = (timeline, &tl) {
+                        write_timeline(cfg, key, spec, tl);
+                    }
+                    Some(r)
+                }
                 None => {
                     let reason = status.failure().unwrap_or("unknown");
                     eprintln!("spacea-harness: job {} {}: {reason}", spec.label(), status.tag());
+                    None
                 }
-            }
+            };
             (result, CacheOutcome::Computed, status)
         }
     };
@@ -521,5 +618,53 @@ mod tests {
             let (b, _) = parallel_store.lookup(job.key()).unwrap();
             assert_eq!(a, b, "parallel result differs for {}", job.label());
         }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spread() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for attempt in 1..=5u32 {
+                let a = jitter_factor(key, attempt);
+                let b = jitter_factor(key, attempt);
+                assert_eq!(a, b, "same (key, attempt) must jitter identically");
+                assert!((0.5..1.5).contains(&a), "factor {a} out of range");
+            }
+        }
+        // Distinct keys and distinct attempts should not all collapse onto
+        // one factor — that would defeat the point of jitter.
+        let across_keys: Vec<f64> = (0..8).map(|k| jitter_factor(k, 1)).collect();
+        assert!(across_keys.windows(2).any(|w| w[0] != w[1]));
+        let across_attempts: Vec<f64> = (1..=8).map(|a| jitter_factor(42, a)).collect();
+        assert!(across_attempts.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn observed_runs_write_artifacts_and_backfill_cache_hits() {
+        let dir = std::env::temp_dir().join(format!("spacea-exec-obs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TimelineConfig::new(&dir);
+        let jobs = vec![quick_sim(1), quick_sim(2)];
+        let store = ResultStore::in_memory();
+        let ctx = Arc::new(JobCtx::new());
+        let policy = SupervisionPolicy::default();
+        let out = run_jobs_observed(&jobs, &store, &ctx, 2, &policy, Some(&cfg));
+        assert!(out.records.iter().all(|r| r.status == JobStatus::Ok));
+        for job in &jobs {
+            let path = cfg.path_for(job.key());
+            let text = std::fs::read_to_string(&path).unwrap();
+            let summary = spacea_obs::json::validate_chrome_trace(&text).unwrap();
+            assert!(summary.counter_events > 0, "{}: no counter events", job.label());
+        }
+        // A cache hit with its artifact missing regenerates it without
+        // disturbing the cached result.
+        let key = jobs[0].key();
+        let (cached, _) = store.lookup(key).unwrap();
+        std::fs::remove_file(cfg.path_for(key)).unwrap();
+        let out = run_jobs_observed(&jobs, &store, &ctx, 1, &policy, Some(&cfg));
+        assert!(out.records.iter().all(|r| r.outcome == CacheOutcome::MemoryHit));
+        assert!(cfg.path_for(key).exists(), "missing artifact not regenerated");
+        let (after, _) = store.lookup(key).unwrap();
+        assert_eq!(cached, after);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

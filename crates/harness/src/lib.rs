@@ -46,10 +46,11 @@ pub mod json;
 pub mod store;
 pub mod sweep;
 pub mod telemetry;
+pub mod timeline;
 
 pub use exec::{
-    dedup_jobs, input_vector, run_jobs, run_jobs_supervised, ExecFailure, JobCtx, RunOutput,
-    SupervisionPolicy,
+    dedup_jobs, input_vector, run_jobs, run_jobs_observed, run_jobs_supervised, ExecFailure,
+    JobCtx, RunOutput, SupervisionPolicy,
 };
 pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
 pub use store::{
@@ -58,10 +59,11 @@ pub use store::{
 };
 pub use sweep::{dedup_points, shard_range, PointKind, SweepBase, SweepPoint, SweepSpec};
 pub use telemetry::{JobRecord, JobStatus, RunManifest};
+pub use timeline::TimelineConfig;
 
-// Fault-injection and watchdog knobs, re-exported so harness users (the
-// sweep binary, tests) need not depend on the arch crate directly.
-pub use spacea_arch::{FaultPlan, StallDiagnosis, WatchdogConfig};
+// Fault-injection, watchdog and observation knobs, re-exported so harness
+// users (the sweep binary, tests) need not depend on the arch crate directly.
+pub use spacea_arch::{FaultPlan, ObserveConfig, StallDiagnosis, WatchdogConfig};
 
 /// The default on-disk cache location, relative to the workspace root.
 pub const DEFAULT_CACHE_DIR: &str = "target/spacea-cache";

@@ -190,7 +190,13 @@ fn wall_clock_budget_abandons_a_slow_attempt() {
         wall_budget: Some(Duration::from_millis(1)),
         ..SupervisionPolicy::default()
     };
-    let out = run_jobs_supervised(&[job.clone()], &store, &Arc::new(JobCtx::new()), 1, &policy);
+    let out = run_jobs_supervised(
+        std::slice::from_ref(&job),
+        &store,
+        &Arc::new(JobCtx::new()),
+        1,
+        &policy,
+    );
     assert_eq!(out.records[0].status.tag(), "timed-out");
     assert!(
         out.records[0].status.failure().unwrap().contains("wall-clock"),

@@ -1,0 +1,373 @@
+//! Minimal JSON support for timeline export.
+//!
+//! The harness' JSON dialect is integer-only (cache keys and counters), but
+//! Chrome trace events carry fractional timestamps and gauge values, so this
+//! module provides a float-capable writer plus a small recursive-descent
+//! reader used by the `timeline --validate` bin to check exported files
+//! without any external dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats a number the way trace viewers expect: integers without a
+/// fractional part, everything else via Rust's shortest round-trip `{}`
+/// display. Non-finite values (which JSON cannot carry) degrade to `0`.
+pub fn fmt_num(value: f64) -> String {
+    if !value.is_finite() {
+        return "0".into();
+    }
+    if value == value.trunc() && value.abs() < 9.0e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value. Objects use a sorted map, which is all the
+/// validator needs; key order is not round-tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to U+FFFD instead of failing.
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+/// What `validate_chrome_trace` learned about a trace file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Counter events (`ph == "C"`).
+    pub counter_events: usize,
+    /// Complete duration events (`ph == "X"`).
+    pub duration_events: usize,
+    /// Metadata events (`ph == "M"`).
+    pub metadata_events: usize,
+    /// Distinct counter-track names.
+    pub counter_tracks: Vec<String>,
+}
+
+/// Validates `text` as a Chrome trace-event JSON object and summarizes it.
+///
+/// Checks the envelope (`traceEvents` array), then that every event has a
+/// one-character `ph`, a `name`, and — for counter (`C`) and complete (`X`)
+/// events — a numeric `ts` (plus `dur` and finite values where required).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = parse(text)?;
+    let events =
+        root.get("traceEvents").and_then(Value::as_arr).ok_or("missing \"traceEvents\" array")?;
+    let mut summary = TraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        match ph {
+            "M" => summary.metadata_events += 1,
+            "C" => {
+                ev.get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i} ({name}): counter without numeric ts"))?;
+                let args =
+                    ev.get("args").ok_or_else(|| format!("event {i} ({name}): missing args"))?;
+                let value = args
+                    .get("value")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i} ({name}): counter without args.value"))?;
+                if !value.is_finite() {
+                    return Err(format!("event {i} ({name}): non-finite counter value"));
+                }
+                summary.counter_events += 1;
+                if !summary.counter_tracks.iter().any(|t| t == name) {
+                    summary.counter_tracks.push(name.to_string());
+                }
+            }
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i} ({name}): slice without numeric ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i} ({name}): slice without numeric dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i} ({name}): negative ts/dur"));
+                }
+                summary.duration_events += 1;
+            }
+            other => return Err(format!("event {i} ({name}): unsupported ph {other:?}")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip_compactly() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(0.5), "0.5");
+        assert_eq!(fmt_num(-12.0), "-12");
+        assert_eq!(fmt_num(f64::NAN), "0");
+        assert_eq!(fmt_num(f64::INFINITY), "0");
+        for v in [0.1, 123.456, 1.0e-9, 9.5e15] {
+            let parsed = parse(&fmt_num(v)).unwrap().as_num().unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(parse("\"a\\\"b\\\\c\\nd\\u0041\"").unwrap().as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn parser_reads_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, "x"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert!(parse("{\"a\": 1} junk").is_err());
+        assert!(parse("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_minimal_trace() {
+        let text = r#"{"displayTimeUnit":"ns","traceEvents":[
+            {"ph":"M","pid":1,"name":"process_name","args":{"name":"spacea"}},
+            {"ph":"C","pid":1,"name":"vault0/ldq/l1-occupancy","ts":0.5,"args":{"value":3}},
+            {"ph":"X","pid":1,"tid":0,"name":"X block 1","ts":1,"dur":2}
+        ]}"#;
+        let summary = validate_chrome_trace(text).unwrap();
+        assert_eq!(summary.counter_events, 1);
+        assert_eq!(summary.duration_events, 1);
+        assert_eq!(summary.metadata_events, 1);
+        assert_eq!(summary.counter_tracks, vec!["vault0/ldq/l1-occupancy".to_string()]);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"name":"x"}]}"#).is_err());
+        let bad_counter = r#"{"traceEvents":[{"ph":"C","name":"c","ts":0,"args":{}}]}"#;
+        assert!(validate_chrome_trace(bad_counter).is_err());
+    }
+}

@@ -170,6 +170,44 @@ impl VaultOccupancy {
     }
 }
 
+/// One point of a vault's occupancy time series, recorded by the machine's
+/// always-on history ring while a stall window is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OccupancySample {
+    /// Simulated cycle the sample was taken at.
+    pub cycle: Cycle,
+    /// In-flight distinct block requests across the vault's L1 load queues.
+    pub l1_ldq: usize,
+    /// In-flight distinct block requests in the vault's L2 load queue.
+    pub l2_ldq: usize,
+    /// Outstanding row-load requests from the vault's PEs.
+    pub pe_pending: usize,
+}
+
+impl OccupancySample {
+    /// Total outstanding requests at this sample.
+    pub fn total(&self) -> usize {
+        self.l1_ldq + self.l2_ldq + self.pe_pending
+    }
+}
+
+/// The last K occupancy samples of one vault, oldest first — how the vault
+/// *got* to the state the watchdog caught it in, not just where it ended.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OccupancyHistory {
+    /// Global vault id.
+    pub vault: usize,
+    /// Samples in cycle order, the final one taken at the abort cycle.
+    pub samples: Vec<OccupancySample>,
+}
+
+impl OccupancyHistory {
+    /// Largest total occupancy seen across the window.
+    pub fn peak(&self) -> usize {
+        self.samples.iter().map(OccupancySample::total).max().unwrap_or(0)
+    }
+}
+
 /// A snapshot of machine state taken when a watchdog aborted the run:
 /// what was left to do, where it was parked, and which vault looks
 /// responsible.
@@ -188,6 +226,9 @@ pub struct StallDiagnosis {
     pub suspect_vault: Option<usize>,
     /// Per-vault occupancy, vaults with no outstanding work elided.
     pub vaults: Vec<VaultOccupancy>,
+    /// Recent occupancy time series per vault (same elision as `vaults`):
+    /// the machine's history ring plus a final sample at the abort cycle.
+    pub history: Vec<OccupancyHistory>,
 }
 
 impl fmt::Display for StallDiagnosis {
@@ -202,9 +243,22 @@ impl fmt::Display for StallDiagnosis {
                 f,
                 "; suspect vault {} (L1-LDQ {}, L2-LDQ {}, PE in-flight {})",
                 o.vault, o.l1_ldq, o.l2_ldq, o.pe_pending
-            ),
-            None => write!(f, "; no vault holds outstanding requests"),
+            )?,
+            None => return write!(f, "; no vault holds outstanding requests"),
         }
+        if let Some(h) = self.suspect_vault.and_then(|v| self.history.iter().find(|h| h.vault == v))
+        {
+            if !h.samples.is_empty() {
+                write!(
+                    f,
+                    "; occupancy history over {} samples: peak {}, latest {}",
+                    h.samples.len(),
+                    h.peak(),
+                    h.samples.last().map(OccupancySample::total).unwrap_or(0)
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -255,10 +309,35 @@ mod tests {
             pending_events: 3,
             suspect_vault: Some(0),
             vaults: vec![VaultOccupancy { vault: 0, l1_ldq: 4, l2_ldq: 1, pe_pending: 2 }],
+            history: vec![],
         };
         let text = d.to_string();
         assert!(text.contains("suspect vault 0"), "{text}");
         assert!(text.contains("10 entries"), "{text}");
         assert_eq!(d.vaults[0].total(), 7);
+        assert!(!text.contains("occupancy history"), "no history recorded: {text}");
+    }
+
+    #[test]
+    fn diagnosis_summarizes_the_suspects_history() {
+        let d = StallDiagnosis {
+            cycle: 9000,
+            entries_left: 5,
+            y_left: 0,
+            pending_events: 1,
+            suspect_vault: Some(2),
+            vaults: vec![VaultOccupancy { vault: 2, l1_ldq: 3, l2_ldq: 0, pe_pending: 0 }],
+            history: vec![OccupancyHistory {
+                vault: 2,
+                samples: vec![
+                    OccupancySample { cycle: 1000, l1_ldq: 1, l2_ldq: 0, pe_pending: 0 },
+                    OccupancySample { cycle: 5000, l1_ldq: 4, l2_ldq: 2, pe_pending: 1 },
+                    OccupancySample { cycle: 9000, l1_ldq: 3, l2_ldq: 0, pe_pending: 0 },
+                ],
+            }],
+        };
+        assert_eq!(d.history[0].peak(), 7);
+        let text = d.to_string();
+        assert!(text.contains("occupancy history over 3 samples: peak 7, latest 3"), "{text}");
     }
 }

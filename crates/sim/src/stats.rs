@@ -3,8 +3,11 @@
 //! The paper's simulator "logs a detailed event trace including read/write
 //! transactions to DRAM banks and on-chip SRAM, TSV data transfer, and FPU
 //! computation" (Section V-A) and feeds those counts into CACTI-3DD-style
-//! energy tables. These counter types are that trace, in aggregate form; the
-//! `spacea-model` crate turns them into joules.
+//! energy tables. These counter types cover the *aggregate* half of that:
+//! whole-run totals that the `spacea-model` crate turns into joules. For
+//! the time-resolved half — when the activity happened, not just how much —
+//! see the `trace` module (bounded event prefix) and the `spacea-obs`
+//! crate (cycle-sampled gauge series and timeline export).
 
 use std::ops::AddAssign;
 

@@ -1,11 +1,13 @@
 //! Bounded event tracing.
 //!
-//! The paper's simulator "logs a detailed event trace including read/write
-//! transactions to DRAM banks and on-chip SRAM, TSV data transfer, and FPU
-//! computation" (Section V-A). Aggregate counters drive the energy model;
-//! this module adds the *inspectable* trace: a bounded prefix log with a
-//! drop counter, so memory stays predictable on billion-event runs while
-//! debugging and teaching tools can replay what the machine did.
+//! One of three instrumentation layers approximating the detailed event
+//! trace the paper's simulator logs (Section V-A): this module is the
+//! *inspectable prefix* — a bounded log with a drop counter, so memory
+//! stays predictable on billion-event runs while debugging and teaching
+//! tools can replay what the machine did first. The `stats` module keeps
+//! the whole-run aggregates that feed the energy model, and the
+//! `spacea-obs` crate adds the time-resolved view: cycle-sampled gauge
+//! series and Perfetto-loadable timelines covering the entire run.
 
 /// A bounded prefix log of trace records.
 ///
