@@ -6,6 +6,16 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy -- -D warnings
+
+# Static analysis: the workspace must be clean modulo the committed baseline,
+# and the baseline itself may only shrink (the ratchet). The second check is
+# skipped on the first commit that introduces the baseline.
+cargo run --release -p spacea-lint -- --check --baseline lint-baseline.json
+if git cat-file -e HEAD~1:lint-baseline.json 2>/dev/null; then
+  git show HEAD~1:lint-baseline.json > target/lint-baseline-prev.json
+  cargo run --release -p spacea-lint -- \
+    --compare-baselines target/lint-baseline-prev.json lint-baseline.json
+fi
 cargo run --release -p spacea-bench --bin all_experiments -- --quick --jobs 4 > /dev/null
 
 # Sweep smoke test: a tiny 2-axis grid run whole and as 2 shards sharing a

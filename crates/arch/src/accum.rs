@@ -62,13 +62,14 @@ impl UpdateBuffer {
             self.rows.push((dram_row, tick));
             return UpdateOutcome::Miss { writeback: None };
         }
-        let victim_ix = self
-            .rows
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, (_, lu))| *lu)
-            .map(|(i, _)| i)
-            .expect("buffer is full");
+        // The buffer is full (the non-full case returned above), so a
+        // victim always exists; an empty buffer degrades to a plain insert.
+        let Some(victim_ix) =
+            self.rows.iter().enumerate().min_by_key(|(_, (_, lu))| *lu).map(|(i, _)| i)
+        else {
+            self.rows.push((dram_row, tick));
+            return UpdateOutcome::Miss { writeback: None };
+        };
         let victim = self.rows[victim_ix].0;
         self.rows[victim_ix] = (dram_row, tick);
         self.writebacks += 1;

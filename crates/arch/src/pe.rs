@@ -9,7 +9,7 @@
 //! These structures are passive: the event handlers in
 //! [`machine`](crate::machine) drive them.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One packed matrix DRAM row: a row-index header plus `(col, value)` pairs
 /// of a single matrix row (Section III-B's alignment rule).
@@ -92,7 +92,7 @@ pub struct ProductPe {
     /// Entries waiting on an outstanding X request.
     pub pending: usize,
     /// Per-matrix-row accumulation state.
-    pub rows: HashMap<u32, RowAccum>,
+    pub rows: BTreeMap<u32, RowAccum>,
     /// Whether a `PeStep` event is scheduled.
     pub step_scheduled: bool,
     /// Non-zeros processed so far (workload metric).
@@ -129,13 +129,11 @@ impl ProductPe {
     }
 
     /// Marks one entry of loaded row `row_id` complete; pops finished rows
-    /// from the queue front and returns how many were popped.
-    pub fn complete_entry(&mut self, row_id: u32) -> usize {
-        let row = self
-            .queue
-            .iter_mut()
-            .find(|r| r.id == row_id)
-            .expect("completed entry's row must be resident");
+    /// from the queue front and returns how many were popped, or `None`
+    /// when the row is not resident (a completion for a row the queue never
+    /// loaded — the caller decides whether that is an invariant breach).
+    pub fn complete_entry(&mut self, row_id: u32) -> Option<usize> {
+        let row = self.queue.iter_mut().find(|r| r.id == row_id)?;
         debug_assert!(row.remaining > 0);
         row.remaining -= 1;
         self.work += 1;
@@ -144,7 +142,7 @@ impl ProductPe {
             self.queue.pop_front();
             popped += 1;
         }
-        popped
+        Some(popped)
     }
 }
 
@@ -194,11 +192,15 @@ mod tests {
         pe.queue.push_back(LoadedRow { id: 0, remaining: 1 });
         pe.queue.push_back(LoadedRow { id: 1, remaining: 1 });
         // Completing the *second* row first must not pop anything.
-        assert_eq!(pe.complete_entry(1), 0);
+        assert_eq!(pe.complete_entry(1), Some(0));
         assert_eq!(pe.queue.len(), 2);
         // Completing the front row pops both (cascade).
-        assert_eq!(pe.complete_entry(0), 2);
+        assert_eq!(pe.complete_entry(0), Some(2));
         assert!(pe.queue.is_empty());
+        assert_eq!(pe.work, 2);
+        // A completion for a row the queue never loaded is reported, not
+        // silently counted.
+        assert_eq!(pe.complete_entry(7), None);
         assert_eq!(pe.work, 2);
     }
 

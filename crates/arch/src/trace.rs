@@ -2,7 +2,7 @@
 
 use spacea_obs::Slice;
 use spacea_sim::Cycle;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One traced machine event.
@@ -112,8 +112,8 @@ impl fmt::Display for TraceRecord {
 /// Unmatched opens (responses past the bounded trace prefix) are dropped —
 /// a slice with no known end would render as running forever.
 pub fn timeline_slices(records: &[TraceRecord]) -> Vec<Slice> {
-    let mut open_x: HashMap<(u32, u64), Cycle> = HashMap::new();
-    let mut open_y: HashMap<u32, (u32, Cycle)> = HashMap::new();
+    let mut open_x: BTreeMap<(u32, u64), Cycle> = BTreeMap::new();
+    let mut open_y: BTreeMap<u32, (u32, Cycle)> = BTreeMap::new();
     let mut slices = Vec::new();
     for r in records {
         match r.event {

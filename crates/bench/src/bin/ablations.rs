@@ -93,7 +93,10 @@ fn main() {
             let x = cache.cfg.input_vector(a.cols());
             let r = spacea_arch::Machine::new(base_hw.clone())
                 .run_spmv(&a, &x, &mapping)
-                .expect("chunked run validates");
+                .unwrap_or_else(|e| {
+                    eprintln!("ablations: chunked run failed: {e}");
+                    std::process::exit(1)
+                });
             slowdowns.push(r.cycles as f64 / base_cycles[k]);
             tsv_ratios.push(r.tsv_bytes.max(1) as f64 / base_tsv[k]);
         }

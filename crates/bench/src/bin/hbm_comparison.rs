@@ -20,10 +20,10 @@ fn main() {
         "Section VII: HMC-like vs HBM-like realization (equivalent configuration)",
         &["ID", "Matrix", "HMC cycles", "HBM cycles", "HBM/HMC"],
     );
-    let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
+    let ids: Vec<(u8, String)> =
+        cache.entries().iter().map(|e| (e.id, e.name.to_string())).collect();
     let mut ratios = Vec::new();
-    for id in ids {
-        let name = cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
+    for (id, name) in ids {
         let r_hmc = cache.sim_with(id, MapKind::Proposed, &hmc);
         let r_hbm = cache.sim_with(id, MapKind::Proposed, &hbm);
         let ratio = r_hbm.cycles as f64 / r_hmc.cycles as f64;

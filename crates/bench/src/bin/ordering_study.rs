@@ -58,7 +58,11 @@ fn main() {
             let a = transform(&a0);
             let x = cache.cfg.input_vector(a.cols());
             let run = |mapping: &spacea_mapping::Mapping| {
-                machine.run_spmv(&a, &x, mapping).expect("run validates").cycles as f64
+                let r = machine.run_spmv(&a, &x, mapping).unwrap_or_else(|e| {
+                    eprintln!("ordering_study: run failed: {e}");
+                    std::process::exit(1)
+                });
+                r.cycles as f64
             };
             let prop = run(&LocalityMapping::default().map(&a, &hw.shape));
             let chunk = run(&ChunkedMapping.map(&a, &hw.shape));

@@ -69,7 +69,10 @@ fn main() {
     let x = cache.cfg.input_vector(a.cols());
     let machine = Machine::new(cache.cfg.hw.clone());
     let (report, timeline) =
-        machine.run_spmv_observed(&a, &x, &mapping, &observe).expect("observed run validates");
+        machine.run_spmv_observed(&a, &x, &mapping, &observe).unwrap_or_else(|e| {
+            eprintln!("timeline: observed run failed: {e}");
+            std::process::exit(1)
+        });
 
     std::fs::write(&out_path, timeline.to_chrome_trace()).unwrap_or_else(|e| {
         eprintln!("timeline: cannot write {out_path}: {e}");

@@ -14,8 +14,10 @@ fn main() {
     let mapping = cache.mapping(id, MapKind::Proposed);
     let x = cache.cfg.input_vector(a.cols());
     let machine = Machine::new(cache.cfg.hw.clone());
-    let (report, log) =
-        machine.run_spmv_traced(&a, &x, &mapping, 120).expect("traced simulation validates");
+    let (report, log) = machine.run_spmv_traced(&a, &x, &mapping, 120).unwrap_or_else(|e| {
+        eprintln!("trace_dump: traced simulation failed: {e}");
+        std::process::exit(1)
+    });
 
     println!(
         "bcsstk32 (scaled): {} cycles total; showing the first {} of {} events",

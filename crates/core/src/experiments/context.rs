@@ -266,9 +266,25 @@ impl SuiteCache {
             return result;
         }
         let result = spacea_harness::exec::execute(job, &self.ctx)
+            // lint:allow(R1) documented panic: the serial render path runs trusted jobs
             .unwrap_or_else(|e| panic!("job {} failed: {e}", job.label()));
         self.store.insert(key, result.clone());
         result
+    }
+
+    /// Unwraps a sim job's result variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store hands back a non-`Sim` result for a sim job
+    /// key, which means the content-addressed cache is corrupt — not
+    /// recoverable on the render path.
+    fn expect_sim(job: &JobSpec, result: JobResult) -> Arc<SimReport> {
+        match result {
+            JobResult::Sim(report) => report,
+            // lint:allow(R1) documented panic: result-kind mismatch is cache corruption
+            other => panic!("sim job {} returned {other:?}", job.label()),
+        }
     }
 
     /// The GPU baseline run for matrix `id` (iso-area scaled spec).
@@ -276,7 +292,8 @@ impl SuiteCache {
         let job = self.gpu_job(id);
         match self.run_job(&job) {
             JobResult::Gpu(run) => run,
-            other => unreachable!("gpu job returned {other:?}"),
+            // lint:allow(R1) documented panic: result-kind mismatch is cache corruption
+            other => panic!("gpu job {} returned {other:?}", job.label()),
         }
     }
 
@@ -290,10 +307,8 @@ impl SuiteCache {
     /// (sensitivity sweeps). Cached in the store like every other sim.
     pub fn sim_with(&mut self, id: u8, kind: MapKind, hw: &HwConfig) -> Arc<SimReport> {
         let job = self.sim_job_with(id, kind, hw);
-        match self.run_job(&job) {
-            JobResult::Sim(report) => report,
-            other => unreachable!("sim job returned {other:?}"),
-        }
+        let result = self.run_job(&job);
+        Self::expect_sim(&job, result)
     }
 
     /// The simulation of an arbitrary matrix source on the default machine
@@ -305,10 +320,8 @@ impl SuiteCache {
             hw: self.cfg.hw.clone(),
             energy: self.cfg.energy,
         };
-        match self.run_job(&job) {
-            JobResult::Sim(report) => report,
-            other => unreachable!("sim job returned {other:?}"),
-        }
+        let result = self.run_job(&job);
+        Self::expect_sim(&job, result)
     }
 
     /// The energy breakdown of a cached default-machine simulation.

@@ -59,10 +59,10 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("Figure 10: normalized speedup vs number of cubes", &headers_ref);
 
-    let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
+    let ids: Vec<(u8, String)> =
+        cache.entries().iter().map(|e| (e.id, e.name.to_string())).collect();
     let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); cube_counts.len()];
-    for id in ids {
-        let name = cache.entries().iter().find(|e| e.id == id).expect("valid id").name.to_string();
+    for (id, name) in ids {
         let mut cycles = Vec::new();
         for &cubes in &cube_counts {
             let shape = MachineShape { cubes, ..cache.cfg.hw.shape };

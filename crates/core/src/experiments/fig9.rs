@@ -29,11 +29,10 @@ pub fn run(cache: &mut SuiteCache) -> ExpOutput {
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new("Figure 9: normalized execution time vs TSV latency", &headers_ref);
 
-    let ids: Vec<u8> = cache.entries().iter().map(|e| e.id).collect();
+    let ids: Vec<(u8, String)> =
+        cache.entries().iter().map(|e| (e.id, e.name.to_string())).collect();
     let mut per_latency: Vec<Vec<f64>> = vec![Vec::new(); LATENCIES.len()];
-    for id in ids {
-        let entry = cache.entries().iter().find(|e| e.id == id).expect("id from entries");
-        let name = entry.name.to_string();
+    for (id, name) in ids {
         let mut cycles = Vec::new();
         for &lat in &LATENCIES {
             let mut hw = cache.cfg.hw.clone();

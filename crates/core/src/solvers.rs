@@ -105,6 +105,7 @@ pub fn jacobi(
             if j as usize == i {
                 diag[i] += v;
             } else {
+                // lint:allow(R1) indices come from a validated Csr
                 off.push(i, j as usize, v).expect("entry in bounds");
             }
         }

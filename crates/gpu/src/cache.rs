@@ -64,16 +64,12 @@ impl CacheSim {
             return true;
         }
         self.misses += 1;
-        if set.len() < self.ways {
-            set.push((tag, self.tick));
-        } else {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, lu))| *lu)
-                .map(|(i, _)| i)
-                .expect("full set is non-empty");
-            set[victim] = (tag, self.tick);
+        // On a full set the LRU way is replaced; an empty ways list (never
+        // built by `new`) degrades to a plain insert rather than a panic.
+        let lru = set.iter().enumerate().min_by_key(|(_, (_, lu))| *lu).map(|(i, _)| i);
+        match lru {
+            Some(victim) if set.len() >= self.ways => set[victim] = (tag, self.tick),
+            _ => set.push((tag, self.tick)),
         }
         false
     }

@@ -36,6 +36,7 @@ pub fn bfs(a: &Csr, source: usize) -> BfsResult {
     coo.reserve(a.nnz());
     for i in 0..n {
         for (j, _) in a.row(i) {
+            // lint:allow(R1) indices come from a validated Csr
             coo.push(j as usize, i, 1.0).expect("transposed coordinate in bounds");
         }
     }

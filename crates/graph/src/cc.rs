@@ -42,7 +42,9 @@ pub fn connected_components(a: &Csr) -> CcResult {
             let j = j as usize;
             if i != j {
                 // Min-plus with weight 0 propagates the label unchanged.
+                // lint:allow(R1) indices come from a validated Csr
                 coo.push(i, j, 0.0).expect("in bounds");
+                // lint:allow(R1) indices come from a validated Csr
                 coo.push(j, i, 0.0).expect("in bounds");
             }
         }

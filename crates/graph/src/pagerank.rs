@@ -48,6 +48,7 @@ pub fn pr_operand(a: &Csr) -> Csr {
     for i in 0..n {
         let deg = a.row_nnz(i).max(1) as f64;
         for (j, _) in a.row(i) {
+            // lint:allow(R1) transposed indices come from a validated Csr
             coo.push(j as usize, i, 1.0 / deg).expect("transposed coordinate in bounds");
         }
     }

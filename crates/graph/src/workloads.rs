@@ -89,6 +89,7 @@ fn clamp_row_degrees(g: &Csr, cap: usize) -> Csr {
     for i in 0..n {
         for (k, (j, w)) in g.row(i).enumerate() {
             if k < cap {
+                // lint:allow(R1) indices come from a validated Csr
                 coo.push(i, j as usize, w).expect("coordinate in bounds");
             } else {
                 spill += 1;
@@ -98,6 +99,7 @@ fn clamp_row_degrees(g: &Csr, cap: usize) -> Csr {
     }
     for _ in 0..spill {
         let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        // lint:allow(R1) gen_range keeps spill edges in bounds
         coo.push(u, v, 0.5).expect("coordinate in bounds");
     }
     coo.to_csr()
@@ -108,6 +110,7 @@ fn make_weights_positive(g: &Csr) -> Csr {
     coo.reserve(g.nnz());
     for i in 0..g.rows() {
         for (j, w) in g.row(i) {
+            // lint:allow(R1) indices come from a validated Csr
             coo.push(i, j as usize, w.abs().max(0.05)).expect("coordinate in bounds");
         }
     }

@@ -71,19 +71,23 @@ impl JobCtx {
         use crate::job::GraphOperand;
         let cell = Arc::clone(lock(&self.matrices).entry(*source).or_default());
         Arc::clone(cell.get_or_init(|| match source {
-            MatrixSource::Graph { graph, scale, operand }
-                if *operand != GraphOperand::Adjacency =>
-            {
+            // Adjacency falls through to plain generation below; the two
+            // derived operands reuse the memoized adjacency matrix.
+            MatrixSource::Graph { graph, scale, operand: GraphOperand::PageRank } => {
                 let adjacency = self.matrix(&MatrixSource::Graph {
                     graph: *graph,
                     scale: *scale,
                     operand: GraphOperand::Adjacency,
                 });
-                match operand {
-                    GraphOperand::PageRank => Arc::new(spacea_graph::pr_operand(&adjacency)),
-                    GraphOperand::Transpose => Arc::new(adjacency.transpose()),
-                    GraphOperand::Adjacency => unreachable!("guarded above"),
-                }
+                Arc::new(spacea_graph::pr_operand(&adjacency))
+            }
+            MatrixSource::Graph { graph, scale, operand: GraphOperand::Transpose } => {
+                let adjacency = self.matrix(&MatrixSource::Graph {
+                    graph: *graph,
+                    scale: *scale,
+                    operand: GraphOperand::Adjacency,
+                });
+                Arc::new(adjacency.transpose())
             }
             _ => Arc::new(source.generate()),
         }))

@@ -89,6 +89,7 @@ impl MatrixSource {
     pub fn generate(&self) -> Csr {
         match self {
             MatrixSource::Suite { id, scale } => {
+                // lint:allow(R1) documented panic; validate() screens untrusted ids
                 suite::entry_by_id(*id).expect("valid Table I id").generate(*scale)
             }
             MatrixSource::Graph { graph, scale, operand } => {

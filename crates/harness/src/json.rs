@@ -165,7 +165,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek()? == b {
             self.pos += 1;
             Ok(())
@@ -202,12 +202,13 @@ impl Parser<'_> {
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("bad number bytes: {e}"))?;
         text.parse::<u64>().map(Json::U64).map_err(|e| format!("bad number '{text}': {e}"))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let b = *self.bytes.get(self.pos).ok_or_else(|| "unterminated string".to_string())?;
@@ -247,10 +248,11 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Re-decode multi-byte UTF-8 from the raw input.
+                    // Re-decode multi-byte UTF-8 from the raw input; the
+                    // slice holds at least the byte just consumed.
                     let s = std::str::from_utf8(&self.bytes[self.pos - 1..])
                         .map_err(|e| e.to_string())?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s.chars().next().ok_or_else(|| "unterminated string".to_string())?;
                     out.push(c);
                     self.pos += c.len_utf8() - 1;
                 }
@@ -259,7 +261,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
@@ -267,7 +269,7 @@ impl Parser<'_> {
         }
         loop {
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             pairs.push((key, value));
             match self.peek()? {
@@ -282,7 +284,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;

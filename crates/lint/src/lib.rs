@@ -1,0 +1,166 @@
+//! `spacea-lint` — determinism & robustness static analysis for the SpaceA
+//! workspace.
+//!
+//! The simulator's claims (Section V tables/figures) rest on bit-exact
+//! reproducibility, and the harness stack (content-addressed cache, shard
+//! merges, deterministic fault injection) silently assumes nothing
+//! nondeterministic ever leaks into a model run. This crate enforces that
+//! statically, with no external dependencies: a hand-rolled token
+//! [`scanner`] (comments, raw strings, lifetimes) feeds a [`rules`] engine
+//! over every workspace crate, and pre-existing debt is carried in a
+//! ratcheting [`baseline`] that CI only lets shrink.
+//!
+//! Rules (see `spacea-lint --explain RULE`):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1 | no `HashMap`/`HashSet` in `sim`/`arch`/`mapping`/`matrix`/`model` |
+//! | D2 | no `Instant::now`/`SystemTime::now`/ambient RNG outside `harness`/`bench` |
+//! | R1 | no `unwrap`/`expect`/`panic!` family in non-test code |
+//! | S1 | every `MetricKey` literal in `arch`/`sim` is a registered metric |
+
+pub mod baseline;
+pub mod rules;
+pub mod scanner;
+
+use rules::{FileKind, FileMeta, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The production S1 registry: the `(component, name)` pairs from
+/// [`spacea_obs::registry::METRICS`].
+pub fn known_metrics() -> Vec<(&'static str, &'static str)> {
+    spacea_obs::registry::METRICS.to_vec()
+}
+
+/// Lints one in-memory source file. This is the whole pipeline minus I/O —
+/// scan, mask test regions, run every applicable rule, apply `lint:allow`.
+pub fn check_source(meta: &FileMeta, src: &str, metrics: &[(&str, &str)]) -> Vec<Violation> {
+    rules::check_file(meta, &scanner::scan(src), metrics)
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order, skipping
+/// directories that are out of scope (`tests`, `benches`, build output).
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<fs::DirEntry> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    // read_dir order is filesystem-dependent; the lint itself must be
+    // deterministic, so sort by name.
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let file_type = e.file_type()?;
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if file_type.is_dir() {
+            if matches!(name.as_ref(), "tests" | "benches" | "target" | ".git") {
+                continue;
+            }
+            walk(&e.path(), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(e.path());
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Workspace-relative, '/'-separated — stable baseline keys on any host.
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Enumerates every lintable source file of the workspace rooted at `root`:
+/// each `crates/<name>` member's `src/` and `examples/`, plus the root
+/// package's. `vendor/` (third-party stand-ins), `tests/`, and `benches/`
+/// are out of scope.
+pub fn collect_files(root: &Path) -> io::Result<Vec<(PathBuf, FileMeta)>> {
+    let mut out = Vec::new();
+    let push_tree =
+        |out: &mut Vec<(PathBuf, FileMeta)>, dir: PathBuf, krate: &str, kind: FileKind| {
+            if !dir.is_dir() {
+                return Ok::<(), io::Error>(());
+            }
+            let mut files = Vec::new();
+            walk(&dir, &mut files)?;
+            for path in files {
+                let rel = rel_to(root, &path);
+                let kind = if kind == FileKind::Lib && rel.contains("/src/bin/") {
+                    FileKind::Bin
+                } else {
+                    kind
+                };
+                out.push((path, FileMeta { rel, krate: krate.to_string(), kind }));
+            }
+            Ok(())
+        };
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<fs::DirEntry> =
+            fs::read_dir(&crates_dir)?.collect::<io::Result<_>>()?;
+        members.sort_by_key(|e| e.file_name());
+        for m in members {
+            if !m.file_type()?.is_dir() {
+                continue;
+            }
+            let name = m.file_name().to_string_lossy().into_owned();
+            push_tree(&mut out, m.path().join("src"), &name, FileKind::Lib)?;
+            push_tree(&mut out, m.path().join("examples"), &name, FileKind::Example)?;
+        }
+    }
+    push_tree(&mut out, root.join("src"), "spacea", FileKind::Lib)?;
+    push_tree(&mut out, root.join("examples"), "spacea", FileKind::Example)?;
+    Ok(out)
+}
+
+/// Lints every workspace source file under `root` against the production
+/// metric registry. Violations come back sorted by `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let metrics = known_metrics();
+    let mut violations = Vec::new();
+    for (path, meta) in collect_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        violations.extend(check_source(&meta, &src, &metrics));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_nonempty_and_known() {
+        let metrics = known_metrics();
+        assert!(metrics.len() >= 9);
+        assert!(metrics.contains(&("tsv", "bytes")));
+    }
+
+    #[test]
+    fn workspace_walk_finds_this_crate_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_files(&root).expect("workspace walk");
+        assert!(files.iter().any(|(_, m)| m.rel == "crates/lint/src/lib.rs"));
+        assert!(files.iter().any(|(_, m)| m.krate == "sim"));
+        assert!(files.iter().all(|(_, m)| !m.rel.starts_with("vendor/")));
+        assert!(files.iter().all(|(_, m)| !m.rel.contains("/tests/")));
+        // Sorted and duplicate-free: required for stable baselines.
+        let rels: Vec<&str> = files.iter().map(|(_, m)| m.rel.as_str()).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(rels.len(), sorted.len());
+    }
+
+    #[test]
+    fn bin_files_are_classified() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_files(&root).expect("workspace walk");
+        for (_, m) in &files {
+            if m.rel.contains("/src/bin/") {
+                assert_eq!(m.kind, rules::FileKind::Bin, "{}", m.rel);
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The `spacea-lint` command-line driver.
+//!
+//! ```text
+//! spacea-lint --check [--baseline FILE] [--root DIR]   # lint the workspace
+//! spacea-lint --update-baseline FILE [--root DIR]      # rewrite the baseline
+//! spacea-lint --compare-baselines OLD NEW              # CI ratchet guard
+//! spacea-lint --explain RULE                           # contributor docs
+//! spacea-lint --list                                   # enumerate rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations / ratchet failure, `2` usage or
+//! I/O error.
+
+use spacea_lint::baseline::{self, Baseline};
+use spacea_lint::rules::RuleId;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+spacea-lint: determinism & robustness static analysis for the SpaceA workspace
+
+USAGE:
+  spacea-lint --check [--baseline FILE] [--root DIR]
+  spacea-lint --update-baseline FILE [--root DIR]
+  spacea-lint --compare-baselines OLD NEW
+  spacea-lint --explain RULE
+  spacea-lint --list
+
+Rules: D1 D2 R1 S1 (see --explain). Suppress a deliberate site inline with
+`// lint:allow(RULE) reason` on the offending line or the line above; carry
+pre-existing debt in a committed baseline, which CI only lets shrink.";
+
+enum Mode {
+    Check { baseline: Option<PathBuf> },
+    Update { baseline: PathBuf },
+    Compare { old: PathBuf, new: PathBuf },
+    Explain { rule: String },
+    List,
+}
+
+struct Args {
+    root: PathBuf,
+    mode: Mode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut mode: Option<Mode> = None;
+    let mut it = std::env::args().skip(1);
+    let set = |m: Mode, mode: &mut Option<Mode>| -> Result<(), String> {
+        if mode.is_some() {
+            return Err("more than one mode flag given".into());
+        }
+        *mode = Some(m);
+        Ok(())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => set(Mode::Check { baseline: None }, &mut mode)?,
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a FILE")?;
+                match mode {
+                    Some(Mode::Check { ref mut baseline }) => *baseline = Some(file.into()),
+                    _ => return Err("--baseline only applies after --check".into()),
+                }
+            }
+            "--update-baseline" => {
+                let file = it.next().ok_or("--update-baseline needs a FILE")?;
+                set(Mode::Update { baseline: file.into() }, &mut mode)?;
+            }
+            "--compare-baselines" => {
+                let old = it.next().ok_or("--compare-baselines needs OLD NEW")?;
+                let new = it.next().ok_or("--compare-baselines needs OLD NEW")?;
+                set(Mode::Compare { old: old.into(), new: new.into() }, &mut mode)?;
+            }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a RULE")?;
+                set(Mode::Explain { rule }, &mut mode)?;
+            }
+            "--list" => set(Mode::List, &mut mode)?,
+            "--root" => root = it.next().ok_or("--root needs a DIR")?.into(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mode = mode.ok_or("no mode given")?;
+    Ok(Args { root, mode })
+}
+
+fn run(args: Args) -> Result<bool, String> {
+    match args.mode {
+        Mode::List => {
+            for r in RuleId::ALL {
+                println!("{}  {}", r.name(), r.summary());
+            }
+            Ok(true)
+        }
+        Mode::Explain { rule } => {
+            let r = RuleId::parse(&rule)
+                .ok_or_else(|| format!("unknown rule {rule:?} (try --list)"))?;
+            println!("{}", r.explain());
+            Ok(true)
+        }
+        Mode::Compare { old, new } => {
+            let load = |p: &PathBuf| -> Result<Baseline, String> {
+                let text = fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+                Baseline::parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+            };
+            let problems = baseline::compare(&load(&old)?, &load(&new)?);
+            for p in &problems {
+                eprintln!("ratchet: {p}");
+            }
+            if problems.is_empty() {
+                println!(
+                    "ratchet ok: baseline total {} -> {}",
+                    load(&old)?.total(),
+                    load(&new)?.total()
+                );
+            }
+            Ok(problems.is_empty())
+        }
+        Mode::Update { baseline: path } => {
+            let violations = spacea_lint::lint_workspace(&args.root).map_err(|e| e.to_string())?;
+            let b = Baseline::from_violations(&violations);
+            fs::write(&path, b.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "wrote {} ({} entries, {} violations)",
+                path.display(),
+                b.entries.len(),
+                b.total()
+            );
+            Ok(true)
+        }
+        Mode::Check { baseline: path } => {
+            let violations = spacea_lint::lint_workspace(&args.root).map_err(|e| e.to_string())?;
+            let base = match &path {
+                Some(p) => {
+                    let text =
+                        fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+                    Baseline::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?
+                }
+                None => Baseline::default(),
+            };
+            let report = baseline::check_against(&violations, &base);
+            for (rule, file, current, baselined) in &report.regressions {
+                eprintln!("{rule} {file}: {current} violation(s), baseline allows {baselined}:");
+                for v in violations.iter().filter(|v| v.rule.name() == rule && &v.file == file) {
+                    eprintln!("  {}:{}: {} [{}]", v.file, v.line, v.what, rule);
+                }
+            }
+            for (rule, file, current, baselined) in &report.stale {
+                println!(
+                    "note: stale baseline entry ({rule}, {file}): {baselined} baselined, {current} remain — run --update-baseline"
+                );
+            }
+            let baselined: u64 = violations.len() as u64
+                - report.regressions.iter().map(|(_, _, c, b)| c - b).sum::<u64>();
+            if report.ok() {
+                println!(
+                    "spacea-lint: ok ({} violation(s), all baselined; {} baseline entries)",
+                    baselined,
+                    base.entries.len()
+                );
+            } else {
+                eprintln!(
+                    "spacea-lint: FAIL ({} new violation(s) beyond the baseline)",
+                    report.regressions.iter().map(|(_, _, c, b)| c - b).sum::<u64>()
+                );
+                eprintln!("fix them, suppress with `// lint:allow(RULE) reason`, or see --explain");
+            }
+            Ok(report.ok())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! The rule engine: walks a scanned token stream and reports violations.
+//!
+//! Four repo-specific invariants are enforced (see [`RuleId::explain`] for
+//! the contributor-facing docs):
+//!
+//! - **D1** — no hash-ordered collections in the deterministic crates,
+//! - **D2** — no wall clock / ambient randomness outside supervision code,
+//! - **R1** — no `unwrap`/`expect`/`panic!` family in non-test library code,
+//! - **S1** — every `MetricKey` constructed in `arch`/`sim` must name a
+//!   metric in the registered set ([`spacea_obs::registry`]).
+//!
+//! Test code never counts: `#[cfg(test)]` / `#[test]` items are masked out
+//! of the token stream, and `tests/` / `benches/` directories are not
+//! walked at all. Remaining deliberate sites carry
+//! `// lint:allow(RULE) reason` or live in the ratcheting baseline.
+
+use crate::scanner::{Allow, ScanOutput, TokKind, Token};
+
+/// The rules `spacea-lint` knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Hash-ordered collections in deterministic crates.
+    D1,
+    /// Wall clock / ambient randomness outside supervision code.
+    D2,
+    /// `unwrap`/`expect`/`panic!` family in non-test code.
+    R1,
+    /// Unregistered metric-key names.
+    S1,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::R1, RuleId::S1];
+
+    /// The rule's short name as used in reports, baselines, and
+    /// `lint:allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::R1 => "R1",
+            RuleId::S1 => "S1",
+        }
+    }
+
+    /// Parses a rule name (case-sensitive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// One-line summary for report headers.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D1 => "hash-ordered collection in a deterministic crate",
+            RuleId::D2 => "wall clock or ambient randomness outside supervision code",
+            RuleId::R1 => "unwrap/expect/panic in non-test code",
+            RuleId::S1 => "metric key not in the registered set",
+        }
+    }
+
+    /// The contributor-facing documentation shown by `--explain`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "D1: no HashMap/HashSet in deterministic crates\n\
+                 \n\
+                 The simulator's results must be bit-reproducible: the harness's\n\
+                 content-addressed cache, shard merges, and fault injection all assume\n\
+                 two runs of the same JobSpec produce identical cycles and stats.\n\
+                 HashMap/HashSet iteration order is randomized per process, so any\n\
+                 iteration over them inside the model can silently reorder event\n\
+                 processing or float accumulation. Statically deciding whether a given\n\
+                 map is ever iterated is not tractable for a token scanner, so the rule\n\
+                 bans the types outright in the deterministic crates (sim, arch,\n\
+                 mapping, matrix, model).\n\
+                 \n\
+                 Fix: use BTreeMap/BTreeSet, or collect-and-sort before iterating.\n\
+                 If a hash container is genuinely order-safe (e.g. only get/insert,\n\
+                 never iterated), suppress with `// lint:allow(D1) reason`."
+            }
+            RuleId::D2 => {
+                "D2: no wall clock or ambient randomness outside harness/bench\n\
+                 \n\
+                 Instant::now / SystemTime::now / thread_rng / from_entropy make a\n\
+                 run's outputs depend on when and where it executed. Inside the model\n\
+                 and solver crates that breaks reproducibility; timing and entropy\n\
+                 belong to the supervision layer (harness, bench), which measures real\n\
+                 runs and owns seeds.\n\
+                 \n\
+                 Fix: thread simulated time (Cycle) or an explicit seed through the\n\
+                 API instead. Deliberate host-time measurements outside the harness\n\
+                 carry `// lint:allow(D2) reason`."
+            }
+            RuleId::R1 => {
+                "R1: no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!\n\
+                 in non-test code\n\
+                 \n\
+                 A panic in library code kills the whole sweep worker and poisons\n\
+                 shared locks; the harness already has SimError/Result plumbing and a\n\
+                 crash-isolated supervisor, so recoverable errors must flow through\n\
+                 Result. Test modules (#[cfg(test)], #[test]) are exempt, and so are\n\
+                 examples/ demos, whose error reporting *is* a loud panic.\n\
+                 \n\
+                 Fix: propagate with `?` and a SimError (or a local error enum).\n\
+                 By-construction invariants that genuinely cannot fail carry\n\
+                 `// lint:allow(R1) reason`, and pre-existing debt lives in\n\
+                 lint-baseline.json, which only ratchets downward."
+            }
+            RuleId::S1 => {
+                "S1: every metric key must be registered\n\
+                 \n\
+                 Stat-ledger conservation: gauges are registered under\n\
+                 MetricKey::{vault,global}(component, .., name) string pairs. A typo\n\
+                 in either string silently creates a new ledger entry and drops the\n\
+                 sample from every consumer keyed on the real name (timeline export,\n\
+                 observability assertions). The rule cross-checks each literal\n\
+                 (component, name) pair constructed in arch/sim against the\n\
+                 registered-metric table in spacea_obs::registry::METRICS.\n\
+                 \n\
+                 Fix: correct the typo, or add the new metric to METRICS in the same\n\
+                 change that introduces the gauge."
+            }
+        }
+    }
+}
+
+/// Where a file lives, for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/`.
+    Lib,
+    /// A `src/bin/*.rs` binary.
+    Bin,
+    /// An `examples/*.rs` program.
+    Example,
+}
+
+/// Per-file metadata the rules scope on.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path, `/`-separated (stable across platforms).
+    pub rel: String,
+    /// Short crate name: the `crates/<name>` directory, or `spacea` for the
+    /// root crate.
+    pub krate: String,
+    /// File role.
+    pub kind: FileKind,
+}
+
+/// Crates whose model state must be iteration-order deterministic (D1).
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "arch", "mapping", "matrix", "model"];
+
+/// Crates allowed to read the wall clock / ambient entropy (D2 exempt).
+pub const SUPERVISION_CRATES: [&str; 2] = ["harness", "bench"];
+
+/// Crates whose `MetricKey` constructions S1 cross-checks.
+pub const LEDGER_CRATES: [&str; 2] = ["arch", "sim"];
+
+/// One rule violation at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Short description of the offending token(s).
+    pub what: String,
+}
+
+/// Marks every token that belongs to a test region: an item annotated
+/// `#[test]` / `#[cfg(test)]` (including everything nested inside, so one
+/// `#[cfg(test)] mod tests { … }` masks the whole module).
+pub fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut masked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = test_attr_end(tokens, i) {
+            // Skip any further attributes stacked on the same item.
+            let mut j = attr_end;
+            loop {
+                if tokens.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('#'))
+                    && tokens.get(j + 1).map(|t| &t.kind) == Some(&TokKind::Punct('['))
+                {
+                    j = match matching(tokens, j + 1, '[', ']') {
+                        Some(end) => end + 1,
+                        None => tokens.len(),
+                    };
+                } else {
+                    break;
+                }
+            }
+            // The item body runs to the matching `}` of its first top-level
+            // brace, or to a `;` for body-less items.
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 && tokens[k].kind == TokKind::Punct('}') {
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = k.min(tokens.len().saturating_sub(1));
+            for flag in masked.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = k + 1;
+        } else {
+            i += 1;
+        }
+    }
+    masked
+}
+
+/// If tokens starting at `i` form a `#[test]`-like attribute (`#[test]`,
+/// `#[cfg(test)]`, `#[tokio::test]`, `#[cfg(all(test, …))]`), returns the
+/// index one past the closing `]`.
+fn test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.kind != TokKind::Punct('#') || tokens.get(i + 1)?.kind != TokKind::Punct('[')
+    {
+        return None;
+    }
+    let close = matching(tokens, i + 1, '[', ']')?;
+    let inner = &tokens[i + 2..close];
+    // Path segments of the attribute head, before any `(` arguments.
+    let mut head: Vec<&str> = Vec::new();
+    for t in inner {
+        match &t.kind {
+            TokKind::Punct('(') => break,
+            TokKind::Ident(n) => head.push(n.as_str()),
+            _ => {}
+        }
+    }
+    let has_ident =
+        |name: &str| inner.iter().any(|t| matches!(&t.kind, TokKind::Ident(n) if n == name));
+    let is_test = if head.first() == Some(&"cfg") {
+        // #[cfg(test)] / #[cfg(all(test, …))] — but NOT #[cfg(not(test))],
+        // which marks code compiled only *outside* tests.
+        has_ident("test") && !has_ident("not")
+    } else {
+        // #[test], #[tokio::test], #[should_panic(…)].
+        matches!(head.last(), Some(&"test") | Some(&"should_panic"))
+    };
+    if is_test {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+/// Index of the token closing the bracket opened at `open_ix` (whose kind
+/// must be `Punct(open)`).
+fn matching(tokens: &[Token], open_ix: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open_ix) {
+        if t.kind == TokKind::Punct(open) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+}
+
+/// True when `allows` suppresses `rule` at `line` (directive on the same
+/// line or the line directly above).
+fn allowed(allows: &[Allow], rule: RuleId, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule.name()))
+}
+
+/// Runs every applicable rule over one scanned file.
+///
+/// `known_metrics` is the S1 registry: `(component, name)` pairs considered
+/// registered. Pass [`spacea_obs::registry::METRICS`] in production; tests
+/// inject reduced tables to provoke violations.
+pub fn check_file(
+    meta: &FileMeta,
+    scan: &ScanOutput,
+    known_metrics: &[(&str, &str)],
+) -> Vec<Violation> {
+    let tokens = &scan.tokens;
+    let masked = mark_test_regions(tokens);
+    let mut out = Vec::new();
+
+    let d1_applies =
+        meta.kind == FileKind::Lib && DETERMINISTIC_CRATES.contains(&meta.krate.as_str());
+    let d2_applies =
+        meta.kind != FileKind::Example && !SUPERVISION_CRATES.contains(&meta.krate.as_str());
+    let r1_applies = meta.kind != FileKind::Example;
+    let s1_applies = LEDGER_CRATES.contains(&meta.krate.as_str());
+
+    let mut push = |allows: &[Allow], rule: RuleId, line: u32, what: String| {
+        if !allowed(allows, rule, line) {
+            out.push(Violation { rule, file: meta.rel.clone(), line, what });
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if masked[i] {
+            continue;
+        }
+        let TokKind::Ident(name) = &t.kind else { continue };
+        match name.as_str() {
+            // D1: the hash-ordered types themselves. Iteration is not
+            // statically decidable for a token scanner, so the types are
+            // banned outright in deterministic crates (see --explain D1).
+            "HashMap" | "HashSet" if d1_applies => {
+                push(&scan.allows, RuleId::D1, t.line, name.clone());
+            }
+            // D2: wall clock.
+            "Instant" | "SystemTime"
+                if d2_applies
+                    && punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("now") =>
+            {
+                push(&scan.allows, RuleId::D2, t.line, format!("{name}::now"));
+            }
+            // D2: ambient randomness.
+            "thread_rng" | "from_entropy" if d2_applies => {
+                push(&scan.allows, RuleId::D2, t.line, name.clone());
+            }
+            // R1: `.unwrap(` / `.expect(` method calls.
+            "unwrap" | "expect"
+                if r1_applies
+                    && i > 0
+                    && punct_at(tokens, i - 1, '.')
+                    && punct_at(tokens, i + 1, '(') =>
+            {
+                push(&scan.allows, RuleId::R1, t.line, format!(".{name}()"));
+            }
+            // R1: panicking macros.
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if r1_applies && punct_at(tokens, i + 1, '!') =>
+            {
+                push(&scan.allows, RuleId::R1, t.line, format!("{name}!"));
+            }
+            // S1: MetricKey::vault("comp", .., "name") literal pairs.
+            "MetricKey"
+                if s1_applies
+                    && punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && matches!(ident_at(tokens, i + 3), Some("vault") | Some("global"))
+                    && punct_at(tokens, i + 4, '(') =>
+            {
+                if let Some(close) = matching(tokens, i + 4, '(', ')') {
+                    let strings: Vec<&str> = tokens[i + 5..close]
+                        .iter()
+                        .filter_map(|t| match &t.kind {
+                            TokKind::Str(s) => Some(s.as_str()),
+                            _ => None,
+                        })
+                        .collect();
+                    // Need both the component and the name as literals;
+                    // dynamic keys are out of scope for a static pass.
+                    if strings.len() >= 2 {
+                        let pair = (strings[0], strings[strings.len() - 1]);
+                        if !known_metrics.contains(&pair) {
+                            push(
+                                &scan.allows,
+                                RuleId::S1,
+                                t.line,
+                                format!("(\"{}\", \"{}\")", pair.0, pair.1),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn meta(rel: &str, krate: &str, kind: FileKind) -> FileMeta {
+        FileMeta { rel: rel.into(), krate: krate.into(), kind }
+    }
+
+    fn run(krate: &str, kind: FileKind, src: &str) -> Vec<Violation> {
+        run_with_metrics(krate, kind, src, &[("noc", "utilization")])
+    }
+
+    fn run_with_metrics(
+        krate: &str,
+        kind: FileKind,
+        src: &str,
+        metrics: &[(&str, &str)],
+    ) -> Vec<Violation> {
+        check_file(&meta("x.rs", krate, kind), &scan(src), metrics)
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); let _ = m; }";
+        let v = run("sim", FileKind::Lib, src);
+        assert_eq!(v.iter().filter(|v| v.rule == RuleId::D1).count(), 3);
+        assert!(run("harness", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D1));
+        assert!(run("obs", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D1));
+    }
+
+    #[test]
+    fn d1_skips_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n #[test]\n fn t() { let _ = HashSet::<u32>::new(); }\n}";
+        assert!(run("arch", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn d2_fires_outside_supervision_crates_only() {
+        let src = "fn f() -> u128 { let t = std::time::Instant::now(); t.elapsed().as_nanos() }";
+        let v = run("core", FileKind::Lib, src);
+        assert_eq!(v.iter().filter(|v| v.rule == RuleId::D2).count(), 1);
+        assert!(run("harness", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D2));
+        assert!(run("bench", FileKind::Bin, src).iter().all(|v| v.rule != RuleId::D2));
+        // Examples measure wall time legitimately (user-facing demos).
+        assert!(run("core", FileKind::Example, src).iter().all(|v| v.rule != RuleId::D2));
+    }
+
+    #[test]
+    fn d2_requires_the_now_call() {
+        let src = "fn f(i: std::time::Instant) -> std::time::Instant { i }";
+        assert!(run("core", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D2));
+    }
+
+    #[test]
+    fn r1_method_calls_and_macros() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 { let a = x.unwrap(); if a > 3 { panic!(\"no\"); } a }";
+        let v = run("graph", FileKind::Lib, src);
+        let rules: Vec<&str> = v.iter().map(|v| v.what.as_str()).collect();
+        assert_eq!(rules, vec![".unwrap()", "panic!"]);
+    }
+
+    #[test]
+    fn r1_ignores_lookalikes() {
+        // unwrap_or / expect_err are different idents; a bare `panic` ident
+        // without `!` (e.g. std::panic::catch_unwind paths) is not a macro.
+        let src = "fn f(x: Option<u32>) -> u32 { std::panic::catch_unwind(|| x.unwrap_or(0)).unwrap_or(1) }";
+        assert!(run("graph", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn r1_exempts_examples() {
+        let src = "fn main() { std::fs::read(\"x\").expect(\"demo input\"); }";
+        assert!(run("core", FileKind::Example, src).is_empty());
+        assert_eq!(run("core", FileKind::Bin, src).len(), 1);
+    }
+
+    #[test]
+    fn r1_skips_test_fns_but_not_neighbors() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\nfn live(x: Option<u32>) { x.unwrap(); }";
+        let v = run("core", FileKind::Lib, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn should_panic_attr_masks_its_fn() {
+        let src = "#[should_panic(expected = \"boom\")]\nfn t() { panic!(\"boom\"); }";
+        assert!(run("core", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn s1_catches_a_counter_typo() {
+        // Deliberately injected typo: "tvs" for "tsv".
+        let src =
+            "fn arm(s: &mut S) { s.register(MetricKey::global(\"tvs\", \"bytes\"), |_| 0.0); }";
+        let v = run_with_metrics("arch", FileKind::Lib, src, &[("tsv", "bytes")]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::S1);
+        assert!(v[0].what.contains("tvs"), "{}", v[0].what);
+    }
+
+    #[test]
+    fn s1_name_typo_in_vault_form() {
+        let src =
+            "fn arm(s: &mut S, v: usize) { s.register(MetricKey::vault(\"ldq\", v, \"l1-ocupancy\"), |_| 0.0); }";
+        let v = run_with_metrics("sim", FileKind::Lib, src, &[("ldq", "l1-occupancy")]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::S1);
+    }
+
+    #[test]
+    fn s1_accepts_registered_pairs_and_other_crates() {
+        let src = "fn arm(s: &mut S) { s.register(MetricKey::global(\"noc\", \"utilization\"), |_| 0.0); }";
+        assert!(run("arch", FileKind::Lib, src).is_empty());
+        let typo =
+            "fn arm(s: &mut S) { s.register(MetricKey::global(\"tvs\", \"bytes\"), |_| 0.0); }";
+        // Outside arch/sim the ledger rule does not apply.
+        assert!(run_with_metrics("harness", FileKind::Lib, typo, &[("tsv", "bytes")]).is_empty());
+    }
+
+    #[test]
+    fn s1_skips_dynamic_components() {
+        let src =
+            "fn arm(s: &mut S, c: &str) { s.register(MetricKey::global(c, \"bytes\"), |_| 0.0); }";
+        assert!(run_with_metrics("arch", FileKind::Lib, src, &[("tsv", "bytes")]).is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(R1) by construction";
+        assert!(run("core", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_previous_line_suppresses() {
+        let src = "// lint:allow(R1) by construction\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run("core", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn allow_names_only_its_rule() {
+        let src = "// lint:allow(D1) wrong rule\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = run("core", FileKind::Lib, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::R1);
+    }
+
+    #[test]
+    fn allow_two_lines_above_does_not_reach() {
+        let src = "// lint:allow(R1) too far\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(run("core", FileKind::Lib, src).len(), 1);
+    }
+
+    #[test]
+    fn explain_exists_for_all_rules() {
+        for r in RuleId::ALL {
+            assert!(r.explain().contains(r.name()));
+            assert!(RuleId::parse(r.name()) == Some(r));
+        }
+        assert!(RuleId::parse("Z9").is_none());
+    }
+}

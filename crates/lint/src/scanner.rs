@@ -1,0 +1,480 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The lint rules only need a faithful *token stream* — identifiers, string
+//! literals, punctuation — with comments and string contents kept out of the
+//! way so `// uses HashMap` or `"panic!"` never match a rule. The scanner
+//! therefore handles the lexical shapes that matter for correctness:
+//!
+//! - line comments (`//`) and **nested** block comments (`/* /* */ */`),
+//! - normal strings with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, any number of hashes, plus `br…` forms),
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - raw identifiers (`r#type`),
+//! - numeric literals (so `0..5` stays three tokens, not a float).
+//!
+//! It is deliberately *not* a full lexer: numeric suffixes, float exponents
+//! and the like are folded into a single `Num` token because no rule cares.
+//! Suppression directives (`// lint:allow(RULE) reason`) are collected from
+//! line comments during the same pass.
+
+/// What a token is. String/char contents are dropped except for string
+/// literals, whose text the S1 rule needs to resolve metric names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `r#type` → `type`).
+    Ident(String),
+    /// A string literal's contents (normal, byte, or raw; escapes are left
+    /// unprocessed — rules only compare simple ASCII names).
+    Str(String),
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct(char),
+    /// A numeric literal.
+    Num,
+    /// A char literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokKind,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One `lint:allow(RULE[, RULE…]) reason` directive found in a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule names listed inside the parentheses, as written.
+    pub rules: Vec<String>,
+    /// 1-based line the directive sits on. The directive suppresses matching
+    /// violations on this line and the immediately following line (so it can
+    /// ride above the offending statement).
+    pub line: u32,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct ScanOutput {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Suppression directives in source order.
+    pub allows: Vec<Allow>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into tokens and `lint:allow` directives.
+pub fn scan(src: &str) -> ScanOutput {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = ScanOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! peek {
+        ($off:expr) => {
+            chars.get(i + $off).copied()
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if peek!(1) == Some('/') => {
+                // Line comment: collect its text for lint:allow parsing.
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                if let Some(allow) = parse_allow(&text, line) {
+                    out.allows.push(allow);
+                }
+                i = j;
+            }
+            '/' if peek!(1) == Some('*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && peek!(1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && peek!(1) == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let tok_line = line;
+                let (contents, next, nl) = cooked_string(&chars, i + 1);
+                out.tokens.push(Token { kind: TokKind::Str(contents), line: tok_line });
+                line += nl;
+                i = next;
+            }
+            '\'' => {
+                let tok_line = line;
+                // Lifetime: 'ident not followed by a closing quote.
+                if peek!(1).is_some_and(is_ident_start) && peek!(2) != Some('\'') {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Lifetime, line: tok_line });
+                    i = j;
+                } else {
+                    // Char literal: '\n', 'x', '🎈'.
+                    let mut j = i + 1;
+                    if peek!(1) == Some('\\') {
+                        j += 2; // skip the escaped char
+                                // \u{…} escapes: run to the closing brace.
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < chars.len() {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j] == '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Char, line: tok_line });
+                    i = j;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let tok_line = line;
+                // Raw identifier r#name (but not a raw string r#"…").
+                if c == 'r' && peek!(1) == Some('#') && peek!(2).is_some_and(is_ident_start) {
+                    let mut j = i + 2;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    let name: String = chars[i + 2..j].iter().collect();
+                    out.tokens.push(Token { kind: TokKind::Ident(name), line: tok_line });
+                    i = j;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", br", br#", b".
+                let raw_after = match c {
+                    'r' => Some(i + 1),
+                    'b' if peek!(1) == Some('r') => Some(i + 2),
+                    _ => None,
+                };
+                if let Some(after) = raw_after {
+                    let mut hashes = 0usize;
+                    let mut j = after;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        let (contents, next, nl) = raw_string(&chars, j + 1, hashes);
+                        out.tokens.push(Token { kind: TokKind::Str(contents), line: tok_line });
+                        line += nl;
+                        i = next;
+                        continue;
+                    }
+                }
+                if c == 'b' && peek!(1) == Some('"') {
+                    let (contents, next, nl) = cooked_string(&chars, i + 2);
+                    out.tokens.push(Token { kind: TokKind::Str(contents), line: tok_line });
+                    line += nl;
+                    i = next;
+                    continue;
+                }
+                // Plain identifier / keyword.
+                let mut j = i;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let name: String = chars[i..j].iter().collect();
+                out.tokens.push(Token { kind: TokKind::Ident(name), line: tok_line });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // Only consume the dot of a true float so `0..5`
+                        // stays `0`, `.`, `.`, `5`.
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token { kind: TokKind::Num, line: tok_line });
+                i = j;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token { kind: TokKind::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a cooked (escape-processing) string body starting *after* the
+/// opening quote. Returns `(contents, index past closing quote, newlines)`.
+fn cooked_string(chars: &[char], start: usize) -> (String, usize, u32) {
+    let mut j = start;
+    let mut newlines = 0u32;
+    let mut contents = String::new();
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                // Keep the escape verbatim; rules never need it decoded.
+                contents.push(chars[j]);
+                if let Some(&e) = chars.get(j + 1) {
+                    contents.push(e);
+                    if e == '\n' {
+                        newlines += 1;
+                    }
+                }
+                j += 2;
+            }
+            '"' => return (contents, j + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                contents.push(c);
+                j += 1;
+            }
+        }
+    }
+    (contents, j, newlines)
+}
+
+/// Consumes a raw string body starting *after* the opening quote, closed by
+/// `"` followed by `hashes` `#`s. Returns `(contents, next index, newlines)`.
+fn raw_string(chars: &[char], start: usize, hashes: usize) -> (String, usize, u32) {
+    let mut j = start;
+    let mut newlines = 0u32;
+    let mut contents = String::new();
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(j + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (contents, j + 1 + hashes, newlines);
+            }
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        contents.push(chars[j]);
+        j += 1;
+    }
+    (contents, j, newlines)
+}
+
+/// Parses a `lint:allow(R1, D2) reason` directive out of a line comment's
+/// text, if present.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find("lint:allow(")?;
+    let rest = &comment[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    if rules.is_empty() {
+        return None;
+    }
+    Some(Allow { rules, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_hide_keywords() {
+        let src = "let a = 1; // HashMap::new().unwrap()\nlet b = a;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner HashMap */ still comment unwrap */ let live = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "live"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_rest() {
+        let src = "/* /* never closed */ HashMap";
+        assert!(idents(src).is_empty());
+    }
+
+    #[test]
+    fn string_embedded_keywords_do_not_become_idents() {
+        let src = r#"let msg = "call unwrap() on HashMap"; let x = msg;"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        let out = scan(src);
+        let strings: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec!["call unwrap() on HashMap"]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "she said \"HashMap\""; let t = s;"#;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"embedded "quote" and unwrap()"#; let u = s;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"u".to_string()));
+        let out = scan(src);
+        let strings: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec![r#"embedded "quote" and unwrap()"#]);
+    }
+
+    #[test]
+    fn raw_string_two_hashes_ignores_single_hash_close() {
+        let src = r###"let s = r##"has "# inside"##;"###;
+        let out = scan(src);
+        let strings: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, vec![r##"has "# inside"##]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"bytes unwrap"; let b2 = br#"raw bytes"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"b2".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_unwrap_to_plain_names() {
+        let src = "let r#type = 1; fn r#match() {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let q = '\\''; }";
+        let out = scan(src);
+        let lifetimes = out.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let charlits = out.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(charlits, 3);
+    }
+
+    #[test]
+    fn range_literal_is_not_a_float() {
+        let src = "for i in 0..5 { }";
+        let out = scan(src);
+        let dots = out.tokens.iter().filter(|t| t.kind == TokKind::Punct('.')).count();
+        assert_eq!(dots, 2, "0..5 keeps both range dots: {:?}", out.tokens);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_strings_and_comments() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nin\"\nc";
+        let out = scan(src);
+        let find = |name: &str| {
+            out.tokens.iter().find(|t| t.kind == TokKind::Ident(name.to_string())).map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn allow_directives_are_collected_with_lines() {
+        let src = "x\n// lint:allow(R1) documented panic\ny // lint:allow(D1, D2) both\n";
+        let out = scan(src);
+        assert_eq!(out.allows.len(), 2);
+        assert_eq!(out.allows[0].rules, vec!["R1"]);
+        assert_eq!(out.allows[0].line, 2);
+        assert_eq!(out.allows[1].rules, vec!["D1", "D2"]);
+        assert_eq!(out.allows[1].line, 3);
+    }
+
+    #[test]
+    fn allow_inside_string_is_not_a_directive() {
+        let src = r#"let s = "// lint:allow(R1)";"#;
+        assert!(scan(src).allows.is_empty());
+    }
+
+    #[test]
+    fn empty_allow_list_is_ignored() {
+        let src = "// lint:allow() nothing named\n";
+        assert!(scan(src).allows.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for `lint:allow` suppression: a directive must suppress
+//! exactly the rules it names, on exactly the lines it covers.
+
+use proptest::prelude::*;
+use spacea_lint::check_source;
+use spacea_lint::rules::{FileKind, FileMeta, RuleId};
+use std::collections::BTreeSet;
+
+/// A one-entry registry so the S1 fixture below ("tvs" for "tsv") is a typo.
+const METRICS: [(&str, &str); 1] = [("tsv", "bytes")];
+
+/// A `sim` library file: the one place every rule applies at once.
+fn meta() -> FileMeta {
+    FileMeta { rel: "crates/sim/src/x.rs".into(), krate: "sim".into(), kind: FileKind::Lib }
+}
+
+/// One violating statement per rule.
+fn violation_line(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::D1 => "    let m: HashMap<u32, u32> = Default::default();",
+        RuleId::D2 => "    let t = Instant::now();",
+        RuleId::R1 => "    let v = m.get(&0).unwrap();",
+        RuleId::S1 => "    ledger.bump(MetricKey::vault(\"tvs\", 0, \"bytes\"), 1);",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every violation line sits under a directive naming an arbitrary rule
+    /// subset: exactly the named rules go quiet, every other rule still
+    /// fires through the directive.
+    #[test]
+    fn allow_suppresses_exactly_the_named_rules(
+        allowed in proptest::collection::vec(any::<bool>(), 4..=4),
+        reason_ix in 0usize..3,
+    ) {
+        let reason = ["", "why not", "see DESIGN.md"][reason_ix];
+        let names: Vec<&str> = RuleId::ALL
+            .iter()
+            .zip(&allowed)
+            .filter(|(_, &on)| on)
+            .map(|(r, _)| r.name())
+            .collect();
+        let mut src = String::from("fn f() {\n");
+        for rule in RuleId::ALL {
+            if !names.is_empty() {
+                src.push_str(&format!("    // lint:allow({}) {}\n", names.join(", "), reason));
+            }
+            src.push_str(violation_line(rule));
+            src.push('\n');
+        }
+        src.push_str("}\n");
+
+        let fired: BTreeSet<&str> =
+            check_source(&meta(), &src, &METRICS).iter().map(|v| v.rule.name()).collect();
+        for rule in RuleId::ALL {
+            let expected = !names.contains(&rule.name());
+            prop_assert_eq!(
+                fired.contains(rule.name()),
+                expected,
+                "rule {} (allowed: {:?})",
+                rule.name(),
+                names
+            );
+        }
+    }
+
+    /// A directive reaches its own line and the immediately following line —
+    /// never further. Any blank line in between re-arms the rule.
+    #[test]
+    fn allow_reaches_only_the_next_line(gap in 0usize..4) {
+        let mut src = String::from("fn f() {\n    // lint:allow(R1) scoped\n");
+        for _ in 0..gap {
+            src.push('\n');
+        }
+        src.push_str("    let v = m.get(&0).unwrap();\n}\n");
+        let fired = check_source(&meta(), &src, &METRICS);
+        prop_assert_eq!(fired.is_empty(), gap == 0, "gap {}: {:?}", gap, &fired);
+    }
+
+    /// Directives never suppress across files or leak into unrelated code:
+    /// a file whose only content is allow directives plus clean lines
+    /// reports nothing, whatever the directives name.
+    #[test]
+    fn allow_on_clean_code_is_inert(
+        allowed in proptest::collection::vec(any::<bool>(), 4..=4),
+    ) {
+        let mut names: Vec<&str> = RuleId::ALL
+            .iter()
+            .zip(&allowed)
+            .filter(|(_, &on)| on)
+            .map(|(r, _)| r.name())
+            .collect();
+        if names.is_empty() {
+            names.push("R1");
+        }
+        let src = format!(
+            "// lint:allow({}) nothing to suppress here\nfn f() -> u32 {{\n    41 + 1\n}}\n",
+            names.join(", ")
+        );
+        let fired = check_source(&meta(), &src, &METRICS);
+        prop_assert!(fired.is_empty(), "{:?}", &fired);
+    }
+}

@@ -81,9 +81,11 @@ pub fn assign_rows(matrix: &Csr, num_pes: usize, penalty: f64) -> RowAssignment 
         let cols = matrix.row_cols(i);
         let n_i = cols.len();
         if n_i == 0 {
-            // Empty rows carry no work; park them on the least-loaded PE.
-            let &(_, pid) = by_load.iter().next().expect("num_pes > 0");
-            rows_of[pid as usize].push(i as u32);
+            // Empty rows carry no work; park them on the least-loaded PE
+            // (with zero PEs there is nowhere to park, and nothing to do).
+            if let Some(&(_, pid)) = by_load.iter().next() {
+                rows_of[pid as usize].push(i as u32);
+            }
             continue;
         }
 

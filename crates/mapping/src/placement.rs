@@ -14,7 +14,7 @@
 
 use crate::{MachineShape, RowAssignment};
 use spacea_matrix::Csr;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Phase II output: which logical PE occupies each physical PE slot.
 ///
@@ -103,7 +103,7 @@ pub fn cluster_sets(sets: &[Vec<u32>], q: usize, k: usize) -> Vec<Vec<u32>> {
     order.sort_by_key(|&i| std::cmp::Reverse((sets[i as usize].len(), std::cmp::Reverse(i))));
 
     let mut groups: Vec<Vec<u32>> = vec![Vec::new(); q];
-    let mut unions: Vec<HashSet<u32>> = vec![HashSet::new(); q];
+    let mut unions: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); q];
 
     for &item in &order {
         let s = &sets[item as usize];

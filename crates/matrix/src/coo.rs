@@ -111,6 +111,7 @@ impl Extend<(usize, usize, f64)> for Coo {
     /// coordinates (use [`Coo::push`] for fallible insertion).
     fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
         for (r, c, v) in iter {
+            // lint:allow(R1) Extend's documented contract is to panic on out-of-bounds
             self.push(r, c, v).expect("coordinate out of bounds in Extend");
         }
     }

@@ -96,6 +96,7 @@ impl Csc {
         for j in 0..self.cols {
             for k in self.col_ptr[j]..self.col_ptr[j + 1] {
                 coo.push(self.row_idx[k] as usize, j, self.vals[k])
+                    // lint:allow(R1) CSC invariants keep entries in bounds
                     .expect("CSC entries are in bounds");
             }
         }

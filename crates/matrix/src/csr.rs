@@ -88,9 +88,13 @@ impl Csr {
         let mut prev: Option<(u32, u32)> = None;
         for &(r, c, v) in &entries {
             if prev == Some((r, c)) {
-                // Duplicate coordinate: sum values (Matrix Market convention).
-                *vals.last_mut().expect("duplicate implies a previous entry") += v;
-                continue;
+                // Duplicate coordinate: sum values (Matrix Market
+                // convention). A previous entry exists whenever `prev` is
+                // set, so the fold never misses.
+                if let Some(last) = vals.last_mut() {
+                    *last += v;
+                    continue;
+                }
             }
             prev = Some((r, c));
             col_idx.push(c);
@@ -247,6 +251,7 @@ impl Csr {
         coo.reserve(self.nnz());
         for i in 0..self.rows {
             for (c, v) in self.row(i) {
+                // lint:allow(R1) CSR invariants keep entries in bounds
                 coo.push(i, c as usize, v).expect("CSR entries are in bounds");
             }
         }
@@ -292,6 +297,7 @@ impl Csr {
             assert_eq!(row.len(), cols, "dense rows must all have the same length");
             for (j, &v) in row.iter().enumerate() {
                 if v != 0.0 {
+                    // lint:allow(R1) dense loop indices are in bounds
                     coo.push(i, j, v).expect("dense coordinate in bounds");
                 }
             }

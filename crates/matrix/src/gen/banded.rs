@@ -100,6 +100,7 @@ pub fn banded(cfg: &BandedConfig) -> Csr {
         cols_buf.dedup();
         for &c in &cols_buf {
             coo.push(row, c as usize, sample_value(&mut rng))
+                // lint:allow(R1) generator clamps columns in bounds
                 .expect("generated column is in bounds");
         }
     }

@@ -47,6 +47,7 @@ pub fn uniform_random(cfg: &UniformConfig) -> Csr {
             }
         }
         for &c in &cols_buf {
+            // lint:allow(R1) gen_range keeps columns in bounds
             coo.push(r, c, sample_value(&mut rng)).expect("column in bounds");
         }
     }

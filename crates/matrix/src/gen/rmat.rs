@@ -66,6 +66,7 @@ pub fn rmat(cfg: &RmatConfig) -> Csr {
 
     // Self-loops keep every row non-empty (and model page self-rank mass).
     for v in 0..cfg.n {
+        // lint:allow(R1) self-loop index < n by the loop bound
         coo.push(v, v, sample_value(&mut rng)).expect("self-loop in bounds");
     }
 
@@ -106,6 +107,7 @@ pub fn rmat(cfg: &RmatConfig) -> Csr {
             }
         }
         if r0 < cfg.n && c0 < cfg.n {
+            // lint:allow(R1) guarded by the bounds check above
             coo.push(r0, c0, sample_value(&mut rng)).expect("rmat edge in bounds");
             placed += 1;
         }

@@ -73,6 +73,7 @@ impl Permutation {
         for i in 0..a.rows() {
             let ni = inv[i] as usize;
             for (j, v) in a.row(i) {
+                // lint:allow(R1) permutation length is validated above
                 coo.push(ni, inv[j as usize] as usize, v).expect("permuted index in bounds");
             }
         }

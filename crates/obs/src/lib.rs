@@ -23,6 +23,7 @@
 
 pub mod export;
 pub mod json;
+pub mod registry;
 pub mod sampler;
 pub mod series;
 

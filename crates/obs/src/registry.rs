@@ -1,0 +1,49 @@
+//! The registered-metric table: every gauge the machine may publish.
+//!
+//! Stat-ledger conservation depends on producers and consumers agreeing on
+//! metric names: a typo in a [`crate::MetricKey`] string silently opens a
+//! new ledger entry and drops the samples from everything keyed on the real
+//! name (timeline export, observability assertions, `spacea-lint`'s S1
+//! rule). This table is the single source of truth — add a row here in the
+//! same change that registers a new gauge, and `spacea-lint --check` will
+//! cross-check every literal `MetricKey::{vault,global}` construction in
+//! `arch`/`sim` against it.
+
+/// Every registered `(component, name)` gauge pair, sorted.
+pub const METRICS: [(&str, &str); 9] = [
+    ("cam", "l1-hit-rate"),
+    ("cam", "l2-hit-rate"),
+    ("dram", "row-hit-rate"),
+    ("ldq", "l1-occupancy"),
+    ("ldq", "l2-occupancy"),
+    ("noc", "byte-hops"),
+    ("noc", "utilization"),
+    ("pe", "pending"),
+    ("tsv", "bytes"),
+];
+
+/// True when `(component, name)` names a registered metric.
+pub fn is_known(component: &str, name: &str) -> bool {
+    METRICS.binary_search(&(component, name)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_duplicate_free() {
+        // binary_search in is_known requires sorted order.
+        for w in METRICS.windows(2) {
+            assert!(w[0] < w[1], "{w:?} out of order or duplicated");
+        }
+    }
+
+    #[test]
+    fn known_and_unknown_lookups() {
+        assert!(is_known("tsv", "bytes"));
+        assert!(is_known("ldq", "l1-occupancy"));
+        assert!(!is_known("tvs", "bytes"), "typo must not resolve");
+        assert!(!is_known("tsv", "byts"));
+    }
+}

@@ -151,12 +151,14 @@ impl<V: Copy> Cam<V> {
             set.push(Way { key, value, last_use: tick });
             return None;
         }
-        let victim_ix = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
-            .expect("set is full, so non-empty");
+        // The set is full (the non-full case returned above), so a victim
+        // always exists; an empty set degrades to a plain insert.
+        let Some(victim_ix) =
+            set.iter().enumerate().min_by_key(|(_, w)| w.last_use).map(|(i, _)| i)
+        else {
+            set.push(Way { key, value, last_use: tick });
+            return None;
+        };
         let victim = set[victim_ix];
         set[victim_ix] = Way { key, value, last_use: tick };
         self.counters.evictions += 1;

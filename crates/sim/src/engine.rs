@@ -163,6 +163,7 @@ impl<E> EventQueue<E> {
     /// the queue itself (events lost or double-delivered).
     pub fn check_counters(&self) {
         if let Err(msg) = self.try_check_counters() {
+            // lint:allow(R1) documented panic; try_check_counters is the fallible twin
             panic!("{msg}");
         }
     }

@@ -12,7 +12,7 @@
 //! paper's cyclic PE queue revisit.
 
 use crate::stats::LdqCounters;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of pushing a request into a load queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub enum LdqPush {
 #[derive(Debug, Clone)]
 pub struct LoadQueue<W> {
     capacity: usize,
-    pending: HashMap<u64, Vec<W>>,
+    pending: BTreeMap<u64, Vec<W>>,
     counters: LdqCounters,
 }
 
@@ -55,7 +55,7 @@ impl<W> LoadQueue<W> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "load queue capacity must be positive");
-        LoadQueue { capacity, pending: HashMap::new(), counters: LdqCounters::default() }
+        LoadQueue { capacity, pending: BTreeMap::new(), counters: LdqCounters::default() }
     }
 
     /// Maximum number of distinct in-flight keys.
