@@ -60,4 +60,34 @@ done
 grep -q "occupancy history" "$TL_CACHE/last-run.json"
 grep -q "vault 0" "$TL_CACHE/last-run.json"
 
+# Service smoke test: a daemon over a fresh cache dir serves 8 concurrent
+# mixed-matrix requests whose responses must bitwise-match the offline
+# reference SpMV; after a restart over the same cache dir its manifest must
+# show zero Phase I/II mapping computations (the warm-mapping guarantee).
+SERVE_CACHE=target/spacea-cache-serve
+rm -rf "$SERVE_CACHE"
+cargo run --release -p spacea-bench --bin serve -- start --quick --cache-dir "$SERVE_CACHE" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do [ -f "$SERVE_CACHE/serve.port" ] && break; sleep 0.1; done
+cargo run --release -p spacea-bench --bin serve -- submit --cache-dir "$SERVE_CACHE" \
+  --matrix 1/256,2/256 --seeds 0,1,2,3,4,5,6,7 --check
+cargo run --release -p spacea-bench --bin serve -- stat --cache-dir "$SERVE_CACHE" \
+  | grep -q '"requests":8'
+cargo run --release -p spacea-bench --bin serve -- shutdown --cache-dir "$SERVE_CACHE"
+wait $SERVE_PID
+grep -q '"computed":2' "$SERVE_CACHE/serve-manifest.json"
+cargo run --release -p spacea-bench --bin serve -- start --quick --cache-dir "$SERVE_CACHE" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do [ -f "$SERVE_CACHE/serve.port" ] && break; sleep 0.1; done
+cargo run --release -p spacea-bench --bin serve -- submit --cache-dir "$SERVE_CACHE" \
+  --matrix 1/256,2/256 --seeds 8,9,10,11 --check
+cargo run --release -p spacea-bench --bin serve -- shutdown --cache-dir "$SERVE_CACHE"
+wait $SERVE_PID
+grep -q '"computed":0' "$SERVE_CACHE/serve-manifest.json"
+
+# Service throughput ratchet: the deterministic cycles-per-batch snapshot
+# must match HEAD exactly (refresh with `serve_bench --write` when the
+# simulator legitimately changes).
+cargo run --release -p spacea-bench --bin serve_bench -- --check BENCH_serve.json
+
 echo "ci.sh: all checks passed"

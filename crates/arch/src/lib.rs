@@ -48,7 +48,7 @@ pub mod trace;
 pub use config::HwConfig;
 pub use layout::{DataLayout, SlotId};
 pub use machine::{Machine, ObserveConfig, SimError};
-pub use report::SimReport;
+pub use report::{SimReport, SpmmReport};
 pub use spacea_sim::fault::{
     FaultPlan, OccupancyHistory, OccupancySample, StallDiagnosis, VaultOccupancy, WatchdogConfig,
 };

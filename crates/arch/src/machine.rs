@@ -33,7 +33,7 @@ use crate::config::HwConfig;
 use crate::layout::{DataLayout, SlotId};
 use crate::packet::{size, Requester};
 use crate::pe::{pack_rows, PeEntry, ProductPe};
-use crate::report::SimReport;
+use crate::report::{SimReport, SpmmReport};
 use crate::trace::{TraceEvent, TraceRecord};
 use spacea_mapping::Mapping;
 use spacea_matrix::Csr;
@@ -50,12 +50,9 @@ use spacea_sim::stats::{CamCounters, SramCounters};
 use spacea_sim::trace::TraceLog;
 use spacea_sim::Cycle;
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-
-/// A cached input-vector block: four consecutive `f64` elements.
-type Block = [f64; 4];
 
 /// Errors from building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +67,8 @@ pub enum SimError {
         /// Provided length.
         actual: usize,
     },
+    /// A fused multi-vector run was given no input vectors.
+    EmptyBatch,
     /// The mapping was built for a different PE count or matrix.
     MappingMismatch(String),
     /// The simulated output disagreed with the software oracle.
@@ -133,6 +132,9 @@ impl fmt::Display for SimError {
             SimError::DimensionMismatch { expected, actual } => {
                 write!(f, "input vector length {actual} does not match {expected} columns")
             }
+            SimError::EmptyBatch => {
+                write!(f, "a fused multi-vector run needs at least one input vector")
+            }
             SimError::MappingMismatch(msg) => write!(f, "mapping mismatch: {msg}"),
             SimError::ValidationFailed { index, simulated, expected } => write!(
                 f,
@@ -172,10 +174,15 @@ impl Machine {
     }
 
     /// Validates configuration, dimensions, and mapping before a run.
-    fn preflight(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<(), SimError> {
+    fn preflight(&self, a: &Csr, xs: &[&[f64]], mapping: &Mapping) -> Result<(), SimError> {
         self.cfg.validate().map_err(SimError::BadConfig)?;
-        if x.len() != a.cols() {
-            return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
+        if xs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        for x in xs {
+            if x.len() != a.cols() {
+                return Err(SimError::DimensionMismatch { expected: a.cols(), actual: x.len() });
+            }
         }
         if mapping.assignment.num_pes() != self.cfg.shape.product_pes() {
             return Err(SimError::MappingMismatch(format!(
@@ -205,10 +212,42 @@ impl Machine {
     /// forward-progress watchdog aborts the run (deadlock, stall window, or
     /// cycle budget — see [`spacea_sim::fault::WatchdogConfig`]).
     pub fn run_spmv(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<SimReport, SimError> {
-        self.preflight(a, x, mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        self.preflight(a, &[x], mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
         sim.run()?;
-        sim.finish(a, x)
+        let (mut report, mut outputs) = sim.finish(a)?;
+        report.output = outputs.swap_remove(0);
+        Ok(report)
+    }
+
+    /// Simulates one fused multi-vector pass `Y = A · [x_0 … x_{k-1}]`
+    /// under `mapping`: the matrix is streamed through the Product-PEs
+    /// exactly once, each X response carries the block of every vector in
+    /// the batch, and each Y packet carries one partial per vector — so
+    /// row-buffer activations, CAM lookups and packet headers are paid once
+    /// for the whole batch instead of once per vector.
+    ///
+    /// Every output vector is bitwise-identical to what [`Machine::run_spmv`]
+    /// returns for that vector alone (row dot products are reduced in
+    /// canonical CSR entry order, independent of batch composition), which
+    /// is what lets a batching service fuse concurrent requests safely.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Machine::run_spmv`], plus
+    /// [`SimError::EmptyBatch`] when `xs` is empty.
+    pub fn run_spmm(
+        &self,
+        a: &Csr,
+        xs: &[Vec<f64>],
+        mapping: &Mapping,
+    ) -> Result<SpmmReport, SimError> {
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        self.preflight(a, &refs, mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, refs, mapping);
+        sim.run()?;
+        let (report, outputs) = sim.finish(a)?;
+        Ok(SpmmReport { report, outputs })
     }
 
     /// Like [`Machine::run_spmv`], additionally recording the first
@@ -225,12 +264,14 @@ impl Machine {
         mapping: &Mapping,
         trace_capacity: usize,
     ) -> Result<(SimReport, TraceLog<TraceRecord>), SimError> {
-        self.preflight(a, x, mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        self.preflight(a, &[x], mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
         sim.trace = TraceLog::new(trace_capacity);
         sim.run()?;
         let trace = std::mem::take(&mut sim.trace);
-        Ok((sim.finish(a, x)?, trace))
+        let (mut report, mut outputs) = sim.finish(a)?;
+        report.output = outputs.swap_remove(0);
+        Ok((report, trace))
     }
 
     /// Like [`Machine::run_spmv`], additionally sampling per-component
@@ -252,12 +293,37 @@ impl Machine {
         mapping: &Mapping,
         obs: &ObserveConfig,
     ) -> Result<(SimReport, Timeline), SimError> {
-        self.preflight(a, x, mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, x, mapping);
+        self.run_spmv_observed_flushed(a, x, mapping, obs, None)
+    }
+
+    /// Like [`Machine::run_spmv_observed`], additionally invoking `flush`
+    /// with a snapshot of the gauge series each time a sampler window
+    /// completes. Callers persist these snapshots (tmp-file + rename) so a
+    /// run killed mid-flight leaves a valid truncated timeline artifact
+    /// instead of nothing.
+    ///
+    /// Flushing is a pure read of the sampler state: simulated timing and
+    /// the final timeline are identical with or without a callback.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Machine::run_spmv`].
+    pub fn run_spmv_observed_flushed<'a>(
+        &'a self,
+        a: &'a Csr,
+        x: &'a [f64],
+        mapping: &Mapping,
+        obs: &ObserveConfig,
+        flush: Option<&'a mut (dyn FnMut(&Timeline) + 'a)>,
+    ) -> Result<(SimReport, Timeline), SimError> {
+        self.preflight(a, &[x], mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
         sim.trace = TraceLog::new(obs.trace_capacity);
         sim.arm_sampler(SamplerConfig { every: obs.every, capacity: obs.capacity });
+        sim.flush_cb = flush;
         sim.run()?;
         let end = sim.end_time;
+        sim.flush_cb = None;
         // Final snapshot at the end cycle so short runs still get a series.
         // The sampler was armed above; an empty timeline is the graceful
         // degradation if that ever changes.
@@ -270,7 +336,9 @@ impl Machine {
         };
         let trace = std::mem::take(&mut sim.trace);
         timeline.slices = crate::trace::timeline_slices(trace.records());
-        Ok((sim.finish(a, x)?, timeline))
+        let (mut report, mut outputs) = sim.finish(a)?;
+        report.output = outputs.swap_remove(0);
+        Ok((report, timeline))
     }
 }
 
@@ -307,10 +375,11 @@ enum Ev {
     BankXReq { bank: u32, block: u64 },
     /// X response reached a product bank group: fill L1, wake waiters.
     L1Fill { bg: u32, block: u64 },
-    /// Type III packet at the vault owning `Y_row`.
-    YAtVault { vault: u32, row: u32, val: f64 },
+    /// Type III packet at the vault owning `Y_row`. The per-vector partial
+    /// values travel out-of-band in `Sim::y_stash` (events stay `Copy`).
+    YAtVault { vault: u32, row: u32 },
     /// Y partial reached the owning vector bank's Accumulation-PE.
-    YAtBank { bank: u32, row: u32, val: f64 },
+    YAtBank { bank: u32, row: u32 },
 }
 
 /// Converts an internal event into its public trace representation.
@@ -322,8 +391,8 @@ fn trace_event(ev: &Ev) -> TraceEvent {
         Ev::VaultXResp { vault, block } => TraceEvent::XResponseAtVault { vault, block },
         Ev::BankXReq { bank, block } => TraceEvent::XRequestAtBank { bank, block },
         Ev::L1Fill { bg, block } => TraceEvent::L1Fill { bg, block },
-        Ev::YAtVault { vault, row, .. } => TraceEvent::YAtVault { vault, row },
-        Ev::YAtBank { bank, row, .. } => TraceEvent::YAtBank { bank, row },
+        Ev::YAtVault { vault, row } => TraceEvent::YAtVault { vault, row },
+        Ev::YAtBank { bank, row } => TraceEvent::YAtBank { bank, row },
     }
 }
 
@@ -338,17 +407,21 @@ struct Sim<'a> {
     cfg: &'a HwConfig,
     layout: DataLayout,
     a: &'a Csr,
-    x: &'a [f64],
+    /// The batch of input vectors (`k = xs.len()`, ≥ 1 by preflight). A
+    /// single-vector SpMV is the `k = 1` special case of the same machine.
+    xs: Vec<&'a [f64]>,
     q: EventQueue<Ev>,
 
     pes: Vec<ProductPe>,
     pe_slots: Vec<SlotId>,
     matrix_banks: Vec<DramBank>,
     vector_banks: Vec<DramBank>,
-    prod_l1: Vec<Cam<Block>>,
-    vec_l1: Vec<Cam<Block>>,
+    // The CAMs model presence/timing only: X values are read directly from
+    // `xs` where needed, so the cached payload is `()`.
+    prod_l1: Vec<Cam<()>>,
+    vec_l1: Vec<Cam<()>>,
     l1_ldq: Vec<LoadQueue<PeWaiter>>,
-    l2_cam: Vec<Cam<Block>>,
+    l2_cam: Vec<Cam<()>>,
     l2_ldq: Vec<LoadQueue<Requester>>,
     tsv: Vec<Link>,
     nocs: Vec<MeshNoc>,
@@ -356,7 +429,12 @@ struct Sim<'a> {
     update_buf: Vec<UpdateBuffer>,
     accum_busy: Vec<Cycle>,
 
-    y: Vec<f64>,
+    /// One output vector per input vector.
+    ys: Vec<Vec<f64>>,
+    /// Completed per-vector row partials in flight toward their home bank,
+    /// keyed by matrix row (each row flushes exactly once: a whole row
+    /// belongs to one PE).
+    y_stash: BTreeMap<u32, Vec<f64>>,
     entries_left: u64,
     y_left: u64,
     end_time: Cycle,
@@ -379,10 +457,14 @@ struct Sim<'a> {
     occ_every: Cycle,
     occ_next: Cycle,
     sampler: Option<Sampler<Sim<'a>>>,
+    /// Invoked with a series snapshot each time a sampler window completes
+    /// (incremental timeline persistence). Pure reader: never touches
+    /// simulation state.
+    flush_cb: Option<&'a mut dyn FnMut(&Timeline)>,
 }
 
 impl<'a> Sim<'a> {
-    fn build(cfg: &'a HwConfig, a: &'a Csr, x: &'a [f64], mapping: &Mapping) -> Self {
+    fn build(cfg: &'a HwConfig, a: &'a Csr, xs: Vec<&'a [f64]>, mapping: &Mapping) -> Self {
         debug_assert_eq!(
             cfg.l1_cam.way_bytes, 32,
             "preflight validation enforces the 32-byte (4-element) CAM way assumption"
@@ -416,11 +498,12 @@ impl<'a> Sim<'a> {
             MeshNoc::new(cw, ch, cfg.serdes_hop_latency, cfg.serdes_bytes_per_cycle)
         });
 
+        let ys = vec![vec![0.0; a.rows()]; xs.len()];
         Sim {
             cfg,
             layout,
             a,
-            x,
+            xs,
             q: EventQueue::new(),
             pes,
             pe_slots,
@@ -442,7 +525,8 @@ impl<'a> Sim<'a> {
                 .map(|_| UpdateBuffer::new(cfg.update_buffer_rows))
                 .collect(),
             accum_busy: vec![0; cfg.vector_banks()],
-            y: vec![0.0; a.rows()],
+            ys,
+            y_stash: BTreeMap::new(),
             entries_left,
             y_left,
             end_time: 0,
@@ -458,7 +542,13 @@ impl<'a> Sim<'a> {
             occ_every: cfg.watchdog.stall_window.map_or(65_536, |w| (w / 16).max(1)),
             occ_next: 0,
             sampler: None,
+            flush_cb: None,
         }
+    }
+
+    /// The batch width `k` (≥ 1), as a counter increment.
+    fn k(&self) -> u64 {
+        self.xs.len() as u64
     }
 
     /// Registers the full gauge set on a fresh sampler: per-vault queue
@@ -560,18 +650,6 @@ impl<'a> Sim<'a> {
             }),
         );
         self.sampler = Some(s);
-    }
-
-    /// The values of input-vector `block` (zero-padded at the tail).
-    fn block_values(&self, block: u64) -> Block {
-        let base = self.layout.first_element_of_block(block);
-        let mut v = [0.0f64; 4];
-        for (k, slot) in v.iter_mut().enumerate() {
-            if base + k < self.x.len() {
-                *slot = self.x[base + k];
-            }
-        }
-        v
     }
 
     /// Routes a packet between two global vaults; returns the arrival
@@ -676,6 +754,12 @@ impl<'a> Sim<'a> {
             if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
                 if let Some(mut sampler) = self.sampler.take() {
                     sampler.tick(t, self);
+                    // Window boundary: let the caller persist what was
+                    // collected so far. Reads the sampler only — simulated
+                    // timing is unchanged.
+                    if let Some(cb) = self.flush_cb.as_mut() {
+                        cb(&sampler.timeline_snapshot());
+                    }
                     self.sampler = Some(sampler);
                 }
             }
@@ -696,8 +780,8 @@ impl<'a> Sim<'a> {
                 Ev::VaultXResp { vault, block } => self.vault_x_resp(vault, block, t),
                 Ev::BankXReq { bank, block } => self.bank_x_req(bank, block, t),
                 Ev::L1Fill { bg, block } => self.l1_fill(bg, block, t),
-                Ev::YAtVault { vault, row, val } => self.y_at_vault(vault, row, val, t),
-                Ev::YAtBank { bank, row, val } => self.y_at_bank(bank, row, val, t),
+                Ev::YAtVault { vault, row } => self.y_at_vault(vault, row, t),
+                Ev::YAtBank { bank, row } => self.y_at_bank(bank, row, t),
             }
             let progress = (self.entries_left, self.y_left);
             if progress != last_progress {
@@ -832,39 +916,36 @@ impl<'a> Sim<'a> {
         let p = pe as usize;
         self.pes[p].step_scheduled = false;
 
-        if let Some((entry, xval)) = self.pes[p].ready.pop_front() {
+        if let Some(entry) = self.pes[p].ready.pop_front() {
             self.pes[p].steps += 1;
             // A response satisfied this entry earlier; compute now.
-            self.compute(pe, entry, xval, t);
+            self.compute(pe, entry, t);
         } else if let Some(entry) = self.pes[p].fresh.pop_front() {
             self.pes[p].steps += 1;
             self.queue_sram.reads += 1;
             let block = self.layout.block_of_element(entry.col as usize);
             let bg = self.pe_slots[p].global_bank_group(self.cfg);
-            match self.prod_l1[bg].lookup(block) {
-                Some(vals) => {
-                    // Case II: X_j ready via the L1 CAM.
-                    self.rf.writes += 1;
-                    let xval = vals[entry.col as usize % 4];
-                    self.compute(pe, entry, xval, t);
-                }
-                None => {
-                    // Case I: X_j not ready — non-blocking remote request.
-                    self.pes[p].pending += 1;
-                    let push = self.l1_ldq[bg].push_forced(block, PeWaiter { pe, entry });
-                    if push == LdqPush::NewRequest || !self.cfg.ldq_dedup {
-                        let vault = self.pe_slots[p].global_vault(self.cfg);
-                        let t_req =
-                            self.tsv[vault].transfer(t + self.cfg.l1_cam_latency, size::X_REQUEST);
-                        self.q.schedule(
-                            t_req,
-                            Ev::VaultXReq {
-                                vault: vault as u32,
-                                block,
-                                from: Requester::BankGroup(bg),
-                            },
-                        );
-                    }
+            if self.prod_l1[bg].lookup(block).is_some() {
+                // Case II: X_j ready via the L1 CAM (one RF write per
+                // vector in the batch).
+                self.rf.writes += self.k();
+                self.compute(pe, entry, t);
+            } else {
+                // Case I: X_j not ready — non-blocking remote request.
+                self.pes[p].pending += 1;
+                let push = self.l1_ldq[bg].push_forced(block, PeWaiter { pe, entry });
+                if push == LdqPush::NewRequest || !self.cfg.ldq_dedup {
+                    let vault = self.pe_slots[p].global_vault(self.cfg);
+                    let t_req =
+                        self.tsv[vault].transfer(t + self.cfg.l1_cam_latency, size::X_REQUEST);
+                    self.q.schedule(
+                        t_req,
+                        Ev::VaultXReq {
+                            vault: vault as u32,
+                            block,
+                            from: Requester::BankGroup(bg),
+                        },
+                    );
                 }
             }
         }
@@ -876,26 +957,28 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Performs `Y_i += A_ij · X_j` and the completion bookkeeping.
-    fn compute(&mut self, pe: u32, entry: PeEntry, xval: f64, t: Cycle) {
+    /// Performs `Y_i += A_ij · X_j` (for every vector in the batch) and the
+    /// completion bookkeeping.
+    ///
+    /// Only the *remaining* count is tracked per in-flight row; when it
+    /// reaches zero the full dot product of the row is reduced in canonical
+    /// CSR entry order — one multiply-accumulate per non-zero has been paid
+    /// event-by-event, so the FPU counters are exact, while the reduction
+    /// order is fixed regardless of when each X response arrived. This makes
+    /// the output bitwise-identical to [`Csr::spmv`] and independent of
+    /// batch composition.
+    fn compute(&mut self, pe: u32, entry: PeEntry, t: Cycle) {
         let p = pe as usize;
-        self.fpu_ops += 1;
-        self.rf.reads += 1;
+        self.fpu_ops += self.k();
+        self.rf.reads += self.k();
 
         let row_nnz = self.a.row_nnz(entry.matrix_row as usize);
-        let acc = self.pes[p]
-            .rows
-            .entry(entry.matrix_row)
-            .or_insert(crate::pe::RowAccum { remaining: row_nnz, partial: 0.0 });
-        acc.remaining -= 1;
-        acc.partial += entry.val * xval;
-        let flush = if acc.remaining == 0 {
-            let partial = acc.partial;
+        let remaining = self.pes[p].rows.entry(entry.matrix_row).or_insert(row_nnz);
+        *remaining -= 1;
+        let flush = *remaining == 0;
+        if flush {
             self.pes[p].rows.remove(&entry.matrix_row);
-            Some(partial)
-        } else {
-            None
-        };
+        }
 
         let popped = self.pes[p].complete_entry(entry.row_id);
         debug_assert!(popped.is_some(), "completed entry's row must be resident");
@@ -905,21 +988,36 @@ impl<'a> Sim<'a> {
             self.try_load(pe, t);
         }
 
-        if let Some(partial) = flush {
-            self.flush_y(pe, entry.matrix_row, partial, t + self.cfg.fpu_latency);
+        if flush {
+            let row = entry.matrix_row as usize;
+            // Canonical reduction, exactly the oracle's loop shape.
+            let partials: Vec<f64> = self
+                .xs
+                .iter()
+                .map(|x| {
+                    let mut acc = 0.0;
+                    for (c, v) in self.a.row(row) {
+                        acc += v * x[c as usize];
+                    }
+                    acc
+                })
+                .collect();
+            self.y_stash.insert(entry.matrix_row, partials);
+            self.flush_y(pe, entry.matrix_row, t + self.cfg.fpu_latency);
         }
     }
 
     /// Sends a completed partial `Y_i` toward its home vault (Type III).
-    fn flush_y(&mut self, pe: u32, row: u32, val: f64, t: Cycle) {
+    fn flush_y(&mut self, pe: u32, row: u32, t: Cycle) {
+        let bytes = size::y_partial_bytes(self.xs.len());
         let src_vault = self.pe_slots[pe as usize].global_vault(self.cfg);
         let block = self.layout.block_of_element(row as usize);
         let home_vault = self.layout.home_vault_of_block(block);
-        let t1 = self.tsv[src_vault].transfer(t, size::Y_PARTIAL);
-        let Some(t2) = self.route(t1, src_vault, home_vault, size::Y_PARTIAL) else {
+        let t1 = self.tsv[src_vault].transfer(t, bytes);
+        let Some(t2) = self.route(t1, src_vault, home_vault, bytes) else {
             return;
         };
-        self.q.schedule(t2, Ev::YAtVault { vault: home_vault as u32, row, val });
+        self.q.schedule(t2, Ev::YAtVault { vault: home_vault as u32, row });
     }
 
     /// Type I: X request at a vault controller.
@@ -949,15 +1047,17 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Sends an X response from vault `v` toward a requester.
+    /// Sends an X response from vault `v` toward a requester. The response
+    /// carries one block per batched vector behind a shared header.
     fn respond(&mut self, v: usize, block: u64, to: Requester, t: Cycle) {
+        let bytes = size::x_response_bytes(self.xs.len());
         match to {
             Requester::BankGroup(bg) => {
-                let t1 = self.tsv[v].transfer(t, size::X_RESPONSE);
+                let t1 = self.tsv[v].transfer(t, bytes);
                 self.q.schedule(t1, Ev::L1Fill { bg: bg as u32, block });
             }
             Requester::Vault(w) => {
-                let Some(t1) = self.route(t, v, w, size::X_RESPONSE) else {
+                let Some(t1) = self.route(t, v, w, bytes) else {
                     return;
                 };
                 self.q.schedule(t1, Ev::VaultXResp { vault: w as u32, block });
@@ -968,14 +1068,14 @@ impl<'a> Sim<'a> {
     /// Type II: X response at a vault controller — fill L2, wake waiters.
     fn vault_x_resp(&mut self, vault: u32, block: u64, t: Cycle) {
         let v = vault as usize;
-        let vals = self.block_values(block);
-        self.l2_cam[v].insert(block, vals);
+        self.l2_cam[v].insert(block, ());
         for waiter in self.l2_ldq[v].complete(block) {
             self.respond(v, block, waiter, t);
         }
     }
 
-    /// X request at the owning vector bank: L1 CAM, then the bank.
+    /// X request at the owning vector bank: L1 CAM, then the bank (one
+    /// 32-byte block read per batched vector).
     fn bank_x_req(&mut self, bank: u32, block: u64, t: Cycle) {
         let b = bank as usize;
         let vault = self.layout.vault_of_vector_bank(b);
@@ -984,52 +1084,61 @@ impl<'a> Sim<'a> {
             t_look
         } else {
             let drow = self.layout.dram_row_of_block(block, self.cfg.timing.row_bytes);
-            let done = self.vector_banks[b].access(t_look, drow, 32, AccessKind::Read);
-            let vals = self.block_values(block);
-            self.vec_l1[vault].insert(block, vals);
+            let done =
+                self.vector_banks[b].access(t_look, drow, 32 * self.xs.len(), AccessKind::Read);
+            self.vec_l1[vault].insert(block, ());
             done
         };
-        let t1 = self.tsv[vault].transfer(t_ready, size::X_RESPONSE);
+        let t1 = self.tsv[vault].transfer(t_ready, size::x_response_bytes(self.xs.len()));
         self.q.schedule(t1, Ev::VaultXResp { vault: vault as u32, block });
     }
 
     /// X response at a product bank group: fill L1 CAM, satisfy waiters.
     fn l1_fill(&mut self, bg: u32, block: u64, t: Cycle) {
         let g = bg as usize;
-        let vals = self.block_values(block);
-        self.prod_l1[g].insert(block, vals);
+        self.prod_l1[g].insert(block, ());
+        let k = self.k();
         for PeWaiter { pe, entry } in self.l1_ldq[g].complete(block) {
-            self.rf.writes += 1;
-            let xval = vals[entry.col as usize % 4];
+            self.rf.writes += k;
             let state = &mut self.pes[pe as usize];
             state.pending -= 1;
-            state.ready.push_back((entry, xval));
+            state.ready.push_back(entry);
             self.wake(pe, t);
         }
     }
 
     /// Type III at the home vault: forward down the TSV to the vector bank.
-    fn y_at_vault(&mut self, vault: u32, row: u32, val: f64, t: Cycle) {
+    fn y_at_vault(&mut self, vault: u32, row: u32, t: Cycle) {
         let v = vault as usize;
         let block = self.layout.block_of_element(row as usize);
         let bank = self.layout.home_bank_of_block(block);
-        let t1 = self.tsv[v].transfer(t, size::Y_PARTIAL);
-        self.q.schedule(t1, Ev::YAtBank { bank: bank as u32, row, val });
+        let t1 = self.tsv[v].transfer(t, size::y_partial_bytes(self.xs.len()));
+        self.q.schedule(t1, Ev::YAtBank { bank: bank as u32, row });
     }
 
-    /// Accumulation-PE: merge the partial into the update buffer.
-    fn y_at_bank(&mut self, bank: u32, row: u32, mut val: f64, t: Cycle) {
+    /// Accumulation-PE: merge the stashed per-vector partials into the
+    /// update buffer. Each matrix row arrives here exactly once (whole rows
+    /// belong to one PE), so the stash entry is consumed on delivery; a
+    /// missing entry means the packet was lost to an injected fault and the
+    /// run surfaces as a diagnosed deadlock instead.
+    fn y_at_bank(&mut self, bank: u32, row: u32, t: Cycle) {
         let n = self.accum_updates;
         self.accum_updates += 1;
+        let Some(mut vals) = self.y_stash.remove(&row) else {
+            return;
+        };
         if self.cfg.faults.flip_accum_update == Some(n) {
             // Injected corruption: large enough that the output oracle in
             // `finish` must catch it — never a silently wrong result.
-            val += 1.0;
+            for val in &mut vals {
+                *val += 1.0;
+            }
         }
         let b = bank as usize;
         let start = t.max(self.accum_busy[b]);
         let drow = self.layout.dram_row_of_y(row as usize, self.cfg.timing.row_bytes);
-        self.queue_sram.reads += 1;
+        let k = vals.len() as u64;
+        self.queue_sram.reads += k;
         let mut t_ready = start;
         match self.update_buf[b].touch(drow) {
             UpdateOutcome::Hit => {}
@@ -1051,16 +1160,23 @@ impl<'a> Sim<'a> {
             }
         }
         let done = t_ready + self.cfg.fpu_latency;
-        self.queue_sram.writes += 1;
-        self.fpu_ops += 1;
-        self.y[row as usize] += val;
+        self.queue_sram.writes += k;
+        self.fpu_ops += k;
+        // Direct assignment, not `+=`: each row lands exactly once, and
+        // adding into a 0.0 initializer would turn a computed -0.0 into
+        // +0.0, breaking bitwise equality with the oracle.
+        for (v, val) in vals.into_iter().enumerate() {
+            self.ys[v][row as usize] = val;
+        }
         self.accum_busy[b] = done;
         self.end_time = self.end_time.max(done);
         self.y_left -= 1;
     }
 
-    /// Final accounting, oracle validation and report assembly.
-    fn finish(mut self, a: &Csr, x: &[f64]) -> Result<SimReport, SimError> {
+    /// Final accounting, oracle validation and report assembly. Returns the
+    /// report (with an empty `output` field) plus one output vector per
+    /// batched input vector, each validated against the software oracle.
+    fn finish(mut self, a: &Csr) -> Result<(SimReport, Vec<Vec<f64>>), SimError> {
         // Write back dirty update-buffer rows (counted for energy; by then
         // the critical path is over, so time is not extended). Evictions
         // during the run already wrote back `writebacks()` rows; residents
@@ -1148,20 +1264,20 @@ impl<'a> Sim<'a> {
             ub_hits as f64 / (ub_hits + ub_misses) as f64
         };
 
-        // Oracle validation (Section V-A).
-        let expected = a.spmv(x);
-        let mut validated = true;
-        let mut first_bad = None;
-        for (i, (&sim, &exp)) in self.y.iter().zip(expected.iter()).enumerate() {
-            let tol = 1e-9 * exp.abs().max(1.0);
-            if (sim - exp).abs() > tol {
-                validated = false;
-                first_bad = Some((i, sim, exp));
-                break;
+        // Oracle validation (Section V-A), once per batched vector.
+        let validated = true;
+        for (v, ys) in self.ys.iter().enumerate() {
+            let expected = a.spmv(self.xs[v]);
+            for (i, (&sim, &exp)) in ys.iter().zip(expected.iter()).enumerate() {
+                let tol = 1e-9 * exp.abs().max(1.0);
+                if (sim - exp).abs() > tol {
+                    return Err(SimError::ValidationFailed {
+                        index: i,
+                        simulated: sim,
+                        expected: exp,
+                    });
+                }
             }
-        }
-        if let Some((index, simulated, expected)) = first_bad {
-            return Err(SimError::ValidationFailed { index, simulated, expected });
         }
 
         // The engine's documented counter invariant: on a drained queue,
@@ -1170,7 +1286,7 @@ impl<'a> Sim<'a> {
         self.q.try_check_counters().map_err(SimError::CounterInvariant)?;
         debug_assert!(self.q.is_empty(), "simulation finished with pending events");
 
-        Ok(SimReport {
+        let report = SimReport {
             cycles: self.end_time,
             seconds: self.end_time as f64 * 1e-9,
             events_scheduled: self.q.scheduled_count(),
@@ -1185,10 +1301,11 @@ impl<'a> Sim<'a> {
             pe_busy_fraction,
             matrix_bank_busy_fraction,
             vector_bank_busy_fraction,
-            output: self.y,
+            output: Vec::new(),
             validated,
             activity,
-        })
+        };
+        Ok((report, self.ys))
     }
 }
 
@@ -1230,6 +1347,70 @@ mod tests {
         let mapping = NaiveMapping::default().map(&a, &cfg.shape);
         let r = Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap();
         assert!(r.validated);
+    }
+
+    #[test]
+    fn fused_spmm_matches_sequential_spmv_bitwise() {
+        let a = rmat(&RmatConfig { n: 200, edges: 900, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|v| (0..a.cols()).map(|i| ((i * 7 + v * 13) % 11) as f64 - 5.0).collect())
+            .collect();
+        let m = Machine::new(cfg);
+        let fused = m.run_spmm(&a, &xs, &mapping).unwrap();
+        assert_eq!(fused.batch(), 4);
+        for (v, x) in xs.iter().enumerate() {
+            let solo = m.run_spmv(&a, x, &mapping).unwrap();
+            let same = fused.outputs[v]
+                .iter()
+                .zip(solo.output.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "fused output {v} must be bitwise-identical to the solo run");
+        }
+    }
+
+    #[test]
+    fn fused_spmm_amortizes_cycles_per_vector() {
+        let a = banded(&BandedConfig { n: 300, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
+        let m = Machine::new(cfg);
+        let solo = m.run_spmv(&a, &x, &mapping).unwrap();
+        let fused = m.run_spmm(&a, &vec![x; 8], &mapping).unwrap();
+        assert!(
+            fused.cycles_per_vector() < solo.cycles as f64,
+            "8-wide batch must cost fewer cycles per vector ({} vs {})",
+            fused.cycles_per_vector(),
+            solo.cycles
+        );
+        // The single fused pass streams the matrix once, so it is cheaper
+        // in total DRAM activations than 8 separate passes would be.
+        assert!(fused.report.activity.dram_activates < 8 * solo.activity.dram_activates);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let err = Machine::new(cfg).run_spmm(&a, &[], &mapping).unwrap_err();
+        assert!(matches!(err, SimError::EmptyBatch));
+    }
+
+    #[test]
+    fn k1_spmm_timing_equals_spmv() {
+        let a = banded(&BandedConfig { n: 200, ..Default::default() });
+        let cfg = HwConfig::tiny();
+        let mapping = LocalityMapping::default().map(&a, &cfg.shape);
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let m = Machine::new(cfg);
+        let solo = m.run_spmv(&a, &x, &mapping).unwrap();
+        let fused = m.run_spmm(&a, std::slice::from_ref(&x), &mapping).unwrap();
+        assert_eq!(fused.report.cycles, solo.cycles);
+        assert_eq!(fused.report.tsv_bytes, solo.tsv_bytes);
+        assert_eq!(fused.report.activity.fpu_ops, solo.activity.fpu_ops);
     }
 
     #[test]

@@ -14,15 +14,32 @@ pub enum Requester {
 }
 
 /// Byte sizes of the packets on TSVs and the NoC.
+///
+/// Request and matrix-data packets are independent of the batch width; the
+/// data-carrying X-response and Y-partial packets scale with the number of
+/// vectors `k` in a fused SpMM pass (one block / one partial per vector
+/// behind a shared header), which is what amortizes row activations and
+/// header overhead across the batch. At `k = 1` the scaled sizes equal the
+/// single-vector constants, so SpMV timing is unchanged.
 pub mod size {
     /// Type I: X request — block id + source routing info.
     pub const X_REQUEST: usize = 16;
-    /// Type II: X response — one 32-byte vector block + header.
-    pub const X_RESPONSE: usize = 40;
-    /// Type III: Y partial — row index + f64 value + header.
-    pub const Y_PARTIAL: usize = 16;
     /// DRAM row transfer between bank and PE queue (local, no packet header).
     pub const DRAM_ROW: usize = 256;
+
+    /// Type II size for a `k`-vector batch: one 32-byte block per vector
+    /// plus the shared 8-byte header. `k = 1` is the paper's 40-byte
+    /// single-vector response.
+    pub const fn x_response_bytes(k: usize) -> usize {
+        8 + 32 * k
+    }
+
+    /// Type III size for a `k`-vector batch: one `f64` partial per vector
+    /// plus the shared row-index header. `k = 1` is the paper's 16-byte
+    /// single-vector partial.
+    pub const fn y_partial_bytes(k: usize) -> usize {
+        8 + 8 * k
+    }
 }
 
 #[cfg(test)]
@@ -32,7 +49,17 @@ mod tests {
     #[test]
     fn response_carries_a_block() {
         // 4 × f64 = 32 data bytes plus an 8-byte header.
-        assert_eq!(size::X_RESPONSE, 32 + 8);
+        assert_eq!(size::x_response_bytes(1), 32 + 8);
+    }
+
+    #[test]
+    fn batched_sizes_reduce_to_the_paper_constants_at_k1() {
+        assert_eq!(size::x_response_bytes(1), 40);
+        assert_eq!(size::y_partial_bytes(1), 16);
+        // A 4-vector batch ships 4 blocks behind one header: cheaper than
+        // four single-vector responses.
+        assert!(size::x_response_bytes(4) < 4 * size::x_response_bytes(1));
+        assert!(size::y_partial_bytes(4) < 4 * size::y_partial_bytes(1));
     }
 
     #[test]

@@ -64,15 +64,6 @@ pub struct LoadedRow {
     pub remaining: usize,
 }
 
-/// Accumulation state of one matrix row inside a PE.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RowAccum {
-    /// Non-zeros of the row not yet multiplied.
-    pub remaining: usize,
-    /// Partial dot product so far.
-    pub partial: f64,
-}
-
 /// Full state of one Product-PE.
 #[derive(Debug, Clone, Default)]
 pub struct ProductPe {
@@ -87,12 +78,16 @@ pub struct ProductPe {
     pub queue: VecDeque<LoadedRow>,
     /// Entries loaded but not yet scanned.
     pub fresh: VecDeque<PeEntry>,
-    /// Entries whose X value arrived (response-satisfied), with the value.
-    pub ready: VecDeque<(PeEntry, f64)>,
+    /// Entries whose X value arrived (response-satisfied).
+    pub ready: VecDeque<PeEntry>,
     /// Entries waiting on an outstanding X request.
     pub pending: usize,
-    /// Per-matrix-row accumulation state.
-    pub rows: BTreeMap<u32, RowAccum>,
+    /// Non-zeros of each in-flight matrix row not yet multiplied. A whole
+    /// matrix row belongs to exactly one PE, so when a count reaches zero
+    /// the machine flushes that row's dot product, computed in canonical
+    /// CSR entry order — which makes the result independent of the arrival
+    /// order of X responses and bitwise-identical to the software oracle.
+    pub rows: BTreeMap<u32, usize>,
     /// Whether a `PeStep` event is scheduled.
     pub step_scheduled: bool,
     /// Non-zeros processed so far (workload metric).

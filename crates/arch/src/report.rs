@@ -52,6 +52,35 @@ pub struct SimReport {
     pub events_processed: u64,
 }
 
+/// The result of a fused multi-vector run ([`crate::Machine::run_spmm`]):
+/// one simulated pass computing `Y = A · [x_0 … x_{k-1}]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmmReport {
+    /// Timing and activity of the single fused pass. Its `output` field is
+    /// empty — the per-vector results live in [`SpmmReport::outputs`].
+    pub report: SimReport,
+    /// One output vector per input vector, in input order. Each is
+    /// bitwise-identical to what [`crate::Machine::run_spmv`] returns for
+    /// the same input vector alone.
+    pub outputs: Vec<Vec<f64>>,
+}
+
+impl SpmmReport {
+    /// The batch width `k` (number of fused vectors).
+    pub fn batch(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Simulated cycles divided by the batch width: the per-request cost a
+    /// batching service pays for this pass.
+    pub fn cycles_per_vector(&self) -> f64 {
+        if self.outputs.is_empty() {
+            return 0.0;
+        }
+        self.report.cycles as f64 / self.outputs.len() as f64
+    }
+}
+
 impl SimReport {
     /// Computes the normalized workload from a work vector.
     pub fn normalized_workload_of(work: &[u64]) -> f64 {

@@ -1,0 +1,95 @@
+//! Property tests of the multi-vector batching contract: a fused
+//! `run_spmm` pass over k vectors produces, for every vector, output
+//! bitwise-identical to a solo `run_spmv` of that vector — independent of
+//! batch composition and arrival order. This is what lets the serve
+//! batcher fuse concurrent requests as pure scheduling, never semantics.
+
+use proptest::prelude::*;
+use spacea_arch::{HwConfig, Machine};
+use spacea_mapping::MapKind;
+use spacea_matrix::gen::{rmat, RmatConfig};
+use spacea_matrix::Csr;
+
+/// A deterministic request vector (distinct from the serve protocol's
+/// generator on purpose — the contract must not depend on vector values).
+fn vector(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            z ^= z >> 33;
+            ((z % 2048) as f64 - 1024.0) / 256.0
+        })
+        .collect()
+}
+
+fn random_matrix(seed: u64) -> Csr {
+    rmat(&RmatConfig { n: 96, edges: 600, a: 0.57, b: 0.19, c: 0.19, seed })
+}
+
+fn bits(y: &[f64]) -> Vec<u64> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Every fused output is bitwise the solo `run_spmv` result.
+    #[test]
+    fn fused_batch_matches_solo_runs_bitwise(
+        seed in 0u64..1_000,
+        k in 1usize..5,
+        kind_tag in 0usize..2,
+    ) {
+        let kind = if kind_tag == 0 { MapKind::Naive } else { MapKind::Proposed };
+        let a = random_matrix(seed);
+        let hw = HwConfig::tiny();
+        let mapping = kind.strategy().map(&a, &hw.shape);
+        let machine = Machine::new(hw);
+        let xs: Vec<Vec<f64>> = (0..k as u64).map(|s| vector(a.cols(), seed ^ s)).collect();
+
+        let fused = machine.run_spmm(&a, &xs, &mapping).expect("fused pass runs");
+        prop_assert_eq!(fused.outputs.len(), k);
+        prop_assert_eq!(fused.batch(), k);
+        for (v, x) in xs.iter().enumerate() {
+            let solo = machine.run_spmv(&a, x, &mapping).expect("solo pass runs");
+            prop_assert_eq!(
+                bits(&fused.outputs[v]),
+                bits(&solo.output),
+                "vector {} of {} diverged under fusion", v, k
+            );
+            // And both agree bitwise with the reference CSR SpMV.
+            prop_assert_eq!(bits(&fused.outputs[v]), bits(&a.spmv(x)));
+        }
+    }
+
+    /// Rotating the batch permutes the outputs identically: arrival order
+    /// never changes any individual result.
+    #[test]
+    fn batch_order_is_irrelevant(
+        seed in 0u64..1_000,
+        k in 2usize..5,
+        rot in 1usize..4,
+    ) {
+        let a = random_matrix(seed);
+        let hw = HwConfig::tiny();
+        let mapping = MapKind::Proposed.strategy().map(&a, &hw.shape);
+        let machine = Machine::new(hw);
+        let xs: Vec<Vec<f64>> = (0..k as u64).map(|s| vector(a.cols(), seed ^ s)).collect();
+        let rot = rot % k;
+        let rotated: Vec<Vec<f64>> =
+            (0..k).map(|v| xs[(v + rot) % k].clone()).collect();
+
+        let base = machine.run_spmm(&a, &xs, &mapping).expect("base pass runs");
+        let perm = machine.run_spmm(&a, &rotated, &mapping).expect("rotated pass runs");
+        for v in 0..k {
+            prop_assert_eq!(
+                bits(&perm.outputs[v]),
+                bits(&base.outputs[(v + rot) % k]),
+                "rotation by {} changed vector {}", rot, v
+            );
+        }
+    }
+}

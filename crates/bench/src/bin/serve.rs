@@ -1,0 +1,186 @@
+//! CLI front end of the SpMV daemon (`spacea-serve`).
+//!
+//! Verbs:
+//!
+//! * `serve start [--port N] [--max-batch N] [--foreground-note]` — run the
+//!   daemon in the foreground over `--cache-dir` (default
+//!   `target/spacea-cache`); `--quick` serves the tiny machine. The bound
+//!   port is published to `<cache-dir>/serve.port` once the listener is up.
+//! * `serve submit --matrix 1/256,2/256 --seeds 0,1,2 [--check]` — one
+//!   concurrent client thread per seed, round-robined over the matrix
+//!   list; `--check` recomputes each result offline and fails on any
+//!   bitwise divergence.
+//! * `serve stat` — print the daemon's counters as JSON.
+//! * `serve shutdown` — stop the daemon (it flushes manifest + timeline).
+
+use spacea_bench::{ArgError, HarnessOptions};
+use spacea_serve::{run_daemon, seeded_vector, Client, ServeConfig};
+
+const SERVE_USAGE: &str = "serve: start|submit|stat|shutdown | --port N | --max-batch N | \
+     --matrix ID/SCALE[,ID/SCALE...] | --seeds N[,N...] | --check";
+
+fn main() {
+    let mut verb: Option<String> = None;
+    let mut port = 0u16;
+    let mut max_batch: Option<usize> = None;
+    let mut matrices = vec![(1u8, 256usize)];
+    let mut seeds: Vec<u64> = (0..8).collect();
+    let mut check = false;
+    let opts = HarnessOptions::from_args_with(std::env::args().skip(1), |flag, args| {
+        match flag {
+            "start" | "submit" | "stat" | "shutdown" if verb.is_none() => {
+                verb = Some(flag.to_string());
+            }
+            "--port" => {
+                port = args
+                    .usize_value("--port")?
+                    .try_into()
+                    .map_err(|_| ArgError::new("--port needs a TCP port (fits in 16 bits)"))?;
+            }
+            "--max-batch" => max_batch = Some(args.usize_value("--max-batch")?.max(1)),
+            "--matrix" => matrices = parse_matrices(&args.value("--matrix")?)?,
+            "--seeds" => seeds = parse_seeds(&args.value("--seeds")?)?,
+            "--check" => check = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    })
+    .unwrap_or_else(|e| e.exit_with_usage(SERVE_USAGE));
+
+    match verb.as_deref() {
+        Some("start") => start(&opts, port, max_batch),
+        Some("submit") => submit(&opts, &matrices, &seeds, check),
+        Some("stat") => stat(&opts),
+        Some("shutdown") => shutdown(&opts),
+        _ => ArgError::new("serve needs a verb: start, submit, stat or shutdown")
+            .exit_with_usage(SERVE_USAGE),
+    }
+}
+
+fn parse_matrices(spec: &str) -> Result<Vec<(u8, usize)>, ArgError> {
+    let err = || ArgError::new("--matrix needs ID/SCALE[,ID/SCALE...], e.g. 1/256,2/256");
+    spec.split(',')
+        .map(|part| {
+            let (id, scale) = part.split_once('/').ok_or_else(err)?;
+            Ok((id.parse().map_err(|_| err())?, scale.parse().map_err(|_| err())?))
+        })
+        .collect()
+}
+
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, ArgError> {
+    spec.split(',')
+        .map(|s| s.parse().map_err(|_| ArgError::new("--seeds needs N[,N...]")))
+        .collect()
+}
+
+fn start(opts: &HarnessOptions, port: u16, max_batch: Option<usize>) {
+    let mut cfg = ServeConfig::new(opts.cache_dir());
+    cfg.hw = opts.cfg.hw.clone();
+    if let Some(mb) = max_batch {
+        cfg.max_batch = mb;
+    }
+    if let Err(e) = run_daemon(cfg, port) {
+        eprintln!("serve: daemon failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn connect(opts: &HarnessOptions) -> Client {
+    Client::connect_dir(&opts.cache_dir()).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn submit(opts: &HarnessOptions, matrices: &[(u8, usize)], seeds: &[u64], check: bool) {
+    let mut admin = connect(opts);
+    let mut keys = Vec::new();
+    for &(id, scale) in matrices {
+        let reply = admin.register(id, scale).unwrap_or_else(|e| {
+            eprintln!("serve: register {id}/{scale} failed: {e}");
+            std::process::exit(1);
+        });
+        println!("registered m{id}/{scale}: key {:016x}, {} nnz", reply.matrix, reply.nnz);
+        keys.push((id, scale, reply.matrix, reply.cols));
+    }
+
+    // One client thread per seed, round-robined over the matrices, so the
+    // daemon sees genuinely concurrent mixed-matrix traffic.
+    let cache_dir = opts.cache_dir();
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let (id, scale, key, cols) = keys[i % keys.len()];
+                let dir = cache_dir.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect_dir(&dir)?;
+                    let out = client.submit(key, seed)?;
+                    Ok::<_, String>((id, scale, seed, cols, out))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client thread panicked".to_string())))
+            .collect()
+    });
+
+    let mut failures = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok((id, scale, seed, cols, out)) => {
+                println!(
+                    "m{id}/{scale} seed {seed}: batch {} | {} cycles | queued {}us",
+                    out.batch, out.cycles, out.queue_wait_us
+                );
+                if check && !matches_reference(id, scale, cols, seed, &out.y) {
+                    eprintln!("serve: m{id}/{scale} seed {seed} DIVERGED from offline SpMV");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("serve: submit failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("serve: {failures} request(s) failed");
+        std::process::exit(1);
+    }
+    if check {
+        println!("all {} responses bitwise-match the offline reference SpMV", seeds.len());
+    }
+}
+
+/// Recomputes the request offline and compares bitwise.
+fn matches_reference(id: u8, scale: usize, cols: usize, seed: u64, y: &[f64]) -> bool {
+    let Some(entry) = spacea_matrix::suite::entry_by_id(id) else { return false };
+    let a = entry.generate(scale);
+    let want = a.spmv(&seeded_vector(cols, seed));
+    y.len() == want.len() && y.iter().zip(&want).all(|(got, want)| got.to_bits() == want.to_bits())
+}
+
+fn stat(opts: &HarnessOptions) {
+    let mut client = connect(opts);
+    match client.stat() {
+        Ok(v) => println!("{}", v.to_text()),
+        Err(e) => {
+            eprintln!("serve: stat failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn shutdown(opts: &HarnessOptions) {
+    let mut client = connect(opts);
+    match client.shutdown() {
+        Ok(()) => println!("daemon stopping"),
+        Err(e) => {
+            eprintln!("serve: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

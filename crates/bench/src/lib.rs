@@ -224,10 +224,17 @@ pub struct HarnessSession {
 }
 
 impl HarnessSession {
-    /// Builds a session from parsed options.
+    /// Builds a session from parsed options. Unless `--no-cache` was given,
+    /// the job context persists computed mappings under
+    /// `<cache-dir>/mappings/` so Phase I/II is paid once per matrix *ever*
+    /// (warm restarts load them from disk).
     pub fn from_opts(opts: HarnessOptions) -> Self {
-        let cache =
-            SuiteCache::with_store(opts.cfg.clone(), open_store(&opts), Arc::new(JobCtx::new()));
+        let ctx = if opts.no_cache {
+            JobCtx::new()
+        } else {
+            JobCtx::with_mapping_dir(opts.cache_dir().join("mappings"))
+        };
+        let cache = SuiteCache::with_store(opts.cfg.clone(), open_store(&opts), Arc::new(ctx));
         let manifest_path = opts.cache_dir().join("last-run.json");
         HarnessSession { cache, csv: opts.csv, opts, manifest_path, timeline: None }
     }
@@ -300,6 +307,7 @@ pub fn prewarm_observed(
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
         records: out.records,
         stats: cache.store().stats(),
+        mappings: cache.ctx().mapping_stats(),
         corrupt_paths: cache
             .store()
             .corrupt_paths()

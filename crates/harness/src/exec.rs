@@ -8,6 +8,7 @@
 //! [`JobStatus`] explaining what happened instead of a result.
 
 use crate::job::{JobSpec, MatrixSource};
+use crate::mapstore::{MappingStats, MappingStore};
 use crate::store::{CacheOutcome, JobResult, ResultStore};
 use crate::telemetry::{JobRecord, JobStatus};
 use crate::timeline::TimelineConfig;
@@ -50,16 +51,39 @@ type Memo<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
 /// Each entry is a [`OnceLock`]: the first worker to need an artifact
 /// computes it while later workers block on that entry only (not on the
 /// whole map).
+///
+/// Mapping computation goes through a [`MappingStore`]: with
+/// [`JobCtx::with_mapping_dir`], the in-process memo warms from persisted
+/// artifacts, so Phase I/II runs once per matrix content *ever*, not once
+/// per process.
 #[derive(Default)]
 pub struct JobCtx {
     matrices: Memo<MatrixSource, Csr>,
     mappings: Memo<(MatrixSource, MapKind, MachineShape), Mapping>,
+    mapstore: MappingStore,
 }
 
 impl JobCtx {
-    /// An empty context.
+    /// An empty context with no mapping persistence.
     pub fn new() -> Self {
         JobCtx::default()
+    }
+
+    /// A context whose mappings persist under `dir` (one JSON artifact per
+    /// matrix-content × kind × shape key).
+    pub fn with_mapping_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        JobCtx { mapstore: MappingStore::with_dir(dir), ..JobCtx::default() }
+    }
+
+    /// The mapping cache (serve registers content-addressed matrices
+    /// directly against it, bypassing [`MatrixSource`]).
+    pub fn mapstore(&self) -> &MappingStore {
+        &self.mapstore
+    }
+
+    /// How many mappings this context computed versus warmed from disk.
+    pub fn mapping_stats(&self) -> MappingStats {
+        self.mapstore.stats()
     }
 
     /// The (memoized) matrix for a source.
@@ -103,7 +127,7 @@ impl JobCtx {
         let cell = Arc::clone(lock(&self.mappings).entry((*source, kind, shape)).or_default());
         Arc::clone(cell.get_or_init(|| {
             let a = self.matrix(source);
-            Arc::new(kind.strategy().map(&a, &shape))
+            Arc::new(self.mapstore.get_or_compute(&a, kind, &shape))
         }))
     }
 }
@@ -164,6 +188,21 @@ pub fn execute_observed(
     ctx: &JobCtx,
     observe: Option<ObserveConfig>,
 ) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
+    execute_observed_flushed(spec, ctx, observe, None)
+}
+
+/// [`execute_observed`] with incremental artifact flushing: when `flush`
+/// names a [`TimelineConfig`] and job key, every completed sampler window
+/// rewrites `timelines/<key>.json` (tmp-file + atomic rename), so a run
+/// killed mid-flight leaves a valid truncated timeline instead of nothing.
+/// The final artifact — with duration slices attached — is still written by
+/// the caller from the returned [`Timeline`].
+pub fn execute_observed_flushed(
+    spec: &JobSpec,
+    ctx: &JobCtx,
+    observe: Option<ObserveConfig>,
+    flush: Option<(TimelineConfig, crate::job::JobKey)>,
+) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
     let source = match spec {
         JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
     };
@@ -180,8 +219,19 @@ pub fn execute_observed(
             let machine = Machine::new(hw.clone());
             match observe {
                 Some(obs) => {
+                    let mut sink = flush.map(|(cfg, key)| {
+                        move |tl: &Timeline| {
+                            // Flush failures are logged by the final write;
+                            // an unwritable snapshot must not fail the job.
+                            let _ = cfg.write(key, tl);
+                        }
+                    });
+                    let flush_cb: Option<&mut dyn FnMut(&Timeline)> = match sink.as_mut() {
+                        Some(f) => Some(f),
+                        None => None,
+                    };
                     let (report, timeline) = machine
-                        .run_spmv_observed(&a, &x, &mapping, &obs)
+                        .run_spmv_observed_flushed(&a, &x, &mapping, &obs, flush_cb)
                         .map_err(ExecFailure::from_sim)?;
                     Ok((JobResult::Sim(Arc::new(report)), Some(timeline)))
                 }
@@ -201,11 +251,12 @@ fn guarded_execute(
     spec: &JobSpec,
     ctx: &JobCtx,
     observe: Option<ObserveConfig>,
+    flush: Option<(TimelineConfig, crate::job::JobKey)>,
 ) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
     // AssertUnwindSafe: the only state shared across the boundary is the
     // JobCtx memo (poison-tolerant locks over OnceLock cells; an interrupted
     // init leaves the cell empty and retryable) and the panic payload itself.
-    match catch_unwind(AssertUnwindSafe(|| execute_observed(spec, ctx, observe))) {
+    match catch_unwind(AssertUnwindSafe(|| execute_observed_flushed(spec, ctx, observe, flush))) {
         Ok(r) => r,
         Err(payload) => Err(ExecFailure::Error {
             message: format!("job panicked: {}", panic_message(payload.as_ref())),
@@ -234,14 +285,15 @@ fn attempt(
     ctx: &Arc<JobCtx>,
     wall_budget: Option<Duration>,
     observe: Option<ObserveConfig>,
+    flush: Option<(TimelineConfig, crate::job::JobKey)>,
 ) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
-    let Some(limit) = wall_budget else { return guarded_execute(spec, ctx, observe) };
+    let Some(limit) = wall_budget else { return guarded_execute(spec, ctx, observe, flush) };
     let (tx, rx) = mpsc::channel();
     let thread_spec = spec.clone();
     let thread_ctx = Arc::clone(ctx);
     let handle =
         std::thread::Builder::new().name(format!("spacea-job:{}", spec.label())).spawn(move || {
-            let _ = tx.send(guarded_execute(&thread_spec, &thread_ctx, observe));
+            let _ = tx.send(guarded_execute(&thread_spec, &thread_ctx, observe, flush));
         });
     let handle = match handle {
         Ok(h) => h,
@@ -303,12 +355,13 @@ fn supervise(
     ctx: &Arc<JobCtx>,
     policy: &SupervisionPolicy,
     observe: Option<ObserveConfig>,
+    flush: Option<&TimelineConfig>,
 ) -> (Option<(JobResult, Option<Timeline>)>, JobStatus) {
     let key = spec.key();
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        match attempt(spec, ctx, policy.wall_budget, observe) {
+        match attempt(spec, ctx, policy.wall_budget, observe, flush.map(|c| (c.clone(), key))) {
             Ok(result) => {
                 let status =
                     if attempts == 1 { JobStatus::Ok } else { JobStatus::Retried { attempts } };
@@ -487,7 +540,9 @@ fn run_one(
             // the cached result authoritative.
             if let Some(cfg) = timeline {
                 if matches!(spec, JobSpec::Sim { .. }) && !cfg.path_for(key).exists() {
-                    if let (Some((_, Some(tl))), _) = supervise(spec, ctx, policy, observe) {
+                    if let (Some((_, Some(tl))), _) =
+                        supervise(spec, ctx, policy, observe, timeline)
+                    {
                         write_timeline(cfg, key, spec, &tl);
                     }
                 }
@@ -495,7 +550,7 @@ fn run_one(
             (Some(result), outcome, JobStatus::Ok)
         }
         None => {
-            let (outcome, status) = supervise(spec, ctx, policy, observe);
+            let (outcome, status) = supervise(spec, ctx, policy, observe, timeline);
             let result = match outcome {
                 Some((r, tl)) => {
                     // Only successes are cached: a failure must be
@@ -669,6 +724,30 @@ mod tests {
         assert!(cfg.path_for(key).exists(), "missing artifact not regenerated");
         let (after, _) = store.lookup(key).unwrap();
         assert_eq!(cached, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incremental_flush_leaves_a_valid_artifact_without_the_final_write() {
+        let dir = std::env::temp_dir().join(format!("spacea-exec-flush-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A small sampling window so several flush boundaries fire during
+        // even the tiny smoke simulation.
+        let cfg = TimelineConfig::new(&dir).with_every(64);
+        let spec = quick_sim(1);
+        let key = spec.key();
+        let ctx = JobCtx::new();
+        let (result, timeline) =
+            execute_observed_flushed(&spec, &ctx, Some(cfg.observe), Some((cfg.clone(), key)))
+                .unwrap();
+        assert!(matches!(result, JobResult::Sim(_)));
+        assert!(timeline.is_some());
+        // The crash-safety contract: the artifact exists and validates
+        // even though this caller never wrote the final timeline — the
+        // per-window flush sink already persisted a consistent snapshot.
+        let text = std::fs::read_to_string(cfg.path_for(key)).unwrap();
+        let summary = spacea_obs::json::validate_chrome_trace(&text).unwrap();
+        assert!(summary.counter_events > 0, "flushed snapshot has no samples");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,6 +43,7 @@
 pub mod exec;
 pub mod job;
 pub mod json;
+pub mod mapstore;
 pub mod store;
 pub mod sweep;
 pub mod telemetry;
@@ -53,6 +54,7 @@ pub use exec::{
     JobCtx, RunOutput, SupervisionPolicy,
 };
 pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
+pub use mapstore::{MappingStats, MappingStore};
 pub use store::{
     CacheOutcome, CacheStats, GcPolicy, GcReport, IndexEntry, JobResult, ResultStore, INDEX_FILE,
     QUARANTINE_DIR,

@@ -1,0 +1,311 @@
+//! Persistent mapping cache: Phase I/II paid once per matrix *ever*.
+//!
+//! Computing a [`Mapping`] (Algorithm 1 row assignment plus the Formula 1
+//! placement hierarchy) dominates the cost of small-matrix workloads, yet
+//! it depends only on the matrix *content*, the mapping kind and the
+//! machine shape — none of which change between processes. A
+//! [`MappingStore`] keys mappings by an FNV-1a content hash over the CSR
+//! arrays and persists each computed mapping as one JSON file under
+//! `<dir>/<key>.json`, so a daemon restart (or a fresh sweep process)
+//! warms the in-process memo from disk instead of re-running Phase I/II.
+//!
+//! Robustness mirrors [`crate::store::ResultStore`]: writes go through a
+//! tmp-file + atomic rename so concurrent processes never read a torn
+//! file, and a corrupt or stale artifact silently falls back to a fresh
+//! compute (which overwrites it).
+
+use crate::job::Fnv;
+use crate::json::{parse, Json};
+use spacea_mapping::{MachineShape, MapKind, Mapping, Placement, RowAssignment};
+use spacea_matrix::Csr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many mappings a store computed versus warmed from disk. Zero
+/// `computed` on a restarted daemon is the warm-cache acceptance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MappingStats {
+    /// Mappings computed from scratch (Phase I/II actually ran).
+    pub computed: u64,
+    /// Mappings loaded from a persisted artifact.
+    pub disk_hits: u64,
+}
+
+/// A mapping cache, optionally backed by a directory of JSON artifacts.
+#[derive(Debug, Default)]
+pub struct MappingStore {
+    dir: Option<PathBuf>,
+    computed: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+/// Content hash of a CSR matrix: dimensions plus every structural array,
+/// values as exact IEEE-754 bit patterns. Two matrices with equal content
+/// share mappings regardless of how they were constructed.
+pub fn matrix_key(a: &Csr) -> u64 {
+    let mut h = Fnv::new();
+    h.str("spacea-matrix-v1");
+    h.usize(a.rows());
+    h.usize(a.cols());
+    for &p in a.row_ptr() {
+        h.usize(p);
+    }
+    for &c in a.col_idx() {
+        h.u64(c as u64);
+    }
+    for &v in a.vals() {
+        h.f64(v);
+    }
+    h.finish()
+}
+
+/// Cache key of one mapping: matrix content × mapping kind × machine shape.
+pub fn mapping_key(matrix_key: u64, kind: MapKind, shape: &MachineShape) -> u64 {
+    let mut h = Fnv::new();
+    h.str("spacea-mapping-v1");
+    h.u64(matrix_key);
+    h.u8(match kind {
+        MapKind::Naive => 0,
+        MapKind::Proposed => 1,
+    });
+    h.usize(shape.cubes);
+    h.usize(shape.vaults_per_cube);
+    h.usize(shape.product_bgs_per_vault);
+    h.usize(shape.banks_per_bg);
+    h.finish()
+}
+
+impl MappingStore {
+    /// A store with no disk backing: every first request computes.
+    pub fn in_memory() -> Self {
+        MappingStore::default()
+    }
+
+    /// A store persisting artifacts under `dir` (created on first write).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        MappingStore { dir: Some(dir.into()), ..MappingStore::default() }
+    }
+
+    /// The artifact directory, if disk-backed.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Compute-vs-warm counters so far.
+    pub fn stats(&self) -> MappingStats {
+        MappingStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The artifact path for one mapping key (when disk-backed).
+    pub fn path_for(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// The mapping of `a` onto `shape` under `kind`: loaded from disk when
+    /// a valid artifact exists, computed (and persisted) otherwise.
+    pub fn get_or_compute(&self, a: &Csr, kind: MapKind, shape: &MachineShape) -> Mapping {
+        let key = mapping_key(matrix_key(a), kind, shape);
+        if let Some(path) = self.path_for(key) {
+            if let Some(m) = load_mapping(&path, a, shape) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return m;
+            }
+        }
+        let m = kind.strategy().map(a, shape);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        if let Some(path) = self.path_for(key) {
+            if let Err(e) = save_mapping(&path, &m) {
+                eprintln!("spacea-harness: could not persist mapping {key:016x}: {e}");
+            }
+        }
+        m
+    }
+}
+
+/// Encodes a mapping as the harness JSON dialect.
+fn encode_mapping(m: &Mapping) -> Json {
+    let rows_of: Vec<Json> = (0..m.assignment.num_pes())
+        .map(|p| Json::Arr(m.assignment.rows_of(p).iter().map(|&r| Json::U64(r as u64)).collect()))
+        .collect();
+    let table: Vec<Json> =
+        (0..m.placement.len()).map(|s| Json::U64(m.placement.logical_at_slot(s) as u64)).collect();
+    Json::obj(vec![
+        ("version", Json::U64(1)),
+        ("total_rows", Json::U64(m.assignment.total_rows() as u64)),
+        ("rows_of", Json::Arr(rows_of)),
+        ("placement", Json::Arr(table)),
+    ])
+}
+
+/// Decodes and cross-checks a persisted mapping. `None` on any mismatch —
+/// wrong version, malformed JSON, a non-permutation placement table, an
+/// assignment that fails its partition invariant, or a shape/matrix
+/// disagreement (a hash collision or a hand-edited file).
+fn decode_mapping(v: &Json, a: &Csr, shape: &MachineShape) -> Option<Mapping> {
+    if v.get("version")?.as_u64()? != 1 {
+        return None;
+    }
+    let total_rows = v.get("total_rows")?.as_u64()? as usize;
+    let mut rows_of = Vec::new();
+    for pe in v.get("rows_of")?.as_arr()? {
+        let mut rows = Vec::new();
+        for r in pe.as_arr()? {
+            rows.push(u32::try_from(r.as_u64()?).ok()?);
+        }
+        rows_of.push(rows);
+    }
+    let mut table = Vec::new();
+    for s in v.get("placement")?.as_arr()? {
+        table.push(u32::try_from(s.as_u64()?).ok()?);
+    }
+    // Placement::from_table panics on a non-permutation, so screen first.
+    let mut seen = vec![false; table.len()];
+    for &l in &table {
+        let l = l as usize;
+        if l >= seen.len() || seen[l] {
+            return None;
+        }
+        seen[l] = true;
+    }
+    let assignment = RowAssignment::new(rows_of, total_rows);
+    assignment.validate().ok()?;
+    if total_rows != a.rows()
+        || assignment.num_pes() != shape.product_pes()
+        || table.len() != shape.product_pes()
+    {
+        return None;
+    }
+    Some(Mapping { assignment, placement: Placement::from_table(table) })
+}
+
+fn load_mapping(path: &Path, a: &Csr, shape: &MachineShape) -> Option<Mapping> {
+    let text = std::fs::read_to_string(path).ok()?;
+    decode_mapping(&parse(&text).ok()?, a, shape)
+}
+
+fn save_mapping(path: &Path, m: &Mapping) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    // Tmp-file + rename: a concurrent reader (another shard, a restarted
+    // daemon) never observes a torn artifact.
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("mapping.json");
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, encode_mapping(m).to_text())?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spacea-mapstore-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn matrix_key_tracks_content_not_identity() {
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let b = banded(&BandedConfig { n: 64, ..Default::default() });
+        assert_eq!(matrix_key(&a), matrix_key(&b));
+        let c = banded(&BandedConfig { n: 65, ..Default::default() });
+        assert_ne!(matrix_key(&a), matrix_key(&c));
+    }
+
+    #[test]
+    fn mapping_key_depends_on_kind_and_shape() {
+        let k = 7u64;
+        let shape = MachineShape::tiny();
+        let base = mapping_key(k, MapKind::Proposed, &shape);
+        assert_ne!(base, mapping_key(k, MapKind::Naive, &shape));
+        let mut other = shape;
+        other.banks_per_bg += 1;
+        assert_ne!(base, mapping_key(k, MapKind::Proposed, &other));
+    }
+
+    #[test]
+    fn in_memory_store_always_computes() {
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let store = MappingStore::in_memory();
+        let shape = MachineShape::tiny();
+        let m1 = store.get_or_compute(&a, MapKind::Proposed, &shape);
+        let m2 = store.get_or_compute(&a, MapKind::Proposed, &shape);
+        assert_eq!(m1, m2);
+        assert_eq!(store.stats(), MappingStats { computed: 2, disk_hits: 0 });
+    }
+
+    #[test]
+    fn disk_store_warms_across_instances() {
+        let dir = tmp_dir("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = rmat(&RmatConfig { n: 128, edges: 600, ..Default::default() });
+        let shape = MachineShape::tiny();
+
+        let first = MappingStore::with_dir(&dir);
+        let m1 = first.get_or_compute(&a, MapKind::Proposed, &shape);
+        assert_eq!(first.stats(), MappingStats { computed: 1, disk_hits: 0 });
+
+        // A "restarted process": a fresh store over the same directory must
+        // perform zero Phase I/II computations.
+        let second = MappingStore::with_dir(&dir);
+        let m2 = second.get_or_compute(&a, MapKind::Proposed, &shape);
+        assert_eq!(second.stats(), MappingStats { computed: 0, disk_hits: 1 });
+        assert_eq!(m1, m2, "warmed mapping must equal the computed one exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_falls_back_to_compute_and_heals() {
+        let dir = tmp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = banded(&BandedConfig { n: 96, ..Default::default() });
+        let shape = MachineShape::tiny();
+        let store = MappingStore::with_dir(&dir);
+        let key = mapping_key(matrix_key(&a), MapKind::Proposed, &shape);
+        let path = store.path_for(key).unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "{ not json").unwrap();
+        let m = store.get_or_compute(&a, MapKind::Proposed, &shape);
+        assert_eq!(store.stats(), MappingStats { computed: 1, disk_hits: 0 });
+        // The recompute overwrote the corrupt artifact; a fresh store hits.
+        let again = MappingStore::with_dir(&dir);
+        let m2 = again.get_or_compute(&a, MapKind::Proposed, &shape);
+        assert_eq!(again.stats(), MappingStats { computed: 0, disk_hits: 1 });
+        assert_eq!(m, m2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_artifact_for_different_shape_is_rejected() {
+        let dir = tmp_dir("stale");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = banded(&BandedConfig { n: 64, ..Default::default() });
+        let shape = MachineShape::tiny();
+        let store = MappingStore::with_dir(&dir);
+        let m = store.get_or_compute(&a, MapKind::Proposed, &shape);
+        // Copy the artifact onto the key of a *different* shape (simulating
+        // a collision / stale file); the cross-check must reject it.
+        let key = mapping_key(matrix_key(&a), MapKind::Proposed, &shape);
+        let mut other = shape;
+        other.vaults_per_cube *= 2;
+        let other_key = mapping_key(matrix_key(&a), MapKind::Proposed, &other);
+        std::fs::copy(store.path_for(key).unwrap(), store.path_for(other_key).unwrap()).unwrap();
+        let m2 = store.get_or_compute(&a, MapKind::Proposed, &other);
+        assert_eq!(store.stats().computed, 2, "mismatched artifact must recompute");
+        assert_ne!(m.assignment.num_pes(), 0);
+        assert_eq!(m2.assignment.num_pes(), other.product_pes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let a = rmat(&RmatConfig { n: 100, edges: 400, ..Default::default() });
+        let shape = MachineShape::tiny();
+        let m = MapKind::Proposed.strategy().map(&a, &shape);
+        let back = decode_mapping(&encode_mapping(&m), &a, &shape).unwrap();
+        assert_eq!(m, back);
+    }
+}

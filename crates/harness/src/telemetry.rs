@@ -3,6 +3,7 @@
 
 use crate::job::JobKey;
 use crate::json::Json;
+use crate::mapstore::MappingStats;
 use crate::store::{CacheOutcome, CacheStats};
 
 /// How one supervised job ended.
@@ -94,6 +95,10 @@ pub struct RunManifest {
     /// closed under it). Their records are synthesized as failures; this list
     /// makes the abandonment itself visible.
     pub abandoned: Vec<String>,
+    /// Phase I/II mapping work this run: computed-from-scratch versus warmed
+    /// from persisted artifacts. Zero `computed` after a restart is the
+    /// warm-mapping-cache guarantee.
+    pub mappings: MappingStats,
 }
 
 impl RunManifest {
@@ -148,6 +153,13 @@ impl RunManifest {
                     ("disk_hits", Json::U64(self.stats.disk_hits)),
                     ("misses", Json::U64(self.stats.misses)),
                     ("corrupt", Json::U64(self.stats.corrupt)),
+                ]),
+            ),
+            (
+                "mappings",
+                Json::obj(vec![
+                    ("computed", Json::U64(self.mappings.computed)),
+                    ("disk_hits", Json::U64(self.mappings.disk_hits)),
                 ]),
             ),
             (
@@ -258,6 +270,7 @@ mod tests {
             stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1, corrupt: 0 },
             corrupt_paths: Vec::new(),
             abandoned: Vec::new(),
+            mappings: MappingStats { computed: 1, disk_hits: 0 },
         }
     }
 
@@ -275,6 +288,9 @@ mod tests {
         assert_eq!(jobs[1].get("outcome").unwrap().as_str(), Some("disk-hit"));
         assert!(jobs[1].get("cycles").is_none());
         assert_eq!(v.get("cache").unwrap().get("disk_hits").unwrap().as_u64(), Some(1));
+        let maps = v.get("mappings").unwrap();
+        assert_eq!(maps.get("computed").unwrap().as_u64(), Some(1));
+        assert_eq!(maps.get("disk_hits").unwrap().as_u64(), Some(0));
     }
 
     #[test]

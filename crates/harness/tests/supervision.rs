@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use spacea_harness::exec::execute;
 use spacea_harness::{
-    input_vector, run_jobs_supervised, CacheOutcome, JobCtx, JobResult, JobSpec, MatrixSource,
-    ResultStore, RunManifest, SupervisionPolicy,
+    input_vector, run_jobs_supervised, CacheOutcome, JobCtx, JobResult, JobSpec, MappingStats,
+    MatrixSource, ResultStore, RunManifest, SupervisionPolicy,
 };
 use spacea_mapping::MapKind;
 use spacea_model::EnergyParams;
@@ -125,6 +125,7 @@ fn stalled_vault_times_out_with_a_diagnosis_naming_the_vault() {
         total_wall_ms: 1.0,
         records: out.records,
         stats: store.stats(),
+        mappings: MappingStats::default(),
         corrupt_paths: Vec::new(),
         abandoned: out.abandoned,
     };

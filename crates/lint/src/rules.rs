@@ -80,17 +80,18 @@ impl RuleId {
                  never iterated), suppress with `// lint:allow(D1) reason`."
             }
             RuleId::D2 => {
-                "D2: no wall clock or ambient randomness outside harness/bench\n\
+                "D2: no wall clock or ambient randomness outside harness/bench/serve\n\
                  \n\
                  Instant::now / SystemTime::now / thread_rng / from_entropy make a\n\
                  run's outputs depend on when and where it executed. Inside the model\n\
                  and solver crates that breaks reproducibility; timing and entropy\n\
-                 belong to the supervision layer (harness, bench), which measures real\n\
-                 runs and owns seeds.\n\
+                 belong to the supervision layer (harness, bench) and the service\n\
+                 layer (serve), which measure real runs, own seeds, and time real\n\
+                 sockets and queues.\n\
                  \n\
                  Fix: thread simulated time (Cycle) or an explicit seed through the\n\
-                 API instead. Deliberate host-time measurements outside the harness\n\
-                 carry `// lint:allow(D2) reason`."
+                 API instead. Deliberate host-time measurements outside the exempt\n\
+                 crates carry `// lint:allow(D2) reason`."
             }
             RuleId::R1 => {
                 "R1: no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!\n\
@@ -152,10 +153,20 @@ pub struct FileMeta {
 pub const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "arch", "mapping", "matrix", "model"];
 
 /// Crates allowed to read the wall clock / ambient entropy (D2 exempt).
-pub const SUPERVISION_CRATES: [&str; 2] = ["harness", "bench"];
+///
+/// `serve` is exempt for the same reason `harness` is: it lives at the
+/// boundary with the real world. Socket read timeouts, queue-wait
+/// telemetry, and the batcher's gather window are *measurements of host
+/// time*, not simulation inputs — every simulated result it returns is
+/// still a pure function of (matrix, vector, mapping, hw).
+pub const SUPERVISION_CRATES: [&str; 3] = ["harness", "bench", "serve"];
 
 /// Crates whose `MetricKey` constructions S1 cross-checks.
-pub const LEDGER_CRATES: [&str; 2] = ["arch", "sim"];
+///
+/// `serve` mints its own per-request gauge keys (`serve/queue-wait-us`
+/// etc.), so it is in scope: a typo'd key there would silently vanish
+/// from dashboards instead of failing the build.
+pub const LEDGER_CRATES: [&str; 3] = ["arch", "sim", "serve"];
 
 /// One rule violation at a specific site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -445,6 +456,30 @@ mod tests {
         assert!(run("bench", FileKind::Bin, src).iter().all(|v| v.rule != RuleId::D2));
         // Examples measure wall time legitimately (user-facing demos).
         assert!(run("core", FileKind::Example, src).iter().all(|v| v.rule != RuleId::D2));
+    }
+
+    #[test]
+    fn d2_exempts_the_serve_crate() {
+        // Pins the exemption rationale: serve times real sockets and queues
+        // (read timeouts, queue-wait telemetry, the gather window), which
+        // are measurements of host time, not simulation inputs.
+        let src = "fn f() -> u128 { let t = std::time::Instant::now(); t.elapsed().as_nanos() }";
+        assert!(run("serve", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D2));
+        assert!(SUPERVISION_CRATES.contains(&"serve"), "exemption list must name serve");
+    }
+
+    #[test]
+    fn s1_fires_in_the_serve_crate() {
+        // serve mints its own gauge keys, so S1 must cover it: a key the
+        // registry does not know is a violation there.
+        let src = "fn f() { let _ = MetricKey::global(\"serve\", \"queue-wait-us\"); }";
+        let known = [("serve", "queue-wait-us")];
+        assert!(run_with_metrics("serve", FileKind::Lib, src, &known)
+            .iter()
+            .all(|v| v.rule != RuleId::S1));
+        let typo = "fn f() { let _ = MetricKey::global(\"serve\", \"queue-wait-usec\"); }";
+        let v = run_with_metrics("serve", FileKind::Lib, typo, &known);
+        assert_eq!(v.iter().filter(|v| v.rule == RuleId::S1).count(), 1);
     }
 
     #[test]

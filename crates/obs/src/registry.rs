@@ -10,7 +10,11 @@
 //! `arch`/`sim` against it.
 
 /// Every registered `(component, name)` gauge pair, sorted.
-pub const METRICS: [(&str, &str); 9] = [
+///
+/// The `serve` rows are published by the `spacea-serve` daemon rather than
+/// the machine: per-request queue latency and the width/cost of each fused
+/// batch pass.
+pub const METRICS: [(&str, &str); 13] = [
     ("cam", "l1-hit-rate"),
     ("cam", "l2-hit-rate"),
     ("dram", "row-hit-rate"),
@@ -19,6 +23,10 @@ pub const METRICS: [(&str, &str); 9] = [
     ("noc", "byte-hops"),
     ("noc", "utilization"),
     ("pe", "pending"),
+    ("serve", "batch-size"),
+    ("serve", "cycles-per-request"),
+    ("serve", "queue-depth"),
+    ("serve", "queue-wait-us"),
     ("tsv", "bytes"),
 ];
 
@@ -45,5 +53,13 @@ mod tests {
         assert!(is_known("ldq", "l1-occupancy"));
         assert!(!is_known("tvs", "bytes"), "typo must not resolve");
         assert!(!is_known("tsv", "byts"));
+    }
+
+    #[test]
+    fn serve_metrics_are_registered() {
+        assert!(is_known("serve", "batch-size"));
+        assert!(is_known("serve", "cycles-per-request"));
+        assert!(is_known("serve", "queue-depth"));
+        assert!(is_known("serve", "queue-wait-us"));
     }
 }

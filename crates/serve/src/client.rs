@@ -1,0 +1,166 @@
+//! A blocking client for the daemon's line/JSON protocol.
+
+use crate::protocol::{self, Request, PORT_FILE};
+use spacea_harness::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// What a successful `register` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterReply {
+    /// Content key of the registered matrix.
+    pub matrix: u64,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+}
+
+/// What a successful `submit` call returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// The output vector, decoded bitwise from the wire.
+    pub y: Vec<f64>,
+    /// Fused batch width of the pass that answered this request.
+    pub batch: usize,
+    /// Simulated cycles of that pass.
+    pub cycles: u64,
+    /// Microseconds the request waited in the admission queue.
+    pub queue_wait_us: u64,
+}
+
+/// Reads the daemon's bound port from `<cache_dir>/serve.port`.
+///
+/// # Errors
+///
+/// Returns a message if the file is absent (daemon not up) or malformed.
+pub fn read_port(cache_dir: &Path) -> Result<u16, String> {
+    let path = cache_dir.join(PORT_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("no daemon port at {}: {e}", path.display()))?;
+    text.trim().parse().map_err(|e| format!("bad port file {}: {e}", path.display()))
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon on `127.0.0.1:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the connection cannot be established.
+    pub fn connect(port: u16) -> Result<Client, String> {
+        let stream = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| format!("cannot reach daemon on port {port}: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Connects via the port file a daemon published under `cache_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the port file is absent/malformed or the
+    /// connection fails.
+    pub fn connect_dir(cache_dir: &Path) -> Result<Client, String> {
+        Client::connect(read_port(cache_dir)?)
+    }
+
+    /// Sends one request and decodes the matching response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error, or the daemon's `error` field when the
+    /// response reports `ok: false`.
+    pub fn call(&mut self, req: &Request) -> Result<Json, String> {
+        writeln!(self.writer, "{}", req.to_line()).map_err(|e| format!("send failed: {e}"))?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            return Err("daemon hung up".to_string());
+        }
+        let v = spacea_harness::json::parse(line.trim())?;
+        if protocol::is_ok(&v) {
+            Ok(v)
+        } else {
+            Err(protocol::error_of(&v)
+                .unwrap_or("daemon reported an unspecified error")
+                .to_string())
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Registers a suite matrix and returns its content key and shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and daemon-side rejections.
+    pub fn register(&mut self, id: u8, scale: usize) -> Result<RegisterReply, String> {
+        let v = self.call(&Request::Register { id, scale })?;
+        let field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("response lacks {name:?}"))
+        };
+        Ok(RegisterReply {
+            matrix: field("matrix")?,
+            rows: field("rows")? as usize,
+            cols: field("cols")? as usize,
+            nnz: field("nnz")? as usize,
+        })
+    }
+
+    /// Submits a seeded request vector against a registered matrix and
+    /// blocks for the (possibly fused) result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and daemon-side rejections.
+    pub fn submit(&mut self, matrix: u64, seed: u64) -> Result<SubmitOutcome, String> {
+        let v = self.call(&Request::Submit { matrix, seed })?;
+        let y = v
+            .get("y")
+            .and_then(protocol::y_from_bits)
+            .ok_or_else(|| "response lacks a decodable \"y\"".to_string())?;
+        let field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("response lacks {name:?}"))
+        };
+        Ok(SubmitOutcome {
+            y,
+            batch: field("batch")? as usize,
+            cycles: field("cycles")?,
+            queue_wait_us: field("queue_wait_us")?,
+        })
+    }
+
+    /// Fetches the daemon's counters as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn stat(&mut self) -> Result<Json, String> {
+        self.call(&Request::Stat)
+    }
+
+    /// Asks the daemon to stop (it flushes artifacts before exiting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+}

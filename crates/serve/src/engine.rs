@@ -1,0 +1,430 @@
+//! The serve engine: content-addressed matrix registry, warm-mapping
+//! cache, fused-batch execution, and per-request telemetry.
+//!
+//! The engine owns everything the daemon shares across connections. It is
+//! deliberately free of any transport: `serve_bench` and the unit tests
+//! drive it directly, the TCP [`crate::server`] drives it through
+//! [`crate::service::Service`].
+
+use spacea_arch::{HwConfig, Machine, SpmmReport};
+use spacea_harness::json::Json;
+use spacea_harness::mapstore::{mapping_key, matrix_key};
+use spacea_harness::{MappingStats, MappingStore, MatrixSource};
+use spacea_mapping::{MapKind, Mapping};
+use spacea_matrix::Csr;
+use spacea_obs::{MetricKey, Series, Timeline};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The daemon's on-disk manifest file name (under the cache directory).
+pub const MANIFEST_FILE: &str = "serve-manifest.json";
+
+/// The daemon's telemetry export file name (under the cache directory).
+pub const TIMELINE_FILE: &str = "serve-timeline.json";
+
+/// Recovers from lock poisoning: engine state is counters and memo maps,
+/// all valid at any intermediate point, so a panicked peer cannot leave
+/// torn state behind.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Configuration of one serve engine / daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cache directory: mappings persist under `<cache_dir>/mappings/`,
+    /// the port file, manifest and telemetry export live in its root.
+    pub cache_dir: PathBuf,
+    /// The machine every request is simulated on.
+    pub hw: HwConfig,
+    /// The mapping strategy applied to registered matrices.
+    pub kind: MapKind,
+    /// Largest number of requests fused into one SpMM pass.
+    pub max_batch: usize,
+    /// Bound of the admission queue; submitters block when it is full.
+    pub queue_depth: usize,
+    /// How long the batcher waits after the first request of a batch for
+    /// concurrent requests to arrive and fuse.
+    pub gather_window: Duration,
+}
+
+impl ServeConfig {
+    /// The default configuration over `cache_dir`: the paper machine,
+    /// proposed mapping, batches of up to 16 fused requests.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            cache_dir: cache_dir.into(),
+            hw: HwConfig::default(),
+            kind: MapKind::Proposed,
+            max_batch: 16,
+            queue_depth: 64,
+            gather_window: Duration::from_millis(2),
+        }
+    }
+
+    /// The smoke-test variant: the tiny machine (fast simulation).
+    pub fn quick(cache_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig { hw: HwConfig::tiny(), ..ServeConfig::new(cache_dir) }
+    }
+}
+
+/// What registering a matrix returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterInfo {
+    /// Content hash of the matrix — the handle requests refer to.
+    pub key: u64,
+    /// Row count.
+    pub rows: usize,
+    /// Column count (the length submitted vectors must have).
+    pub cols: usize,
+    /// Stored non-zeros.
+    pub nnz: usize,
+}
+
+/// A snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Distinct matrices in the registry.
+    pub registered: u64,
+    /// Requests answered (one per submitted vector).
+    pub requests: u64,
+    /// Fused SpMM passes executed.
+    pub batches: u64,
+    /// Widest fused batch seen.
+    pub fused_max: u64,
+    /// Phase I/II computed-vs-warmed counters; `computed == 0` after a
+    /// restart over a warm cache is the acceptance check.
+    pub mappings: MappingStats,
+}
+
+/// Per-request gauge series under registered `spacea-obs` metric keys.
+/// The "cycle" axis is the request ordinal, so the exported timeline reads
+/// as request history.
+struct Telemetry {
+    next: u64,
+    queue_wait_us: Series,
+    batch_size: Series,
+    cycles_per_request: Series,
+    queue_depth: Series,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        let series = || Series::new(256, 1);
+        Telemetry {
+            next: 0,
+            queue_wait_us: series(),
+            batch_size: series(),
+            cycles_per_request: series(),
+            queue_depth: series(),
+        }
+    }
+}
+
+/// The shared state of one serve instance. See the crate docs for the
+/// registry / warm-mapping / batching semantics.
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    machine: Machine,
+    store: MappingStore,
+    matrices: Mutex<BTreeMap<u64, Arc<Csr>>>,
+    mappings: Mutex<BTreeMap<u64, Arc<Mapping>>>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    fused_max: AtomicU64,
+    telemetry: Mutex<Telemetry>,
+}
+
+impl ServeEngine {
+    /// A fresh engine over `cfg`; mappings persist under
+    /// `<cache_dir>/mappings/` and warm from whatever a previous instance
+    /// left there.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let store = MappingStore::with_dir(cfg.cache_dir.join("mappings"));
+        let machine = Machine::new(cfg.hw.clone());
+        ServeEngine {
+            cfg,
+            machine,
+            store,
+            matrices: Mutex::new(BTreeMap::new()),
+            mappings: Mutex::new(BTreeMap::new()),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fused_max: AtomicU64::new(0),
+            telemetry: Mutex::new(Telemetry::new()),
+        }
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Registers a matrix by content: hashes it, stores it under its key,
+    /// and warms its mapping (loaded from disk when a previous process —
+    /// or a previous life of this daemon — already computed it).
+    /// Re-registering the same content is an idempotent cheap no-op.
+    pub fn register(&self, a: Csr) -> RegisterInfo {
+        let key = matrix_key(&a);
+        let a = Arc::clone(lock(&self.matrices).entry(key).or_insert_with(|| Arc::new(a)));
+        let info = RegisterInfo { key, rows: a.rows(), cols: a.cols(), nnz: a.nnz() };
+        // Registration pays (or warms) Phase I/II, so submits never do.
+        let _ = self.mapping_for(key, &a);
+        info
+    }
+
+    /// Registers a Table I suite matrix by id and down-scale factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown id or a zero scale.
+    pub fn register_suite(&self, id: u8, scale: usize) -> Result<RegisterInfo, String> {
+        let source = MatrixSource::Suite { id, scale };
+        source.validate()?;
+        Ok(self.register(source.generate()))
+    }
+
+    /// The registered matrix under `key`, if any.
+    pub fn matrix(&self, key: u64) -> Option<Arc<Csr>> {
+        lock(&self.matrices).get(&key).cloned()
+    }
+
+    /// The (memoized, disk-warmed) mapping of a registered matrix.
+    fn mapping_for(&self, key: u64, a: &Csr) -> Arc<Mapping> {
+        let mk = mapping_key(key, self.cfg.kind, &self.cfg.hw.shape);
+        if let Some(m) = lock(&self.mappings).get(&mk) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(self.store.get_or_compute(a, self.cfg.kind, &self.cfg.hw.shape));
+        lock(&self.mappings).entry(mk).or_insert_with(|| Arc::clone(&m));
+        m
+    }
+
+    /// Runs one fused SpMM pass over `xs` against the registered matrix
+    /// `key`. Each output vector is bitwise what a solo `run_spmv` of that
+    /// vector returns, so callers may fuse freely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown matrix key, mismatched vector
+    /// lengths, an empty batch, or a simulator failure.
+    pub fn run_batch(&self, key: u64, xs: &[Vec<f64>]) -> Result<SpmmReport, String> {
+        let a = self.matrix(key).ok_or_else(|| format!("unknown matrix {key:016x}"))?;
+        let mapping = self.mapping_for(key, &a);
+        let report = self.machine.run_spmm(&a, xs, &mapping).map_err(|e| e.to_string())?;
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        self.fused_max.fetch_max(xs.len() as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Records one completed request into the telemetry series.
+    pub fn note_request(&self, queue_wait_us: f64, batch: usize, cycles: u64, depth: usize) {
+        let mut t = lock(&self.telemetry);
+        let at = t.next;
+        t.next += 1;
+        t.queue_wait_us.record(at, queue_wait_us);
+        t.batch_size.record(at, batch as f64);
+        t.cycles_per_request.record(at, cycles as f64 / batch.max(1) as f64);
+        t.queue_depth.record(at, depth as f64);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            registered: lock(&self.matrices).len() as u64,
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            fused_max: self.fused_max.load(Ordering::Relaxed),
+            mappings: self.store.stats(),
+        }
+    }
+
+    /// The collected per-request telemetry as an exportable timeline (the
+    /// x-axis is the request ordinal, not a simulated cycle).
+    pub fn timeline(&self) -> Timeline {
+        let t = lock(&self.telemetry);
+        Timeline {
+            series: vec![
+                (MetricKey::global("serve", "queue-wait-us"), t.queue_wait_us.clone()),
+                (MetricKey::global("serve", "batch-size"), t.batch_size.clone()),
+                (MetricKey::global("serve", "cycles-per-request"), t.cycles_per_request.clone()),
+                (MetricKey::global("serve", "queue-depth"), t.queue_depth.clone()),
+            ],
+            slices: Vec::new(),
+        }
+    }
+
+    /// The manifest JSON: engine counters plus the mapping compute/warm
+    /// split (`mappings.computed == 0` on a restarted daemon is the
+    /// warm-cache guarantee).
+    pub fn manifest_json(&self) -> String {
+        let s = self.stats();
+        Json::obj(vec![
+            ("registered", Json::U64(s.registered)),
+            ("requests", Json::U64(s.requests)),
+            ("batches", Json::U64(s.batches)),
+            ("fused_max", Json::U64(s.fused_max)),
+            (
+                "mappings",
+                Json::obj(vec![
+                    ("computed", Json::U64(s.mappings.computed)),
+                    ("disk_hits", Json::U64(s.mappings.disk_hits)),
+                ]),
+            ),
+        ])
+        .to_text()
+    }
+
+    /// Writes the manifest to `<cache_dir>/serve-manifest.json` (tmp-file +
+    /// atomic rename, so a concurrent reader never sees a torn file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write_manifest(&self) -> std::io::Result<PathBuf> {
+        let path = self.cfg.cache_dir.join(MANIFEST_FILE);
+        write_atomic(&path, &self.manifest_json())?;
+        Ok(path)
+    }
+
+    /// Writes the telemetry timeline to `<cache_dir>/serve-timeline.json`
+    /// as Chrome trace JSON (loads in Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write_timeline(&self) -> std::io::Result<PathBuf> {
+        let path = self.cfg.cache_dir.join(TIMELINE_FILE);
+        write_atomic(&path, &self.timeline().to_chrome_trace())?;
+        Ok(path)
+    }
+}
+
+/// Tmp-file + rename write in the target's directory. The tmp name is
+/// unique per write (pid + sequence), not just per process: concurrent
+/// handler threads flush the manifest, and a shared tmp name would let
+/// one thread rename the file out from under the other.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("serve.json");
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::seeded_vector;
+    use spacea_harness::json::parse;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spacea-serve-engine-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn register_is_idempotent_and_content_addressed() {
+        let dir = tmp_dir("reg");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ServeEngine::new(ServeConfig::quick(&dir));
+        let a = engine.register_suite(1, 256).unwrap();
+        let b = engine.register_suite(1, 256).unwrap();
+        assert_eq!(a, b, "same content, same key");
+        let c = engine.register_suite(2, 256).unwrap();
+        assert_ne!(a.key, c.key);
+        assert_eq!(engine.stats().registered, 2);
+        assert!(engine.register_suite(99, 256).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_outputs_match_the_reference_spmv_bitwise() {
+        let dir = tmp_dir("batch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ServeEngine::new(ServeConfig::quick(&dir));
+        let info = engine.register_suite(1, 256).unwrap();
+        let a = engine.matrix(info.key).unwrap();
+        let xs: Vec<Vec<f64>> = (0..4).map(|s| seeded_vector(info.cols, s)).collect();
+        let rep = engine.run_batch(info.key, &xs).unwrap();
+        assert_eq!(rep.outputs.len(), 4);
+        for (x, y) in xs.iter().zip(&rep.outputs) {
+            let expect = a.spmv(x);
+            let got: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "fused output must be bitwise the reference SpMV");
+        }
+        let s = engine.stats();
+        assert_eq!((s.requests, s.batches, s.fused_max), (4, 1, 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_performs_zero_mapping_computations() {
+        let dir = tmp_dir("warm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = ServeEngine::new(ServeConfig::quick(&dir));
+        first.register_suite(1, 256).unwrap();
+        first.register_suite(2, 256).unwrap();
+        assert_eq!(first.stats().mappings, MappingStats { computed: 2, disk_hits: 0 });
+
+        // The "restarted daemon": a fresh engine over the same cache dir.
+        let second = ServeEngine::new(ServeConfig::quick(&dir));
+        let info = second.register_suite(1, 256).unwrap();
+        second.register_suite(2, 256).unwrap();
+        assert_eq!(
+            second.stats().mappings,
+            MappingStats { computed: 0, disk_hits: 2 },
+            "a warm restart must not re-run Phase I/II"
+        );
+        // And a submit on the warmed mapping still answers correctly.
+        let x = seeded_vector(info.cols, 9);
+        let rep = second.run_batch(info.key, std::slice::from_ref(&x)).unwrap();
+        let a = second.matrix(info.key).unwrap();
+        assert_eq!(rep.outputs[0], a.spmv(&x));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_counts_requests() {
+        let dir = tmp_dir("manifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ServeEngine::new(ServeConfig::quick(&dir));
+        let info = engine.register_suite(1, 256).unwrap();
+        let xs = vec![seeded_vector(info.cols, 0), seeded_vector(info.cols, 1)];
+        engine.run_batch(info.key, &xs).unwrap();
+        engine.note_request(12.5, 2, 1000, 0);
+        engine.note_request(3.0, 2, 1000, 0);
+        let path = engine.write_manifest().unwrap();
+        let v = parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("batches").unwrap().as_u64(), Some(1));
+        let maps = v.get("mappings").unwrap();
+        assert_eq!(maps.get("computed").unwrap().as_u64(), Some(1));
+        let tl = engine.timeline();
+        assert_eq!(tl.series.len(), 4);
+        assert!(tl.series.iter().all(|(_, s)| s.total_count() == 2));
+        engine.write_timeline().unwrap();
+        let text = std::fs::read_to_string(dir.join(TIMELINE_FILE)).unwrap();
+        spacea_obs::json::validate_chrome_trace(&text).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_matrix_and_bad_batch_are_errors() {
+        let dir = tmp_dir("err");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = ServeEngine::new(ServeConfig::quick(&dir));
+        assert!(engine.run_batch(42, &[vec![1.0]]).is_err());
+        let info = engine.register_suite(1, 256).unwrap();
+        assert!(engine.run_batch(info.key, &[]).is_err(), "empty batch");
+        assert!(engine.run_batch(info.key, &[vec![1.0; 3]]).is_err(), "wrong length");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

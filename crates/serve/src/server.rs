@@ -1,0 +1,168 @@
+//! The daemon: a localhost TCP listener dispatching the line/JSON
+//! protocol onto a [`Service`].
+//!
+//! Startup order is the readiness contract: the engine comes up, the
+//! listener binds, and only then is the bound port published to
+//! `<cache_dir>/serve.port` — a script that sees the port file can
+//! connect immediately. On shutdown the daemon flushes its manifest and
+//! telemetry timeline, then removes the port file.
+
+use crate::engine::{write_atomic, ServeConfig, ServeEngine};
+use crate::protocol::{self, Request, PORT_FILE};
+use crate::service::Service;
+use spacea_harness::json::Json;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs the daemon until a `shutdown` request arrives. `port` 0 binds an
+/// ephemeral port; either way the bound port is published to the port
+/// file once the listener accepts connections.
+///
+/// # Errors
+///
+/// Propagates listener-setup and cache-directory I/O failures. Per-
+/// connection errors are logged and never take the daemon down.
+pub fn run_daemon(cfg: ServeConfig, port: u16) -> std::io::Result<()> {
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let service = Service::over(Arc::clone(&engine));
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?.port();
+    engine.write_manifest()?;
+    let port_path = engine.config().cache_dir.join(PORT_FILE);
+    write_atomic(&port_path, &format!("{bound}\n"))?;
+    eprintln!(
+        "serve: listening on 127.0.0.1:{bound} (cache {})",
+        engine.config().cache_dir.display()
+    );
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let service = &service;
+                    let stop = &stop;
+                    scope.spawn(move || handle_connection(stream, service, stop));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    });
+
+    service.stop();
+    engine.write_manifest()?;
+    engine.write_timeline()?;
+    let _ = std::fs::remove_file(&port_path);
+    eprintln!("serve: stopped");
+    Ok(())
+}
+
+/// Serves one connection: a loop of request lines, one response line
+/// each, until EOF, a protocol-level hangup, or daemon shutdown.
+fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    let Ok(writer) = stream.try_clone() else { return };
+    let mut writer = writer;
+    // A finite read timeout lets handler threads notice daemon shutdown
+    // instead of pinning the scope join on an idle client.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(line.trim()) {
+            Ok(req) => dispatch(req, service, stop),
+            Err(e) => protocol::err(&e),
+        };
+        if writeln!(writer, "{}", response.to_text()).is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the service and builds the response.
+fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
+    let engine = service.engine();
+    match req {
+        Request::Ping => protocol::ok(vec![]),
+        Request::Register { id, scale } => match engine.register_suite(id, scale) {
+            Ok(info) => {
+                note_flush(engine);
+                protocol::ok(vec![
+                    ("matrix", Json::U64(info.key)),
+                    ("rows", Json::U64(info.rows as u64)),
+                    ("cols", Json::U64(info.cols as u64)),
+                    ("nnz", Json::U64(info.nnz as u64)),
+                ])
+            }
+            Err(e) => protocol::err(&e),
+        },
+        Request::Submit { matrix, seed } => {
+            let Some(a) = engine.matrix(matrix) else {
+                return protocol::err(&format!("unknown matrix {matrix:016x}"));
+            };
+            let x = protocol::seeded_vector(a.cols(), seed);
+            match service.submit(matrix, x) {
+                Ok(reply) => {
+                    note_flush(engine);
+                    protocol::ok(vec![
+                        ("y", protocol::y_bits(&reply.y)),
+                        ("batch", Json::U64(reply.batch as u64)),
+                        ("cycles", Json::U64(reply.cycles)),
+                        ("queue_wait_us", Json::U64(reply.queue_wait_us)),
+                    ])
+                }
+                Err(e) => protocol::err(&e),
+            }
+        }
+        Request::Stat => {
+            let s = engine.stats();
+            protocol::ok(vec![
+                ("registered", Json::U64(s.registered)),
+                ("requests", Json::U64(s.requests)),
+                ("batches", Json::U64(s.batches)),
+                ("fused_max", Json::U64(s.fused_max)),
+                ("mappings_computed", Json::U64(s.mappings.computed)),
+                ("mappings_disk_hits", Json::U64(s.mappings.disk_hits)),
+            ])
+        }
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            protocol::ok(vec![("stopping", Json::Bool(true))])
+        }
+    }
+}
+
+/// Keeps the on-disk manifest current after state-changing requests so a
+/// crash (or an impatient script) still sees up-to-date counters.
+fn note_flush(engine: &ServeEngine) {
+    if let Err(e) = engine.write_manifest() {
+        eprintln!("serve: manifest write failed: {e}");
+    }
+}

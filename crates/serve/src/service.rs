@@ -1,0 +1,245 @@
+//! The batching service: a bounded admission queue in front of a single
+//! batcher thread that fuses concurrent same-matrix requests into one
+//! simulated SpMM pass.
+//!
+//! Fusing is correctness-free by construction: the engine guarantees each
+//! fused output vector is bitwise what a solo `run_spmv` of that vector
+//! returns (see the `spmm_equivalence` property tests in `spacea-arch`),
+//! so the batcher is pure scheduling — it only decides *latency*, never
+//! *values*.
+
+use crate::engine::ServeEngine;
+use std::collections::VecDeque;
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one completed request returns to its submitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitReply {
+    /// The output vector — bitwise identical to a solo SpMV of the input.
+    pub y: Vec<f64>,
+    /// How many requests were fused into the pass that answered this one.
+    pub batch: usize,
+    /// Simulated cycles of that fused pass.
+    pub cycles: u64,
+    /// Wall-clock microseconds between admission and execution start.
+    pub queue_wait_us: u64,
+}
+
+/// One queued request.
+struct Pending {
+    matrix: u64,
+    x: Vec<f64>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<SubmitReply, String>>,
+}
+
+/// A running batching service over a [`ServeEngine`].
+///
+/// [`Service::submit`] blocks the calling thread until its request has
+/// been executed (possibly fused with others) and returns the reply; the
+/// bounded admission queue applies backpressure by blocking submitters
+/// once `queue_depth` requests are waiting.
+pub struct Service {
+    engine: Arc<ServeEngine>,
+    tx: Mutex<Option<SyncSender<Pending>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the batcher thread over an existing engine.
+    pub fn over(engine: Arc<ServeEngine>) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Pending>(engine.config().queue_depth.max(1));
+        let worker_engine = Arc::clone(&engine);
+        let spawned = std::thread::Builder::new()
+            .name("serve-batcher".into())
+            .spawn(move || batcher_loop(&worker_engine, &rx));
+        let (tx, worker) = match spawned {
+            Ok(handle) => (Some(tx), Some(handle)),
+            Err(e) => {
+                // Without a batcher the service is stopped from birth:
+                // dropping `tx` here makes every submit fail cleanly.
+                eprintln!("serve: failed to spawn batcher thread: {e}");
+                (None, None)
+            }
+        };
+        Service { engine, tx: Mutex::new(tx), worker: Mutex::new(worker) }
+    }
+
+    /// The engine this service executes on.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Submits one request and blocks until its batch has executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the service is stopped, the matrix key is
+    /// unknown, the vector length mismatches, or the simulator fails.
+    pub fn submit(&self, matrix: u64, x: Vec<f64>) -> Result<SubmitReply, String> {
+        let tx = lock(&self.tx).clone().ok_or_else(|| "service is stopped".to_string())?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let pending = Pending { matrix, x, enqueued: Instant::now(), reply: reply_tx };
+        tx.send(pending).map_err(|_| "service is stopped".to_string())?;
+        drop(tx);
+        reply_rx.recv().map_err(|_| "service dropped the request".to_string())?
+    }
+
+    /// Stops the batcher: hangs up the admission queue, drains what is
+    /// already enqueued, and joins the thread. Idempotent.
+    pub fn stop(&self) {
+        *lock(&self.tx) = None;
+        if let Some(handle) = lock(&self.worker).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batcher: waits for a request, gathers concurrent ones for a short
+/// window, fuses the same-matrix prefix-by-arrival into one SpMM pass,
+/// and replies to every member.
+fn batcher_loop(engine: &ServeEngine, rx: &mpsc::Receiver<Pending>) {
+    let max_batch = engine.config().max_batch.max(1);
+    let gather = engine.config().gather_window;
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    loop {
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(p) => pending.push_back(p),
+                Err(_) => return, // hung up and fully drained
+            }
+        }
+        // Gather window: let concurrent requests arrive so they can fuse.
+        let deadline = Instant::now() + gather;
+        while pending.len() < max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(p) => pending.push_back(p),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Fuse: the oldest request plus every same-matrix request behind
+        // it, in arrival order, up to the batch cap. Other matrices keep
+        // their arrival order for the next pass.
+        let Some(first) = pending.pop_front() else { continue };
+        let key = first.matrix;
+        let mut batch = vec![first];
+        let mut rest = VecDeque::with_capacity(pending.len());
+        for p in pending.drain(..) {
+            if p.matrix == key && batch.len() < max_batch {
+                batch.push(p);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        pending = rest;
+        run_batch(engine, key, batch, pending.len());
+    }
+}
+
+/// Executes one fused batch and distributes replies.
+fn run_batch(engine: &ServeEngine, key: u64, mut batch: Vec<Pending>, depth: usize) {
+    let k = batch.len();
+    let xs: Vec<Vec<f64>> = batch.iter_mut().map(|p| std::mem::take(&mut p.x)).collect();
+    match engine.run_batch(key, &xs) {
+        Ok(rep) => {
+            let cycles = rep.report.cycles;
+            for (p, y) in batch.into_iter().zip(rep.outputs) {
+                let queue_wait_us = p.enqueued.elapsed().as_micros() as u64;
+                engine.note_request(queue_wait_us as f64, k, cycles, depth);
+                let _ = p.reply.send(Ok(SubmitReply { y, batch: k, cycles, queue_wait_us }));
+            }
+        }
+        Err(e) => {
+            for p in batch {
+                let _ = p.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::protocol::seeded_vector;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spacea-serve-service-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn concurrent_mixed_submits_all_match_the_reference() {
+        let dir = tmp_dir("mixed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Arc::new(ServeEngine::new(ServeConfig::quick(&dir)));
+        let m1 = engine.register_suite(1, 256).unwrap();
+        let m2 = engine.register_suite(2, 256).unwrap();
+        let service = Arc::new(Service::over(Arc::clone(&engine)));
+
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let service = Arc::clone(&service);
+            let engine = Arc::clone(&engine);
+            let info = if t % 2 == 0 { m1 } else { m2 };
+            handles.push(std::thread::spawn(move || {
+                let x = seeded_vector(info.cols, t);
+                let reply = service.submit(info.key, x.clone()).unwrap();
+                let expect = engine.matrix(info.key).unwrap().spmv(&x);
+                let got: Vec<u64> = reply.y.iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "thread {t}: batched reply must be bitwise the solo SpMV");
+                assert!(reply.batch >= 1 && reply.cycles > 0);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(stats.batches <= 8, "fusion never multiplies passes");
+        service.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_after_stop_fails_cleanly() {
+        let dir = tmp_dir("stopped");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Arc::new(ServeEngine::new(ServeConfig::quick(&dir)));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Service::over(Arc::clone(&engine));
+        service.stop();
+        service.stop(); // idempotent
+        let e = service.submit(info.key, seeded_vector(info.cols, 0)).unwrap_err();
+        assert!(e.contains("stopped"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_reach_the_submitter() {
+        let dir = tmp_dir("err");
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Arc::new(ServeEngine::new(ServeConfig::quick(&dir)));
+        let service = Service::over(Arc::clone(&engine));
+        let e = service.submit(42, vec![1.0]).unwrap_err();
+        assert!(e.contains("unknown matrix"), "{e}");
+        service.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
