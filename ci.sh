@@ -90,4 +90,9 @@ grep -q '"computed":0' "$SERVE_CACHE/serve-manifest.json"
 # simulator legitimately changes).
 cargo run --release -p spacea-bench --bin serve_bench -- --check BENCH_serve.json
 
+# Event-engine ratchet: deterministic workload checksums must match the
+# committed snapshot, and the calendar queue must stay >=1.5x the reference
+# BinaryHeap engine on events/sec (refresh with `engine_bench --write`).
+cargo run --release -p spacea-bench --bin engine_bench -- --check BENCH_engine.json
+
 echo "ci.sh: all checks passed"

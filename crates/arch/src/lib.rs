@@ -19,7 +19,7 @@
 //! # Example
 //!
 //! ```
-//! use spacea_arch::{HwConfig, Machine};
+//! use spacea_arch::{HwConfig, Machine, RunSpec};
 //! use spacea_mapping::{LocalityMapping, MappingStrategy};
 //! use spacea_matrix::gen::{banded, BandedConfig};
 //!
@@ -28,7 +28,7 @@
 //! let a = banded(&BandedConfig { n: 128, ..Default::default() });
 //! let x = vec![1.0; a.cols()];
 //! let mapping = LocalityMapping::default().map(&a, &cfg.shape);
-//! let report = Machine::new(cfg).run_spmv(&a, &x, &mapping)?;
+//! let report = Machine::new(cfg).run(RunSpec::spmv(&a, &x, &mapping))?.into_report();
 //! assert!(report.validated);
 //! # Ok(())
 //! # }
@@ -47,7 +47,7 @@ pub mod trace;
 
 pub use config::HwConfig;
 pub use layout::{DataLayout, SlotId};
-pub use machine::{Machine, ObserveConfig, SimError};
+pub use machine::{Machine, ObserveConfig, RunInput, RunOutput, RunSpec, SampleFlush, SimError};
 pub use report::{SimReport, SpmmReport};
 pub use spacea_sim::fault::{
     FaultPlan, OccupancyHistory, OccupancySample, StallDiagnosis, VaultOccupancy, WatchdogConfig,

@@ -1,12 +1,12 @@
 //! The SpaceA machine and its event-driven SpMV execution.
 //!
-//! [`Machine::run_spmv`] builds the full component hierarchy (banks, PEs,
-//! CAMs, load queues, TSVs, NoC meshes), distributes the matrix according to
-//! the mapping and the vectors block-cyclically over the vector banks, then
-//! drives the discrete-event loop of Section III until every non-zero is
-//! processed and every partial result is accumulated. The run is validated
-//! against the software SpMV oracle, exactly as the paper validates its
-//! simulator.
+//! [`Machine::run`] — the single entrypoint, driven by a [`RunSpec`] —
+//! builds the full component hierarchy (banks, PEs, CAMs, load queues,
+//! TSVs, NoC meshes), distributes the matrix according to the mapping and
+//! the vectors block-cyclically over the vector banks, then drives the
+//! discrete-event loop of Section III until every non-zero is processed and
+//! every partial result is accumulated. The run is validated against the
+//! software SpMV oracle, exactly as the paper validates its simulator.
 //!
 //! The X-request data path (paper Figure 3, one cube shown):
 //!
@@ -50,7 +50,6 @@ use spacea_sim::stats::{CamCounters, SramCounters};
 use spacea_sim::trace::TraceLog;
 use spacea_sim::Cycle;
 use std::cell::Cell;
-use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -201,148 +200,206 @@ impl Machine {
         Ok(())
     }
 
-    /// Simulates `y = A·x` under `mapping` and returns the full report.
+    /// Runs the simulation described by `spec` — the single entrypoint for
+    /// every workload shape: plain SpMV, fused SpMM, traced, observed, and
+    /// incrementally flushed runs are all one [`RunSpec`] with different
+    /// options.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on configuration, dimension or mapping mismatch;
-    /// if the simulated output fails oracle validation (which would indicate
-    /// a simulator bug, never a data-dependent condition); or with a
+    /// Returns [`SimError`] on configuration, dimension or mapping mismatch
+    /// (plus [`SimError::EmptyBatch`] for an empty batch input); if the
+    /// simulated output fails oracle validation (which would indicate a
+    /// simulator bug, never a data-dependent condition); or with a
     /// hang-class error carrying a [`StallDiagnosis`] when the
     /// forward-progress watchdog aborts the run (deadlock, stall window, or
     /// cycle budget — see [`spacea_sim::fault::WatchdogConfig`]).
-    pub fn run_spmv(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<SimReport, SimError> {
-        self.preflight(a, &[x], mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
+    pub fn run<'a>(&'a self, spec: RunSpec<'a>) -> Result<RunOutput, SimError> {
+        let RunSpec { a, input, mapping, trace_capacity, observe, flush } = spec;
+        let single = matches!(input, RunInput::Single(_));
+        let xs: Vec<&[f64]> = match input {
+            RunInput::Single(x) => vec![x],
+            RunInput::Batch(xs) => xs.iter().map(Vec::as_slice).collect(),
+        };
+        self.preflight(a, &xs, mapping)?;
+        let mut sim = Sim::build(&self.cfg, a, xs, mapping);
+        // Observed runs keep a bounded trace too (duration slices derive
+        // from it); an explicit `traced` capacity takes precedence.
+        if let Some(cap) = trace_capacity.or(observe.map(|o| o.trace_capacity)) {
+            sim.trace = TraceLog::new(cap);
+        }
+        if let Some(obs) = observe {
+            sim.arm_sampler(SamplerConfig { every: obs.every, capacity: obs.capacity });
+            sim.flush_cb = flush;
+        }
         sim.run()?;
-        let (mut report, mut outputs) = sim.finish(a)?;
-        report.output = outputs.swap_remove(0);
-        Ok(report)
+        sim.flush_cb = None;
+        let timeline = if observe.is_some() {
+            // Final snapshot at the end cycle so short runs still get a
+            // series. The sampler was armed above; an empty timeline is the
+            // graceful degradation if that ever changes.
+            let end = sim.end_time;
+            sim.obs_cycle = end;
+            Some(match sim.sampler.take() {
+                Some(mut sampler) => {
+                    sampler.sample_now(end, &sim);
+                    sampler.into_timeline()
+                }
+                None => Timeline::default(),
+            })
+        } else {
+            None
+        };
+        let trace = std::mem::take(&mut sim.trace);
+        let timeline = timeline.map(|mut tl| {
+            tl.slices = crate::trace::timeline_slices(trace.records());
+            tl
+        });
+        let (mut report, outputs) = sim.finish(a)?;
+        if single {
+            report.output = outputs[0].clone();
+        }
+        Ok(RunOutput { report, outputs, trace: trace_capacity.map(|_| trace), timeline })
+    }
+}
+
+/// The input side of a [`RunSpec`]: one vector (SpMV) or a fused batch
+/// (SpMM).
+#[derive(Debug, Clone, Copy)]
+pub enum RunInput<'a> {
+    /// Single-vector `y = A·x`.
+    Single(&'a [f64]),
+    /// Fused multi-vector pass `Y = A · [x_0 … x_{k-1}]`: the matrix is
+    /// streamed through the Product-PEs exactly once, each X response
+    /// carries the block of every vector in the batch, and each Y packet
+    /// carries one partial per vector — so row-buffer activations, CAM
+    /// lookups and packet headers are paid once for the whole batch instead
+    /// of once per vector.
+    Batch(&'a [Vec<f64>]),
+}
+
+/// One completed sampler window, handed to a [`RunSpec::flushing`] hook:
+/// the sample cycle plus the value every gauge recorded there, in gauge
+/// registration order.
+///
+/// Each window boundary records exactly one value per gauge, so a sink that
+/// appends these ticks can reconstruct every series exactly by replaying
+/// them — O(gauges) per window, instead of rewriting a whole artifact.
+#[derive(Debug)]
+pub struct SampleFlush<'t> {
+    /// The cycle this window's samples were recorded at.
+    pub cycle: Cycle,
+    /// `(gauge key, recorded value)` pairs in registration order.
+    pub samples: &'t [(&'t MetricKey, f64)],
+}
+
+/// What one simulation should compute and record. [`Machine::run`] is the
+/// only entrypoint; this spec composes the input shape (single vector or
+/// fused batch) with tracing, observation, and flush hooks as options — the
+/// next recording feature adds a field here, not another `run_*` method.
+///
+/// Build with [`RunSpec::spmv`] or [`RunSpec::spmm`], then chain
+/// [`RunSpec::traced`], [`RunSpec::observed`], [`RunSpec::flushing`].
+pub struct RunSpec<'a> {
+    a: &'a Csr,
+    input: RunInput<'a>,
+    mapping: &'a Mapping,
+    trace_capacity: Option<usize>,
+    observe: Option<ObserveConfig>,
+    flush: Option<&'a mut dyn FnMut(&SampleFlush<'_>)>,
+}
+
+impl<'a> RunSpec<'a> {
+    /// A plain single-vector run `y = A·x` under `mapping`.
+    pub fn spmv(a: &'a Csr, x: &'a [f64], mapping: &'a Mapping) -> Self {
+        RunSpec::with_input(a, RunInput::Single(x), mapping)
     }
 
-    /// Simulates one fused multi-vector pass `Y = A · [x_0 … x_{k-1}]`
-    /// under `mapping`: the matrix is streamed through the Product-PEs
-    /// exactly once, each X response carries the block of every vector in
-    /// the batch, and each Y packet carries one partial per vector — so
-    /// row-buffer activations, CAM lookups and packet headers are paid once
-    /// for the whole batch instead of once per vector.
+    /// A fused multi-vector run `Y = A · [x_0 … x_{k-1}]` under `mapping`.
     ///
-    /// Every output vector is bitwise-identical to what [`Machine::run_spmv`]
-    /// returns for that vector alone (row dot products are reduced in
+    /// Every output vector is bitwise-identical to what the single-vector
+    /// run returns for that vector alone (row dot products are reduced in
     /// canonical CSR entry order, independent of batch composition), which
     /// is what lets a batching service fuse concurrent requests safely.
-    ///
-    /// # Errors
-    ///
-    /// Same error conditions as [`Machine::run_spmv`], plus
-    /// [`SimError::EmptyBatch`] when `xs` is empty.
-    pub fn run_spmm(
-        &self,
-        a: &Csr,
-        xs: &[Vec<f64>],
-        mapping: &Mapping,
-    ) -> Result<SpmmReport, SimError> {
-        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
-        self.preflight(a, &refs, mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, refs, mapping);
-        sim.run()?;
-        let (report, outputs) = sim.finish(a)?;
-        Ok(SpmmReport { report, outputs })
+    pub fn spmm(a: &'a Csr, xs: &'a [Vec<f64>], mapping: &'a Mapping) -> Self {
+        RunSpec::with_input(a, RunInput::Batch(xs), mapping)
     }
 
-    /// Like [`Machine::run_spmv`], additionally recording the first
-    /// `trace_capacity` machine events (the paper's "detailed event trace",
-    /// bounded so memory stays predictable).
-    ///
-    /// # Errors
-    ///
-    /// Same error conditions as [`Machine::run_spmv`].
-    pub fn run_spmv_traced(
-        &self,
-        a: &Csr,
-        x: &[f64],
-        mapping: &Mapping,
-        trace_capacity: usize,
-    ) -> Result<(SimReport, TraceLog<TraceRecord>), SimError> {
-        self.preflight(a, &[x], mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
-        sim.trace = TraceLog::new(trace_capacity);
-        sim.run()?;
-        let trace = std::mem::take(&mut sim.trace);
-        let (mut report, mut outputs) = sim.finish(a)?;
-        report.output = outputs.swap_remove(0);
-        Ok((report, trace))
+    /// A run over an explicit [`RunInput`].
+    pub fn with_input(a: &'a Csr, input: RunInput<'a>, mapping: &'a Mapping) -> Self {
+        RunSpec { a, input, mapping, trace_capacity: None, observe: None, flush: None }
     }
 
-    /// Like [`Machine::run_spmv`], additionally sampling per-component
-    /// gauges (queue occupancy, CAM and row-buffer hit rates, TSV/NoC
-    /// traffic) on the configured cadence and deriving duration slices from
-    /// the bounded event trace. The returned [`Timeline`] exports to CSV or
+    /// Record the first `capacity` machine events (the paper's "detailed
+    /// event trace", bounded so memory stays predictable) into
+    /// [`RunOutput::trace`].
+    pub fn traced(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Sample per-component gauges (queue occupancy, CAM and row-buffer hit
+    /// rates, TSV/NoC traffic) on the configured cadence into
+    /// [`RunOutput::timeline`], with duration slices derived from the
+    /// bounded event trace. The [`Timeline`] exports to CSV or
     /// Perfetto-loadable Chrome trace JSON (see `spacea-obs`).
     ///
     /// Observation is pure reading: an observed run retires in exactly the
     /// same cycles as a plain one.
-    ///
-    /// # Errors
-    ///
-    /// Same error conditions as [`Machine::run_spmv`].
-    pub fn run_spmv_observed(
-        &self,
-        a: &Csr,
-        x: &[f64],
-        mapping: &Mapping,
-        obs: &ObserveConfig,
-    ) -> Result<(SimReport, Timeline), SimError> {
-        self.run_spmv_observed_flushed(a, x, mapping, obs, None)
+    pub fn observed(mut self, obs: ObserveConfig) -> Self {
+        self.observe = Some(obs);
+        self
     }
 
-    /// Like [`Machine::run_spmv_observed`], additionally invoking `flush`
-    /// with a snapshot of the gauge series each time a sampler window
-    /// completes. Callers persist these snapshots (tmp-file + rename) so a
-    /// run killed mid-flight leaves a valid truncated timeline artifact
-    /// instead of nothing.
+    /// Invoke `flush` each time a sampler window completes (meaningful only
+    /// together with [`RunSpec::observed`]; ignored otherwise). Callers
+    /// persist the ticks (chunk appends + tmp-file/rename index) so a run
+    /// killed mid-flight leaves a valid truncated timeline artifact instead
+    /// of nothing.
     ///
     /// Flushing is a pure read of the sampler state: simulated timing and
-    /// the final timeline are identical with or without a callback.
-    ///
-    /// # Errors
-    ///
-    /// Same error conditions as [`Machine::run_spmv`].
-    pub fn run_spmv_observed_flushed<'a>(
-        &'a self,
-        a: &'a Csr,
-        x: &'a [f64],
-        mapping: &Mapping,
-        obs: &ObserveConfig,
-        flush: Option<&'a mut (dyn FnMut(&Timeline) + 'a)>,
-    ) -> Result<(SimReport, Timeline), SimError> {
-        self.preflight(a, &[x], mapping)?;
-        let mut sim = Sim::build(&self.cfg, a, vec![x], mapping);
-        sim.trace = TraceLog::new(obs.trace_capacity);
-        sim.arm_sampler(SamplerConfig { every: obs.every, capacity: obs.capacity });
-        sim.flush_cb = flush;
-        sim.run()?;
-        let end = sim.end_time;
-        sim.flush_cb = None;
-        // Final snapshot at the end cycle so short runs still get a series.
-        // The sampler was armed above; an empty timeline is the graceful
-        // degradation if that ever changes.
-        let mut timeline = match sim.sampler.take() {
-            Some(mut sampler) => {
-                sampler.sample_now(end, &sim);
-                sampler.into_timeline()
-            }
-            None => Timeline::default(),
-        };
-        let trace = std::mem::take(&mut sim.trace);
-        timeline.slices = crate::trace::timeline_slices(trace.records());
-        let (mut report, mut outputs) = sim.finish(a)?;
-        report.output = outputs.swap_remove(0);
-        Ok((report, timeline))
+    /// the final timeline are identical with or without a hook.
+    pub fn flushing(mut self, flush: &'a mut dyn FnMut(&SampleFlush<'_>)) -> Self {
+        self.flush = Some(flush);
+        self
     }
 }
 
-/// What [`Machine::run_spmv_observed`] records.
+/// Everything one [`Machine::run`] produced.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Timing, traffic, and activity accounting. For single-vector runs
+    /// `report.output` carries the result vector (mirroring `outputs[0]`).
+    pub report: SimReport,
+    /// One oracle-validated output vector per input vector (length 1 for
+    /// single-vector runs).
+    pub outputs: Vec<Vec<f64>>,
+    /// The bounded event trace, present iff [`RunSpec::traced`] was set.
+    pub trace: Option<TraceLog<TraceRecord>>,
+    /// Gauge series and duration slices, present iff [`RunSpec::observed`]
+    /// was set.
+    pub timeline: Option<Timeline>,
+}
+
+impl RunOutput {
+    /// The batch width `k` (1 for single-vector runs).
+    pub fn batch(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Just the report. For single-vector runs its `output` field already
+    /// carries the result vector.
+    pub fn into_report(self) -> SimReport {
+        self.report
+    }
+
+    /// Repackages a fused multi-vector run as a [`SpmmReport`].
+    pub fn into_spmm(self) -> SpmmReport {
+        SpmmReport { report: self.report, outputs: self.outputs }
+    }
+}
+
+/// What an observed run ([`RunSpec::observed`]) records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObserveConfig {
     /// Sample every gauge each N cycles (clamped to ≥ 1).
@@ -431,10 +488,14 @@ struct Sim<'a> {
 
     /// One output vector per input vector.
     ys: Vec<Vec<f64>>,
-    /// Completed per-vector row partials in flight toward their home bank,
-    /// keyed by matrix row (each row flushes exactly once: a whole row
-    /// belongs to one PE).
-    y_stash: BTreeMap<u32, Vec<f64>>,
+    /// Completed per-vector row partials in flight toward their home bank:
+    /// a flat `rows × k` arena indexed `row·k + v` (events stay `Copy`; the
+    /// values travel out-of-band here). Each row flushes exactly once — a
+    /// whole row belongs to one PE.
+    y_stash: Vec<f64>,
+    /// Which rows currently hold a stashed partial; a clear flag at
+    /// delivery means the packet was lost to an injected fault.
+    y_ready: Vec<bool>,
     entries_left: u64,
     y_left: u64,
     end_time: Cycle,
@@ -449,18 +510,25 @@ struct Sim<'a> {
     fpu_ops: u64,
     trace: TraceLog<TraceRecord>,
 
-    // Always-on per-vault occupancy history ring (last OCC_HISTORY samples)
-    // feeding `StallDiagnosis::history`, plus the optional full gauge
-    // sampler armed by observed runs. Both are pure readers: they must
-    // never change what the machine does, only record it.
-    occ_hist: Vec<VecDeque<OccupancySample>>,
+    // Always-on per-vault occupancy history feeding
+    // `StallDiagnosis::history`: a flat ring of sample rounds
+    // (`OCC_HISTORY` rounds × vaults, slot `(round % OCC_HISTORY)·vaults +
+    // vault`), plus the optional full gauge sampler armed by observed runs.
+    // Both are pure readers: they must never change what the machine does,
+    // only record it.
+    occ_hist: Vec<OccupancySample>,
+    occ_rounds: usize,
     occ_every: Cycle,
     occ_next: Cycle,
+    /// The cycle observation probes treat as "now": set to the cycle being
+    /// drained before each sampler tick (the event clock itself trails by
+    /// one cycle at batch boundaries).
+    obs_cycle: Cycle,
     sampler: Option<Sampler<Sim<'a>>>,
-    /// Invoked with a series snapshot each time a sampler window completes
-    /// (incremental timeline persistence). Pure reader: never touches
-    /// simulation state.
-    flush_cb: Option<&'a mut dyn FnMut(&Timeline)>,
+    /// Invoked with the just-completed window's samples each time a sampler
+    /// window closes (incremental timeline persistence). Pure reader: never
+    /// touches simulation state.
+    flush_cb: Option<&'a mut dyn FnMut(&SampleFlush<'_>)>,
 }
 
 impl<'a> Sim<'a> {
@@ -498,7 +566,8 @@ impl<'a> Sim<'a> {
             MeshNoc::new(cw, ch, cfg.serdes_hop_latency, cfg.serdes_bytes_per_cycle)
         });
 
-        let ys = vec![vec![0.0; a.rows()]; xs.len()];
+        let k = xs.len();
+        let ys = vec![vec![0.0; a.rows()]; k];
         Sim {
             cfg,
             layout,
@@ -525,8 +594,9 @@ impl<'a> Sim<'a> {
                 .map(|_| UpdateBuffer::new(cfg.update_buffer_rows))
                 .collect(),
             accum_busy: vec![0; cfg.vector_banks()],
+            y_stash: vec![0.0; a.rows() * k],
+            y_ready: vec![false; a.rows()],
             ys,
-            y_stash: BTreeMap::new(),
             entries_left,
             y_left,
             end_time: 0,
@@ -536,11 +606,13 @@ impl<'a> Sim<'a> {
             queue_sram: SramCounters::default(),
             fpu_ops: 0,
             trace: TraceLog::disabled(),
-            occ_hist: vec![VecDeque::new(); vaults],
+            occ_hist: vec![OccupancySample::default(); Self::OCC_HISTORY * vaults],
+            occ_rounds: 0,
             // Sixteen history points per stall window give the diagnosis a
             // trend, not a snapshot; without a window, sample sparsely.
             occ_every: cfg.watchdog.stall_window.map_or(65_536, |w| (w / 16).max(1)),
             occ_next: 0,
+            obs_cycle: 0,
             sampler: None,
             flush_cb: None,
         }
@@ -633,13 +705,16 @@ impl<'a> Sim<'a> {
                 + s.serdes.as_ref().map_or(0, MeshNoc::byte_hops)
         }
         s.register(MetricKey::global("noc", "byte-hops"), probe(|s| total_byte_hops(s) as f64));
+        // Pending events in the calendar queue — the event engine's own
+        // load gauge (how much same-cycle batching the drain loop sees).
+        s.register(MetricKey::global("engine", "queue-depth"), probe(|s| s.q.len() as f64));
         // Utilization is the byte-hop delta per cycle since the previous
         // sample; the Cells carry that previous point between reads.
         let prev = Cell::new((0u64, 0u64));
         s.register(
             MetricKey::global("noc", "utilization"),
             probe(move |s| {
-                let (hops, now) = (total_byte_hops(s), s.q.now());
+                let (hops, now) = (total_byte_hops(s), s.obs_cycle);
                 let (prev_hops, prev_cycle) = prev.replace((hops, now));
                 let dt = now.saturating_sub(prev_cycle);
                 if dt == 0 {
@@ -721,16 +796,28 @@ impl<'a> Sim<'a> {
         // Forward-progress watchdog: retirement means the (entries_left,
         // y_left) pair moved. A healthy run retires continuously; a stalled
         // one trips the window long before any wall-clock patience runs out.
+        //
+        // The loop drains the queue one whole cycle at a time. Within a
+        // cycle the engine hands events back in scheduling order, and
+        // same-cycle follow-ups land behind the batch — so this batch loop
+        // delivers the exact event stream the old one-pop-at-a-time loop
+        // did. The watchdog, occupancy, and sampler checks depend only on
+        // `t` (constant across the batch) and are idempotent within a
+        // cycle, so checking once per drained batch is exactly the
+        // per-event checks of the pop loop.
         let watchdog = self.cfg.watchdog;
         let mut last_progress = (self.entries_left, self.y_left);
         let mut last_progress_cycle: Cycle = 0;
-        while let Some((t, ev)) = self.q.pop() {
+        let mut batch: Vec<Ev> = Vec::new();
+        while let Some(t) = self.q.peek_time() {
             self.end_time = self.end_time.max(t);
+            // Watchdog checks run before the drain so an aborting
+            // diagnosis still sees the wedged cycle's events as pending.
             if let Some(budget) = watchdog.max_cycles {
                 if t > budget {
                     return Err(SimError::CycleBudgetExceeded {
                         budget,
-                        diagnosis: self.diagnose(),
+                        diagnosis: self.diagnose_at(t),
                     });
                 }
             }
@@ -740,7 +827,10 @@ impl<'a> Sim<'a> {
             if last_progress != (0, 0) {
                 if let Some(window) = watchdog.stall_window {
                     if t.saturating_sub(last_progress_cycle) > window {
-                        return Err(SimError::NoProgress { window, diagnosis: self.diagnose() });
+                        return Err(SimError::NoProgress {
+                            window,
+                            diagnosis: self.diagnose_at(t),
+                        });
                     }
                 }
             }
@@ -753,35 +843,43 @@ impl<'a> Sim<'a> {
             }
             if self.sampler.as_ref().is_some_and(|s| s.due(t)) {
                 if let Some(mut sampler) = self.sampler.take() {
+                    self.obs_cycle = t;
                     sampler.tick(t, self);
-                    // Window boundary: let the caller persist what was
-                    // collected so far. Reads the sampler only — simulated
-                    // timing is unchanged.
+                    // Window boundary: hand the caller this window's
+                    // samples to persist. Reads the sampler only —
+                    // simulated timing is unchanged.
                     if let Some(cb) = self.flush_cb.as_mut() {
-                        cb(&sampler.timeline_snapshot());
+                        let samples: Vec<(&MetricKey, f64)> = sampler.last_samples().collect();
+                        cb(&SampleFlush { cycle: t, samples: &samples });
                     }
                     self.sampler = Some(sampler);
                 }
             }
-            if self.stalled(&ev, t) {
-                // The vault controller is wedged: bounce the event forward
-                // instead of handling it. Retirement stops while the queue
-                // never drains, so only the stall window can catch it.
-                self.q.schedule(t + Self::STALL_RETRY, ev);
-                continue;
+            if self.q.drain_cycle(&mut batch).is_none() {
+                break;
             }
-            if self.trace.is_enabled() {
-                self.trace.push_with(|| TraceRecord { cycle: t, event: trace_event(&ev) });
-            }
-            match ev {
-                Ev::PeStep { pe } => self.pe_step(pe, t),
-                Ev::RowLoaded { pe, row_id } => self.row_loaded(pe, row_id, t),
-                Ev::VaultXReq { vault, block, from } => self.vault_x_req(vault, block, from, t),
-                Ev::VaultXResp { vault, block } => self.vault_x_resp(vault, block, t),
-                Ev::BankXReq { bank, block } => self.bank_x_req(bank, block, t),
-                Ev::L1Fill { bg, block } => self.l1_fill(bg, block, t),
-                Ev::YAtVault { vault, row } => self.y_at_vault(vault, row, t),
-                Ev::YAtBank { bank, row } => self.y_at_bank(bank, row, t),
+            for ev in batch.drain(..) {
+                if self.stalled(&ev, t) {
+                    // The vault controller is wedged: bounce the event
+                    // forward instead of handling it. Retirement stops
+                    // while the queue never drains, so only the stall
+                    // window can catch it.
+                    self.q.schedule(t + Self::STALL_RETRY, ev);
+                    continue;
+                }
+                if self.trace.is_enabled() {
+                    self.trace.push_with(|| TraceRecord { cycle: t, event: trace_event(&ev) });
+                }
+                match ev {
+                    Ev::PeStep { pe } => self.pe_step(pe, t),
+                    Ev::RowLoaded { pe, row_id } => self.row_loaded(pe, row_id, t),
+                    Ev::VaultXReq { vault, block, from } => self.vault_x_req(vault, block, from, t),
+                    Ev::VaultXResp { vault, block } => self.vault_x_resp(vault, block, t),
+                    Ev::BankXReq { bank, block } => self.bank_x_req(bank, block, t),
+                    Ev::L1Fill { bg, block } => self.l1_fill(bg, block, t),
+                    Ev::YAtVault { vault, row } => self.y_at_vault(vault, row, t),
+                    Ev::YAtBank { bank, row } => self.y_at_bank(bank, row, t),
+                }
             }
             let progress = (self.entries_left, self.y_left);
             if progress != last_progress {
@@ -790,7 +888,7 @@ impl<'a> Sim<'a> {
             }
         }
         if self.entries_left > 0 || self.y_left > 0 || !self.pes.iter().all(ProductPe::finished) {
-            return Err(SimError::Deadlock(self.diagnose()));
+            return Err(SimError::Deadlock(self.diagnose_at(self.q.now())));
         }
         Ok(())
     }
@@ -816,40 +914,43 @@ impl<'a> Sim<'a> {
     /// How many history-ring samples each vault keeps.
     const OCC_HISTORY: usize = 32;
 
-    /// Pushes the current occupancy of every vault into its history ring.
+    /// Pushes the current occupancy of every vault into the history ring
+    /// (one round of `vaults` consecutive samples per call).
     fn record_occupancy(&mut self, t: Cycle) {
         let occ = self.vault_occupancy();
-        for (ring, o) in self.occ_hist.iter_mut().zip(&occ) {
-            ring.push_back(OccupancySample {
+        let vaults = occ.len();
+        let slot = (self.occ_rounds % Self::OCC_HISTORY) * vaults;
+        for (i, o) in occ.iter().enumerate() {
+            self.occ_hist[slot + i] = OccupancySample {
                 cycle: t,
                 l1_ldq: o.l1_ldq,
                 l2_ldq: o.l2_ldq,
                 pe_pending: o.pe_pending,
-            });
-            if ring.len() > Self::OCC_HISTORY {
-                ring.pop_front();
-            }
+            };
         }
+        self.occ_rounds += 1;
     }
 
-    /// Snapshots outstanding work for a watchdog report: per-vault LDQ
-    /// occupancy and PE in-flight requests (with the recent occupancy time
-    /// series of each), naming the most loaded vault (ties broken toward
-    /// the lowest id) as the suspect.
-    fn diagnose(&self) -> StallDiagnosis {
+    /// Snapshots outstanding work for a watchdog report at abort cycle
+    /// `now`: per-vault LDQ occupancy and PE in-flight requests (with the
+    /// recent occupancy time series of each), naming the most loaded vault
+    /// (ties broken toward the lowest id) as the suspect.
+    fn diagnose_at(&self, now: Cycle) -> StallDiagnosis {
         let occ = self.vault_occupancy();
+        let vaults = occ.len();
         let suspect_vault = occ
             .iter()
             .filter(|o| o.total() > 0)
             .max_by_key(|o| (o.total(), std::cmp::Reverse(o.vault)))
             .map(|o| o.vault);
-        let now = self.q.now();
+        let first_round = self.occ_rounds.saturating_sub(Self::OCC_HISTORY);
         let history = occ
             .iter()
             .filter(|o| o.total() > 0)
             .map(|o| {
-                let mut samples: Vec<OccupancySample> =
-                    self.occ_hist[o.vault].iter().copied().collect();
+                let mut samples: Vec<OccupancySample> = (first_round..self.occ_rounds)
+                    .map(|r| self.occ_hist[(r % Self::OCC_HISTORY) * vaults + o.vault])
+                    .collect();
                 samples.push(OccupancySample {
                     cycle: now,
                     l1_ldq: o.l1_ldq,
@@ -889,16 +990,17 @@ impl<'a> Sim<'a> {
 
     fn row_loaded(&mut self, pe: u32, row_id: u32, t: Cycle) {
         let p = pe as usize;
-        let spec = &self.pes[p].dram_rows[row_id as usize];
-        let matrix_row = spec.matrix_row;
-        let entries: Vec<(u32, f64)> = spec.entries.clone();
-        self.queue_sram.writes += entries.len() as u64;
+        let r = row_id as usize;
         let state = &mut self.pes[p];
-        state.queue.push_back(crate::pe::LoadedRow { id: row_id, remaining: entries.len() });
-        for (col, val) in entries {
+        let matrix_row = state.dram_rows[r].matrix_row;
+        let n = state.dram_rows[r].entries.len();
+        state.queue.push_back(crate::pe::LoadedRow { id: row_id, remaining: n });
+        for i in 0..n {
+            let (col, val) = state.dram_rows[r].entries[i];
             state.fresh.push_back(PeEntry { row_id, matrix_row, col, val });
         }
         state.load_in_flight = false;
+        self.queue_sram.writes += n as u64;
         self.try_load(pe, t);
         self.wake(pe, t);
     }
@@ -972,13 +1074,16 @@ impl<'a> Sim<'a> {
         self.fpu_ops += self.k();
         self.rf.reads += self.k();
 
-        let row_nnz = self.a.row_nnz(entry.matrix_row as usize);
-        let remaining = self.pes[p].rows.entry(entry.matrix_row).or_insert(row_nnz);
-        *remaining -= 1;
-        let flush = *remaining == 0;
-        if flush {
-            self.pes[p].rows.remove(&entry.matrix_row);
-        }
+        let flush = match self.pes[p].row_remaining_mut(entry.matrix_row) {
+            Some(remaining) => {
+                *remaining -= 1;
+                *remaining == 0
+            }
+            None => {
+                debug_assert!(false, "computed entry's matrix row must be in the PE's row table");
+                false
+            }
+        };
 
         let popped = self.pes[p].complete_entry(entry.row_id);
         debug_assert!(popped.is_some(), "completed entry's row must be resident");
@@ -990,19 +1095,16 @@ impl<'a> Sim<'a> {
 
         if flush {
             let row = entry.matrix_row as usize;
+            let base = row * self.xs.len();
             // Canonical reduction, exactly the oracle's loop shape.
-            let partials: Vec<f64> = self
-                .xs
-                .iter()
-                .map(|x| {
-                    let mut acc = 0.0;
-                    for (c, v) in self.a.row(row) {
-                        acc += v * x[c as usize];
-                    }
-                    acc
-                })
-                .collect();
-            self.y_stash.insert(entry.matrix_row, partials);
+            for (v, x) in self.xs.iter().enumerate() {
+                let mut acc = 0.0;
+                for (c, val) in self.a.row(row) {
+                    acc += val * x[c as usize];
+                }
+                self.y_stash[base + v] = acc;
+            }
+            self.y_ready[row] = true;
             self.flush_y(pe, entry.matrix_row, t + self.cfg.fpu_latency);
         }
     }
@@ -1118,26 +1220,28 @@ impl<'a> Sim<'a> {
 
     /// Accumulation-PE: merge the stashed per-vector partials into the
     /// update buffer. Each matrix row arrives here exactly once (whole rows
-    /// belong to one PE), so the stash entry is consumed on delivery; a
-    /// missing entry means the packet was lost to an injected fault and the
+    /// belong to one PE), so the stash flag is consumed on delivery; a
+    /// clear flag means the packet was lost to an injected fault and the
     /// run surfaces as a diagnosed deadlock instead.
     fn y_at_bank(&mut self, bank: u32, row: u32, t: Cycle) {
         let n = self.accum_updates;
         self.accum_updates += 1;
-        let Some(mut vals) = self.y_stash.remove(&row) else {
+        let r = row as usize;
+        if !std::mem::replace(&mut self.y_ready[r], false) {
             return;
-        };
+        }
+        let base = r * self.xs.len();
         if self.cfg.faults.flip_accum_update == Some(n) {
             // Injected corruption: large enough that the output oracle in
             // `finish` must catch it — never a silently wrong result.
-            for val in &mut vals {
+            for val in &mut self.y_stash[base..base + self.xs.len()] {
                 *val += 1.0;
             }
         }
         let b = bank as usize;
         let start = t.max(self.accum_busy[b]);
-        let drow = self.layout.dram_row_of_y(row as usize, self.cfg.timing.row_bytes);
-        let k = vals.len() as u64;
+        let drow = self.layout.dram_row_of_y(r, self.cfg.timing.row_bytes);
+        let k = self.xs.len() as u64;
         self.queue_sram.reads += k;
         let mut t_ready = start;
         match self.update_buf[b].touch(drow) {
@@ -1165,8 +1269,8 @@ impl<'a> Sim<'a> {
         // Direct assignment, not `+=`: each row lands exactly once, and
         // adding into a 0.0 initializer would turn a computed -0.0 into
         // +0.0, breaking bitwise equality with the oracle.
-        for (v, val) in vals.into_iter().enumerate() {
-            self.ys[v][row as usize] = val;
+        for v in 0..self.xs.len() {
+            self.ys[v][r] = self.y_stash[base + v];
         }
         self.accum_busy[b] = done;
         self.end_time = self.end_time.max(done);
@@ -1320,7 +1424,10 @@ mod tests {
     fn run(a: &Csr, cfg: HwConfig) -> SimReport {
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
         let mapping = LocalityMapping::default().map(a, &cfg.shape);
-        Machine::new(cfg).run_spmv(a, &x, &mapping).expect("simulation must validate")
+        Machine::new(cfg)
+            .run(RunSpec::spmv(a, &x, &mapping))
+            .expect("simulation must validate")
+            .into_report()
     }
 
     #[test]
@@ -1345,7 +1452,7 @@ mod tests {
         let cfg = HwConfig::tiny();
         let x = vec![1.0; a.cols()];
         let mapping = NaiveMapping::default().map(&a, &cfg.shape);
-        let r = Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap();
+        let r = Machine::new(cfg).run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
         assert!(r.validated);
     }
 
@@ -1358,10 +1465,10 @@ mod tests {
             .map(|v| (0..a.cols()).map(|i| ((i * 7 + v * 13) % 11) as f64 - 5.0).collect())
             .collect();
         let m = Machine::new(cfg);
-        let fused = m.run_spmm(&a, &xs, &mapping).unwrap();
+        let fused = m.run(RunSpec::spmm(&a, &xs, &mapping)).unwrap().into_spmm();
         assert_eq!(fused.batch(), 4);
         for (v, x) in xs.iter().enumerate() {
-            let solo = m.run_spmv(&a, x, &mapping).unwrap();
+            let solo = m.run(RunSpec::spmv(&a, x, &mapping)).unwrap().into_report();
             let same = fused.outputs[v]
                 .iter()
                 .zip(solo.output.iter())
@@ -1377,8 +1484,9 @@ mod tests {
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
         let m = Machine::new(cfg);
-        let solo = m.run_spmv(&a, &x, &mapping).unwrap();
-        let fused = m.run_spmm(&a, &vec![x; 8], &mapping).unwrap();
+        let solo = m.run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
+        let xs = vec![x; 8];
+        let fused = m.run(RunSpec::spmm(&a, &xs, &mapping)).unwrap().into_spmm();
         assert!(
             fused.cycles_per_vector() < solo.cycles as f64,
             "8-wide batch must cost fewer cycles per vector ({} vs {})",
@@ -1395,7 +1503,7 @@ mod tests {
         let a = banded(&BandedConfig { n: 64, ..Default::default() });
         let cfg = HwConfig::tiny();
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
-        let err = Machine::new(cfg).run_spmm(&a, &[], &mapping).unwrap_err();
+        let err = Machine::new(cfg).run(RunSpec::spmm(&a, &[], &mapping)).unwrap_err();
         assert!(matches!(err, SimError::EmptyBatch));
     }
 
@@ -1406,8 +1514,9 @@ mod tests {
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 5) as f64).collect();
         let m = Machine::new(cfg);
-        let solo = m.run_spmv(&a, &x, &mapping).unwrap();
-        let fused = m.run_spmm(&a, std::slice::from_ref(&x), &mapping).unwrap();
+        let solo = m.run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
+        let fused =
+            m.run(RunSpec::spmm(&a, std::slice::from_ref(&x), &mapping)).unwrap().into_spmm();
         assert_eq!(fused.report.cycles, solo.cycles);
         assert_eq!(fused.report.tsv_bytes, solo.tsv_bytes);
         assert_eq!(fused.report.activity.fpu_ops, solo.activity.fpu_ops);
@@ -1427,7 +1536,7 @@ mod tests {
         let a = banded(&BandedConfig { n: 64, ..Default::default() });
         let cfg = HwConfig::tiny();
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
-        let err = Machine::new(cfg).run_spmv(&a, &[1.0; 3], &mapping).unwrap_err();
+        let err = Machine::new(cfg).run(RunSpec::spmv(&a, &[1.0; 3], &mapping)).unwrap_err();
         assert!(matches!(err, SimError::DimensionMismatch { .. }));
     }
 
@@ -1443,7 +1552,7 @@ mod tests {
         };
         let mapping = LocalityMapping::default().map(&a, &other_shape);
         let x = vec![1.0; a.cols()];
-        let err = Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap_err();
+        let err = Machine::new(cfg).run(RunSpec::spmv(&a, &x, &mapping)).unwrap_err();
         assert!(matches!(err, SimError::MappingMismatch(_)));
     }
 
@@ -1475,8 +1584,8 @@ mod tests {
         let x = vec![1.0; a.cols()];
         let prop = LocalityMapping::default().map(&a, &cfg.shape);
         let naive = NaiveMapping::default().map(&a, &cfg.shape);
-        let rp = Machine::new(cfg.clone()).run_spmv(&a, &x, &prop).unwrap();
-        let rn = Machine::new(cfg).run_spmv(&a, &x, &naive).unwrap();
+        let rp = Machine::new(cfg.clone()).run(RunSpec::spmv(&a, &x, &prop)).unwrap().into_report();
+        let rn = Machine::new(cfg).run(RunSpec::spmv(&a, &x, &naive)).unwrap().into_report();
         assert!(
             rp.tsv_bytes < rn.tsv_bytes,
             "proposed mapping TSV {} must beat naive {}",
@@ -1509,9 +1618,10 @@ mod tests {
         let x = vec![1.0; a.cols()];
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
         let machine = Machine::new(cfg);
-        let plain = machine.run_spmv(&a, &x, &mapping).unwrap();
-        let (traced, log) = machine.run_spmv_traced(&a, &x, &mapping, 500).unwrap();
-        assert_eq!(plain.cycles, traced.cycles, "tracing must not perturb timing");
+        let plain = machine.run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
+        let out = machine.run(RunSpec::spmv(&a, &x, &mapping).traced(500)).unwrap();
+        let log = out.trace.expect("a traced spec must yield a trace");
+        assert_eq!(plain.cycles, out.report.cycles, "tracing must not perturb timing");
         assert_eq!(log.records().len(), 500);
         assert!(log.dropped() > 0, "a real run has more than 500 events");
         // Cycles in the trace are non-decreasing (event order).
@@ -1529,11 +1639,12 @@ mod tests {
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
         let machine = Machine::new(cfg.clone());
-        let plain = machine.run_spmv(&a, &x, &mapping).unwrap();
+        let plain = machine.run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
         let obs = ObserveConfig { every: 64, capacity: 32, trace_capacity: 2000 };
-        let (observed, timeline) = machine.run_spmv_observed(&a, &x, &mapping, &obs).unwrap();
-        assert_eq!(plain.cycles, observed.cycles, "observation must not perturb timing");
-        assert_eq!(plain.tsv_bytes, observed.tsv_bytes);
+        let out = machine.run(RunSpec::spmv(&a, &x, &mapping).observed(obs)).unwrap();
+        let timeline = out.timeline.expect("an observed spec must yield a timeline");
+        assert_eq!(plain.cycles, out.report.cycles, "observation must not perturb timing");
+        assert_eq!(plain.tsv_bytes, out.report.tsv_bytes);
 
         // Every vault has counter series, each bounded by the capacity.
         assert_eq!(timeline.vaults().len(), cfg.shape.vaults());
@@ -1572,7 +1683,7 @@ mod tests {
         let a = banded(&BandedConfig { n: 200, ..Default::default() });
         let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + (i % 7) as f64).collect();
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
-        Machine::new(cfg).run_spmv(&a, &x, &mapping).unwrap_err()
+        Machine::new(cfg).run(RunSpec::spmv(&a, &x, &mapping)).unwrap_err()
     }
 
     #[test]
@@ -1657,7 +1768,7 @@ mod tests {
         let x = vec![1.0; a.cols()];
         let mapping = LocalityMapping::default().map(&a, &cfg.shape);
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = Machine::new(cfg).run_spmv(&a, &x, &mapping);
+            let _ = Machine::new(cfg).run(RunSpec::spmv(&a, &x, &mapping));
         }))
         .unwrap_err();
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();

@@ -9,7 +9,7 @@
 //! These structures are passive: the event handlers in
 //! [`machine`](crate::machine) drive them.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One packed matrix DRAM row: a row-index header plus `(col, value)` pairs
 /// of a single matrix row (Section III-B's alignment rule).
@@ -82,12 +82,18 @@ pub struct ProductPe {
     pub ready: VecDeque<PeEntry>,
     /// Entries waiting on an outstanding X request.
     pub pending: usize,
-    /// Non-zeros of each in-flight matrix row not yet multiplied. A whole
-    /// matrix row belongs to exactly one PE, so when a count reaches zero
-    /// the machine flushes that row's dot product, computed in canonical
-    /// CSR entry order — which makes the result independent of the arrival
-    /// order of X responses and bitwise-identical to the software oracle.
-    pub rows: BTreeMap<u32, usize>,
+    /// Matrix-row ids this PE owns (non-empty rows only), sorted for
+    /// binary search, parallel to `row_remaining`. Built once at
+    /// construction so the hot compute path indexes a dense table instead
+    /// of growing a tree.
+    pub row_ids: Vec<u32>,
+    /// Non-zeros of each owned matrix row not yet multiplied, parallel to
+    /// `row_ids`. A whole matrix row belongs to exactly one PE, so when a
+    /// count reaches zero the machine flushes that row's dot product,
+    /// computed in canonical CSR entry order — which makes the result
+    /// independent of the arrival order of X responses and
+    /// bitwise-identical to the software oracle.
+    pub row_remaining: Vec<usize>,
     /// Whether a `PeStep` event is scheduled.
     pub step_scheduled: bool,
     /// Non-zeros processed so far (workload metric).
@@ -100,7 +106,26 @@ pub struct ProductPe {
 impl ProductPe {
     /// Creates a PE with its packed work list.
     pub fn new(dram_rows: Vec<DramRowSpec>) -> Self {
-        ProductPe { dram_rows, ..Default::default() }
+        // DRAM rows of one matrix row are consecutive (`pack_rows` packs
+        // each assigned row before moving on), so one pass accumulates the
+        // per-row non-zero totals; sorting then enables binary search.
+        let mut table: Vec<(u32, usize)> = Vec::new();
+        for spec in &dram_rows {
+            match table.last_mut() {
+                Some((row, n)) if *row == spec.matrix_row => *n += spec.entries.len(),
+                _ => table.push((spec.matrix_row, spec.entries.len())),
+            }
+        }
+        table.sort_unstable_by_key(|&(row, _)| row);
+        let (row_ids, row_remaining) = table.into_iter().unzip();
+        ProductPe { dram_rows, row_ids, row_remaining, ..Default::default() }
+    }
+
+    /// Mutable remaining-count slot for `matrix_row`, or `None` when this
+    /// PE does not own the row.
+    pub fn row_remaining_mut(&mut self, matrix_row: u32) -> Option<&mut usize> {
+        let ix = self.row_ids.binary_search(&matrix_row).ok()?;
+        self.row_remaining.get_mut(ix)
     }
 
     /// Total non-zeros this PE must process.

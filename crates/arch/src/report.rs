@@ -52,7 +52,7 @@ pub struct SimReport {
     pub events_processed: u64,
 }
 
-/// The result of a fused multi-vector run ([`crate::Machine::run_spmm`]):
+/// The result of a fused multi-vector run ([`crate::RunSpec::spmm`]):
 /// one simulated pass computing `Y = A · [x_0 … x_{k-1}]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpmmReport {
@@ -60,7 +60,7 @@ pub struct SpmmReport {
     /// empty — the per-vector results live in [`SpmmReport::outputs`].
     pub report: SimReport,
     /// One output vector per input vector, in input order. Each is
-    /// bitwise-identical to what [`crate::Machine::run_spmv`] returns for
+    /// bitwise-identical to what a solo [`crate::RunSpec::spmv`] run returns for
     /// the same input vector alone.
     pub outputs: Vec<Vec<f64>>,
 }

@@ -1,11 +1,11 @@
 //! Property tests of the multi-vector batching contract: a fused
-//! `run_spmm` pass over k vectors produces, for every vector, output
-//! bitwise-identical to a solo `run_spmv` of that vector — independent of
+//! SpMM pass over k vectors produces, for every vector, output
+//! bitwise-identical to a solo SpMV run of that vector — independent of
 //! batch composition and arrival order. This is what lets the serve
 //! batcher fuse concurrent requests as pure scheduling, never semantics.
 
 use proptest::prelude::*;
-use spacea_arch::{HwConfig, Machine};
+use spacea_arch::{HwConfig, Machine, RunSpec};
 use spacea_mapping::MapKind;
 use spacea_matrix::gen::{rmat, RmatConfig};
 use spacea_matrix::Csr;
@@ -36,7 +36,7 @@ fn bits(y: &[f64]) -> Vec<u64> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// Every fused output is bitwise the solo `run_spmv` result.
+    /// Every fused output is bitwise the solo SpMV result.
     #[test]
     fn fused_batch_matches_solo_runs_bitwise(
         seed in 0u64..1_000,
@@ -50,11 +50,11 @@ proptest! {
         let machine = Machine::new(hw);
         let xs: Vec<Vec<f64>> = (0..k as u64).map(|s| vector(a.cols(), seed ^ s)).collect();
 
-        let fused = machine.run_spmm(&a, &xs, &mapping).expect("fused pass runs");
+        let fused = machine.run(RunSpec::spmm(&a, &xs, &mapping)).expect("fused pass runs").into_spmm();
         prop_assert_eq!(fused.outputs.len(), k);
         prop_assert_eq!(fused.batch(), k);
         for (v, x) in xs.iter().enumerate() {
-            let solo = machine.run_spmv(&a, x, &mapping).expect("solo pass runs");
+            let solo = machine.run(RunSpec::spmv(&a, x, &mapping)).expect("solo pass runs").into_report();
             prop_assert_eq!(
                 bits(&fused.outputs[v]),
                 bits(&solo.output),
@@ -82,8 +82,9 @@ proptest! {
         let rotated: Vec<Vec<f64>> =
             (0..k).map(|v| xs[(v + rot) % k].clone()).collect();
 
-        let base = machine.run_spmm(&a, &xs, &mapping).expect("base pass runs");
-        let perm = machine.run_spmm(&a, &rotated, &mapping).expect("rotated pass runs");
+        let base = machine.run(RunSpec::spmm(&a, &xs, &mapping)).expect("base pass runs").into_spmm();
+        let perm =
+            machine.run(RunSpec::spmm(&a, &rotated, &mapping)).expect("rotated pass runs").into_spmm();
         for v in 0..k {
             prop_assert_eq!(
                 bits(&perm.outputs[v]),

@@ -3,7 +3,7 @@
 //! the full experiment harness's runtime.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use spacea_arch::{HwConfig, Machine};
+use spacea_arch::{HwConfig, Machine, RunSpec};
 use spacea_mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
 use spacea_matrix::gen::{banded, rmat, BandedConfig, RmatConfig};
 
@@ -23,14 +23,16 @@ fn bench_sim(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.throughput(Throughput::Elements(banded_m.nnz() as u64));
     g.bench_function("banded_proposed", |b| {
-        b.iter(|| Machine::new(cfg.clone()).run_spmv(&banded_m, &xb, &map_b).unwrap())
+        b.iter(|| Machine::new(cfg.clone()).run(RunSpec::spmv(&banded_m, &xb, &map_b)).unwrap())
     });
     g.bench_function("banded_naive", |b| {
-        b.iter(|| Machine::new(cfg.clone()).run_spmv(&banded_m, &xb, &map_b_naive).unwrap())
+        b.iter(|| {
+            Machine::new(cfg.clone()).run(RunSpec::spmv(&banded_m, &xb, &map_b_naive)).unwrap()
+        })
     });
     g.throughput(Throughput::Elements(rmat_m.nnz() as u64));
     g.bench_function("rmat_proposed", |b| {
-        b.iter(|| Machine::new(cfg.clone()).run_spmv(&rmat_m, &xr, &map_r).unwrap())
+        b.iter(|| Machine::new(cfg.clone()).run(RunSpec::spmv(&rmat_m, &xr, &map_r)).unwrap())
     });
     g.finish();
 }

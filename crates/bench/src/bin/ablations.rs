@@ -92,7 +92,8 @@ fn main() {
             let mapping = ChunkedMapping.map(&a, &base_hw.shape);
             let x = cache.cfg.input_vector(a.cols());
             let r = spacea_arch::Machine::new(base_hw.clone())
-                .run_spmv(&a, &x, &mapping)
+                .run(spacea_arch::RunSpec::spmv(&a, &x, &mapping))
+                .map(|out| out.into_report())
                 .unwrap_or_else(|e| {
                     eprintln!("ablations: chunked run failed: {e}");
                     std::process::exit(1)

@@ -11,7 +11,7 @@
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use spacea_arch::Machine;
+use spacea_arch::{Machine, RunSpec};
 use spacea_core::table::{fmt, geo_mean, Table};
 use spacea_mapping::{ChunkedMapping, LocalityMapping, MappingStrategy};
 use spacea_matrix::reorder::{rcm, Permutation};
@@ -58,11 +58,11 @@ fn main() {
             let a = transform(&a0);
             let x = cache.cfg.input_vector(a.cols());
             let run = |mapping: &spacea_mapping::Mapping| {
-                let r = machine.run_spmv(&a, &x, mapping).unwrap_or_else(|e| {
+                let r = machine.run(RunSpec::spmv(&a, &x, mapping)).unwrap_or_else(|e| {
                     eprintln!("ordering_study: run failed: {e}");
                     std::process::exit(1)
                 });
-                r.cycles as f64
+                r.report.cycles as f64
             };
             let prop = run(&LocalityMapping::default().map(&a, &hw.shape));
             let chunk = run(&ChunkedMapping.map(&a, &hw.shape));

@@ -6,7 +6,7 @@
 //! Simulates the matrix with both mappings on the configured machine and
 //! prints the comparison the paper's Figures 5/6 make per matrix.
 
-use spacea_arch::Machine;
+use spacea_arch::{Machine, RunSpec};
 use spacea_core::table::{fmt, pct, Table};
 use spacea_mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
 
@@ -46,7 +46,7 @@ fn main() {
         ("naive", NaiveMapping::default().map(&a, &hw.shape)),
         ("proposed", LocalityMapping::default().map(&a, &hw.shape)),
     ] {
-        match machine.run_spmv(&a, &x, &mapping) {
+        match machine.run(RunSpec::spmv(&a, &x, &mapping)).map(|out| out.into_report()) {
             Ok(r) => table.push_row(vec![
                 name.into(),
                 r.cycles.to_string(),

@@ -14,7 +14,7 @@
 //! printing the event and track counts — the CI smoke test runs this over
 //! every artifact a sweep produced.
 
-use spacea_arch::{Machine, ObserveConfig};
+use spacea_arch::{Machine, ObserveConfig, RunSpec};
 use spacea_bench::{ArgError, HarnessOptions};
 use spacea_core::experiments::MapKind;
 use spacea_obs::json::validate_chrome_trace;
@@ -68,11 +68,15 @@ fn main() {
     let mapping = cache.mapping(id, kind);
     let x = cache.cfg.input_vector(a.cols());
     let machine = Machine::new(cache.cfg.hw.clone());
-    let (report, timeline) =
-        machine.run_spmv_observed(&a, &x, &mapping, &observe).unwrap_or_else(|e| {
-            eprintln!("timeline: observed run failed: {e}");
-            std::process::exit(1)
-        });
+    let out = machine.run(RunSpec::spmv(&a, &x, &mapping).observed(observe)).unwrap_or_else(|e| {
+        eprintln!("timeline: observed run failed: {e}");
+        std::process::exit(1)
+    });
+    let report = &out.report;
+    let Some(timeline) = out.timeline else {
+        eprintln!("timeline: observed run yielded no timeline");
+        std::process::exit(1)
+    };
 
     std::fs::write(&out_path, timeline.to_chrome_trace()).unwrap_or_else(|e| {
         eprintln!("timeline: cannot write {out_path}: {e}");

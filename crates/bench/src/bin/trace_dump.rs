@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p spacea-bench --bin trace_dump [--scale N]`
 
-use spacea_arch::Machine;
+use spacea_arch::{Machine, RunSpec};
 use spacea_core::experiments::MapKind;
 
 fn main() {
@@ -14,10 +14,15 @@ fn main() {
     let mapping = cache.mapping(id, MapKind::Proposed);
     let x = cache.cfg.input_vector(a.cols());
     let machine = Machine::new(cache.cfg.hw.clone());
-    let (report, log) = machine.run_spmv_traced(&a, &x, &mapping, 120).unwrap_or_else(|e| {
+    let out = machine.run(RunSpec::spmv(&a, &x, &mapping).traced(120)).unwrap_or_else(|e| {
         eprintln!("trace_dump: traced simulation failed: {e}");
         std::process::exit(1)
     });
+    let report = &out.report;
+    let Some(log) = out.trace else {
+        eprintln!("trace_dump: traced run yielded no trace");
+        std::process::exit(1)
+    };
 
     println!(
         "bcsstk32 (scaled): {} cycles total; showing the first {} of {} events",

@@ -1,6 +1,6 @@
 //! The public accelerator API.
 
-use spacea_arch::{HwConfig, Machine, SimError, SimReport};
+use spacea_arch::{HwConfig, Machine, RunSpec, SimError, SimReport};
 use spacea_mapping::{LocalityMapping, Mapping, MappingStrategy, NaiveMapping};
 use spacea_matrix::Csr;
 use spacea_model::energy::StaticConfig;
@@ -141,7 +141,7 @@ impl Accelerator {
     ///
     /// Propagates any [`SimError`] from the simulation.
     pub fn spmv_mapped(&self, a: &Csr, x: &[f64], mapping: &Mapping) -> Result<AccelRun, SimError> {
-        let report = self.machine.run_spmv(a, x, mapping)?;
+        let report = self.machine.run(RunSpec::spmv(a, x, mapping))?.into_report();
         let energy = self.energy.breakdown(&report.activity, &self.static_config());
         Ok(AccelRun { report, energy })
     }

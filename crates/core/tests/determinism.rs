@@ -11,6 +11,8 @@ use spacea_gpu::TitanXpSpec;
 use spacea_harness::{run_jobs, JobCtx, JobRecord, JobSpec, MatrixSource, ResultStore};
 use spacea_mapping::MapKind;
 use spacea_model::EnergyParams;
+use spacea_sim::engine::EventQueue;
+use spacea_sim::workload::{run_workload, standard_workloads};
 use std::sync::Arc;
 
 /// A small mixed job list: both mappings of two suite matrices on the tiny
@@ -89,5 +91,19 @@ fn double_run_is_bit_identical() {
             }
             _ => panic!("{}: result kinds differ between runs", r1.label),
         }
+    }
+}
+
+/// The `engine_bench` workload suite is part of the same contract: replaying
+/// a workload on a fresh calendar queue must reproduce the event count and
+/// the FNV checksum over the delivered `(cycle, payload)` stream exactly —
+/// the numbers pinned in `BENCH_engine.json` and ratcheted by CI.
+#[test]
+fn engine_bench_workloads_double_run_identically() {
+    for w in standard_workloads() {
+        let first = run_workload(&w, &mut EventQueue::new());
+        let second = run_workload(&w, &mut EventQueue::new());
+        assert_eq!(first, second, "workload {} is not reproducible", w.name);
+        assert!(first.events >= w.rounds, "workload {} under-delivered", w.name);
     }
 }

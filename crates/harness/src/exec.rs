@@ -11,8 +11,8 @@ use crate::job::{JobSpec, MatrixSource};
 use crate::mapstore::{MappingStats, MappingStore};
 use crate::store::{CacheOutcome, JobResult, ResultStore};
 use crate::telemetry::{JobRecord, JobStatus};
-use crate::timeline::TimelineConfig;
-use spacea_arch::{Machine, ObserveConfig, SimError};
+use crate::timeline::{ChunkSink, TimelineConfig};
+use spacea_arch::{Machine, ObserveConfig, RunSpec, SampleFlush, SimError};
 use spacea_gpu::simulate_csrmv;
 use spacea_mapping::{MachineShape, MapKind, Mapping};
 use spacea_matrix::Csr;
@@ -171,14 +171,14 @@ impl std::fmt::Display for ExecFailure {
 /// Executes one job (no cache involvement, no panic guard).
 ///
 /// Untrusted inputs — the matrix source and the hardware config (validated
-/// inside [`Machine::run_spmv`]) — are checked up front and reported as
+/// inside [`Machine::run`]) — are checked up front and reported as
 /// [`ExecFailure::Error`] rather than panicking the worker.
 pub fn execute(spec: &JobSpec, ctx: &JobCtx) -> Result<JobResult, ExecFailure> {
     execute_observed(spec, ctx, None).map(|(result, _)| result)
 }
 
 /// [`execute`] with optional gauge observation: with an [`ObserveConfig`],
-/// sim jobs run through [`Machine::run_spmv_observed`] and return the
+/// sim jobs run under [`RunSpec::observed`] and return the
 /// collected [`Timeline`] alongside the result. GPU model jobs have no
 /// event loop to sample and always return `None`. Observation is
 /// timing-neutral, so the [`JobResult`] is identical either way — cached
@@ -193,10 +193,12 @@ pub fn execute_observed(
 
 /// [`execute_observed`] with incremental artifact flushing: when `flush`
 /// names a [`TimelineConfig`] and job key, every completed sampler window
-/// rewrites `timelines/<key>.json` (tmp-file + atomic rename), so a run
-/// killed mid-flight leaves a valid truncated timeline instead of nothing.
-/// The final artifact — with duration slices attached — is still written by
-/// the caller from the returned [`Timeline`].
+/// appends one chunk to `timelines/<key>.d/` through a [`ChunkSink`]
+/// (O(gauges) per window; the chunk index commits by atomic rename), so a
+/// run killed mid-flight leaves a replayable truncated timeline instead of
+/// nothing. The final artifact — with duration slices attached — is still
+/// written by the caller from the returned [`Timeline`], which also clears
+/// the chunk set.
 pub fn execute_observed_flushed(
     spec: &JobSpec,
     ctx: &JobCtx,
@@ -219,26 +221,20 @@ pub fn execute_observed_flushed(
             let machine = Machine::new(hw.clone());
             match observe {
                 Some(obs) => {
-                    let mut sink = flush.map(|(cfg, key)| {
-                        move |tl: &Timeline| {
-                            // Flush failures are logged by the final write;
-                            // an unwritable snapshot must not fail the job.
-                            let _ = cfg.write(key, tl);
-                        }
-                    });
-                    let flush_cb: Option<&mut dyn FnMut(&Timeline)> = match sink.as_mut() {
-                        Some(f) => Some(f),
-                        None => None,
-                    };
-                    let (report, timeline) = machine
-                        .run_spmv_observed_flushed(&a, &x, &mapping, &obs, flush_cb)
-                        .map_err(ExecFailure::from_sim)?;
-                    Ok((JobResult::Sim(Arc::new(report)), Some(timeline)))
+                    let mut sink = flush.map(|(cfg, key)| ChunkSink::new(&cfg, key));
+                    let mut cb = sink.as_mut().map(|s| move |f: &SampleFlush<'_>| s.append(f));
+                    let mut spec_run = RunSpec::spmv(&a, &x, &mapping).observed(obs);
+                    if let Some(cb) = cb.as_mut() {
+                        spec_run = spec_run.flushing(cb);
+                    }
+                    let out = machine.run(spec_run).map_err(ExecFailure::from_sim)?;
+                    Ok((JobResult::Sim(Arc::new(out.report)), out.timeline))
                 }
                 None => {
-                    let report =
-                        machine.run_spmv(&a, &x, &mapping).map_err(ExecFailure::from_sim)?;
-                    Ok((JobResult::Sim(Arc::new(report)), None))
+                    let out = machine
+                        .run(RunSpec::spmv(&a, &x, &mapping))
+                        .map_err(ExecFailure::from_sim)?;
+                    Ok((JobResult::Sim(Arc::new(out.report)), None))
                 }
             }
         }
@@ -741,13 +737,28 @@ mod tests {
             execute_observed_flushed(&spec, &ctx, Some(cfg.observe), Some((cfg.clone(), key)))
                 .unwrap();
         assert!(matches!(result, JobResult::Sim(_)));
-        assert!(timeline.is_some());
-        // The crash-safety contract: the artifact exists and validates
-        // even though this caller never wrote the final timeline — the
-        // per-window flush sink already persisted a consistent snapshot.
-        let text = std::fs::read_to_string(cfg.path_for(key)).unwrap();
-        let summary = spacea_obs::json::validate_chrome_trace(&text).unwrap();
-        assert!(summary.counter_events > 0, "flushed snapshot has no samples");
+        let live = timeline.expect("observed run collects a timeline");
+        // The crash-safety contract: this caller never wrote the final
+        // artifact, yet the chunk set on disk replays into exactly the
+        // series the live sampler held — minus only the end-of-run
+        // snapshot, which no window boundary ever flushed.
+        let replayed = cfg.load_chunks(key).expect("chunk set must replay");
+        assert!(!replayed.series.is_empty(), "no windows were flushed");
+        assert_eq!(replayed.series.len(), live.series.len());
+        for (metric, series) in &replayed.series {
+            let live_s = live.series(metric).expect("replayed gauge must exist live");
+            assert_eq!(
+                series.total_count() + 1,
+                live_s.total_count(),
+                "{metric}: replay must hold every window except the final snapshot"
+            );
+        }
+        // The replay exports like any finished timeline.
+        let summary = spacea_obs::json::validate_chrome_trace(&replayed.to_chrome_trace()).unwrap();
+        assert!(summary.counter_events > 0, "flushed chunks have no samples");
+        // The final artifact write supersedes and clears the chunks.
+        cfg.write(key, &live).unwrap();
+        assert!(!cfg.chunk_dir(key).exists(), "final write must clear the chunk set");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

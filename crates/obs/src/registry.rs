@@ -14,10 +14,11 @@
 /// The `serve` rows are published by the `spacea-serve` daemon rather than
 /// the machine: per-request queue latency and the width/cost of each fused
 /// batch pass.
-pub const METRICS: [(&str, &str); 13] = [
+pub const METRICS: [(&str, &str); 14] = [
     ("cam", "l1-hit-rate"),
     ("cam", "l2-hit-rate"),
     ("dram", "row-hit-rate"),
+    ("engine", "queue-depth"),
     ("ldq", "l1-occupancy"),
     ("ldq", "l2-occupancy"),
     ("noc", "byte-hops"),

@@ -160,6 +160,17 @@ impl<C: ?Sized> Sampler<C> {
         }
     }
 
+    /// The value each gauge recorded at its most recent sample point, in
+    /// registration order (gauges that never sampled are skipped).
+    ///
+    /// Every tick records exactly one value per gauge, so a producer that
+    /// streams these `(key, value)` pairs at each window boundary hands an
+    /// incremental flush sink everything needed to reconstruct the series
+    /// exactly — O(gauges) per window instead of cloning whole series.
+    pub fn last_samples(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().filter_map(|g| g.series.last().map(|v| (&g.key, v)))
+    }
+
     /// A copy of the series collected so far, without consuming the
     /// sampler. Producers call this at window boundaries to flush an
     /// incremental timeline artifact to disk, so a killed run still leaves

@@ -6,7 +6,7 @@
 //! drive it directly, the TCP [`crate::server`] drives it through
 //! [`crate::service::Service`].
 
-use spacea_arch::{HwConfig, Machine, SpmmReport};
+use spacea_arch::{HwConfig, Machine, RunSpec, SpmmReport};
 use spacea_harness::json::Json;
 use spacea_harness::mapstore::{mapping_key, matrix_key};
 use spacea_harness::{MappingStats, MappingStore, MatrixSource};
@@ -204,7 +204,7 @@ impl ServeEngine {
     }
 
     /// Runs one fused SpMM pass over `xs` against the registered matrix
-    /// `key`. Each output vector is bitwise what a solo `run_spmv` of that
+    /// `key`. Each output vector is bitwise what a solo SpMV run of that
     /// vector returns, so callers may fuse freely.
     ///
     /// # Errors
@@ -214,7 +214,11 @@ impl ServeEngine {
     pub fn run_batch(&self, key: u64, xs: &[Vec<f64>]) -> Result<SpmmReport, String> {
         let a = self.matrix(key).ok_or_else(|| format!("unknown matrix {key:016x}"))?;
         let mapping = self.mapping_for(key, &a);
-        let report = self.machine.run_spmm(&a, xs, &mapping).map_err(|e| e.to_string())?;
+        let report = self
+            .machine
+            .run(RunSpec::spmm(&a, xs, &mapping))
+            .map_err(|e| e.to_string())?
+            .into_spmm();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests.fetch_add(xs.len() as u64, Ordering::Relaxed);
         self.fused_max.fetch_max(xs.len() as u64, Ordering::Relaxed);

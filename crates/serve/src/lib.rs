@@ -16,9 +16,9 @@
 //!   zero mapping computations for previously seen matrices.
 //! * [`service::Service`] — a bounded admission queue plus a batcher thread
 //!   that fuses concurrent requests against the same matrix into one
-//!   simulated SpMM pass ([`spacea_arch::Machine::run_spmm`]). Fusing is
+//!   simulated SpMM pass ([`spacea_arch::RunSpec::spmm`]). Fusing is
 //!   safe because each fused output vector is bitwise-identical to the
-//!   corresponding solo `run_spmv` result, independent of batch composition
+//!   corresponding solo SpMV result, independent of batch composition
 //!   and arrival order.
 //! * [`protocol`] / [`server`] / [`client`] — a tiny line/JSON protocol
 //!   (the `spacea_harness::json` dialect: floats travel as IEEE-754 bit

@@ -3,7 +3,7 @@
 //! simulated SpMM pass.
 //!
 //! Fusing is correctness-free by construction: the engine guarantees each
-//! fused output vector is bitwise what a solo `run_spmv` of that vector
+//! fused output vector is bitwise what a solo SpMV run of that vector
 //! returns (see the `spmm_equivalence` property tests in `spacea-arch`),
 //! so the batcher is pure scheduling — it only decides *latency*, never
 //! *values*.

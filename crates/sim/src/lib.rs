@@ -6,8 +6,8 @@
 //! crate is that substrate, reusable by any component-level architecture
 //! model:
 //!
-//! * [`engine`] — a deterministic discrete-event queue with stable FIFO
-//!   ordering among simultaneous events.
+//! * [`engine`] — a deterministic calendar-queue event engine with stable
+//!   FIFO ordering among simultaneous events and whole-cycle batch drain.
 //! * [`dram`] — DRAM bank timing (row buffer, tRCD/tRAS/tCCD) and access
 //!   accounting.
 //! * [`cam`] — the set-associative content-addressable memories (L1/L2 CAM)
@@ -20,6 +20,9 @@
 //! * [`stats`] — the event ledger consumed by the energy model.
 //! * [`fault`] — deterministic fault-injection plans and the
 //!   forward-progress watchdog configuration/diagnosis types.
+//! * [`workload`] — seeded synthetic schedules (hold model, same-cycle
+//!   bursts, far-future overflow) with checksummed replay for engine
+//!   benchmarking and equivalence testing.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod link;
 pub mod noc;
 pub mod stats;
 pub mod trace;
+pub mod workload;
 
 /// Simulation time in clock cycles (the machine runs at 1 GHz, Section II-C).
 pub type Cycle = u64;

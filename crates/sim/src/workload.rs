@@ -1,0 +1,214 @@
+//! Deterministic synthetic event schedules for engine benchmarking and
+//! equivalence testing.
+//!
+//! Each [`Workload`] drives any [`DesQueue`] implementation through a fully
+//! deterministic schedule derived from a seeded splitmix64 stream — no
+//! ambient randomness, no wall clock — and folds every delivered
+//! `(cycle, payload)` pair into an FNV-1a checksum. Replaying the same
+//! workload on the calendar queue and the reference heap must yield the
+//! same [`WorkloadResult`] bit for bit; `engine_bench` ratchets these
+//! checksums in `BENCH_engine.json` and `core/tests/determinism.rs` pins
+//! them across double runs.
+
+use crate::engine::DesQueue;
+use crate::Cycle;
+
+/// Shape of the synthetic schedule a workload generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Classic hold model: pop one event, schedule one replacement a short
+    /// random delay ahead. Keeps queue occupancy constant and exercises the
+    /// steady-state schedule/pop path.
+    Hold {
+        /// Events resident in the queue throughout the run.
+        population: usize,
+        /// Exclusive upper bound on the uniform reschedule delay.
+        max_delay: Cycle,
+    },
+    /// Same-cycle bursts: each round schedules a burst of events for one
+    /// nearby cycle, then drains whole cycles via `drain_cycle`. Exercises
+    /// the batch API and FIFO tie-ordering.
+    Burst {
+        /// Events per burst round.
+        burst: usize,
+        /// Exclusive upper bound on the gap between burst cycles.
+        max_gap: Cycle,
+    },
+    /// Hold model with a far-future tail: a slice of reschedules jump far
+    /// beyond the wheel horizon, exercising the overflow tree and its
+    /// migration back into the wheel.
+    FarFuture {
+        /// Events resident in the queue throughout the run.
+        population: usize,
+        /// Exclusive upper bound on the near-reschedule delay.
+        max_delay: Cycle,
+        /// One in `far_one_in` reschedules jumps `far_jump` cycles ahead.
+        far_one_in: u64,
+        /// Distance of the far jump (beyond the wheel horizon).
+        far_jump: Cycle,
+    },
+}
+
+/// A named, seeded synthetic schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Stable identifier (used in `BENCH_engine.json` entries).
+    pub name: &'static str,
+    /// Splitmix64 seed for the delay stream.
+    pub seed: u64,
+    /// Number of deliver-reschedule (or burst) rounds to run.
+    pub rounds: u64,
+    /// Schedule shape.
+    pub kind: WorkloadKind,
+}
+
+/// Outcome of replaying a workload on some queue implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadResult {
+    /// Total events delivered (popped or drained).
+    pub events: u64,
+    /// FNV-1a checksum over every delivered `(cycle, payload)` pair in
+    /// delivery order.
+    pub checksum: u64,
+}
+
+/// The fixed workload suite measured by `engine_bench` and pinned by the
+/// determinism tests.
+pub fn standard_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "hold-4k",
+            seed: 0x5EED_0001,
+            rounds: 400_000,
+            kind: WorkloadKind::Hold { population: 4096, max_delay: 256 },
+        },
+        Workload {
+            name: "burst-64",
+            seed: 0x5EED_0002,
+            rounds: 20_000,
+            kind: WorkloadKind::Burst { burst: 64, max_gap: 32 },
+        },
+        Workload {
+            name: "far-future",
+            seed: 0x5EED_0003,
+            rounds: 300_000,
+            kind: WorkloadKind::FarFuture {
+                population: 2048,
+                max_delay: 128,
+                far_one_in: 64,
+                far_jump: 1 << 20,
+            },
+        },
+    ]
+}
+
+/// Deterministic splitmix64 step (same generator the matrix synthesizers
+/// use); advances `state` and returns the next draw.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Replays `workload` on `queue`, returning the delivered-event count and
+/// order-sensitive checksum. The queue must be freshly constructed.
+pub fn run_workload<Q: DesQueue<u64>>(workload: &Workload, queue: &mut Q) -> WorkloadResult {
+    let mut rng = workload.seed;
+    let mut hash = FNV_OFFSET;
+    let mut events = 0u64;
+    let mut payload = 0u64;
+    match workload.kind {
+        WorkloadKind::Hold { population, max_delay } => {
+            for _ in 0..population {
+                let delay = splitmix64(&mut rng) % max_delay;
+                queue.schedule(delay, payload);
+                payload += 1;
+            }
+            for _ in 0..workload.rounds {
+                let Some((at, ev)) = queue.pop() else { break };
+                events += 1;
+                hash = fnv_fold(fnv_fold(hash, at), ev);
+                let delay = 1 + splitmix64(&mut rng) % max_delay;
+                queue.schedule(at + delay, payload);
+                payload += 1;
+            }
+        }
+        WorkloadKind::Burst { burst, max_gap } => {
+            let mut sink = Vec::with_capacity(burst);
+            for _ in 0..workload.rounds {
+                let at = queue.now() + 1 + splitmix64(&mut rng) % max_gap;
+                for _ in 0..burst {
+                    queue.schedule(at, payload);
+                    payload += 1;
+                }
+                while let Some(cycle) = queue.drain_cycle(&mut sink) {
+                    for ev in sink.drain(..) {
+                        events += 1;
+                        hash = fnv_fold(fnv_fold(hash, cycle), ev);
+                    }
+                }
+            }
+        }
+        WorkloadKind::FarFuture { population, max_delay, far_one_in, far_jump } => {
+            for _ in 0..population {
+                let delay = splitmix64(&mut rng) % max_delay;
+                queue.schedule(delay, payload);
+                payload += 1;
+            }
+            for _ in 0..workload.rounds {
+                let Some((at, ev)) = queue.pop() else { break };
+                events += 1;
+                hash = fnv_fold(fnv_fold(hash, at), ev);
+                let draw = splitmix64(&mut rng);
+                let delay =
+                    if draw.is_multiple_of(far_one_in) { far_jump } else { 1 + draw % max_delay };
+                queue.schedule(at + delay, payload);
+                payload += 1;
+            }
+        }
+    }
+    // Drain whatever is still pending so the checksum covers the complete
+    // delivery order and the queue ends empty (counter invariant checkable).
+    while let Some((at, ev)) = queue.pop() {
+        events += 1;
+        hash = fnv_fold(fnv_fold(hash, at), ev);
+    }
+    WorkloadResult { events, checksum: hash }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{reference::HeapQueue, EventQueue};
+
+    #[test]
+    fn suite_is_deterministic_and_engine_agnostic() {
+        for wl in standard_workloads() {
+            let small = Workload { rounds: wl.rounds.min(2_000), ..wl };
+            let mut cal = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            let a = run_workload(&small, &mut cal);
+            let b = run_workload(&small, &mut heap);
+            assert_eq!(a, b, "workload {} diverged between engines", small.name);
+            assert!(a.events > 0);
+            cal.check_counters();
+            assert!(cal.is_empty() && heap.is_empty());
+            // Replay is bit-identical.
+            let mut again = EventQueue::new();
+            assert_eq!(run_workload(&small, &mut again), a);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example mapping_comparison`
 
-use spacea::arch::{HwConfig, Machine};
+use spacea::arch::{HwConfig, Machine, RunSpec};
 use spacea::mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
 use spacea::matrix::suite;
 
@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let proposed = LocalityMapping::default().map(&a, &hw.shape);
 
         let machine = Machine::new(hw.clone());
-        let rn = machine.run_spmv(&a, &x, &naive)?;
-        let rp = machine.run_spmv(&a, &x, &proposed)?;
+        let rn = machine.run(RunSpec::spmv(&a, &x, &naive))?.into_report();
+        let rp = machine.run(RunSpec::spmv(&a, &x, &proposed))?.into_report();
 
         println!(
             "{:<20} {:>12} {:>12} {:>8.2}x {:>9.1}% {:>9.1}%",

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example pagerank`
 
-use spacea::arch::{HwConfig, Machine};
+use spacea::arch::{HwConfig, Machine, RunSpec};
 use spacea::graph::workloads::CaseStudyGraph;
 use spacea::graph::{pagerank, PageRankConfig};
 use spacea::mapping::{LocalityMapping, MappingStrategy};
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HwConfig::tiny();
     let mapping = LocalityMapping::default().map(&operand, &hw.shape);
     let x = vec![1.0 / n as f64; n];
-    let report = Machine::new(hw).run_spmv(&operand, &x, &mapping)?;
+    let report = Machine::new(hw).run(RunSpec::spmv(&operand, &x, &mapping))?.into_report();
     println!(
         "one SpMV iteration on SpaceA: {} cycles ({:.2} us); full PageRank: {:.2} us",
         report.cycles,

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release --example sensitivity`
 
-use spacea::arch::{HwConfig, Machine};
+use spacea::arch::{HwConfig, Machine, RunSpec};
 use spacea::mapping::{LocalityMapping, MappingStrategy};
 use spacea::matrix::suite;
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for sets in [32usize, 256, 2048, 8192] {
         let mut hw = base.clone();
         hw.l2_cam.sets = sets;
-        let r = Machine::new(hw).run_spmv(&a, &x, &mapping)?;
+        let r = Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping))?.into_report();
         println!(
             "  L2 sets {sets:>5} ({:>4} KB): {} cycles, L2 hit {:.1}%",
             sets * 4 * 32 / 1024,
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for lat in [1u64, 2, 4, 8, 16] {
         let mut hw = base.clone();
         hw.tsv_latency = lat;
-        let r = Machine::new(hw).run_spmv(&a, &x, &mapping)?;
+        let r = Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping))?.into_report();
         let base_cycles = *baseline.get_or_insert(r.cycles);
         println!(
             "  latency {lat:>2}: {} cycles ({:.2}x)",

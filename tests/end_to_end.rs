@@ -2,7 +2,7 @@
 //! mapping, cycle-level simulation, oracle validation, energy pricing —
 //! across matrices, mappings and machine shapes.
 
-use spacea::arch::{HwConfig, Machine};
+use spacea::arch::{HwConfig, Machine, RunSpec};
 use spacea::core::{Accelerator, MappingChoice};
 use spacea::mapping::{LocalityMapping, MachineShape, MappingStrategy, NaiveMapping};
 use spacea::matrix::suite;
@@ -23,8 +23,9 @@ fn every_suite_matrix_validates_with_both_mappings() {
             ("proposed", LocalityMapping::default().map(&a, &hw.shape)),
         ] {
             let r = machine
-                .run_spmv(&a, &x, &mapping)
-                .unwrap_or_else(|e| panic!("{} + {name}: {e}", entry.name));
+                .run(RunSpec::spmv(&a, &x, &mapping))
+                .unwrap_or_else(|e| panic!("{} + {name}: {e}", entry.name))
+                .into_report();
             assert!(r.validated, "{} + {name} failed validation", entry.name);
             assert!(r.cycles > 0);
             assert_eq!(
@@ -72,7 +73,8 @@ fn multi_cube_shapes_validate() {
             MachineShape { cubes, vaults_per_cube: 4, product_bgs_per_vault: 2, banks_per_bg: 2 };
         let hw = HwConfig::with_shape(shape);
         let mapping = LocalityMapping::default().map(&a, &shape);
-        let r = Machine::new(hw).run_spmv(&a, &x, &mapping).expect("validates");
+        let r =
+            Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping)).expect("validates").into_report();
         assert!(r.validated, "{cubes} cubes failed");
     }
 }
@@ -111,7 +113,8 @@ fn sparser_cam_configuration_never_breaks_correctness() {
         hw.l2_cam.sets = l2_sets;
         hw.tsv_latency = tsv_latency;
         hw.ldq_dedup = dedup;
-        let r = Machine::new(hw).run_spmv(&a, &x, &mapping).expect("validates");
+        let r =
+            Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping)).expect("validates").into_report();
         assert!(r.validated);
     }
 }
@@ -123,7 +126,7 @@ fn report_metrics_are_internally_consistent() {
     let x = x_for(a.cols());
     let hw = HwConfig::tiny();
     let mapping = LocalityMapping::default().map(&a, &hw.shape);
-    let r = Machine::new(hw.clone()).run_spmv(&a, &x, &mapping).unwrap();
+    let r = Machine::new(hw.clone()).run(RunSpec::spmv(&a, &x, &mapping)).unwrap().into_report();
 
     assert_eq!(r.activity.cycles, r.cycles);
     assert!((r.seconds - r.cycles as f64 * 1e-9).abs() < 1e-15);

@@ -1,7 +1,7 @@
 //! Failure-injection tests: corrupted inputs and hostile configurations must
 //! produce typed errors, never wrong answers or panics across the public API.
 
-use spacea::arch::{HwConfig, Machine, SimError};
+use spacea::arch::{HwConfig, Machine, RunSpec, SimError};
 use spacea::core::{Accelerator, MappingChoice};
 use spacea::mapping::{
     LocalityMapping, MachineShape, Mapping, MappingStrategy, Placement, RowAssignment,
@@ -35,10 +35,12 @@ fn mapping_that_drops_a_row_is_rejected() {
     // run cannot return success with a wrong vector. Here row counts match,
     // so it must fail oracle validation.
     let x = vec![1.0; a.cols()];
-    match Machine::new(cfg).run_spmv(&a, &x, &bad) {
+    match Machine::new(cfg).run(RunSpec::spmv(&a, &x, &bad)) {
         Err(SimError::ValidationFailed { .. }) => {}
         Err(other) => panic!("expected validation failure, got {other}"),
-        Ok(r) => panic!("machine accepted a row-dropping mapping (validated={})", r.validated),
+        Ok(r) => {
+            panic!("machine accepted a row-dropping mapping (validated={})", r.report.validated)
+        }
     }
 }
 
@@ -48,7 +50,8 @@ fn wrong_machine_size_is_rejected() {
     let other =
         MachineShape { cubes: 1, vaults_per_cube: 2, product_bgs_per_vault: 1, banks_per_bg: 2 };
     let mapping = LocalityMapping::default().map(&a, &other);
-    let err = Machine::new(HwConfig::tiny()).run_spmv(&a, &[1.0; 96], &mapping).unwrap_err();
+    let err =
+        Machine::new(HwConfig::tiny()).run(RunSpec::spmv(&a, &[1.0; 96], &mapping)).unwrap_err();
     assert!(matches!(err, SimError::MappingMismatch(_)));
     assert!(err.to_string().contains("PEs"));
 }
@@ -59,7 +62,7 @@ fn mapping_for_wrong_matrix_is_rejected() {
     let b = banded(&BandedConfig { n: 64, ..Default::default() });
     let cfg = HwConfig::tiny();
     let mapping_for_b = LocalityMapping::default().map(&b, &cfg.shape);
-    let err = Machine::new(cfg).run_spmv(&a, &[1.0; 96], &mapping_for_b).unwrap_err();
+    let err = Machine::new(cfg).run(RunSpec::spmv(&a, &[1.0; 96], &mapping_for_b)).unwrap_err();
     assert!(matches!(err, SimError::MappingMismatch(_)));
 }
 

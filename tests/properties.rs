@@ -3,7 +3,7 @@
 //! determinism.
 
 use proptest::prelude::*;
-use spacea::arch::{HwConfig, Machine};
+use spacea::arch::{HwConfig, Machine, RunSpec};
 use spacea::mapping::{LocalityMapping, MappingStrategy, NaiveMapping};
 use spacea::matrix::{Coo, Csr};
 
@@ -44,7 +44,8 @@ proptest! {
     fn simulator_matches_oracle_on_arbitrary_matrices((a, x) in square_system()) {
         let hw = HwConfig::tiny();
         let mapping = LocalityMapping::default().map(&a, &hw.shape);
-        let r = Machine::new(hw).run_spmv(&a, &x, &mapping).expect("must validate");
+        let r =
+            Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping)).expect("must validate").into_report();
         prop_assert!(r.validated);
         let oracle = a.spmv(&x);
         for (s, o) in r.output.iter().zip(&oracle) {
@@ -56,8 +57,12 @@ proptest! {
     fn simulation_is_deterministic((a, x) in square_system()) {
         let hw = HwConfig::tiny();
         let mapping = NaiveMapping::default().map(&a, &hw.shape);
-        let r1 = Machine::new(hw.clone()).run_spmv(&a, &x, &mapping).expect("run 1");
-        let r2 = Machine::new(hw).run_spmv(&a, &x, &mapping).expect("run 2");
+        let r1 = Machine::new(hw.clone())
+            .run(RunSpec::spmv(&a, &x, &mapping))
+            .expect("run 1")
+            .into_report();
+        let r2 =
+            Machine::new(hw).run(RunSpec::spmv(&a, &x, &mapping)).expect("run 2").into_report();
         prop_assert_eq!(r1.cycles, r2.cycles);
         prop_assert_eq!(r1.tsv_bytes, r2.tsv_bytes);
         prop_assert_eq!(r1.noc_byte_hops, r2.noc_byte_hops);
