@@ -85,6 +85,13 @@ cargo run --release -p spacea-bench --bin serve -- shutdown --cache-dir "$SERVE_
 wait $SERVE_PID
 grep -q '"computed":0' "$SERVE_CACHE/serve-manifest.json"
 
+# Chaos soak: 8 seeded service-layer fault plans against live daemons. The
+# invariant is absolute — every acknowledged response bitwise-matches the
+# offline SpMV and is journaled, every rejection carries an explicit wire
+# code, and a restart over the (possibly corrupted) cache heals and replays
+# every journaled request correctly. A failing seed replays with --seed K.
+cargo run --release -p spacea-bench --bin serve_chaos -- --seeds 8
+
 # Service throughput ratchet: the deterministic cycles-per-batch snapshot
 # must match HEAD exactly (refresh with `serve_bench --write` when the
 # simulator legitimately changes).

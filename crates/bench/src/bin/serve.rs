@@ -2,22 +2,27 @@
 //!
 //! Verbs:
 //!
-//! * `serve start [--port N] [--max-batch N] [--foreground-note]` — run the
-//!   daemon in the foreground over `--cache-dir` (default
+//! * `serve start [--port N] [--max-batch N] [--chaos SPEC|--chaos-seed N]`
+//!   — run the daemon in the foreground over `--cache-dir` (default
 //!   `target/spacea-cache`); `--quick` serves the tiny machine. The bound
 //!   port is published to `<cache-dir>/serve.port` once the listener is up.
-//! * `serve submit --matrix 1/256,2/256 --seeds 0,1,2 [--check]` — one
-//!   concurrent client thread per seed, round-robined over the matrix
-//!   list; `--check` recomputes each result offline and fails on any
-//!   bitwise divergence.
+//!   `--chaos` arms a deterministic service-layer fault plan (see the
+//!   `spacea_serve::chaos` grammar); `--chaos-seed` derives one from a seed
+//!   exactly as the `serve_chaos` soak does, for replaying a failing seed.
+//! * `serve submit --matrix 1/256,2/256 --seeds 0,1,2 [--check]
+//!   [--deadline-ms N]` — one concurrent client thread per seed,
+//!   round-robined over the matrix list; `--check` recomputes each result
+//!   offline and fails on any bitwise divergence; `--deadline-ms` attaches
+//!   a per-request deadline.
 //! * `serve stat` — print the daemon's counters as JSON.
 //! * `serve shutdown` — stop the daemon (it flushes manifest + timeline).
 
 use spacea_bench::{ArgError, HarnessOptions};
-use spacea_serve::{run_daemon, seeded_vector, Client, ServeConfig};
+use spacea_serve::{run_daemon, seeded_vector, CallError, ChaosPlan, Client, ServeConfig};
 
 const SERVE_USAGE: &str = "serve: start|submit|stat|shutdown | --port N | --max-batch N | \
-     --matrix ID/SCALE[,ID/SCALE...] | --seeds N[,N...] | --check";
+     --chaos SPEC | --chaos-seed N | --matrix ID/SCALE[,ID/SCALE...] | --seeds N[,N...] | \
+     --deadline-ms N | --check";
 
 fn main() {
     let mut verb: Option<String> = None;
@@ -26,6 +31,8 @@ fn main() {
     let mut matrices = vec![(1u8, 256usize)];
     let mut seeds: Vec<u64> = (0..8).collect();
     let mut check = false;
+    let mut chaos = ChaosPlan::default();
+    let mut deadline_ms: Option<u64> = None;
     let opts = HarnessOptions::from_args_with(std::env::args().skip(1), |flag, args| {
         match flag {
             "start" | "submit" | "stat" | "shutdown" if verb.is_none() => {
@@ -38,8 +45,16 @@ fn main() {
                     .map_err(|_| ArgError::new("--port needs a TCP port (fits in 16 bits)"))?;
             }
             "--max-batch" => max_batch = Some(args.usize_value("--max-batch")?.max(1)),
+            "--chaos" => {
+                chaos = ChaosPlan::parse(&args.value("--chaos")?)
+                    .map_err(|e| ArgError::new(format!("--chaos: {e}")))?;
+            }
+            "--chaos-seed" => {
+                chaos = ChaosPlan::from_seed(args.usize_value("--chaos-seed")? as u64);
+            }
             "--matrix" => matrices = parse_matrices(&args.value("--matrix")?)?,
             "--seeds" => seeds = parse_seeds(&args.value("--seeds")?)?,
+            "--deadline-ms" => deadline_ms = Some(args.usize_value("--deadline-ms")? as u64),
             "--check" => check = true,
             _ => return Ok(false),
         }
@@ -48,8 +63,8 @@ fn main() {
     .unwrap_or_else(|e| e.exit_with_usage(SERVE_USAGE));
 
     match verb.as_deref() {
-        Some("start") => start(&opts, port, max_batch),
-        Some("submit") => submit(&opts, &matrices, &seeds, check),
+        Some("start") => start(&opts, port, max_batch, chaos),
+        Some("submit") => submit(&opts, &matrices, &seeds, check, deadline_ms),
         Some("stat") => stat(&opts),
         Some("shutdown") => shutdown(&opts),
         _ => ArgError::new("serve needs a verb: start, submit, stat or shutdown")
@@ -73,9 +88,10 @@ fn parse_seeds(spec: &str) -> Result<Vec<u64>, ArgError> {
         .collect()
 }
 
-fn start(opts: &HarnessOptions, port: u16, max_batch: Option<usize>) {
+fn start(opts: &HarnessOptions, port: u16, max_batch: Option<usize>, chaos: ChaosPlan) {
     let mut cfg = ServeConfig::new(opts.cache_dir());
     cfg.hw = opts.cfg.hw.clone();
+    cfg.chaos = chaos;
     if let Some(mb) = max_batch {
         cfg.max_batch = mb;
     }
@@ -92,7 +108,13 @@ fn connect(opts: &HarnessOptions) -> Client {
     })
 }
 
-fn submit(opts: &HarnessOptions, matrices: &[(u8, usize)], seeds: &[u64], check: bool) {
+fn submit(
+    opts: &HarnessOptions,
+    matrices: &[(u8, usize)],
+    seeds: &[u64],
+    check: bool,
+    deadline_ms: Option<u64>,
+) {
     let mut admin = connect(opts);
     let mut keys = Vec::new();
     for &(id, scale) in matrices {
@@ -116,14 +138,24 @@ fn submit(opts: &HarnessOptions, matrices: &[(u8, usize)], seeds: &[u64], check:
                 let dir = cache_dir.clone();
                 scope.spawn(move || {
                     let mut client = Client::connect_dir(&dir)?;
-                    let out = client.submit(key, seed)?;
-                    Ok::<_, String>((id, scale, seed, cols, out))
+                    let out = match deadline_ms {
+                        Some(ms) => client.submit_within(key, seed, ms)?,
+                        None => client.submit(key, seed)?,
+                    };
+                    Ok::<_, CallError>((id, scale, seed, cols, out))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| Err("client thread panicked".to_string())))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CallError {
+                        code: "transport".into(),
+                        message: "client thread panicked".into(),
+                    })
+                })
+            })
             .collect()
     });
 

@@ -1,0 +1,328 @@
+//! Chaos soak for the `spacea-serve` daemon: N seeded fault plans, one
+//! live daemon each, and a lost/wrong-answer invariant checker.
+//!
+//! Each seed derives a deterministic [`ChaosPlan`] (exactly the one
+//! `serve start --chaos-seed N` arms), boots a real daemon over a fresh
+//! cache directory, and fires concurrent client traffic through whatever
+//! the plan does to it — dropped connections, delayed accepts, killed and
+//! wedged batches, stalled requests. The soak then enforces the core
+//! serving invariant, which no chaos plan may ever break:
+//!
+//! * every request the client saw **succeed** is bitwise equal to the
+//!   offline [`spacea_matrix::Csr::spmv`] reference AND present in the
+//!   write-ahead acknowledgment journal;
+//! * every journal record hashes to the correct output — a record can
+//!   prove an answer was given, never a wrong one;
+//! * every request that did **not** succeed carries an explicit coded
+//!   rejection (`overloaded`, `deadline-exceeded`, `internal`) — a
+//!   transport dead-end after retries means a request was silently lost
+//!   and fails the soak;
+//! * a **second life** of the daemon over the same cache directory —
+//!   with the plan's mapping-corruption faults biting at startup — heals
+//!   the damage and answers every journaled request correctly again.
+//!
+//! `serve_chaos --seeds 8` runs seeds 0..8 (the CI smoke);
+//! `serve_chaos --seed K` replays one failing seed deterministically.
+
+use spacea_serve::{
+    run_daemon, seeded_vector, vec_hash, AckJournal, CallError, ChaosPlan, Client, ServeConfig,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MATRICES: [(u8, usize); 2] = [(1, 256), (2, 256)];
+const CONNECT_PATIENCE: Duration = Duration::from_secs(10);
+
+fn main() {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut count = 8u64;
+    let mut requests = 6usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut need = |what: &str| {
+            args.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                eprintln!("serve_chaos: {what} needs an unsigned integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seeds" => count = need("--seeds"),
+            "--seed" => seeds.push(need("--seed")),
+            "--requests" => requests = need("--requests") as usize,
+            other => {
+                eprintln!(
+                    "serve_chaos: unknown flag '{other}' \
+                     (flags: --seeds N | --seed K | --requests R)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if seeds.is_empty() {
+        seeds = (0..count).collect();
+    }
+    let root = PathBuf::from("target/spacea-serve-chaos");
+
+    let mut failed = Vec::new();
+    for &seed in &seeds {
+        let plan = ChaosPlan::from_seed(seed);
+        match soak_seed(seed, requests.max(1), &root) {
+            Ok(summary) => println!("seed {seed:>3} [{plan}]: {summary}"),
+            Err(e) => {
+                eprintln!("seed {seed:>3} [{plan}]: FAILED: {e}");
+                failed.push(seed);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!(
+            "serve_chaos: {} seeded plan(s), zero lost, zero wrong-but-successful",
+            seeds.len()
+        );
+    } else {
+        for seed in &failed {
+            eprintln!("serve_chaos: replay deterministically with: serve_chaos --seed {seed}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// One request the soak fired: enough to recompute the offline truth.
+#[derive(Debug, Clone)]
+struct Shot {
+    matrix: u64,
+    req_seed: u64,
+    x_hash: u64,
+    y_hash: u64,
+}
+
+/// Runs one seed's full scenario; `Ok` carries a one-line summary.
+fn soak_seed(seed: u64, requests: usize, root: &Path) -> Result<String, String> {
+    let plan = ChaosPlan::from_seed(seed);
+    let dir = root.join(format!("seed-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Life 1: the full plan against concurrent traffic. -------------
+    let cfg = ServeConfig {
+        chaos: plan,
+        // Small enough that concurrent clients can actually cross it.
+        shed_mark: 4,
+        retry_backoff: Duration::from_millis(2),
+        ..ServeConfig::quick(&dir)
+    };
+    let daemon = std::thread::Builder::new()
+        .name(format!("chaos-daemon-{seed}"))
+        .spawn({
+            let cfg = cfg.clone();
+            move || run_daemon(cfg, 0)
+        })
+        .map_err(|e| format!("cannot spawn daemon thread: {e}"))?;
+
+    // Register through the chaos (a dropped admin connection is retried).
+    let mut truth: BTreeMap<u64, (u64, Vec<f64>)> = BTreeMap::new(); // x_hash -> (matrix, y)
+    let mut keys = Vec::new();
+    let mut offline = Vec::new();
+    for (id, scale) in MATRICES {
+        let reply = with_retry(&dir, |c| c.register(id, scale))
+            .map_err(|e| format!("register m{id}/{scale}: {e}"))?;
+        let a = spacea_matrix::suite::entry_by_id(id)
+            .ok_or_else(|| format!("suite id {id} vanished"))?
+            .generate(scale);
+        keys.push((reply.matrix, reply.cols));
+        offline.push(a);
+    }
+    let mut shots = Vec::new();
+    for i in 0..requests {
+        let (key, cols) = keys[i % keys.len()];
+        let req_seed = i as u64;
+        let x = seeded_vector(cols, req_seed);
+        let y = offline[i % keys.len()].spmv(&x);
+        let shot = Shot { matrix: key, req_seed, x_hash: vec_hash(&x), y_hash: vec_hash(&y) };
+        truth.insert(shot.x_hash, (key, y));
+        shots.push(shot);
+    }
+
+    // Fire all requests concurrently so batching, shedding and the plan's
+    // ordinal faults all see real contention.
+    let outcomes: Vec<(Shot, Result<Vec<f64>, CallError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shots
+            .iter()
+            .map(|shot| {
+                let shot = shot.clone();
+                let dir = &dir;
+                scope.spawn(move || {
+                    let out =
+                        with_retry(dir, |c| c.submit_within(shot.matrix, shot.req_seed, 2_000));
+                    (shot, out.map(|o| o.y))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    let dead = Shot { matrix: 0, req_seed: 0, x_hash: 0, y_hash: 0 };
+                    (
+                        dead,
+                        Err(CallError {
+                            code: "panic".into(),
+                            message: "client thread panicked".into(),
+                        }),
+                    )
+                })
+            })
+            .collect()
+    });
+
+    with_retry(&dir, Client::shutdown).map_err(|e| format!("shutdown: {e}"))?;
+    join_daemon(daemon)?;
+
+    // ---- Invariant check over life 1. ----------------------------------
+    let mut acked = 0usize;
+    let mut rejected = 0usize;
+    let mut ok_hashes = Vec::new();
+    for (shot, outcome) in &outcomes {
+        match outcome {
+            Ok(y) => {
+                if vec_hash(y) != shot.y_hash {
+                    return Err(format!(
+                        "request (m={:016x}, seed={}) acknowledged WRONG: output diverges \
+                         from the offline SpMV",
+                        shot.matrix, shot.req_seed
+                    ));
+                }
+                ok_hashes.push(shot.x_hash);
+                acked += 1;
+            }
+            Err(e)
+                if matches!(e.code.as_str(), "overloaded" | "deadline-exceeded" | "internal") =>
+            {
+                rejected += 1; // explicit coded rejection: allowed
+            }
+            Err(e) => {
+                return Err(format!(
+                    "request (m={:016x}, seed={}) was LOST: no acknowledgment and no \
+                     coded rejection ({e})",
+                    shot.matrix, shot.req_seed
+                ));
+            }
+        }
+    }
+    let load = AckJournal::load(&dir.join(AckJournal::DIR));
+    if load.corrupt_files != 0 {
+        return Err(format!(
+            "{} corrupt journal file(s) after a graceful shutdown",
+            load.corrupt_files
+        ));
+    }
+    for rec in &load.records {
+        match truth.get(&rec.x_hash) {
+            Some((key, y)) if *key == rec.matrix => {
+                if vec_hash(y) != rec.y_hash {
+                    return Err(format!(
+                        "journal claims a WRONG answer for x_hash {:016x}",
+                        rec.x_hash
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "journal holds a record for a request never sent (x_hash {:016x})",
+                    rec.x_hash
+                ));
+            }
+        }
+    }
+    for x_hash in &ok_hashes {
+        if !load.records.iter().any(|r| r.x_hash == *x_hash) {
+            return Err(format!(
+                "acknowledged request (x_hash {x_hash:016x}) missing from the journal: \
+                 the write-ahead contract was violated"
+            ));
+        }
+    }
+
+    // ---- Life 2: restart; the plan's startup corruption bites. ---------
+    let life2 = ServeConfig {
+        chaos: ChaosPlan {
+            corrupt_map: plan.corrupt_map,
+            truncate_map: plan.truncate_map,
+            ..ChaosPlan::default()
+        },
+        ..ServeConfig::quick(&dir)
+    };
+    let corrupted = life2.chaos.corrupt_map.is_some() || life2.chaos.truncate_map.is_some();
+    let daemon = std::thread::Builder::new()
+        .name(format!("chaos-daemon-{seed}-life2"))
+        .spawn(move || run_daemon(life2, 0))
+        .map_err(|e| format!("cannot spawn life-2 daemon thread: {e}"))?;
+    for (id, scale) in MATRICES {
+        with_retry(&dir, |c| c.register(id, scale))
+            .map_err(|e| format!("life 2 register m{id}/{scale}: {e}"))?;
+    }
+    if corrupted {
+        let stat = with_retry(&dir, Client::stat).map_err(|e| format!("life 2 stat: {e}"))?;
+        let healed =
+            stat.get("mappings_healed").and_then(spacea_harness::json::Json::as_u64).unwrap_or(0);
+        if healed == 0 {
+            return Err("life 2 startup corruption was armed but nothing was healed".into());
+        }
+    }
+    // Replay every journaled request: the restarted daemon must reproduce
+    // each acknowledged answer bitwise from the healed cache.
+    let mut replayed = 0usize;
+    for shot in &shots {
+        if !load.records.iter().any(|r| r.x_hash == shot.x_hash) {
+            continue;
+        }
+        let out = with_retry(&dir, |c| c.submit_within(shot.matrix, shot.req_seed, 5_000))
+            .map_err(|e| format!("life 2 replay (seed {}): {e}", shot.req_seed))?;
+        if vec_hash(&out.y) != shot.y_hash {
+            return Err(format!(
+                "life 2 replay (seed {}) diverges from the journaled answer",
+                shot.req_seed
+            ));
+        }
+        replayed += 1;
+    }
+    with_retry(&dir, Client::shutdown).map_err(|e| format!("life 2 shutdown: {e}"))?;
+    join_daemon(daemon)?;
+
+    Ok(format!(
+        "{acked} acked, {rejected} rejected (coded), {} journaled, {replayed} replayed \
+         bitwise after restart",
+        load.records.len()
+    ))
+}
+
+/// Runs one call against a fresh connection, retrying transport failures
+/// (chaos-dropped connections, the port-file race) with fresh connections.
+/// Daemon-side coded rejections are final — they are the explicit outcome
+/// the soak classifies, not something to paper over.
+fn with_retry<T>(
+    dir: &Path,
+    mut call: impl FnMut(&mut Client) -> Result<T, CallError>,
+) -> Result<T, CallError> {
+    let mut last = CallError { code: "transport".into(), message: "never attempted".into() };
+    for attempt in 0..4u32 {
+        match Client::connect_dir_within(dir, CONNECT_PATIENCE) {
+            Ok(mut client) => match call(&mut client) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transport() => last = e,
+                Err(e) => return Err(e),
+            },
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(5 << attempt));
+    }
+    Err(last)
+}
+
+fn join_daemon(handle: std::thread::JoinHandle<std::io::Result<()>>) -> Result<(), String> {
+    match handle.join() {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(format!("daemon exited with error: {e}")),
+        Err(_) => Err("daemon thread panicked".to_string()),
+    }
+}

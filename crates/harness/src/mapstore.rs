@@ -29,6 +29,11 @@ pub struct MappingStats {
     pub computed: u64,
     /// Mappings loaded from a persisted artifact.
     pub disk_hits: u64,
+    /// Recomputes that *replaced a present-but-bad artifact* (corrupt,
+    /// truncated, or failing its cross-check) — a subset of `computed`.
+    /// Nonzero `healed` means the store repaired damage, not that it
+    /// merely ran cold.
+    pub healed: u64,
 }
 
 /// A mapping cache, optionally backed by a directory of JSON artifacts.
@@ -37,6 +42,7 @@ pub struct MappingStore {
     dir: Option<PathBuf>,
     computed: AtomicU64,
     disk_hits: AtomicU64,
+    healed: AtomicU64,
 }
 
 /// Content hash of a CSR matrix: dimensions plus every structural array,
@@ -96,6 +102,7 @@ impl MappingStore {
         MappingStats {
             computed: self.computed.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            healed: self.healed.load(Ordering::Relaxed),
         }
     }
 
@@ -108,14 +115,25 @@ impl MappingStore {
     /// a valid artifact exists, computed (and persisted) otherwise.
     pub fn get_or_compute(&self, a: &Csr, kind: MapKind, shape: &MachineShape) -> Mapping {
         let key = mapping_key(matrix_key(a), kind, shape);
+        let mut damaged = false;
         if let Some(path) = self.path_for(key) {
-            if let Some(m) = load_mapping(&path, a, shape) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                return m;
+            match load_mapping(&path, a, shape) {
+                LoadOutcome::Loaded(m) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return m;
+                }
+                // A present-but-undecodable artifact (torn write from a
+                // crashed peer, chaos corruption, hand edit) is healed by
+                // the recompute below, which overwrites it atomically.
+                LoadOutcome::Corrupt => damaged = true,
+                LoadOutcome::Absent => {}
             }
         }
         let m = kind.strategy().map(a, shape);
         self.computed.fetch_add(1, Ordering::Relaxed);
+        if damaged {
+            self.healed.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(path) = self.path_for(key) {
             if let Err(e) = save_mapping(&path, &m) {
                 eprintln!("spacea-harness: could not persist mapping {key:016x}: {e}");
@@ -181,9 +199,20 @@ fn decode_mapping(v: &Json, a: &Csr, shape: &MachineShape) -> Option<Mapping> {
     Some(Mapping { assignment, placement: Placement::from_table(table) })
 }
 
-fn load_mapping(path: &Path, a: &Csr, shape: &MachineShape) -> Option<Mapping> {
-    let text = std::fs::read_to_string(path).ok()?;
-    decode_mapping(&parse(&text).ok()?, a, shape)
+/// What loading a persisted artifact found: a valid mapping, no file at
+/// all, or a file that exists but cannot be trusted.
+enum LoadOutcome {
+    Loaded(Mapping),
+    Absent,
+    Corrupt,
+}
+
+fn load_mapping(path: &Path, a: &Csr, shape: &MachineShape) -> LoadOutcome {
+    let Ok(text) = std::fs::read_to_string(path) else { return LoadOutcome::Absent };
+    parse(&text)
+        .ok()
+        .and_then(|v| decode_mapping(&v, a, shape))
+        .map_or(LoadOutcome::Corrupt, LoadOutcome::Loaded)
 }
 
 fn save_mapping(path: &Path, m: &Mapping) -> std::io::Result<()> {
@@ -234,7 +263,7 @@ mod tests {
         let m1 = store.get_or_compute(&a, MapKind::Proposed, &shape);
         let m2 = store.get_or_compute(&a, MapKind::Proposed, &shape);
         assert_eq!(m1, m2);
-        assert_eq!(store.stats(), MappingStats { computed: 2, disk_hits: 0 });
+        assert_eq!(store.stats(), MappingStats { computed: 2, disk_hits: 0, healed: 0 });
     }
 
     #[test]
@@ -246,13 +275,13 @@ mod tests {
 
         let first = MappingStore::with_dir(&dir);
         let m1 = first.get_or_compute(&a, MapKind::Proposed, &shape);
-        assert_eq!(first.stats(), MappingStats { computed: 1, disk_hits: 0 });
+        assert_eq!(first.stats(), MappingStats { computed: 1, disk_hits: 0, healed: 0 });
 
         // A "restarted process": a fresh store over the same directory must
         // perform zero Phase I/II computations.
         let second = MappingStore::with_dir(&dir);
         let m2 = second.get_or_compute(&a, MapKind::Proposed, &shape);
-        assert_eq!(second.stats(), MappingStats { computed: 0, disk_hits: 1 });
+        assert_eq!(second.stats(), MappingStats { computed: 0, disk_hits: 1, healed: 0 });
         assert_eq!(m1, m2, "warmed mapping must equal the computed one exactly");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -269,11 +298,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(&path, "{ not json").unwrap();
         let m = store.get_or_compute(&a, MapKind::Proposed, &shape);
-        assert_eq!(store.stats(), MappingStats { computed: 1, disk_hits: 0 });
+        assert_eq!(store.stats(), MappingStats { computed: 1, disk_hits: 0, healed: 1 });
         // The recompute overwrote the corrupt artifact; a fresh store hits.
         let again = MappingStore::with_dir(&dir);
         let m2 = again.get_or_compute(&a, MapKind::Proposed, &shape);
-        assert_eq!(again.stats(), MappingStats { computed: 0, disk_hits: 1 });
+        assert_eq!(again.stats(), MappingStats { computed: 0, disk_hits: 1, healed: 0 });
         assert_eq!(m, m2);
         let _ = std::fs::remove_dir_all(&dir);
     }

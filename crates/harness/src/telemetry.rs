@@ -160,6 +160,7 @@ impl RunManifest {
                 Json::obj(vec![
                     ("computed", Json::U64(self.mappings.computed)),
                     ("disk_hits", Json::U64(self.mappings.disk_hits)),
+                    ("healed", Json::U64(self.mappings.healed)),
                 ]),
             ),
             (
@@ -270,7 +271,7 @@ mod tests {
             stats: CacheStats { mem_hits: 0, disk_hits: 1, misses: 1, corrupt: 0 },
             corrupt_paths: Vec::new(),
             abandoned: Vec::new(),
-            mappings: MappingStats { computed: 1, disk_hits: 0 },
+            mappings: MappingStats { computed: 1, disk_hits: 0, healed: 0 },
         }
     }
 

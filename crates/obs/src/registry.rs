@@ -12,9 +12,10 @@
 /// Every registered `(component, name)` gauge pair, sorted.
 ///
 /// The `serve` rows are published by the `spacea-serve` daemon rather than
-/// the machine: per-request queue latency and the width/cost of each fused
-/// batch pass.
-pub const METRICS: [(&str, &str); 14] = [
+/// the machine: per-request queue latency, the width/cost of each fused
+/// batch pass, and the request-lifecycle fault counters (load sheds,
+/// transient-batch retries, deadline cancellations).
+pub const METRICS: [(&str, &str); 17] = [
     ("cam", "l1-hit-rate"),
     ("cam", "l2-hit-rate"),
     ("dram", "row-hit-rate"),
@@ -26,8 +27,11 @@ pub const METRICS: [(&str, &str); 14] = [
     ("pe", "pending"),
     ("serve", "batch-size"),
     ("serve", "cycles-per-request"),
+    ("serve", "deadline-miss"),
     ("serve", "queue-depth"),
     ("serve", "queue-wait-us"),
+    ("serve", "retries"),
+    ("serve", "shed"),
     ("tsv", "bytes"),
 ];
 
@@ -62,5 +66,8 @@ mod tests {
         assert!(is_known("serve", "cycles-per-request"));
         assert!(is_known("serve", "queue-depth"));
         assert!(is_known("serve", "queue-wait-us"));
+        assert!(is_known("serve", "shed"));
+        assert!(is_known("serve", "retries"));
+        assert!(is_known("serve", "deadline-miss"));
     }
 }

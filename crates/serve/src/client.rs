@@ -1,10 +1,54 @@
 //! A blocking client for the daemon's line/JSON protocol.
+//!
+//! Failures carry the daemon's stable error code ([`CallError::code`]):
+//! transport problems use the synthetic `transport` code, daemon-side
+//! rejections carry whatever `code` field the response held (see
+//! [`crate::error::ServeError::code`]). Connecting via the cache
+//! directory retries with backoff: publishing the port file races the
+//! daemon's startup, and losing that race is a reason to wait, not fail.
 
 use crate::protocol::{self, Request, PORT_FILE};
 use spacea_harness::json::Json;
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed: the daemon's stable error code plus the
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallError {
+    /// Stable machine-readable code: a [`crate::error::ServeError::code`]
+    /// value from the daemon, or `"transport"` for connection-level
+    /// failures that never produced a response.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CallError {
+    fn transport(message: impl Into<String>) -> CallError {
+        CallError { code: "transport".into(), message: message.into() }
+    }
+
+    /// True for connection-level failures (as opposed to daemon-side
+    /// coded rejections) — the class a caller may blindly retry against a
+    /// fresh connection.
+    pub fn is_transport(&self) -> bool {
+        self.code == "transport"
+    }
+}
+
+impl fmt::Display for CallError {
+    // Shows the message and the code, so `unwrap_err` output in scripts
+    // and tests names both without extra plumbing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.message, self.code)
+    }
+}
+
+impl std::error::Error for CallError {}
 
 /// What a successful `register` call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,15 +80,19 @@ pub struct SubmitOutcome {
 ///
 /// # Errors
 ///
-/// Returns a message if the file is absent (daemon not up) or malformed.
-pub fn read_port(cache_dir: &Path) -> Result<u16, String> {
+/// Returns a `transport`-coded error if the file is absent (daemon not
+/// up yet) or malformed.
+pub fn read_port(cache_dir: &Path) -> Result<u16, CallError> {
     let path = cache_dir.join(PORT_FILE);
     let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("no daemon port at {}: {e}", path.display()))?;
-    text.trim().parse().map_err(|e| format!("bad port file {}: {e}", path.display()))
+        .map_err(|e| CallError::transport(format!("no daemon port at {}: {e}", path.display())))?;
+    text.trim()
+        .parse()
+        .map_err(|e| CallError::transport(format!("bad port file {}: {e}", path.display())))
 }
 
 /// One connection to a running daemon.
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -55,44 +103,85 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns a message if the connection cannot be established.
-    pub fn connect(port: u16) -> Result<Client, String> {
-        let stream = TcpStream::connect(("127.0.0.1", port))
-            .map_err(|e| format!("cannot reach daemon on port {port}: {e}"))?;
-        let writer = stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?;
+    /// Returns a `transport`-coded error if the connection cannot be
+    /// established.
+    pub fn connect(port: u16) -> Result<Client, CallError> {
+        let stream = TcpStream::connect(("127.0.0.1", port)).map_err(|e| {
+            CallError::transport(format!("cannot reach daemon on port {port}: {e}"))
+        })?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| CallError::transport(format!("cannot clone stream: {e}")))?;
         Ok(Client { reader: BufReader::new(stream), writer })
     }
 
-    /// Connects via the port file a daemon published under `cache_dir`.
+    /// Connects via the port file a daemon published under `cache_dir`,
+    /// retrying for up to five seconds — scripts routinely start the
+    /// daemon and connect in the same breath, and the port file appears a
+    /// beat after the process does.
     ///
     /// # Errors
     ///
-    /// Returns a message if the port file is absent/malformed or the
-    /// connection fails.
-    pub fn connect_dir(cache_dir: &Path) -> Result<Client, String> {
-        Client::connect(read_port(cache_dir)?)
+    /// Returns the last attempt's error once patience runs out.
+    pub fn connect_dir(cache_dir: &Path) -> Result<Client, CallError> {
+        Client::connect_dir_within(cache_dir, Duration::from_secs(5))
+    }
+
+    /// [`Client::connect_dir`] with an explicit patience budget. Retries
+    /// both the port-file race (file not yet published) and connection
+    /// refusal (stale port file from a previous life while the new daemon
+    /// binds) with doubling backoff, starting at 2 ms and capped at
+    /// 200 ms per wait.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's `transport`-coded error once `patience`
+    /// is spent. `Duration::ZERO` makes exactly one attempt.
+    pub fn connect_dir_within(cache_dir: &Path, patience: Duration) -> Result<Client, CallError> {
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(2);
+        loop {
+            let attempt = read_port(cache_dir).and_then(Client::connect);
+            let err = match attempt {
+                Ok(client) => return Ok(client),
+                Err(e) => e,
+            };
+            let left = patience.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                return Err(err);
+            }
+            std::thread::sleep(backoff.min(left));
+            backoff = (backoff * 2).min(Duration::from_millis(200));
+        }
     }
 
     /// Sends one request and decodes the matching response line.
     ///
     /// # Errors
     ///
-    /// Returns a transport error, or the daemon's `error` field when the
-    /// response reports `ok: false`.
-    pub fn call(&mut self, req: &Request) -> Result<Json, String> {
-        writeln!(self.writer, "{}", req.to_line()).map_err(|e| format!("send failed: {e}"))?;
+    /// Returns a `transport`-coded error for connection failures, or the
+    /// daemon's coded error when the response reports `ok: false`.
+    pub fn call(&mut self, req: &Request) -> Result<Json, CallError> {
+        writeln!(self.writer, "{}", req.to_line())
+            .map_err(|e| CallError::transport(format!("send failed: {e}")))?;
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line).map_err(|e| format!("recv failed: {e}"))?;
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| CallError::transport(format!("recv failed: {e}")))?;
         if n == 0 {
-            return Err("daemon hung up".to_string());
+            return Err(CallError::transport("daemon hung up"));
         }
-        let v = spacea_harness::json::parse(line.trim())?;
+        let v = spacea_harness::json::parse(line.trim()).map_err(CallError::transport)?;
         if protocol::is_ok(&v) {
             Ok(v)
         } else {
-            Err(protocol::error_of(&v)
-                .unwrap_or("daemon reported an unspecified error")
-                .to_string())
+            Err(CallError {
+                code: protocol::code_of(&v).to_string(),
+                message: protocol::error_of(&v)
+                    .unwrap_or("daemon reported an unspecified error")
+                    .to_string(),
+            })
         }
     }
 
@@ -101,7 +190,7 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport failures.
-    pub fn ping(&mut self) -> Result<(), String> {
+    pub fn ping(&mut self) -> Result<(), CallError> {
         self.call(&Request::Ping).map(|_| ())
     }
 
@@ -110,10 +199,12 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport failures and daemon-side rejections.
-    pub fn register(&mut self, id: u8, scale: usize) -> Result<RegisterReply, String> {
+    pub fn register(&mut self, id: u8, scale: usize) -> Result<RegisterReply, CallError> {
         let v = self.call(&Request::Register { id, scale })?;
         let field = |name: &str| {
-            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("response lacks {name:?}"))
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CallError::transport(format!("response lacks {name:?}")))
         };
         Ok(RegisterReply {
             matrix: field("matrix")?,
@@ -124,19 +215,42 @@ impl Client {
     }
 
     /// Submits a seeded request vector against a registered matrix and
-    /// blocks for the (possibly fused) result.
+    /// blocks for the (possibly fused) result, under the daemon's default
+    /// deadline.
     ///
     /// # Errors
     ///
-    /// Propagates transport failures and daemon-side rejections.
-    pub fn submit(&mut self, matrix: u64, seed: u64) -> Result<SubmitOutcome, String> {
-        let v = self.call(&Request::Submit { matrix, seed })?;
+    /// Propagates transport failures and daemon-side rejections
+    /// (including `overloaded` and `deadline-exceeded`).
+    pub fn submit(&mut self, matrix: u64, seed: u64) -> Result<SubmitOutcome, CallError> {
+        self.submit_req(&Request::Submit { matrix, seed, deadline_ms: None })
+    }
+
+    /// [`Client::submit`] with an explicit per-request deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`]; `deadline-exceeded` once `deadline_ms`
+    /// elapses without an answer.
+    pub fn submit_within(
+        &mut self,
+        matrix: u64,
+        seed: u64,
+        deadline_ms: u64,
+    ) -> Result<SubmitOutcome, CallError> {
+        self.submit_req(&Request::Submit { matrix, seed, deadline_ms: Some(deadline_ms) })
+    }
+
+    fn submit_req(&mut self, req: &Request) -> Result<SubmitOutcome, CallError> {
+        let v = self.call(req)?;
         let y = v
             .get("y")
             .and_then(protocol::y_from_bits)
-            .ok_or_else(|| "response lacks a decodable \"y\"".to_string())?;
+            .ok_or_else(|| CallError::transport("response lacks a decodable \"y\""))?;
         let field = |name: &str| {
-            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("response lacks {name:?}"))
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CallError::transport(format!("response lacks {name:?}")))
         };
         Ok(SubmitOutcome {
             y,
@@ -151,7 +265,7 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport failures.
-    pub fn stat(&mut self) -> Result<Json, String> {
+    pub fn stat(&mut self) -> Result<Json, CallError> {
         self.call(&Request::Stat)
     }
 
@@ -160,7 +274,48 @@ impl Client {
     /// # Errors
     ///
     /// Propagates transport failures.
-    pub fn shutdown(&mut self) -> Result<(), String> {
+    pub fn shutdown(&mut self) -> Result<(), CallError> {
         self.call(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_dir_retries_across_the_port_file_race() {
+        let dir =
+            std::env::temp_dir().join(format!("spacea-serve-portrace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Nothing listening and no port file: a zero-patience attempt
+        // fails once, immediately.
+        let start = Instant::now();
+        let e = Client::connect_dir_within(&dir, Duration::ZERO).unwrap_err();
+        assert!(e.is_transport(), "{e}");
+        assert!(start.elapsed() < Duration::from_millis(500));
+        // Publish the port file mid-retry; the client must pick it up.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let publisher = {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                std::fs::write(dir.join(PORT_FILE), format!("{port}\n")).unwrap();
+            })
+        };
+        let client = Client::connect_dir_within(&dir, Duration::from_secs(5));
+        publisher.join().unwrap();
+        assert!(client.is_ok(), "{:?}", client.err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn call_error_displays_message_and_code() {
+        let e = CallError { code: "overloaded".into(), message: "queue full".into() };
+        assert_eq!(e.to_string(), "queue full [overloaded]");
+        assert!(!e.is_transport());
+        assert!(CallError::transport("x").is_transport());
     }
 }

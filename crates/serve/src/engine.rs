@@ -4,8 +4,14 @@
 //! The engine owns everything the daemon shares across connections. It is
 //! deliberately free of any transport: `serve_bench` and the unit tests
 //! drive it directly, the TCP [`crate::server`] drives it through
-//! [`crate::service::Service`].
+//! [`crate::service::Service`]. It also owns the robustness state the
+//! service layer hangs off: the [`ChaosState`] runtime of the configured
+//! fault plan, the write-ahead [`AckJournal`], and the shed / retry /
+//! deadline counters the `stat` verb and the manifest expose.
 
+use crate::chaos::{ChaosPlan, ChaosState};
+use crate::error::ServeError;
+use crate::journal::AckJournal;
 use spacea_arch::{HwConfig, Machine, RunSpec, SpmmReport};
 use spacea_harness::json::Json;
 use spacea_harness::mapstore::{mapping_key, matrix_key};
@@ -36,7 +42,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Cache directory: mappings persist under `<cache_dir>/mappings/`,
-    /// the port file, manifest and telemetry export live in its root.
+    /// the acknowledgment journal under `<cache_dir>/journal/`, the port
+    /// file, manifest and telemetry export in its root.
     pub cache_dir: PathBuf,
     /// The machine every request is simulated on.
     pub hw: HwConfig,
@@ -44,16 +51,41 @@ pub struct ServeConfig {
     pub kind: MapKind,
     /// Largest number of requests fused into one SpMM pass.
     pub max_batch: usize,
-    /// Bound of the admission queue; submitters block when it is full.
+    /// Bound of the admission queue channel.
     pub queue_depth: usize,
+    /// Load-shedding high-water mark: a submit that finds this many
+    /// requests already waiting is rejected with an explicit
+    /// `overloaded` error instead of queued.
+    pub shed_mark: usize,
     /// How long the batcher waits after the first request of a batch for
-    /// concurrent requests to arrive and fuse.
+    /// concurrent requests to arrive and fuse — when more work is
+    /// already queued behind it.
     pub gather_window: Duration,
+    /// The gather window used when the first request arrived to an idle
+    /// queue: there is nothing to fuse with, so waiting the full window
+    /// only adds latency.
+    pub gather_idle: Duration,
+    /// Per-request deadline: a request not answered within this budget is
+    /// cancelled with an explicit `deadline-exceeded` error.
+    pub deadline: Duration,
+    /// Bounded retry budget for transient batch failures (hang-class
+    /// failures are never retried).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubled per further attempt
+    /// and jittered deterministically from the matrix key.
+    pub retry_backoff: Duration,
+    /// Flush the telemetry timeline to disk every this many completed
+    /// requests (in addition to the shutdown flush), so a crashed daemon
+    /// still leaves a loadable artifact. `0` disables periodic flushing.
+    pub flush_every: u64,
+    /// The service-layer fault plan (empty outside chaos testing).
+    pub chaos: ChaosPlan,
 }
 
 impl ServeConfig {
     /// The default configuration over `cache_dir`: the paper machine,
-    /// proposed mapping, batches of up to 16 fused requests.
+    /// proposed mapping, batches of up to 16 fused requests, a 30 s
+    /// deadline, shedding at a full admission queue.
     pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
         ServeConfig {
             cache_dir: cache_dir.into(),
@@ -61,7 +93,14 @@ impl ServeConfig {
             kind: MapKind::Proposed,
             max_batch: 16,
             queue_depth: 64,
+            shed_mark: 64,
             gather_window: Duration::from_millis(2),
+            gather_idle: Duration::from_micros(100),
+            deadline: Duration::from_secs(30),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            flush_every: 8,
+            chaos: ChaosPlan::default(),
         }
     }
 
@@ -95,20 +134,34 @@ pub struct EngineStats {
     pub batches: u64,
     /// Widest fused batch seen.
     pub fused_max: u64,
+    /// Requests rejected at admission because the queue crossed the
+    /// shed mark.
+    pub shed: u64,
+    /// Requests cancelled because their deadline elapsed.
+    pub deadline_miss: u64,
+    /// Batch execution retries after transient failures.
+    pub retries: u64,
+    /// Acknowledgments journaled by this engine instance.
+    pub acked: u64,
+    /// Highest admission-queue depth observed (the high-water mark).
+    pub queue_hwm: u64,
     /// Phase I/II computed-vs-warmed counters; `computed == 0` after a
     /// restart over a warm cache is the acceptance check.
     pub mappings: MappingStats,
 }
 
 /// Per-request gauge series under registered `spacea-obs` metric keys.
-/// The "cycle" axis is the request ordinal, so the exported timeline reads
-/// as request history.
+/// The "cycle" axis is the request ordinal (or the event ordinal for the
+/// fault counters), so the exported timeline reads as request history.
 struct Telemetry {
     next: u64,
     queue_wait_us: Series,
     batch_size: Series,
     cycles_per_request: Series,
     queue_depth: Series,
+    shed: Series,
+    retries: Series,
+    deadline_miss: Series,
 }
 
 impl Telemetry {
@@ -120,6 +173,9 @@ impl Telemetry {
             batch_size: series(),
             cycles_per_request: series(),
             queue_depth: series(),
+            shed: series(),
+            retries: series(),
+            deadline_miss: series(),
         }
     }
 }
@@ -130,30 +186,45 @@ pub struct ServeEngine {
     cfg: ServeConfig,
     machine: Machine,
     store: MappingStore,
+    chaos: ChaosState,
+    journal: AckJournal,
     matrices: Mutex<BTreeMap<u64, Arc<Csr>>>,
     mappings: Mutex<BTreeMap<u64, Arc<Mapping>>>,
     requests: AtomicU64,
     batches: AtomicU64,
     fused_max: AtomicU64,
+    shed: AtomicU64,
+    deadline_miss: AtomicU64,
+    retries: AtomicU64,
+    queue_hwm: AtomicU64,
     telemetry: Mutex<Telemetry>,
 }
 
 impl ServeEngine {
     /// A fresh engine over `cfg`; mappings persist under
     /// `<cache_dir>/mappings/` and warm from whatever a previous instance
-    /// left there.
+    /// left there; the acknowledgment journal continues after whatever a
+    /// previous life proved.
     pub fn new(cfg: ServeConfig) -> Self {
         let store = MappingStore::with_dir(cfg.cache_dir.join("mappings"));
+        let journal = AckJournal::open(cfg.cache_dir.join(AckJournal::DIR));
         let machine = Machine::new(cfg.hw.clone());
+        let chaos = ChaosState::new(cfg.chaos);
         ServeEngine {
             cfg,
             machine,
             store,
+            chaos,
+            journal,
             matrices: Mutex::new(BTreeMap::new()),
             mappings: Mutex::new(BTreeMap::new()),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             fused_max: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_miss: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
             telemetry: Mutex::new(Telemetry::new()),
         }
     }
@@ -161,6 +232,16 @@ impl ServeEngine {
     /// This engine's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The runtime state of the configured chaos plan.
+    pub fn chaos(&self) -> &ChaosState {
+        &self.chaos
+    }
+
+    /// The write-ahead acknowledgment journal.
+    pub fn journal(&self) -> &AckJournal {
+        &self.journal
     }
 
     /// Registers a matrix by content: hashes it, stores it under its key,
@@ -180,10 +261,11 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Returns a message for an unknown id or a zero scale.
-    pub fn register_suite(&self, id: u8, scale: usize) -> Result<RegisterInfo, String> {
+    /// Returns [`ServeError::BadRequest`] for an unknown id or a zero
+    /// scale.
+    pub fn register_suite(&self, id: u8, scale: usize) -> Result<RegisterInfo, ServeError> {
         let source = MatrixSource::Suite { id, scale };
-        source.validate()?;
+        source.validate().map_err(ServeError::BadRequest)?;
         Ok(self.register(source.generate()))
     }
 
@@ -209,31 +291,60 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Returns a message for an unknown matrix key, mismatched vector
-    /// lengths, an empty batch, or a simulator failure.
-    pub fn run_batch(&self, key: u64, xs: &[Vec<f64>]) -> Result<SpmmReport, String> {
-        let a = self.matrix(key).ok_or_else(|| format!("unknown matrix {key:016x}"))?;
+    /// [`ServeError::UnknownMatrix`] for an unregistered key,
+    /// [`ServeError::Sim`] for preflight and simulator failures
+    /// (mismatched vector lengths, empty batches, hangs).
+    pub fn run_batch(&self, key: u64, xs: &[Vec<f64>]) -> Result<SpmmReport, ServeError> {
+        let a = self.matrix(key).ok_or(ServeError::UnknownMatrix(key))?;
         let mapping = self.mapping_for(key, &a);
-        let report = self
-            .machine
-            .run(RunSpec::spmm(&a, xs, &mapping))
-            .map_err(|e| e.to_string())?
-            .into_spmm();
+        let report = self.machine.run(RunSpec::spmm(&a, xs, &mapping))?.into_spmm();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests.fetch_add(xs.len() as u64, Ordering::Relaxed);
         self.fused_max.fetch_max(xs.len() as u64, Ordering::Relaxed);
         Ok(report)
     }
 
-    /// Records one completed request into the telemetry series.
+    /// Records one completed request into the telemetry series and
+    /// periodically flushes the timeline artifact (crash safety).
     pub fn note_request(&self, queue_wait_us: f64, batch: usize, cycles: u64, depth: usize) {
-        let mut t = lock(&self.telemetry);
-        let at = t.next;
-        t.next += 1;
-        t.queue_wait_us.record(at, queue_wait_us);
-        t.batch_size.record(at, batch as f64);
-        t.cycles_per_request.record(at, cycles as f64 / batch.max(1) as f64);
-        t.queue_depth.record(at, depth as f64);
+        {
+            let mut t = lock(&self.telemetry);
+            let at = t.next;
+            t.next += 1;
+            t.queue_wait_us.record(at, queue_wait_us);
+            t.batch_size.record(at, batch as f64);
+            t.cycles_per_request.record(at, cycles as f64 / batch.max(1) as f64);
+            t.queue_depth.record(at, depth as f64);
+        }
+        let every = self.cfg.flush_every;
+        if every > 0 && self.requests.load(Ordering::Relaxed).is_multiple_of(every) {
+            if let Err(e) = self.write_timeline() {
+                eprintln!("serve: periodic timeline flush failed: {e}");
+            }
+        }
+    }
+
+    /// Records one shed (admission rejection) at `depth`.
+    pub fn note_shed(&self, depth: usize) {
+        let at = self.shed.fetch_add(1, Ordering::Relaxed);
+        lock(&self.telemetry).shed.record(at, depth as f64);
+    }
+
+    /// Records one deadline cancellation after `waited_ms`.
+    pub fn note_deadline_miss(&self, waited_ms: u64) {
+        let at = self.deadline_miss.fetch_add(1, Ordering::Relaxed);
+        lock(&self.telemetry).deadline_miss.record(at, waited_ms as f64);
+    }
+
+    /// Records one batch retry at backoff attempt `attempt`.
+    pub fn note_retry(&self, attempt: u32) {
+        let at = self.retries.fetch_add(1, Ordering::Relaxed);
+        lock(&self.telemetry).retries.record(at, f64::from(attempt));
+    }
+
+    /// Folds an observed admission-queue depth into the high-water mark.
+    pub fn note_depth(&self, depth: usize) {
+        self.queue_hwm.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
     /// Counter snapshot.
@@ -243,6 +354,11 @@ impl ServeEngine {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             fused_max: self.fused_max.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_miss: self.deadline_miss.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            acked: self.journal.acked(),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
             mappings: self.store.stats(),
         }
     }
@@ -257,6 +373,9 @@ impl ServeEngine {
                 (MetricKey::global("serve", "batch-size"), t.batch_size.clone()),
                 (MetricKey::global("serve", "cycles-per-request"), t.cycles_per_request.clone()),
                 (MetricKey::global("serve", "queue-depth"), t.queue_depth.clone()),
+                (MetricKey::global("serve", "shed"), t.shed.clone()),
+                (MetricKey::global("serve", "retries"), t.retries.clone()),
+                (MetricKey::global("serve", "deadline-miss"), t.deadline_miss.clone()),
             ],
             slices: Vec::new(),
         }
@@ -272,11 +391,17 @@ impl ServeEngine {
             ("requests", Json::U64(s.requests)),
             ("batches", Json::U64(s.batches)),
             ("fused_max", Json::U64(s.fused_max)),
+            ("shed", Json::U64(s.shed)),
+            ("deadline_miss", Json::U64(s.deadline_miss)),
+            ("retries", Json::U64(s.retries)),
+            ("acked", Json::U64(s.acked)),
+            ("queue_hwm", Json::U64(s.queue_hwm)),
             (
                 "mappings",
                 Json::obj(vec![
                     ("computed", Json::U64(s.mappings.computed)),
                     ("disk_hits", Json::U64(s.mappings.disk_hits)),
+                    ("healed", Json::U64(s.mappings.healed)),
                 ]),
             ),
         ])
@@ -296,7 +421,10 @@ impl ServeEngine {
     }
 
     /// Writes the telemetry timeline to `<cache_dir>/serve-timeline.json`
-    /// as Chrome trace JSON (loads in Perfetto).
+    /// as Chrome trace JSON (loads in Perfetto). Called both periodically
+    /// (every `flush_every` requests) and on shutdown, always via
+    /// tmp+rename, so the artifact is loadable at every instant — even
+    /// after a SIGKILL between flushes.
     ///
     /// # Errors
     ///
@@ -344,7 +472,8 @@ mod tests {
         let c = engine.register_suite(2, 256).unwrap();
         assert_ne!(a.key, c.key);
         assert_eq!(engine.stats().registered, 2);
-        assert!(engine.register_suite(99, 256).is_err());
+        let e = engine.register_suite(99, 256).unwrap_err();
+        assert_eq!(e.code(), "bad-request");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -376,7 +505,7 @@ mod tests {
         let first = ServeEngine::new(ServeConfig::quick(&dir));
         first.register_suite(1, 256).unwrap();
         first.register_suite(2, 256).unwrap();
-        assert_eq!(first.stats().mappings, MappingStats { computed: 2, disk_hits: 0 });
+        assert_eq!(first.stats().mappings, MappingStats { computed: 2, disk_hits: 0, healed: 0 });
 
         // The "restarted daemon": a fresh engine over the same cache dir.
         let second = ServeEngine::new(ServeConfig::quick(&dir));
@@ -384,7 +513,7 @@ mod tests {
         second.register_suite(2, 256).unwrap();
         assert_eq!(
             second.stats().mappings,
-            MappingStats { computed: 0, disk_hits: 2 },
+            MappingStats { computed: 0, disk_hits: 2, healed: 0 },
             "a warm restart must not re-run Phase I/II"
         );
         // And a submit on the warmed mapping still answers correctly.
@@ -392,6 +521,40 @@ mod tests {
         let rep = second.run_batch(info.key, std::slice::from_ref(&x)).unwrap();
         let a = second.matrix(info.key).unwrap();
         assert_eq!(rep.outputs[0], a.spmv(&x));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_corruption_is_healed_by_the_mapping_store() {
+        let dir = tmp_dir("heal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = ServeEngine::new(ServeConfig::quick(&dir));
+        first.register_suite(1, 256).unwrap();
+        first.register_suite(2, 256).unwrap();
+
+        // A chaos plan corrupts one artifact and truncates the other at
+        // "startup"; the restarted engine must recompute both, heal the
+        // files, and still answer correctly.
+        let cfg = ServeConfig {
+            chaos: ChaosPlan::parse("corrupt-map=0,truncate-map=1").unwrap(),
+            ..ServeConfig::quick(&dir)
+        };
+        let second = ServeEngine::new(cfg);
+        second.chaos().apply_map_corruption(&dir.join("mappings"));
+        let info = second.register_suite(1, 256).unwrap();
+        second.register_suite(2, 256).unwrap();
+        let m = second.stats().mappings;
+        assert_eq!((m.computed, m.healed), (2, 2), "{m:?}");
+        let x = seeded_vector(info.cols, 3);
+        let rep = second.run_batch(info.key, std::slice::from_ref(&x)).unwrap();
+        let a = second.matrix(info.key).unwrap();
+        assert_eq!(rep.outputs[0], a.spmv(&x));
+
+        // Healed on disk: a third engine warms cleanly again.
+        let third = ServeEngine::new(ServeConfig::quick(&dir));
+        third.register_suite(1, 256).unwrap();
+        third.register_suite(2, 256).unwrap();
+        assert_eq!(third.stats().mappings, MappingStats { computed: 0, disk_hits: 2, healed: 0 });
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -405,15 +568,34 @@ mod tests {
         engine.run_batch(info.key, &xs).unwrap();
         engine.note_request(12.5, 2, 1000, 0);
         engine.note_request(3.0, 2, 1000, 0);
+        engine.note_shed(7);
+        engine.note_retry(1);
+        engine.note_deadline_miss(250);
+        engine.note_depth(5);
         let path = engine.write_manifest().unwrap();
         let v = parse(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(v.get("requests").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("batches").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("shed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("retries").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("deadline_miss").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("queue_hwm").unwrap().as_u64(), Some(5));
         let maps = v.get("mappings").unwrap();
         assert_eq!(maps.get("computed").unwrap().as_u64(), Some(1));
+        assert_eq!(maps.get("healed").unwrap().as_u64(), Some(0));
         let tl = engine.timeline();
-        assert_eq!(tl.series.len(), 4);
-        assert!(tl.series.iter().all(|(_, s)| s.total_count() == 2));
+        assert_eq!(tl.series.len(), 7);
+        let by_name = |name: &str| {
+            tl.series
+                .iter()
+                .find(|(k, _)| k.name == name)
+                .map(|(_, s)| s.total_count())
+                .unwrap_or(0)
+        };
+        assert_eq!(by_name("queue-wait-us"), 2);
+        assert_eq!(by_name("shed"), 1);
+        assert_eq!(by_name("retries"), 1);
+        assert_eq!(by_name("deadline-miss"), 1);
         engine.write_timeline().unwrap();
         let text = std::fs::read_to_string(dir.join(TIMELINE_FILE)).unwrap();
         spacea_obs::json::validate_chrome_trace(&text).unwrap();
@@ -425,10 +607,13 @@ mod tests {
         let dir = tmp_dir("err");
         let _ = std::fs::remove_dir_all(&dir);
         let engine = ServeEngine::new(ServeConfig::quick(&dir));
-        assert!(engine.run_batch(42, &[vec![1.0]]).is_err());
+        let e = engine.run_batch(42, &[vec![1.0]]).unwrap_err();
+        assert_eq!(e.code(), "unknown-matrix");
         let info = engine.register_suite(1, 256).unwrap();
-        assert!(engine.run_batch(info.key, &[]).is_err(), "empty batch");
-        assert!(engine.run_batch(info.key, &[vec![1.0; 3]]).is_err(), "wrong length");
+        let e = engine.run_batch(info.key, &[]).unwrap_err();
+        assert_eq!(e.code(), "bad-request", "empty batch: {e}");
+        let e = engine.run_batch(info.key, &[vec![1.0; 3]]).unwrap_err();
+        assert_eq!(e.code(), "bad-request", "wrong length: {e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

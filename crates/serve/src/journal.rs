@@ -1,0 +1,255 @@
+//! The write-ahead acknowledgment journal: proof of every answered
+//! request that survives a daemon crash.
+//!
+//! Before the batcher sends a success reply to any submitter, it appends
+//! one journal entry per fused member to `<cache-dir>/journal/` — a
+//! single `ack-<seq>.json` file per batch, written tmp-file + atomic
+//! rename. The ordering is the contract: **journal first, acknowledge
+//! second**, so the set of journaled requests is always a superset of the
+//! acknowledged ones. A daemon that is SIGKILLed mid-batch therefore
+//! leaves a journal from which a restarted daemon (or the chaos soak's
+//! invariant checker) can prove exactly which requests were answered, and
+//! — because each entry carries FNV content hashes of the input and
+//! output vectors — *what* was answered, bitwise.
+//!
+//! Each record holds `(matrix, x_hash, y_hash, batch, cycles)`. The
+//! checker recomputes the offline [`spacea_matrix::Csr::spmv`] for the
+//! request whose input hashes to `x_hash` and fails if the journaled
+//! `y_hash` differs: a journal can prove an answer lost, late, or
+//! rejected, but never wrong.
+
+use crate::engine::write_atomic;
+use spacea_harness::job::Fnv;
+use spacea_harness::json::{parse, Json};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV content hash of a float vector over exact IEEE-754 bit patterns —
+/// the identity requests and responses are journaled under.
+pub fn vec_hash(v: &[f64]) -> u64 {
+    let mut h = Fnv::new();
+    h.str("spacea-vec-v1");
+    h.usize(v.len());
+    for &x in v {
+        h.f64(x);
+    }
+    h.finish()
+}
+
+/// One acknowledged request: what was asked, what was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckRecord {
+    /// Content key of the matrix the request ran against.
+    pub matrix: u64,
+    /// [`vec_hash`] of the input vector.
+    pub x_hash: u64,
+    /// [`vec_hash`] of the output vector that was acknowledged.
+    pub y_hash: u64,
+    /// Width of the fused batch that answered this request.
+    pub batch: usize,
+    /// Simulated cycles of that batch.
+    pub cycles: u64,
+}
+
+impl AckRecord {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("matrix", Json::U64(self.matrix)),
+            ("x_hash", Json::U64(self.x_hash)),
+            ("y_hash", Json::U64(self.y_hash)),
+            ("batch", Json::U64(self.batch as u64)),
+            ("cycles", Json::U64(self.cycles)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<AckRecord> {
+        let field = |name: &str| v.get(name).and_then(Json::as_u64);
+        Some(AckRecord {
+            matrix: field("matrix")?,
+            x_hash: field("x_hash")?,
+            y_hash: field("y_hash")?,
+            batch: field("batch")? as usize,
+            cycles: field("cycles")?,
+        })
+    }
+}
+
+/// What loading a journal directory found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalLoad {
+    /// Every decodable record, in batch-sequence order.
+    pub records: Vec<AckRecord>,
+    /// Files that were present but unreadable or undecodable. A nonzero
+    /// count after a *graceful* shutdown is a bug; after a crash it can
+    /// only be 0 — torn writes never survive the tmp+rename protocol.
+    pub corrupt_files: usize,
+}
+
+/// An append-only acknowledgment journal over one directory.
+#[derive(Debug)]
+pub struct AckJournal {
+    dir: PathBuf,
+    seq: AtomicU64,
+    acked: AtomicU64,
+}
+
+impl AckJournal {
+    /// Name of the journal directory under the daemon's cache directory.
+    pub const DIR: &'static str = "journal";
+
+    /// Opens (or starts) a journal in `dir`, continuing after the highest
+    /// existing sequence number so restarts never overwrite prior proof.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let next = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| seq_of(&e.path()))
+                .max()
+                .map_or(0, |max| max + 1),
+            Err(_) => 0,
+        };
+        AckJournal { dir, seq: AtomicU64::new(next), acked: AtomicU64::new(0) }
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records acknowledged through this handle (restart-local; the disk
+    /// journal itself accumulates across lives).
+    pub fn acked(&self) -> u64 {
+        self.acked.load(Ordering::Relaxed)
+    }
+
+    /// Appends one batch worth of acknowledgments as a single atomic
+    /// file. Call this *before* sending any of the batch's replies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures; on error nothing
+    /// was journaled (the tmp file never became visible).
+    pub fn append(&self, records: &[AckRecord]) -> std::io::Result<PathBuf> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("ack-{seq:08}.json"));
+        let body = Json::obj(vec![
+            ("version", Json::U64(1)),
+            ("seq", Json::U64(seq)),
+            ("acks", Json::Arr(records.iter().map(|r| r.to_json()).collect())),
+        ]);
+        write_atomic(&path, &body.to_text())?;
+        self.acked.fetch_add(records.len() as u64, Ordering::Relaxed);
+        Ok(path)
+    }
+
+    /// Loads every journal file under `dir`, in sequence order. Missing
+    /// directory means an empty journal, not an error.
+    pub fn load(dir: &Path) -> JournalLoad {
+        let mut out = JournalLoad::default();
+        let Ok(entries) = std::fs::read_dir(dir) else { return out };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| seq_of(p).is_some())
+            .collect();
+        files.sort();
+        for path in files {
+            match std::fs::read_to_string(&path).ok().and_then(|t| decode_file(&t)) {
+                Some(mut records) => out.records.append(&mut records),
+                None => out.corrupt_files += 1,
+            }
+        }
+        out
+    }
+}
+
+/// The sequence number of an `ack-<seq>.json` path, if it is one.
+fn seq_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("ack-")?.strip_suffix(".json")?;
+    digits.parse().ok()
+}
+
+fn decode_file(text: &str) -> Option<Vec<AckRecord>> {
+    let v = parse(text).ok()?;
+    if v.get("version")?.as_u64()? != 1 {
+        return None;
+    }
+    v.get("acks")?.as_arr()?.iter().map(AckRecord::from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("spacea-journal-{tag}-{}", std::process::id()))
+    }
+
+    fn rec(matrix: u64, x: u64) -> AckRecord {
+        AckRecord { matrix, x_hash: x, y_hash: x ^ 0xABCD, batch: 2, cycles: 1000 + x }
+    }
+
+    #[test]
+    fn append_then_load_round_trips_in_order() {
+        let dir = tmp_dir("rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = AckJournal::open(&dir);
+        j.append(&[rec(1, 10), rec(1, 11)]).unwrap();
+        j.append(&[rec(2, 20)]).unwrap();
+        assert_eq!(j.acked(), 3);
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.corrupt_files, 0);
+        assert_eq!(load.records, vec![rec(1, 10), rec(1, 11), rec(2, 20)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_continues_the_sequence() {
+        let dir = tmp_dir("seq");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = AckJournal::open(&dir);
+        first.append(&[rec(1, 1)]).unwrap();
+        first.append(&[rec(1, 2)]).unwrap();
+        // A restarted daemon must append after, never over, prior proof.
+        let second = AckJournal::open(&dir);
+        second.append(&[rec(9, 9)]).unwrap();
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.records.len(), 3);
+        assert_eq!(load.records[2], rec(9, 9));
+        assert_eq!(second.acked(), 1, "acked counter is restart-local");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_counted_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = AckJournal::open(&dir);
+        j.append(&[rec(1, 1)]).unwrap();
+        std::fs::write(dir.join("ack-00000099.json"), "{ torn").unwrap();
+        std::fs::write(dir.join("not-a-journal.txt"), "ignored").unwrap();
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.records, vec![rec(1, 1)]);
+        assert_eq!(load.corrupt_files, 1);
+        // And open() skips past the corrupt file's sequence number.
+        let next = AckJournal::open(&dir);
+        let path = next.append(&[rec(2, 2)]).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().contains("00000100"), "{path:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_journal() {
+        let dir = tmp_dir("absent").join("never-created");
+        let load = AckJournal::load(&dir);
+        assert_eq!(load, JournalLoad::default());
+    }
+
+    #[test]
+    fn vec_hash_tracks_bit_content() {
+        assert_eq!(vec_hash(&[1.0, -0.0]), vec_hash(&[1.0, -0.0]));
+        assert_ne!(vec_hash(&[1.0, -0.0]), vec_hash(&[1.0, 0.0]), "negative zero is distinct");
+        assert_ne!(vec_hash(&[]), vec_hash(&[0.0]));
+    }
+}

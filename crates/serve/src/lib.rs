@@ -26,21 +26,43 @@
 //!   CLI verbs in `spacea-bench`.
 //!
 //! Per-request telemetry — queue wait, fused batch width, cycles per
-//! request, queue depth — is recorded under registered `spacea-obs` metric
-//! keys and exported as a Chrome-trace timeline on shutdown, next to a
+//! request, queue depth, plus the shed/retry/deadline fault counters — is
+//! recorded under registered `spacea-obs` metric keys and exported as a
+//! Chrome-trace timeline both periodically and on shutdown, next to a
 //! `serve-manifest.json` whose `mappings.computed` counter is the
 //! warm-cache acceptance check.
+//!
+//! # Robustness
+//!
+//! The service layer carries the PR 3 fault-injection philosophy up from
+//! the simulator: [`chaos::ChaosPlan`] is a deterministic, seed-replayable
+//! fault plan (dropped/delayed connections, killed or wedged batches,
+//! stalled requests, corrupted mapping artifacts) injected via
+//! `serve start --chaos`, and the request-lifecycle guarantees in
+//! [`service::Service`] — explicit [`error::ServeError`] codes for
+//! overload and deadline rejection, bounded jittered retry of transient
+//! faults, and the write-ahead [`journal::AckJournal`] — are what make
+//! every fault survivable. The `serve_chaos` bench bin soaks seeded plans
+//! against a live daemon and enforces the core invariant: an acknowledged
+//! request is bitwise-correct and journaled; an accepted request is never
+//! silently lost.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod engine;
+pub mod error;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::Client;
+pub use chaos::{ChaosPlan, ChaosState};
+pub use client::{CallError, Client};
 pub use engine::{EngineStats, RegisterInfo, ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use journal::{vec_hash, AckJournal, AckRecord};
 pub use protocol::{seeded_vector, Request, PORT_FILE};
 pub use server::run_daemon;
 pub use service::{Service, SubmitReply};

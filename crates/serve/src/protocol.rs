@@ -34,6 +34,10 @@ pub enum Request {
         matrix: u64,
         /// Seed of the input vector (see [`seeded_vector`]).
         seed: u64,
+        /// Per-request deadline override in milliseconds; `None` uses the
+        /// daemon's configured default. A request not answered in time is
+        /// rejected with the `deadline-exceeded` code.
+        deadline_ms: Option<u64>,
     },
     /// Fetch engine counters.
     Stat,
@@ -51,11 +55,17 @@ impl Request {
                 ("id", Json::U64(u64::from(*id))),
                 ("scale", Json::U64(*scale as u64)),
             ]),
-            Request::Submit { matrix, seed } => Json::obj(vec![
-                ("cmd", Json::Str("submit".into())),
-                ("matrix", Json::U64(*matrix)),
-                ("seed", Json::U64(*seed)),
-            ]),
+            Request::Submit { matrix, seed, deadline_ms } => {
+                let mut fields = vec![
+                    ("cmd", Json::Str("submit".into())),
+                    ("matrix", Json::U64(*matrix)),
+                    ("seed", Json::U64(*seed)),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms", Json::U64(*ms)));
+                }
+                Json::obj(fields)
+            }
             Request::Stat => Json::obj(vec![("cmd", Json::Str("stat".into()))]),
             Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
         }
@@ -91,9 +101,11 @@ impl Request {
                 let id = u8::try_from(id).map_err(|_| format!("suite id {id} out of range"))?;
                 Ok(Request::Register { id, scale: need_u64("scale")? as usize })
             }
-            "submit" => {
-                Ok(Request::Submit { matrix: need_u64("matrix")?, seed: need_u64("seed")? })
-            }
+            "submit" => Ok(Request::Submit {
+                matrix: need_u64("matrix")?,
+                seed: need_u64("seed")?,
+                deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+            }),
             "stat" => Ok(Request::Stat),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command {other:?}")),
@@ -108,9 +120,23 @@ pub fn ok(fields: Vec<(&str, Json)>) -> Json {
     Json::obj(all)
 }
 
-/// An error response: `{"ok": false, "error": msg}`.
+/// An error response: `{"ok": false, "error": msg}` with the generic
+/// `internal` code. Prefer [`err_code`] when a more specific code exists.
 pub fn err(msg: &str) -> Json {
-    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::Str(msg.into()))])
+    err_code("internal", msg)
+}
+
+/// An error response carrying a stable machine-readable code alongside the
+/// human-readable message: `{"ok": false, "code": code, "error": msg}`.
+/// The codes are [`crate::error::ServeError::code`] values; clients branch
+/// on the code (retry `overloaded`, surface `deadline-exceeded`), never on
+/// the message text.
+pub fn err_code(code: &str, msg: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str(code.into())),
+        ("error", Json::Str(msg.into())),
+    ])
 }
 
 /// Whether a response reports success.
@@ -121,6 +147,12 @@ pub fn is_ok(v: &Json) -> bool {
 /// The error message of a failed response, if present.
 pub fn error_of(v: &Json) -> Option<&str> {
     v.get("error").and_then(Json::as_str)
+}
+
+/// The machine-readable error code of a failed response. Responses from
+/// daemons predating the code field decode as `"internal"`.
+pub fn code_of(v: &Json) -> &str {
+    v.get("code").and_then(Json::as_str).unwrap_or("internal")
 }
 
 /// Encodes an output vector as an array of IEEE-754 bit patterns.
@@ -158,7 +190,8 @@ mod tests {
         let all = [
             Request::Ping,
             Request::Register { id: 3, scale: 256 },
-            Request::Submit { matrix: 0xDEAD_BEEF_0123_4567, seed: 42 },
+            Request::Submit { matrix: 0xDEAD_BEEF_0123_4567, seed: 42, deadline_ms: None },
+            Request::Submit { matrix: 7, seed: 0, deadline_ms: Some(250) },
             Request::Stat,
             Request::Shutdown,
         ];
@@ -204,5 +237,17 @@ mod tests {
         let bad = err("nope");
         assert!(!is_ok(&bad));
         assert_eq!(error_of(&bad), Some("nope"));
+        assert_eq!(code_of(&bad), "internal");
+    }
+
+    #[test]
+    fn coded_errors_round_trip_their_code() {
+        let v = err_code("overloaded", "queue full");
+        assert!(!is_ok(&v));
+        assert_eq!(code_of(&v), "overloaded");
+        assert_eq!(error_of(&v), Some("queue full"));
+        // A code-less legacy error decodes as the generic internal code.
+        let legacy = Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::Str("x".into()))]);
+        assert_eq!(code_of(&legacy), "internal");
     }
 }

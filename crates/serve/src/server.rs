@@ -6,8 +6,17 @@
 //! `<cache_dir>/serve.port` — a script that sees the port file can
 //! connect immediately. On shutdown the daemon flushes its manifest and
 //! telemetry timeline, then removes the port file.
+//!
+//! When a [`crate::chaos::ChaosPlan`] is configured, its startup faults
+//! (mapping-artifact corruption) are applied before the first register
+//! warms the cache, and its connection faults (drop/delay by accept
+//! ordinal) are applied here at the listener — so the client's connect
+//! retry and the mapping store's healing path are exercised against real
+//! damage, deterministically.
 
+use crate::chaos::ConnFault;
 use crate::engine::{write_atomic, ServeConfig, ServeEngine};
+use crate::error::ServeError;
 use crate::protocol::{self, Request, PORT_FILE};
 use crate::service::Service;
 use spacea_harness::json::Json;
@@ -26,7 +35,11 @@ use std::time::Duration;
 /// Propagates listener-setup and cache-directory I/O failures. Per-
 /// connection errors are logged and never take the daemon down.
 pub fn run_daemon(cfg: ServeConfig, port: u16) -> std::io::Result<()> {
+    let mappings_dir = cfg.cache_dir.join("mappings");
     let engine = Arc::new(ServeEngine::new(cfg));
+    // Chaos startup faults bite before anything warms from disk, so the
+    // register path below sees (and heals) the damage.
+    engine.chaos().apply_map_corruption(&mappings_dir);
     let service = Service::over(Arc::clone(&engine));
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     listener.set_nonblocking(true)?;
@@ -38,15 +51,30 @@ pub fn run_daemon(cfg: ServeConfig, port: u16) -> std::io::Result<()> {
         "serve: listening on 127.0.0.1:{bound} (cache {})",
         engine.config().cache_dir.display()
     );
+    if !engine.chaos().plan().is_empty() {
+        eprintln!("serve: chaos plan armed: {}", engine.chaos().plan());
+    }
 
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
+                    let fault = engine.chaos().on_connection();
+                    if fault == Some(ConnFault::Drop) {
+                        // Close before reading a byte: the client sees a
+                        // hangup on a connection that acknowledged nothing.
+                        drop(stream);
+                        continue;
+                    }
                     let service = &service;
                     let stop = &stop;
-                    scope.spawn(move || handle_connection(stream, service, stop));
+                    scope.spawn(move || {
+                        if let Some(ConnFault::Delay(d)) = fault {
+                            std::thread::sleep(d);
+                        }
+                        handle_connection(stream, service, stop);
+                    });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
@@ -95,7 +123,7 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
         }
         let response = match Request::parse(line.trim()) {
             Ok(req) => dispatch(req, service, stop),
-            Err(e) => protocol::err(&e),
+            Err(e) => protocol::err_code("bad-request", &e),
         };
         if writeln!(writer, "{}", response.to_text()).is_err() {
             return;
@@ -104,6 +132,11 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool) {
             return;
         }
     }
+}
+
+/// A wire error response from a [`ServeError`]: stable code plus message.
+fn err_of(e: &ServeError) -> Json {
+    protocol::err_code(e.code(), &e.to_string())
 }
 
 /// Executes one request against the service and builds the response.
@@ -121,14 +154,15 @@ fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
                     ("nnz", Json::U64(info.nnz as u64)),
                 ])
             }
-            Err(e) => protocol::err(&e),
+            Err(e) => err_of(&e),
         },
-        Request::Submit { matrix, seed } => {
+        Request::Submit { matrix, seed, deadline_ms } => {
             let Some(a) = engine.matrix(matrix) else {
-                return protocol::err(&format!("unknown matrix {matrix:016x}"));
+                return err_of(&ServeError::UnknownMatrix(matrix));
             };
             let x = protocol::seeded_vector(a.cols(), seed);
-            match service.submit(matrix, x) {
+            let deadline = deadline_ms.map_or(engine.config().deadline, Duration::from_millis);
+            match service.submit_within(matrix, x, deadline) {
                 Ok(reply) => {
                     note_flush(engine);
                     protocol::ok(vec![
@@ -138,7 +172,7 @@ fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
                         ("queue_wait_us", Json::U64(reply.queue_wait_us)),
                     ])
                 }
-                Err(e) => protocol::err(&e),
+                Err(e) => err_of(&e),
             }
         }
         Request::Stat => {
@@ -148,8 +182,15 @@ fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
                 ("requests", Json::U64(s.requests)),
                 ("batches", Json::U64(s.batches)),
                 ("fused_max", Json::U64(s.fused_max)),
+                ("shed", Json::U64(s.shed)),
+                ("deadline_miss", Json::U64(s.deadline_miss)),
+                ("retries", Json::U64(s.retries)),
+                ("acked", Json::U64(s.acked)),
+                ("queue_depth", Json::U64(service.depth() as u64)),
+                ("queue_hwm", Json::U64(s.queue_hwm)),
                 ("mappings_computed", Json::U64(s.mappings.computed)),
                 ("mappings_disk_hits", Json::U64(s.mappings.disk_hits)),
+                ("mappings_healed", Json::U64(s.mappings.healed)),
             ])
         }
         Request::Shutdown => {

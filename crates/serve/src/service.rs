@@ -7,16 +7,50 @@
 //! returns (see the `spmm_equivalence` property tests in `spacea-arch`),
 //! so the batcher is pure scheduling — it only decides *latency*, never
 //! *values*.
+//!
+//! # Request lifecycle guarantees
+//!
+//! Every request admitted by [`Service::submit`] terminates in exactly one
+//! of three ways, all explicit:
+//!
+//! 1. **Acknowledged** — its batch executed and the reply carries the
+//!    output vector. The acknowledgment was journaled (see
+//!    [`crate::journal`]) *before* the reply was sent.
+//! 2. **Rejected with a coded error** — [`ServeError::Overloaded`] at
+//!    admission when the queue depth crosses the shed mark,
+//!    [`ServeError::DeadlineExceeded`] when the per-request deadline
+//!    elapses first, or a simulator/injection error after the bounded
+//!    retry budget (transient faults retried with splitmix-jittered
+//!    exponential backoff; hang-class never retried, mirroring the PR 3
+//!    supervision policy).
+//! 3. **[`ServeError::Lost`]** — the batcher thread died. This code
+//!    existing is what makes "silently lost" impossible: a request that
+//!    cannot be answered still gets a reply naming that fact.
 
 use crate::engine::ServeEngine;
+use crate::error::ServeError;
+use crate::journal::{vec_hash, AckRecord};
 use std::collections::VecDeque;
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Deterministic backoff jitter in `[0.5, 1.5)` from the matrix key and
+/// attempt number — the same splitmix64 mixing (and the same range) as the
+/// harness supervisor's, so concurrent retries spread out instead of
+/// thundering in lockstep, without any wall-clock randomness.
+fn jitter_factor(key: u64, attempt: u32) -> f64 {
+    let mut z = key ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// What one completed request returns to its submitter.
@@ -36,30 +70,41 @@ pub struct SubmitReply {
 struct Pending {
     matrix: u64,
     x: Vec<f64>,
+    /// Admission ordinal (0-based), the address chaos `stall-req` uses.
+    ordinal: u64,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<SubmitReply, String>>,
+    deadline: Instant,
+    reply: mpsc::Sender<Result<SubmitReply, ServeError>>,
 }
 
 /// A running batching service over a [`ServeEngine`].
 ///
 /// [`Service::submit`] blocks the calling thread until its request has
-/// been executed (possibly fused with others) and returns the reply; the
-/// bounded admission queue applies backpressure by blocking submitters
-/// once `queue_depth` requests are waiting.
+/// been executed (possibly fused with others) and returns the reply. Two
+/// mechanisms bound that wait: the admission queue sheds load with an
+/// explicit [`ServeError::Overloaded`] once `shed_mark` requests are in
+/// flight, and every admitted request carries a deadline after which the
+/// submitter is released with [`ServeError::DeadlineExceeded`].
 pub struct Service {
     engine: Arc<ServeEngine>,
     tx: Mutex<Option<SyncSender<Pending>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// Requests admitted but not yet finished (replied or cancelled).
+    depth: Arc<AtomicUsize>,
+    /// Admission ordinal counter for chaos stall addressing.
+    admitted: AtomicU64,
 }
 
 impl Service {
     /// Starts the batcher thread over an existing engine.
     pub fn over(engine: Arc<ServeEngine>) -> Self {
         let (tx, rx) = mpsc::sync_channel::<Pending>(engine.config().queue_depth.max(1));
+        let depth = Arc::new(AtomicUsize::new(0));
         let worker_engine = Arc::clone(&engine);
+        let worker_depth = Arc::clone(&depth);
         let spawned = std::thread::Builder::new()
             .name("serve-batcher".into())
-            .spawn(move || batcher_loop(&worker_engine, &rx));
+            .spawn(move || batcher_loop(&worker_engine, &rx, &worker_depth));
         let (tx, worker) = match spawned {
             Ok(handle) => (Some(tx), Some(handle)),
             Err(e) => {
@@ -69,7 +114,13 @@ impl Service {
                 (None, None)
             }
         };
-        Service { engine, tx: Mutex::new(tx), worker: Mutex::new(worker) }
+        Service {
+            engine,
+            tx: Mutex::new(tx),
+            worker: Mutex::new(worker),
+            depth,
+            admitted: AtomicU64::new(0),
+        }
     }
 
     /// The engine this service executes on.
@@ -77,19 +128,81 @@ impl Service {
         &self.engine
     }
 
-    /// Submits one request and blocks until its batch has executed.
+    /// Requests currently admitted and not yet finished.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Submits one request under the configured default deadline.
     ///
     /// # Errors
     ///
-    /// Returns a message if the service is stopped, the matrix key is
-    /// unknown, the vector length mismatches, or the simulator fails.
-    pub fn submit(&self, matrix: u64, x: Vec<f64>) -> Result<SubmitReply, String> {
-        let tx = lock(&self.tx).clone().ok_or_else(|| "service is stopped".to_string())?;
+    /// Every failure is a coded [`ServeError`]; see the module docs for
+    /// the lifecycle contract.
+    pub fn submit(&self, matrix: u64, x: Vec<f64>) -> Result<SubmitReply, ServeError> {
+        self.submit_within(matrix, x, self.engine.config().deadline)
+    }
+
+    /// Submits one request and blocks until it is answered, rejected, or
+    /// `deadline` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when shed at admission,
+    /// [`ServeError::DeadlineExceeded`] when the deadline elapses first,
+    /// [`ServeError::Stopped`] after [`Service::stop`],
+    /// [`ServeError::Lost`] if the batcher died mid-flight, and the
+    /// engine's own errors for unknown matrices or simulator failures.
+    pub fn submit_within(
+        &self,
+        matrix: u64,
+        x: Vec<f64>,
+        deadline: Duration,
+    ) -> Result<SubmitReply, ServeError> {
+        let tx = lock(&self.tx).clone().ok_or(ServeError::Stopped)?;
+        let waiting = self.depth.load(Ordering::Relaxed);
+        if waiting >= self.engine.config().shed_mark.max(1) {
+            self.engine.note_shed(waiting);
+            return Err(ServeError::Overloaded { depth: waiting });
+        }
+        let now = Instant::now();
         let (reply_tx, reply_rx) = mpsc::channel();
-        let pending = Pending { matrix, x, enqueued: Instant::now(), reply: reply_tx };
-        tx.send(pending).map_err(|_| "service is stopped".to_string())?;
+        let pending = Pending {
+            matrix,
+            x,
+            ordinal: self.admitted.fetch_add(1, Ordering::Relaxed),
+            enqueued: now,
+            deadline: now + deadline,
+            reply: reply_tx,
+        };
+        // Admitted requests own one unit of depth until the batcher
+        // finishes them (reply or cancellation); rejected sends give the
+        // unit straight back.
+        let depth_now = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.engine.note_depth(depth_now);
+        match tx.try_send(pending) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.engine.note_shed(depth_now);
+                return Err(ServeError::Overloaded { depth: depth_now });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(ServeError::Stopped);
+            }
+        }
         drop(tx);
-        reply_rx.recv().map_err(|_| "service dropped the request".to_string())?
+        match reply_rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            // The batcher still owns the request and will cancel (or
+            // late-answer into this closed channel and journal) it; either
+            // way the submitter leaves with an explicit coded error now.
+            Err(RecvTimeoutError::Timeout) => {
+                Err(ServeError::DeadlineExceeded { waited_ms: now.elapsed().as_millis() as u64 })
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Lost),
+        }
     }
 
     /// Stops the batcher: hangs up the admission queue, drains what is
@@ -111,9 +224,9 @@ impl Drop for Service {
 /// The batcher: waits for a request, gathers concurrent ones for a short
 /// window, fuses the same-matrix prefix-by-arrival into one SpMM pass,
 /// and replies to every member.
-fn batcher_loop(engine: &ServeEngine, rx: &mpsc::Receiver<Pending>) {
-    let max_batch = engine.config().max_batch.max(1);
-    let gather = engine.config().gather_window;
+fn batcher_loop(engine: &ServeEngine, rx: &mpsc::Receiver<Pending>, depth: &AtomicUsize) {
+    let cfg = engine.config();
+    let max_batch = cfg.max_batch.max(1);
     let mut pending: VecDeque<Pending> = VecDeque::new();
     loop {
         if pending.is_empty() {
@@ -121,51 +234,148 @@ fn batcher_loop(engine: &ServeEngine, rx: &mpsc::Receiver<Pending>) {
                 Ok(p) => pending.push_back(p),
                 Err(_) => return, // hung up and fully drained
             }
-        }
-        // Gather window: let concurrent requests arrive so they can fuse.
-        let deadline = Instant::now() + gather;
-        while pending.len() < max_batch {
-            let left = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(left) {
-                Ok(p) => pending.push_back(p),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+            // Drain whatever already queued up behind it without waiting.
+            while pending.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(p) => pending.push_back(p),
+                    Err(_) => break,
+                }
             }
         }
-        // Fuse: the oldest request plus every same-matrix request behind
-        // it, in arrival order, up to the batch cap. Other matrices keep
-        // their arrival order for the next pass.
+        // Adaptive gather window: when the request arrived to an idle
+        // queue there is nothing in flight to fuse with, so waiting the
+        // full window would only add latency — use the short idle window.
+        // A busy queue keeps the full window to maximize fusion.
+        let gather = if pending.len() > 1 { cfg.gather_window } else { cfg.gather_idle };
+        let gather_deadline = Instant::now() + gather;
+        while pending.len() < max_batch {
+            let left = gather_deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(p) => pending.push_back(p),
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Fuse: the oldest live request plus every same-matrix request
+        // behind it, in arrival order, up to the batch cap. Requests whose
+        // deadline already elapsed are cancelled here — explicitly, never
+        // silently — and other matrices keep their order for the next pass.
+        let now = Instant::now();
         let Some(first) = pending.pop_front() else { continue };
+        if first.deadline <= now {
+            cancel(engine, depth, first);
+            continue;
+        }
         let key = first.matrix;
         let mut batch = vec![first];
         let mut rest = VecDeque::with_capacity(pending.len());
         for p in pending.drain(..) {
-            if p.matrix == key && batch.len() < max_batch {
+            if p.deadline <= now {
+                cancel(engine, depth, p);
+            } else if p.matrix == key && batch.len() < max_batch {
                 batch.push(p);
             } else {
                 rest.push_back(p);
             }
         }
         pending = rest;
-        run_batch(engine, key, batch, pending.len());
+        execute_batch(engine, depth, key, batch, pending.len());
     }
 }
 
-/// Executes one fused batch and distributes replies.
-fn run_batch(engine: &ServeEngine, key: u64, mut batch: Vec<Pending>, depth: usize) {
+/// Cancels one expired request with an explicit coded reply.
+fn cancel(engine: &ServeEngine, depth: &AtomicUsize, p: Pending) {
+    depth.fetch_sub(1, Ordering::Relaxed);
+    let waited_ms = p.enqueued.elapsed().as_millis() as u64;
+    engine.note_deadline_miss(waited_ms);
+    let _ = p.reply.send(Err(ServeError::DeadlineExceeded { waited_ms }));
+}
+
+/// Executes one fused batch — through the chaos hooks and the bounded
+/// retry policy — journals the acknowledgments, and distributes replies.
+fn execute_batch(
+    engine: &ServeEngine,
+    depth: &AtomicUsize,
+    key: u64,
+    mut batch: Vec<Pending>,
+    queued_behind: usize,
+) {
+    // Chaos stall: the longest stall armed for any member delays the whole
+    // batch (it is one fused pass). A stall can push members past their
+    // deadline; those are cancelled before execution, so a stalled-out
+    // request is never answered *and* never silently dropped.
+    let stall = batch.iter().filter_map(|p| engine.chaos().request_stall(p.ordinal)).max();
+    if let Some(d) = stall {
+        std::thread::sleep(d);
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|p| p.deadline > now);
+        for p in expired {
+            cancel(engine, depth, p);
+        }
+        batch = live;
+        if batch.is_empty() {
+            return;
+        }
+    }
     let k = batch.len();
     let xs: Vec<Vec<f64>> = batch.iter_mut().map(|p| std::mem::take(&mut p.x)).collect();
-    match engine.run_batch(key, &xs) {
+    let cfg = engine.config();
+    let mut attempt: u32 = 0;
+    let outcome = loop {
+        let result = match engine.chaos().on_batch_attempt() {
+            Some(injected) => Err(injected),
+            None => engine.run_batch(key, &xs),
+        };
+        match result {
+            Ok(rep) => break Ok(rep),
+            // Transient failures get a bounded, deterministically-jittered
+            // exponential backoff; hang-class failures are never retryable
+            // (ServeError::retryable), so they fall straight through.
+            Err(e) if e.retryable() && attempt < cfg.max_retries => {
+                attempt += 1;
+                engine.note_retry(attempt);
+                let base = cfg.retry_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+                std::thread::sleep(base.mul_f64(jitter_factor(key, attempt)));
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    match outcome {
         Ok(rep) => {
             let cycles = rep.report.cycles;
+            // Journal first, acknowledge second: the on-disk journal is
+            // always a superset of what submitters saw succeed, so a
+            // crashed daemon can prove which requests were answered.
+            let records: Vec<AckRecord> = xs
+                .iter()
+                .zip(&rep.outputs)
+                .map(|(x, y)| AckRecord {
+                    matrix: key,
+                    x_hash: vec_hash(x),
+                    y_hash: vec_hash(y),
+                    batch: k,
+                    cycles,
+                })
+                .collect();
+            if let Err(e) = engine.journal().append(&records) {
+                // Journal durability is best-effort against I/O failure
+                // (disk full); the answer itself is still correct, so the
+                // submitter is acknowledged rather than failed over
+                // bookkeeping.
+                eprintln!("serve: acknowledgment journal append failed: {e}");
+            }
             for (p, y) in batch.into_iter().zip(rep.outputs) {
                 let queue_wait_us = p.enqueued.elapsed().as_micros() as u64;
-                engine.note_request(queue_wait_us as f64, k, cycles, depth);
+                depth.fetch_sub(1, Ordering::Relaxed);
+                engine.note_request(queue_wait_us as f64, k, cycles, queued_behind);
                 let _ = p.reply.send(Ok(SubmitReply { y, batch: k, cycles, queue_wait_us }));
             }
         }
         Err(e) => {
             for p in batch {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 let _ = p.reply.send(Err(e.clone()));
             }
         }
@@ -175,7 +385,9 @@ fn run_batch(engine: &ServeEngine, key: u64, mut batch: Vec<Pending>, depth: usi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosPlan;
     use crate::engine::ServeConfig;
+    use crate::journal::AckJournal;
     use crate::protocol::seeded_vector;
     use std::path::PathBuf;
 
@@ -214,6 +426,11 @@ mod tests {
         assert_eq!(stats.requests, 8);
         assert!(stats.batches <= 8, "fusion never multiplies passes");
         service.stop();
+        assert_eq!(service.depth(), 0, "every admitted request was finished");
+        // Every acknowledgment was journaled before it was sent.
+        let load = AckJournal::load(engine.journal().dir());
+        assert_eq!(load.records.len(), 8);
+        assert_eq!(load.corrupt_files, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -227,7 +444,8 @@ mod tests {
         service.stop();
         service.stop(); // idempotent
         let e = service.submit(info.key, seeded_vector(info.cols, 0)).unwrap_err();
-        assert!(e.contains("stopped"), "{e}");
+        assert_eq!(e, ServeError::Stopped);
+        assert_eq!(e.code(), "stopped");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -238,8 +456,150 @@ mod tests {
         let engine = Arc::new(ServeEngine::new(ServeConfig::quick(&dir)));
         let service = Service::over(Arc::clone(&engine));
         let e = service.submit(42, vec![1.0]).unwrap_err();
-        assert!(e.contains("unknown matrix"), "{e}");
+        assert_eq!(e.code(), "unknown-matrix");
         service.stop();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overload_sheds_with_an_explicit_coded_error() {
+        let dir = tmp_dir("shed");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Shed mark of 1 and a long stall on the first admitted request:
+        // while it is in flight, any further submit must be rejected, not
+        // queued behind it.
+        let cfg = ServeConfig {
+            shed_mark: 1,
+            chaos: ChaosPlan::parse("stall-req=0@400").unwrap(),
+            ..ServeConfig::quick(&dir)
+        };
+        let engine = Arc::new(ServeEngine::new(cfg));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Arc::new(Service::over(Arc::clone(&engine)));
+        let bg = {
+            let service = Arc::clone(&service);
+            let x = seeded_vector(info.cols, 0);
+            std::thread::spawn(move || service.submit(info.key, x))
+        };
+        // Wait for the first request to be admitted.
+        while service.depth() == 0 {
+            std::thread::yield_now();
+        }
+        let e = service.submit(info.key, seeded_vector(info.cols, 1)).unwrap_err();
+        assert_eq!(e.code(), "overloaded", "{e}");
+        bg.join().unwrap().unwrap();
+        service.stop();
+        let s = engine.stats();
+        assert!(s.shed >= 1, "{s:?}");
+        assert!(s.queue_hwm >= 1, "{s:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_explicit_and_counted() {
+        let dir = tmp_dir("deadline");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            chaos: ChaosPlan::parse("stall-req=0@300").unwrap(),
+            ..ServeConfig::quick(&dir)
+        };
+        let engine = Arc::new(ServeEngine::new(cfg));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Service::over(Arc::clone(&engine));
+        let x = seeded_vector(info.cols, 0);
+        let start = Instant::now();
+        let e = service.submit_within(info.key, x, Duration::from_millis(40)).unwrap_err();
+        assert_eq!(e.code(), "deadline-exceeded", "{e}");
+        assert!(start.elapsed() < Duration::from_millis(280), "released before the stall ended");
+        service.stop(); // joins the batcher, so the cancellation is counted
+        let s = engine.stats();
+        assert_eq!(s.deadline_miss, 1, "{s:?}");
+        assert_eq!(s.requests, 0, "a cancelled request never executed");
+        // Nothing was acknowledged, so nothing may be journaled.
+        assert!(AckJournal::load(engine.journal().dir()).records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_batch_kill_is_retried_and_still_bitwise_correct() {
+        let dir = tmp_dir("retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            chaos: ChaosPlan::parse("kill-batch=0").unwrap(),
+            retry_backoff: Duration::from_millis(1),
+            ..ServeConfig::quick(&dir)
+        };
+        let engine = Arc::new(ServeEngine::new(cfg));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Service::over(Arc::clone(&engine));
+        let x = seeded_vector(info.cols, 7);
+        let reply = service.submit(info.key, x.clone()).unwrap();
+        let expect = engine.matrix(info.key).unwrap().spmv(&x);
+        assert_eq!(reply.y, expect, "the retried batch answers bitwise correctly");
+        service.stop();
+        let s = engine.stats();
+        assert_eq!(s.retries, 1, "{s:?}");
+        assert_eq!(AckJournal::load(engine.journal().dir()).records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wedge_class_faults_are_never_retried() {
+        let dir = tmp_dir("wedge");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            chaos: ChaosPlan::parse("wedge-batch=0").unwrap(),
+            ..ServeConfig::quick(&dir)
+        };
+        let engine = Arc::new(ServeEngine::new(cfg));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Service::over(Arc::clone(&engine));
+        let e = service.submit(info.key, seeded_vector(info.cols, 0)).unwrap_err();
+        assert!(matches!(e, ServeError::Injected { transient: false, .. }), "{e}");
+        service.stop();
+        let s = engine.stats();
+        assert_eq!(s.retries, 0, "wedges must not burn the retry budget");
+        assert!(
+            AckJournal::load(engine.journal().dir()).records.is_empty(),
+            "a failed batch must never be journaled as acknowledged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn idle_queue_uses_the_short_gather_window() {
+        let dir = tmp_dir("idle");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A pathological full window: if the batcher waited it out for a
+        // lone request, this test would take > 2 s. The adaptive window
+        // must answer an idle-queue submit in a fraction of that.
+        let cfg = ServeConfig {
+            gather_window: Duration::from_secs(2),
+            gather_idle: Duration::from_millis(1),
+            ..ServeConfig::quick(&dir)
+        };
+        let engine = Arc::new(ServeEngine::new(cfg));
+        let info = engine.register_suite(1, 256).unwrap();
+        let service = Service::over(Arc::clone(&engine));
+        let start = Instant::now();
+        service.submit(info.key, seeded_vector(info.cols, 0)).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "idle submit took {:?}; the adaptive window did not kick in",
+            start.elapsed()
+        );
+        service.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for key in [0u64, 7, u64::MAX] {
+            for attempt in 1..=4u32 {
+                let a = jitter_factor(key, attempt);
+                assert_eq!(a, jitter_factor(key, attempt));
+                assert!((0.5..1.5).contains(&a), "{a}");
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! bitwise, and a restarted daemon performs zero Phase I/II mapping
 //! computations for previously registered matrices.
 
-use spacea_serve::{run_daemon, seeded_vector, Client, ServeConfig, PORT_FILE};
+use spacea_serve::{run_daemon, seeded_vector, AckJournal, Client, ServeConfig, PORT_FILE};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -86,6 +86,11 @@ fn concurrent_requests_match_reference_and_restart_is_warm() {
     assert_eq!(computed, 2, "cold run computes each mapping exactly once");
     assert!(!dir.join(PORT_FILE).exists(), "port file removed on shutdown");
     assert!(dir.join("serve-timeline.json").exists(), "telemetry flushed on shutdown");
+
+    // Every acknowledged request left a journal record proving its answer.
+    let journal = AckJournal::load(&dir.join(AckJournal::DIR));
+    assert_eq!(journal.corrupt_files, 0, "graceful shutdown leaves no torn journal files");
+    assert_eq!(journal.records.len(), 8, "one acknowledgment record per answered request");
 
     // --- Restarted daemon over the same cache dir: zero computations. ---
     let daemon = start_daemon(&dir);
