@@ -34,6 +34,23 @@ cargo run --release -p spacea-bench --bin sweep -- --cache-dir "$SWEEP_CACHE" --
 cargo run --release -p spacea-bench --bin sweep -- $SWEEP_ARGS > target/sweep-regc.csv
 cmp target/sweep-regc.csv target/sweep-full.csv
 
+# Scenario-matrix smoke test: a tiny backend x format x partitioning grid
+# (every cell is bitwise-verified against the CSR reference inside the
+# harness) run whole and as 2 shards sharing a cache must merge
+# byte-identically, with no failed cells.
+SCN_CACHE=target/spacea-cache-scenario
+SCN_ARGS="--quick --ids 1 --scales 256 --backend spacea,gpu,hbm --format csr,sell --partition row,nnz --csv --jobs 2 --cache-dir $SCN_CACHE"
+rm -rf "$SCN_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- $SCN_ARGS > target/scn-full.csv
+rm -rf "$SCN_CACHE"
+cargo run --release -p spacea-bench --bin sweep -- $SCN_ARGS --shard 0/2 > target/scn-s0.csv
+cargo run --release -p spacea-bench --bin sweep -- $SCN_ARGS --shard 1/2 > target/scn-s1.csv
+head -n 1 target/scn-s0.csv > target/scn-merged.csv
+tail -n +2 -q target/scn-s0.csv target/scn-s1.csv >> target/scn-merged.csv
+cmp target/scn-merged.csv target/scn-full.csv
+test "$(wc -l < target/scn-full.csv)" -eq 14  # header + 1 sim point + 12 cells
+! grep -qE "failed|timed-out" target/scn-full.csv
+
 # Fault-injection smoke test: a sweep with a deliberately stalled vault and a
 # panicking job must still exit 0, render every row, and record the failures
 # (with the watchdog's diagnosis naming the vault) in the manifest.
@@ -81,6 +98,13 @@ SERVE_PID=$!
 for _ in $(seq 1 150); do [ -f "$SERVE_CACHE/serve.port" ] && break; sleep 0.1; done
 cargo run --release -p spacea-bench --bin serve -- submit --cache-dir "$SERVE_CACHE" \
   --matrix 1/256,2/256 --seeds 8,9,10,11 --check
+# Journal compaction: 12 acked requests are on disk across both lives;
+# compacting to the newest file keeps proof bounded (crash-safe watermark).
+cargo run --release -p spacea-bench --bin serve -- stat --cache-dir "$SERVE_CACHE" \
+  | grep -q '"journal_records":12'
+cargo run --release -p spacea-bench --bin serve -- compact --retain 1 --cache-dir "$SERVE_CACHE"
+cargo run --release -p spacea-bench --bin serve -- stat --cache-dir "$SERVE_CACHE" \
+  | grep -q '"journal_files":1'
 cargo run --release -p spacea-bench --bin serve -- shutdown --cache-dir "$SERVE_CACHE"
 wait $SERVE_PID
 grep -q '"computed":0' "$SERVE_CACHE/serve-manifest.json"

@@ -14,15 +14,21 @@
 //!   round-robined over the matrix list; `--check` recomputes each result
 //!   offline and fails on any bitwise divergence; `--deadline-ms` attaches
 //!   a per-request deadline.
-//! * `serve stat` — print the daemon's counters as JSON.
+//! * `serve register --mtx PATH` — register a MatrixMarket file with the
+//!   daemon and print its content key; `submit` then works against that
+//!   key the same way it does for suite matrices.
+//! * `serve compact [--retain N]` — drop acked journal files beyond the
+//!   newest N (default 8); crash-safe (watermark first, unlink second).
+//! * `serve stat` — print the daemon's counters as JSON (including the
+//!   live `journal_records` / `journal_files` footprint).
 //! * `serve shutdown` — stop the daemon (it flushes manifest + timeline).
 
 use spacea_bench::{ArgError, HarnessOptions};
 use spacea_serve::{run_daemon, seeded_vector, CallError, ChaosPlan, Client, ServeConfig};
 
-const SERVE_USAGE: &str = "serve: start|submit|stat|shutdown | --port N | --max-batch N | \
-     --chaos SPEC | --chaos-seed N | --matrix ID/SCALE[,ID/SCALE...] | --seeds N[,N...] | \
-     --deadline-ms N | --check";
+const SERVE_USAGE: &str = "serve: start|submit|register|compact|stat|shutdown | --port N | \
+     --max-batch N | --chaos SPEC | --chaos-seed N | --matrix ID/SCALE[,ID/SCALE...] | \
+     --seeds N[,N...] | --deadline-ms N | --check | --mtx PATH | --retain N";
 
 fn main() {
     let mut verb: Option<String> = None;
@@ -33,9 +39,11 @@ fn main() {
     let mut check = false;
     let mut chaos = ChaosPlan::default();
     let mut deadline_ms: Option<u64> = None;
+    let mut mtx_path: Option<String> = None;
+    let mut retain = 8usize;
     let opts = HarnessOptions::from_args_with(std::env::args().skip(1), |flag, args| {
         match flag {
-            "start" | "submit" | "stat" | "shutdown" if verb.is_none() => {
+            "start" | "submit" | "register" | "compact" | "stat" | "shutdown" if verb.is_none() => {
                 verb = Some(flag.to_string());
             }
             "--port" => {
@@ -56,6 +64,8 @@ fn main() {
             "--seeds" => seeds = parse_seeds(&args.value("--seeds")?)?,
             "--deadline-ms" => deadline_ms = Some(args.usize_value("--deadline-ms")? as u64),
             "--check" => check = true,
+            "--mtx" => mtx_path = Some(args.value("--mtx")?),
+            "--retain" => retain = args.usize_value("--retain")?,
             _ => return Ok(false),
         }
         Ok(true)
@@ -65,10 +75,14 @@ fn main() {
     match verb.as_deref() {
         Some("start") => start(&opts, port, max_batch, chaos),
         Some("submit") => submit(&opts, &matrices, &seeds, check, deadline_ms),
+        Some("register") => register_mtx(&opts, mtx_path.as_deref()),
+        Some("compact") => compact(&opts, retain),
         Some("stat") => stat(&opts),
         Some("shutdown") => shutdown(&opts),
-        _ => ArgError::new("serve needs a verb: start, submit, stat or shutdown")
-            .exit_with_usage(SERVE_USAGE),
+        _ => {
+            ArgError::new("serve needs a verb: start, submit, register, compact, stat or shutdown")
+                .exit_with_usage(SERVE_USAGE)
+        }
     }
 }
 
@@ -193,6 +207,41 @@ fn matches_reference(id: u8, scale: usize, cols: usize, seed: u64, y: &[f64]) ->
     let a = entry.generate(scale);
     let want = a.spmv(&seeded_vector(cols, seed));
     y.len() == want.len() && y.iter().zip(&want).all(|(got, want)| got.to_bits() == want.to_bits())
+}
+
+fn register_mtx(opts: &HarnessOptions, mtx_path: Option<&str>) {
+    let Some(path) = mtx_path else {
+        ArgError::new("serve register needs --mtx PATH").exit_with_usage(SERVE_USAGE)
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("serve: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut client = connect(opts);
+    match client.register_mtx(&text) {
+        Ok(reply) => println!(
+            "registered {path}: key {:016x}, {}x{}, {} nnz",
+            reply.matrix, reply.rows, reply.cols, reply.nnz
+        ),
+        Err(e) => {
+            eprintln!("serve: register {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn compact(opts: &HarnessOptions, retain: usize) {
+    let mut client = connect(opts);
+    match client.compact(retain) {
+        Ok(c) => println!(
+            "journal compacted: dropped {} file(s) / {} record(s), {} file(s) retained",
+            c.dropped_files, c.dropped_records, c.retained_files
+        ),
+        Err(e) => {
+            eprintln!("serve: compact failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn stat(opts: &HarnessOptions) {

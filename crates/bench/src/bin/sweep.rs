@@ -72,6 +72,7 @@ fn main() {
         energy: session.opts.cfg.energy,
         scale: session.opts.cfg.scale,
         gpu_spec: session.opts.cfg.gpu_spec(),
+        hbm_spec: spacea_backend::HbmSpec::default(),
     };
 
     // An all-empty spec only reaches here in `--gc`-only mode; it must not
@@ -158,6 +159,9 @@ fn sweep_table(session: &HarnessSession, points: &[SweepPoint], records: &[JobRe
             Some((JobResult::Gpu(g), _)) if matches!(p.kind, PointKind::Gpu { .. }) => {
                 row.extend(["-".into(), fmt(g.time_s * 1e6, 2), "-".into(), "-".into()]);
             }
+            Some((JobResult::Scenario(s), _)) if matches!(p.kind, PointKind::Scenario { .. }) => {
+                row.extend([s.cycles.to_string(), fmt(s.time_s * 1e6, 2), "-".into(), "-".into()]);
+            }
             // No result (the job failed — failures are never cached), or a
             // result kind that cannot belong to this point: dash the
             // metrics, let the Status column tell the story.
@@ -184,5 +188,15 @@ fn identity_columns(p: &SweepPoint) -> Vec<String> {
         PointKind::Gpu { .. } => {
             vec!["gpu".into(), "titan-xp".into(), "-".into(), "-".into(), "-".into(), "-".into()]
         }
+        // Scenario cells reuse the columns: Map carries the storage format,
+        // HW the backend, Cubes the stream partitioning.
+        PointKind::Scenario { backend, format, partition, .. } => vec![
+            format.label().to_string(),
+            backend.label().to_string(),
+            partition.label().to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
     }
 }

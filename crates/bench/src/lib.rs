@@ -383,6 +383,8 @@ pub struct SweepCli {
 /// Usage line for the sweep flags (shown next to [`BASE_USAGE`]).
 pub const SWEEP_USAGE: &str = "sweep: --spec FILE | --ids L|all | --scales L | --kinds L | \
      --hw L | --cubes-axis L | --l1-sets L | --l2-sets L | --energy-scale L | --gpu | \
+     --backend L|all | --format L|all | --partition L|all (scenario cells: backend x format x \
+     partitioning, verified bitwise against the CSR reference) | \
      --shard K/N | --gc | --gc-max-kb N | --gc-max-age-days N | \
      --faults '[IDX:]PLAN[;...]' (PLAN e.g. stall-vault=0@100, drop-noc=5, panic) | \
      --timeline[=EVERY-CYCLES] (per-job Perfetto timelines under <cache>/timelines/)   \
@@ -414,6 +416,9 @@ impl SweepCli {
             "--l2-sets" => axis("l2-sets", &args.value("--l2-sets")?)?,
             "--energy-scale" => axis("energy-scale", &args.value("--energy-scale")?)?,
             "--gpu" => self.spec.gpu = true,
+            "--backend" => axis("backends", &args.value("--backend")?)?,
+            "--format" => axis("formats", &args.value("--format")?)?,
+            "--partition" => axis("partitions", &args.value("--partition")?)?,
             "--shard" => {
                 let v = args.value("--shard")?;
                 let parsed = v.split_once('/').and_then(|(k, n)| {
@@ -497,9 +502,9 @@ impl SweepCli {
                 Some(i) => match points.get_mut(*i) {
                     Some(p) => match &mut p.kind {
                         PointKind::Sim { hw, .. } => hw.faults = *plan,
-                        PointKind::Gpu { .. } => {
-                            eprintln!("sweep: --faults index {i} names a GPU point; fault ignored")
-                        }
+                        PointKind::Gpu { .. } | PointKind::Scenario { .. } => eprintln!(
+                            "sweep: --faults index {i} names a non-sim point; fault ignored"
+                        ),
                     },
                     None => eprintln!(
                         "sweep: --faults index {i} out of range ({} points); ignored",
@@ -541,6 +546,9 @@ fn merge_specs(base: SweepSpec, over: SweepSpec) -> SweepSpec {
         l2_sets: pick(base.l2_sets, over.l2_sets),
         energy_scale: pick(base.energy_scale, over.energy_scale),
         gpu: base.gpu || over.gpu,
+        backends: pick(base.backends, over.backends),
+        formats: pick(base.formats, over.formats),
+        partitions: pick(base.partitions, over.partitions),
     }
 }
 
@@ -676,6 +684,24 @@ mod tests {
         assert_eq!(policy.max_age_secs, Some(7 * 24 * 3600));
         let (_, cli) = sweep(&["--ids", "1"]);
         assert!(cli.gc_policy().is_none());
+    }
+
+    #[test]
+    fn scenario_flags_build_the_cell_axes() {
+        let (_, cli) = sweep(&["--backend", "spacea,hbm", "--format", "all", "--partition", "nnz"]);
+        assert_eq!(cli.spec.backends.len(), 2);
+        assert_eq!(cli.spec.formats.len(), 4, "'all' expands to every format");
+        assert_eq!(cli.spec.partitions.len(), 1);
+
+        let err = {
+            let mut cli = SweepCli::default();
+            HarnessOptions::from_args_with(
+                ["--backend".to_string(), "fpga".to_string()].into_iter(),
+                |f, a| cli.accept(f, a),
+            )
+            .unwrap_err()
+        };
+        assert!(err.message.contains("unknown backend"), "{}", err.message);
     }
 
     #[test]

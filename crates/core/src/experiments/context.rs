@@ -2,10 +2,12 @@
 
 use crate::table::Table;
 use spacea_arch::{HwConfig, SimReport};
+use spacea_backend::{BackendKind, HbmSpec, Partition};
 use spacea_gpu::spec::{Dgx1CpuSpec, TitanXpSpec};
 use spacea_gpu::GpuRun;
-use spacea_harness::{JobCtx, JobResult, JobSpec, MatrixSource, ResultStore};
+use spacea_harness::{JobCtx, JobResult, JobSpec, MatrixSource, ResultStore, ScenarioRec};
 use spacea_mapping::{MachineShape, Mapping};
+use spacea_matrix::formats::FormatKind;
 use spacea_matrix::suite::{self, SuiteEntry};
 use spacea_matrix::Csr;
 use spacea_model::energy::StaticConfig;
@@ -133,6 +135,32 @@ impl ExpConfig {
     /// The job simulating matrix `id` on an arbitrary machine.
     pub fn sim_job_with(&self, id: u8, kind: MapKind, hw: &HwConfig) -> JobSpec {
         JobSpec::Sim { source: self.source(id), kind, hw: hw.clone(), energy: self.energy }
+    }
+
+    /// The HBM accelerator parameters scenario cells run against.
+    pub fn hbm_spec(&self) -> HbmSpec {
+        HbmSpec::default()
+    }
+
+    /// The job running one backend × format × partitioning scenario cell on
+    /// matrix `id` (bitwise-verified against the CSR reference).
+    pub fn scenario_job(
+        &self,
+        id: u8,
+        backend: BackendKind,
+        format: FormatKind,
+        partition: Partition,
+    ) -> JobSpec {
+        JobSpec::Scenario {
+            source: self.source(id),
+            backend,
+            format,
+            partition,
+            kind: MapKind::Proposed,
+            hw: self.hw.clone(),
+            gpu: self.gpu_spec(),
+            hbm: self.hbm_spec(),
+        }
     }
 
     /// Static-power structure counts for an arbitrary shape.
@@ -322,6 +350,23 @@ impl SuiteCache {
         };
         let result = self.run_job(&job);
         Self::expect_sim(&job, result)
+    }
+
+    /// One backend × format × partitioning scenario cell for matrix `id`,
+    /// computed (and cached) through the store like every other job.
+    pub fn scenario(
+        &mut self,
+        id: u8,
+        backend: BackendKind,
+        format: FormatKind,
+        partition: Partition,
+    ) -> ScenarioRec {
+        let job = self.cfg.scenario_job(id, backend, format, partition);
+        match self.run_job(&job) {
+            JobResult::Scenario(rec) => rec,
+            // lint:allow(R1) documented panic: result-kind mismatch is cache corruption
+            other => panic!("scenario job {} returned {other:?}", job.label()),
+        }
     }
 
     /// The energy breakdown of a cached default-machine simulation.

@@ -15,6 +15,7 @@
 //! | [`fig10`] | Figure 10 — cube-count scalability |
 //! | [`table3`] | Table III — graph analytics vs Tesseract/GraphP |
 //! | [`graphs`] | Case-study workloads (BFS, CC, PR, SSSP) as harness jobs |
+//! | [`formats`] | Scenario matrix — backend × format × partitioning cells |
 //!
 //! All experiments share a [`SuiteCache`] so matrices, mappings and
 //! simulations are computed once per process. The default [`ExpConfig`]
@@ -29,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod formats;
 pub mod graphs;
 pub mod table1;
 pub mod table2;
@@ -118,6 +120,12 @@ pub fn registry() -> Vec<Experiment> {
             title: "Graph case-study workloads as harness jobs",
             jobs: graphs::jobs,
             run: graphs::run,
+        },
+        Experiment {
+            id: "formats",
+            title: "Scenario matrix: backend x format x partitioning",
+            jobs: formats::jobs,
+            run: formats::run,
         },
     ]
 }

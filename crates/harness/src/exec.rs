@@ -7,14 +7,17 @@
 //! [`JobRecord`] per submitted job — failed jobs carry a
 //! [`JobStatus`] explaining what happened instead of a result.
 
-use crate::job::{JobSpec, MatrixSource};
+use crate::job::{Fnv, JobSpec, MatrixSource};
 use crate::mapstore::{MappingStats, MappingStore};
-use crate::store::{CacheOutcome, JobResult, ResultStore};
+use crate::store::{CacheOutcome, JobResult, ResultStore, ScenarioRec};
 use crate::telemetry::{JobRecord, JobStatus};
 use crate::timeline::{ChunkSink, TimelineConfig};
 use spacea_arch::{Machine, ObserveConfig, RunSpec, SampleFlush, SimError};
+use spacea_backend::hbm::hbm_timeline;
+use spacea_backend::{BackendKind, HbmBackend, ScenarioSpec};
 use spacea_gpu::simulate_csrmv;
 use spacea_mapping::{MachineShape, MapKind, Mapping};
+use spacea_matrix::formats::FormatKind;
 use spacea_matrix::Csr;
 use spacea_obs::Timeline;
 use std::collections::{HashMap, HashSet};
@@ -60,6 +63,7 @@ type Memo<K, V> = Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>;
 pub struct JobCtx {
     matrices: Memo<MatrixSource, Csr>,
     mappings: Memo<(MatrixSource, MapKind, MachineShape), Mapping>,
+    format_mappings: Memo<(MatrixSource, FormatKind, MapKind, MachineShape), Mapping>,
     mapstore: MappingStore,
 }
 
@@ -128,6 +132,29 @@ impl JobCtx {
         Arc::clone(cell.get_or_init(|| {
             let a = self.matrix(source);
             Arc::new(self.mapstore.get_or_compute(&a, kind, &shape))
+        }))
+    }
+
+    /// The (memoized) *format-aware* mapping: Phase I/II runs over the
+    /// format's stored footprint ([`spacea_matrix::SparseFormat::storage_pattern`])
+    /// rather than the logical pattern, so padding-heavy layouts (BCSR
+    /// block fill) place the traffic they actually generate. Persists
+    /// through the same [`MappingStore`] as plain mappings — the pattern
+    /// matrix is content-addressed like any other operand.
+    pub fn format_mapping(
+        &self,
+        source: &MatrixSource,
+        format: FormatKind,
+        kind: MapKind,
+        shape: MachineShape,
+    ) -> Arc<Mapping> {
+        let cell = Arc::clone(
+            lock(&self.format_mappings).entry((*source, format, kind, shape)).or_default(),
+        );
+        Arc::clone(cell.get_or_init(|| {
+            let a = self.matrix(source);
+            let pattern = format.build(&a).storage_pattern();
+            Arc::new(self.mapstore.get_or_compute(&pattern, kind, &shape))
         }))
     }
 }
@@ -205,9 +232,7 @@ pub fn execute_observed_flushed(
     observe: Option<ObserveConfig>,
     flush: Option<(TimelineConfig, crate::job::JobKey)>,
 ) -> Result<(JobResult, Option<Timeline>), ExecFailure> {
-    let source = match spec {
-        JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
-    };
+    let source = spec.source();
     source.validate().map_err(|message| ExecFailure::Error { message })?;
     match spec {
         JobSpec::Gpu { source, spec } => {
@@ -237,6 +262,70 @@ pub fn execute_observed_flushed(
                     Ok((JobResult::Sim(Arc::new(out.report)), None))
                 }
             }
+        }
+        JobSpec::Scenario { source, backend, format, partition, kind, hw, gpu, hbm } => {
+            let a = ctx.matrix(source);
+            let built = format.build(&a);
+            let mapping = backend
+                .needs_mapping()
+                .then(|| ctx.format_mapping(source, *format, *kind, hw.shape));
+            let x = input_vector(a.cols());
+            let scenario = ScenarioSpec {
+                a: &a,
+                format: built.as_ref(),
+                partition: *partition,
+                x: &x,
+                mapping: mapping.as_deref(),
+            };
+            // The HBM backend is run through its detailed entrypoint so an
+            // observed job can hand back the per-channel timeline; the other
+            // backends have no event stream to sample.
+            let (run, tl) = match backend {
+                BackendKind::Hbm => {
+                    let (run, detail) = HbmBackend { spec: *hbm }
+                        .run_detailed(&scenario)
+                        .map_err(|message| ExecFailure::Error { message })?;
+                    (run, observe.map(|_| hbm_timeline(&detail)))
+                }
+                _ => {
+                    let run = backend
+                        .build(hw, gpu, hbm)
+                        .run(&scenario)
+                        .map_err(|message| ExecFailure::Error { message })?;
+                    (run, None)
+                }
+            };
+            // Every cell must reproduce the CSR reference bit for bit; a
+            // divergent cell is a failed job (never cached), so any cached
+            // ScenarioRec proves its backend × format pair was verified.
+            let reference = a.spmv(&x);
+            let bitwise_ok = run.y.len() == reference.len()
+                && run.y.iter().zip(&reference).all(|(l, r)| l.to_bits() == r.to_bits());
+            if !bitwise_ok {
+                return Err(ExecFailure::Error {
+                    message: format!(
+                        "scenario {}: output diverges bitwise from the CSR reference",
+                        spec.label()
+                    ),
+                });
+            }
+            let mut h = Fnv::new();
+            for v in &run.y {
+                h.f64(*v);
+            }
+            Ok((
+                JobResult::Scenario(ScenarioRec {
+                    cycles: run.cycles,
+                    time_s: run.time_s,
+                    stream_bytes: run.stream_bytes,
+                    effective_bw: run.effective_bw,
+                    bytes_per_nnz: run.bytes_per_nnz,
+                    reorder_stalls: run.reorder_stalls,
+                    y_hash: h.finish(),
+                    bitwise_ok: true,
+                }),
+                tl,
+            ))
         }
     }
 }
@@ -570,6 +659,7 @@ fn run_one(
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let (cycles, events) = match &result {
         Some(JobResult::Sim(report)) => (Some(report.cycles), Some(report.events_processed)),
+        Some(JobResult::Scenario(rec)) => (Some(rec.cycles), None),
         _ => (None, None),
     };
     JobRecord { index, label: spec.label(), key, outcome, status, wall_ms, cycles, events }
@@ -590,6 +680,77 @@ mod tests {
             hw: HwConfig::tiny(),
             energy: EnergyParams::default(),
         }
+    }
+
+    fn quick_scenario(backend: BackendKind, format: FormatKind) -> JobSpec {
+        JobSpec::Scenario {
+            source: MatrixSource::Suite { id: 1, scale: 256 },
+            backend,
+            format,
+            partition: spacea_backend::Partition::NnzSplit,
+            kind: MapKind::Proposed,
+            hw: HwConfig::tiny(),
+            gpu: spacea_gpu::TitanXpSpec::default(),
+            hbm: spacea_backend::HbmSpec::default(),
+        }
+    }
+
+    #[test]
+    fn scenario_cells_execute_verified_and_cache() {
+        let ctx = Arc::new(JobCtx::new());
+        let store = ResultStore::in_memory();
+        let jobs: Vec<JobSpec> = BackendKind::ALL
+            .iter()
+            .flat_map(|b| FormatKind::ALL.iter().map(|f| quick_scenario(*b, *f)))
+            .collect();
+        let records = run_jobs(&jobs, &store, &ctx, 4);
+        for r in &records {
+            assert_eq!(r.status, JobStatus::Ok, "{} failed", r.label);
+            assert!(r.cycles.unwrap() > 0, "{}: no cycle count", r.label);
+        }
+        // Every cell's output hashed identically: all backends reproduce the
+        // same bitwise CSR reference on the same operand.
+        let mut hashes = HashSet::new();
+        for job in &jobs {
+            let (result, _) = store.lookup(job.key()).unwrap();
+            let JobResult::Scenario(rec) = result else { panic!("wrong result kind") };
+            assert!(rec.bitwise_ok);
+            assert!(rec.time_s > 0.0);
+            hashes.insert(rec.y_hash);
+        }
+        assert_eq!(hashes.len(), 1, "backends disagree on the output vector");
+        // Second pass hits the cache for every cell.
+        let records = run_jobs(&jobs, &store, &ctx, 2);
+        assert!(records.iter().all(|r| r.outcome == CacheOutcome::MemoryHit));
+    }
+
+    #[test]
+    fn observed_hbm_scenario_returns_a_registered_timeline() {
+        let ctx = JobCtx::new();
+        let spec = quick_scenario(BackendKind::Hbm, FormatKind::Sell);
+        let (result, tl) = execute_observed(&spec, &ctx, Some(ObserveConfig::default())).unwrap();
+        assert!(matches!(result, JobResult::Scenario(_)));
+        let tl = tl.expect("observed HBM scenario collects a timeline");
+        assert!(!tl.series.is_empty());
+        for (key, _) in &tl.series {
+            assert!(
+                spacea_obs::registry::is_known(&key.component, &key.name),
+                "{key:?} not in the metric registry"
+            );
+        }
+    }
+
+    #[test]
+    fn format_mapping_is_memoized_per_format() {
+        let ctx = JobCtx::new();
+        let src = MatrixSource::Suite { id: 1, scale: 256 };
+        let a = ctx.format_mapping(&src, FormatKind::Bcsr, MapKind::Proposed, MachineShape::tiny());
+        let b = ctx.format_mapping(&src, FormatKind::Bcsr, MapKind::Proposed, MachineShape::tiny());
+        assert!(Arc::ptr_eq(&a, &b));
+        // BCSR's padded footprint may map differently from CSR's — the memo
+        // must keep them distinct either way.
+        let c = ctx.format_mapping(&src, FormatKind::Csr, MapKind::Proposed, MachineShape::tiny());
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Job descriptions and their content-hash keys.
 
 use spacea_arch::HwConfig;
+use spacea_backend::{BackendKind, HbmSpec, Partition};
 use spacea_gpu::spec::TitanXpSpec;
 use spacea_graph::workloads::CaseStudyGraph;
 use spacea_mapping::MapKind;
+use spacea_matrix::formats::FormatKind;
 use spacea_matrix::suite;
 use spacea_matrix::Csr;
 use spacea_model::EnergyParams;
@@ -165,13 +167,37 @@ pub enum JobSpec {
         /// cached result's key.
         energy: EnergyParams,
     },
+    /// One cell of the backend × format × partitioning scenario matrix,
+    /// executed through the `spacea-backend` trait and bitwise-verified
+    /// against the CSR reference.
+    Scenario {
+        /// The operand matrix.
+        source: MatrixSource,
+        /// Which execution model runs the cell.
+        backend: BackendKind,
+        /// Which storage layout the backend executes.
+        format: FormatKind,
+        /// How the backend shards the matrix.
+        partition: Partition,
+        /// Which mapping the SpaceA backend uses (part of every scenario
+        /// key for axis symmetry; ignored by mapping-free backends).
+        kind: MapKind,
+        /// The SpaceA machine under test.
+        hw: HwConfig,
+        /// The GPU model parameters.
+        gpu: TitanXpSpec,
+        /// The HBM accelerator model parameters.
+        hbm: HbmSpec,
+    },
 }
 
 impl JobSpec {
     /// The matrix source this job operates on.
     pub fn source(&self) -> &MatrixSource {
         match self {
-            JobSpec::Gpu { source, .. } | JobSpec::Sim { source, .. } => source,
+            JobSpec::Gpu { source, .. }
+            | JobSpec::Sim { source, .. }
+            | JobSpec::Scenario { source, .. } => source,
         }
     }
 
@@ -181,6 +207,15 @@ impl JobSpec {
             JobSpec::Gpu { source, .. } => format!("gpu:{}", source.label()),
             JobSpec::Sim { source, kind, .. } => {
                 format!("sim:{}:{}", source.label(), kind.label())
+            }
+            JobSpec::Scenario { source, backend, format, partition, .. } => {
+                format!(
+                    "scn:{}:{}:{}:{}",
+                    source.label(),
+                    backend.label(),
+                    format.label(),
+                    partition.label()
+                )
             }
         }
     }
@@ -209,6 +244,33 @@ impl JobSpec {
                 });
                 feed_hw(&mut h, hw);
                 feed_energy(&mut h, energy);
+            }
+            JobSpec::Scenario { source, backend, format, partition, kind, hw, gpu, hbm } => {
+                h.u8(3);
+                source.feed(&mut h);
+                h.u8(match backend {
+                    BackendKind::Spacea => 0,
+                    BackendKind::Gpu => 1,
+                    BackendKind::Cpu => 2,
+                    BackendKind::Hbm => 3,
+                });
+                h.u8(match format {
+                    FormatKind::Csr => 0,
+                    FormatKind::Coo => 1,
+                    FormatKind::Bcsr => 2,
+                    FormatKind::Sell => 3,
+                });
+                h.u8(match partition {
+                    Partition::RowSplit => 0,
+                    Partition::NnzSplit => 1,
+                });
+                h.u8(match kind {
+                    MapKind::Naive => 0,
+                    MapKind::Proposed => 1,
+                });
+                feed_hw(&mut h, hw);
+                feed_gpu_spec(&mut h, gpu);
+                feed_hbm(&mut h, hbm);
             }
         }
         JobKey(h.finish())
@@ -372,6 +434,14 @@ fn feed_gpu_spec(h: &mut Fnv, s: &TitanXpSpec) {
     h.f64(s.die_mm2);
 }
 
+fn feed_hbm(h: &mut Fnv, s: &HbmSpec) {
+    h.usize(s.channels);
+    h.f64(s.channel_bytes_per_cycle);
+    h.f64(s.freq_hz);
+    h.usize(s.reorder_window);
+    h.u64(s.stall_cycles);
+}
+
 fn feed_energy(h: &mut Fnv, e: &EnergyParams) {
     h.f64(e.dram_activate_pj);
     h.f64(e.dram_beat_pj);
@@ -480,6 +550,50 @@ mod tests {
             spec: TitanXpSpec::default(),
         };
         assert_ne!(gpu.key(), sim_job().key());
+    }
+
+    fn scenario_job() -> JobSpec {
+        JobSpec::Scenario {
+            source: MatrixSource::Suite { id: 3, scale: 256 },
+            backend: BackendKind::Hbm,
+            format: FormatKind::Sell,
+            partition: Partition::RowSplit,
+            kind: MapKind::Proposed,
+            hw: HwConfig::tiny(),
+            gpu: TitanXpSpec::default(),
+            hbm: HbmSpec::default(),
+        }
+    }
+
+    #[test]
+    fn scenario_keys_depend_on_every_axis() {
+        let base = scenario_job().key();
+        assert_eq!(scenario_job().key(), base, "scenario keys are stable");
+        assert_ne!(base, sim_job().key(), "scenario and sim keys are disjoint");
+
+        let mut j = scenario_job();
+        if let JobSpec::Scenario { backend, .. } = &mut j {
+            *backend = BackendKind::Gpu;
+        }
+        assert_ne!(j.key(), base, "backend must change the key");
+
+        let mut j = scenario_job();
+        if let JobSpec::Scenario { format, .. } = &mut j {
+            *format = FormatKind::Bcsr;
+        }
+        assert_ne!(j.key(), base, "format must change the key");
+
+        let mut j = scenario_job();
+        if let JobSpec::Scenario { partition, .. } = &mut j {
+            *partition = Partition::NnzSplit;
+        }
+        assert_ne!(j.key(), base, "partition must change the key");
+
+        let mut j = scenario_job();
+        if let JobSpec::Scenario { hbm, .. } = &mut j {
+            hbm.reorder_window += 1;
+        }
+        assert_ne!(j.key(), base, "HBM parameters must change the key");
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use exec::{
 pub use job::{GraphOperand, JobKey, JobSpec, MatrixSource};
 pub use mapstore::{MappingStats, MappingStore};
 pub use store::{
-    CacheOutcome, CacheStats, GcPolicy, GcReport, IndexEntry, JobResult, ResultStore, INDEX_FILE,
-    QUARANTINE_DIR,
+    CacheOutcome, CacheStats, GcPolicy, GcReport, IndexEntry, JobResult, ResultStore, ScenarioRec,
+    INDEX_FILE, QUARANTINE_DIR,
 };
 pub use sweep::{dedup_points, shard_range, PointKind, SweepBase, SweepPoint, SweepSpec};
 pub use telemetry::{JobRecord, JobStatus, RunManifest};

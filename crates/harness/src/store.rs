@@ -28,6 +28,34 @@ pub enum JobResult {
     Sim(Arc<SimReport>),
     /// A GPU baseline model run.
     Gpu(GpuRun),
+    /// A scenario-matrix cell run through a `spacea-backend` backend.
+    Scenario(ScenarioRec),
+}
+
+/// The cached record of one scenario-matrix cell. The backend / format /
+/// partition axes live in the job spec (and its key); the record carries
+/// only what the backend measured, plus the bitwise verdict against the
+/// CSR reference SpMV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRec {
+    /// Modelled execution time in cycles of the backend's own clock.
+    pub cycles: u64,
+    /// Modelled execution time in seconds.
+    pub time_s: f64,
+    /// Bytes of matrix storage streamed (the format's footprint).
+    pub stream_bytes: u64,
+    /// Useful-payload throughput, bytes/s.
+    pub effective_bw: f64,
+    /// The format's storage bytes per logical non-zero.
+    pub bytes_per_nnz: f64,
+    /// Accumulator reorder-window stalls (HBM backend; 0 elsewhere).
+    pub reorder_stalls: u64,
+    /// FNV-1a over the output vector's IEEE-754 bits.
+    pub y_hash: u64,
+    /// Whether the output was bit-identical to `Csr::spmv`. Always true
+    /// for cached records — a mismatch fails the job and is never cached —
+    /// but persisted so tables can prove the check ran.
+    pub bitwise_ok: bool,
 }
 
 /// Where a job's result came from when it was requested.
@@ -596,6 +624,9 @@ fn encode_result(r: &JobResult) -> Json {
         JobResult::Gpu(run) => {
             Json::obj(vec![("kind", Json::Str("gpu".into())), ("run", encode_gpu(run))])
         }
+        JobResult::Scenario(rec) => {
+            Json::obj(vec![("kind", Json::Str("scenario".into())), ("rec", encode_scenario(rec))])
+        }
     }
 }
 
@@ -609,8 +640,38 @@ fn decode_result(v: &Json) -> Result<JobResult, String> {
             let run = v.get("run").ok_or("missing 'run'")?;
             Ok(JobResult::Gpu(decode_gpu(run)?))
         }
+        Some("scenario") => {
+            let rec = v.get("rec").ok_or("missing 'rec'")?;
+            Ok(JobResult::Scenario(decode_scenario(rec)?))
+        }
         other => Err(format!("unknown result kind {other:?}")),
     }
+}
+
+fn encode_scenario(r: &ScenarioRec) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::U64(r.cycles)),
+        ("time_s", Json::f64_bits(r.time_s)),
+        ("stream_bytes", Json::U64(r.stream_bytes)),
+        ("effective_bw", Json::f64_bits(r.effective_bw)),
+        ("bytes_per_nnz", Json::f64_bits(r.bytes_per_nnz)),
+        ("reorder_stalls", Json::U64(r.reorder_stalls)),
+        ("y_hash", Json::U64(r.y_hash)),
+        ("bitwise_ok", Json::Bool(r.bitwise_ok)),
+    ])
+}
+
+fn decode_scenario(v: &Json) -> Result<ScenarioRec, String> {
+    Ok(ScenarioRec {
+        cycles: u64_field(v, "cycles")?,
+        time_s: f64_field(v, "time_s")?,
+        stream_bytes: u64_field(v, "stream_bytes")?,
+        effective_bw: f64_field(v, "effective_bw")?,
+        bytes_per_nnz: f64_field(v, "bytes_per_nnz")?,
+        reorder_stalls: u64_field(v, "reorder_stalls")?,
+        y_hash: u64_field(v, "y_hash")?,
+        bitwise_ok: v.get("bitwise_ok").and_then(Json::as_bool).ok_or("missing 'bitwise_ok'")?,
+    })
 }
 
 fn encode_gpu(r: &GpuRun) -> Json {
@@ -807,6 +868,25 @@ mod tests {
             decode_result(&json::parse(&encode_result(&JobResult::Gpu(run)).to_text()).unwrap())
                 .unwrap();
         assert_eq!(back, JobResult::Gpu(run));
+    }
+
+    #[test]
+    fn scenario_round_trips_exactly() {
+        let rec = ScenarioRec {
+            cycles: 9001,
+            time_s: 2.0e-5 / 3.0,
+            stream_bytes: 65_536,
+            effective_bw: 345.6e9 / 7.0,
+            bytes_per_nnz: 12.75,
+            reorder_stalls: 42,
+            y_hash: 0xdead_beef_cafe_f00d,
+            bitwise_ok: true,
+        };
+        let back = decode_result(
+            &json::parse(&encode_result(&JobResult::Scenario(rec.clone())).to_text()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, JobResult::Scenario(rec));
     }
 
     #[test]

@@ -13,8 +13,10 @@
 
 use crate::job::{JobSpec, MatrixSource};
 use spacea_arch::HwConfig;
+use spacea_backend::{BackendKind, HbmSpec, Partition};
 use spacea_gpu::spec::TitanXpSpec;
 use spacea_mapping::MapKind;
+use spacea_matrix::formats::FormatKind;
 use spacea_matrix::suite;
 use spacea_model::EnergyParams;
 
@@ -33,6 +35,8 @@ pub struct SweepBase {
     pub scale: usize,
     /// The GPU baseline spec used for `gpu = true` grids.
     pub gpu_spec: TitanXpSpec,
+    /// The HBM accelerator spec used for scenario cells on the `hbm` backend.
+    pub hbm_spec: HbmSpec,
 }
 
 impl Default for SweepBase {
@@ -43,6 +47,7 @@ impl Default for SweepBase {
             energy: EnergyParams::default(),
             scale: suite::DEFAULT_SCALE,
             gpu_spec: TitanXpSpec::default(),
+            hbm_spec: HbmSpec::default(),
         }
     }
 }
@@ -73,6 +78,17 @@ pub struct SweepSpec {
     pub energy_scale: Vec<f64>,
     /// Also enumerate the GPU baseline per (matrix, scale) point (key `gpu`).
     pub gpu: bool,
+    /// Scenario-matrix backends (axis key `backends`; `all` expands to every
+    /// backend). Setting any scenario axis appends one [`PointKind::Scenario`]
+    /// cell per (matrix, scale, backend, format, partition); leaving all
+    /// three empty keeps the legacy sim/GPU enumeration byte-identical.
+    pub backends: Vec<BackendKind>,
+    /// Scenario-matrix storage formats (axis key `formats`; `all` expands
+    /// to every format). Defaults to CSR when another scenario axis is set.
+    pub formats: Vec<FormatKind>,
+    /// Scenario-matrix stream partitionings (axis key `partitions`).
+    /// Defaults to row-split when another scenario axis is set.
+    pub partitions: Vec<Partition>,
 }
 
 impl SweepSpec {
@@ -140,10 +156,46 @@ impl SweepSpec {
                     other => return Err(format!("gpu: expected true/false, got '{other}'")),
                 }
             }
+            "backends" => {
+                self.backends = if value.trim() == "all" {
+                    BackendKind::ALL.to_vec()
+                } else {
+                    split(value)
+                        .map(|v| {
+                            BackendKind::parse(v)
+                                .ok_or_else(|| format!("backends: unknown backend '{v}'"))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            }
+            "formats" => {
+                self.formats = if value.trim() == "all" {
+                    FormatKind::ALL.to_vec()
+                } else {
+                    split(value)
+                        .map(|v| {
+                            FormatKind::parse(v)
+                                .ok_or_else(|| format!("formats: unknown format '{v}'"))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            }
+            "partitions" => {
+                self.partitions = if value.trim() == "all" {
+                    Partition::ALL.to_vec()
+                } else {
+                    split(value)
+                        .map(|v| {
+                            Partition::parse(v)
+                                .ok_or_else(|| format!("partitions: unknown partitioning '{v}'"))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown sweep key '{other}' (expected ids, scales, kinds, hw, cubes, \
-                     l1-sets, l2-sets, energy-scale, gpu)"
+                     l1-sets, l2-sets, energy-scale, gpu, backends, formats, partitions)"
                 ))
             }
         }
@@ -254,6 +306,42 @@ impl SweepSpec {
                 }
             }
         }
+        // Scenario cells enumerate only when at least one scenario axis is
+        // set, so legacy grids stay byte-identical. The mapping algorithm
+        // and machine variant are pinned to the first value of their axes
+        // (they only matter to the SpaceA backend); unset scenario axes
+        // default to the canonical cell (spacea, csr, row).
+        if !(self.backends.is_empty() && self.formats.is_empty() && self.partitions.is_empty()) {
+            let backends = axis(&self.backends, BackendKind::Spacea);
+            let formats = axis(&self.formats, FormatKind::Csr);
+            let partitions = axis(&self.partitions, Partition::RowSplit);
+            let kind = kinds[0];
+            let (hw_name, hw_base) = &hw[0];
+            for &id in &ids {
+                for &scale in &scales {
+                    for &backend in &backends {
+                        for &format in &formats {
+                            for &partition in &partitions {
+                                points.push(SweepPoint {
+                                    id,
+                                    scale,
+                                    kind: PointKind::Scenario {
+                                        backend,
+                                        format,
+                                        partition,
+                                        kind,
+                                        hw_name: hw_name.clone(),
+                                        hw: Box::new(hw_base.clone()),
+                                        gpu: base.gpu_spec,
+                                        hbm: base.hbm_spec,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
         dedup_points(points)
     }
 }
@@ -297,6 +385,25 @@ pub enum PointKind {
         /// The baseline's (iso-area scaled) parameters.
         spec: TitanXpSpec,
     },
+    /// One backend × format × partitioning scenario cell.
+    Scenario {
+        /// Which execution model runs the cell.
+        backend: BackendKind,
+        /// The storage format streamed by the backend.
+        format: FormatKind,
+        /// How the stream is split across parallel resources.
+        partition: Partition,
+        /// The mapping algorithm (SpaceA backend only).
+        kind: MapKind,
+        /// Name of the machine variant behind the SpaceA backend.
+        hw_name: String,
+        /// The machine behind the SpaceA backend (boxed like Sim's).
+        hw: Box<HwConfig>,
+        /// The GPU baseline parameters behind the GPU backend.
+        gpu: TitanXpSpec,
+        /// The HBM accelerator parameters behind the HBM backend.
+        hbm: HbmSpec,
+    },
 }
 
 /// One concrete grid point: a Table I matrix at a scale, plus what to run
@@ -320,6 +427,18 @@ impl SweepPoint {
                 JobSpec::Sim { source, kind: *kind, hw: hw.as_ref().clone(), energy: *energy }
             }
             PointKind::Gpu { spec } => JobSpec::Gpu { source, spec: *spec },
+            PointKind::Scenario { backend, format, partition, kind, hw, gpu, hbm, .. } => {
+                JobSpec::Scenario {
+                    source,
+                    backend: *backend,
+                    format: *format,
+                    partition: *partition,
+                    kind: *kind,
+                    hw: hw.as_ref().clone(),
+                    gpu: *gpu,
+                    hbm: *hbm,
+                }
+            }
         }
     }
 
@@ -526,6 +645,72 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn shard_index_must_be_in_range() {
         shard_range(10, 3, 3);
+    }
+
+    #[test]
+    fn scenario_axes_parse_and_reject_bad_values() {
+        let mut s = SweepSpec::default();
+        s.set("backends", "spacea, gpu,hbm").unwrap();
+        s.set("formats", "csr,sell").unwrap();
+        s.set("partitions", "row,nnz").unwrap();
+        assert_eq!(s.backends, vec![BackendKind::Spacea, BackendKind::Gpu, BackendKind::Hbm]);
+        assert_eq!(s.formats, vec![FormatKind::Csr, FormatKind::Sell]);
+        assert_eq!(s.partitions, vec![Partition::RowSplit, Partition::NnzSplit]);
+        s.set("backends", "all").unwrap();
+        assert_eq!(s.backends, BackendKind::ALL.to_vec());
+        s.set("formats", "all").unwrap();
+        assert_eq!(s.formats, FormatKind::ALL.to_vec());
+        assert!(s.set("backends", "fpga").is_err());
+        assert!(s.set("formats", "ellpack").is_err());
+        assert!(s.set("partitions", "diagonal").is_err());
+    }
+
+    #[test]
+    fn scenario_axes_append_the_full_grid() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1,2").unwrap();
+        s.set("backends", "spacea,hbm").unwrap();
+        s.set("formats", "csr,sell").unwrap();
+        s.set("partitions", "row,nnz").unwrap();
+        let points = s.points(&quick_base());
+        // 2 legacy sim points (one per id) + 2*2*2*2 scenario cells.
+        let cells: Vec<_> =
+            points.iter().filter(|p| matches!(p.kind, PointKind::Scenario { .. })).collect();
+        assert_eq!(cells.len(), 16);
+        assert_eq!(points.len(), 2 + 16);
+        let keys: std::collections::HashSet<_> = points.iter().map(|p| p.job().key()).collect();
+        assert_eq!(keys.len(), points.len(), "every cell keys distinctly");
+    }
+
+    #[test]
+    fn partial_scenario_axes_default_to_the_canonical_cell() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1").unwrap();
+        s.set("backends", "hbm").unwrap();
+        let points = s.points(&quick_base());
+        let cell = points
+            .iter()
+            .find_map(|p| match &p.kind {
+                PointKind::Scenario { backend, format, partition, .. } => {
+                    Some((*backend, *format, *partition))
+                }
+                _ => None,
+            })
+            .expect("a scenario cell must enumerate");
+        assert_eq!(cell, (BackendKind::Hbm, FormatKind::Csr, Partition::RowSplit));
+    }
+
+    #[test]
+    fn no_scenario_axes_means_no_scenario_points() {
+        let mut s = SweepSpec::default();
+        s.set("ids", "1,2").unwrap();
+        s.set("kinds", "naive,proposed").unwrap();
+        s.set("gpu", "true").unwrap();
+        let points = s.points(&quick_base());
+        assert!(
+            points.iter().all(|p| !matches!(p.kind, PointKind::Scenario { .. })),
+            "legacy grids must enumerate byte-identically to before the scenario axes"
+        );
     }
 
     #[test]

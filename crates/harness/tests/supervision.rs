@@ -32,7 +32,9 @@ fn watched_sim(id: u8) -> JobSpec {
 fn faults_of(spec: &mut JobSpec) -> &mut spacea_arch::FaultPlan {
     match spec {
         JobSpec::Sim { hw, .. } => &mut hw.faults,
-        JobSpec::Gpu { .. } => unreachable!("tests only inject into sim jobs"),
+        JobSpec::Gpu { .. } | JobSpec::Scenario { .. } => {
+            unreachable!("tests only inject into sim jobs")
+        }
     }
 }
 

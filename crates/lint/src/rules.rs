@@ -165,8 +165,10 @@ pub const SUPERVISION_CRATES: [&str; 3] = ["harness", "bench", "serve"];
 ///
 /// `serve` mints its own per-request gauge keys (`serve/queue-wait-us`
 /// etc.), so it is in scope: a typo'd key there would silently vanish
-/// from dashboards instead of failing the build.
-pub const LEDGER_CRATES: [&str; 3] = ["arch", "sim", "serve"];
+/// from dashboards instead of failing the build. `backend` publishes the
+/// HBM model's per-channel gauges (`hbm/channel-bytes` etc.) and is held
+/// to the same registry.
+pub const LEDGER_CRATES: [&str; 4] = ["arch", "sim", "serve", "backend"];
 
 /// One rule violation at a specific site.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -76,6 +76,21 @@ impl Csr {
         Ok(Csr { rows, cols, row_ptr, col_idx, vals })
     }
 
+    /// Parses a MatrixMarket (`.mtx`) document.
+    ///
+    /// Convenience wrapper over [`crate::mmio::read_str`]: accepts the
+    /// `coordinate real/integer/pattern general/symmetric` subset, expands
+    /// symmetric storage, and returns the canonical CSR every
+    /// [`SparseFormat`](crate::formats::SparseFormat) builds from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::Parse`] for headers or entries outside the
+    /// supported subset.
+    pub fn from_mtx(text: &str) -> Result<Self, MatrixError> {
+        crate::mmio::read_str(text)
+    }
+
     /// Converts from COO, sorting by `(row, col)` and summing duplicates.
     pub fn from_coo(coo: &Coo) -> Self {
         let mut entries: Vec<(u32, u32, f64)> = coo.entries().to_vec();

@@ -34,6 +34,7 @@ mod coo;
 mod csc;
 mod csr;
 mod error;
+pub mod formats;
 pub mod gen;
 pub mod mmio;
 pub mod reorder;
@@ -44,5 +45,6 @@ pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use error::MatrixError;
+pub use formats::{FormatKind, SparseFormat};
 pub use reorder::Permutation;
 pub use stats::MatrixStats;

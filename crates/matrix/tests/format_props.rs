@@ -1,0 +1,89 @@
+//! Property tests for the format subsystem contracts (DESIGN.md §8):
+//! every `SparseFormat` round-trips through every other format losslessly,
+//! and each format's reference `spmv` is bitwise-equal to `Csr::spmv` on
+//! the generator suite.
+
+use proptest::prelude::*;
+use spacea_matrix::formats::{convert, FormatKind};
+use spacea_matrix::gen::{banded, rmat, uniform_random, BandedConfig, RmatConfig, UniformConfig};
+use spacea_matrix::Csr;
+
+/// One generator-suite matrix per shape family, parameterized by the
+/// proptest case.
+fn generated(family: u8, n: usize, seed: u64) -> Csr {
+    match family % 3 {
+        0 => banded(&BandedConfig {
+            n,
+            mean_row_nnz: 6.0,
+            stddev_row_nnz: 2.0,
+            seed,
+            ..Default::default()
+        }),
+        1 => rmat(&RmatConfig { n, edges: n * 4, seed, ..Default::default() }),
+        _ => uniform_random(&UniformConfig { rows: n, cols: n, row_nnz: 3, seed }),
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// A → B → CSR is lossless for every ordered format pair, preserving
+    /// nnz order semantics (CSR equality covers arrays, not just values).
+    #[test]
+    fn every_format_pair_round_trips(family in 0u8..3, n in 16usize..200, seed in 0u64..1000) {
+        let a = generated(family, n, seed);
+        for from in FormatKind::ALL {
+            let f = from.build(&a);
+            prop_assert_eq!(&f.to_csr(), &a, "{} direct", from);
+            for to in FormatKind::ALL {
+                let g = convert(f.as_ref(), to);
+                prop_assert_eq!(&g.to_csr(), &a, "{} -> {}", from, to);
+            }
+        }
+    }
+
+    /// Each format's reference SpMV is bitwise-equal to `Csr::spmv`.
+    #[test]
+    fn every_format_spmv_is_bitwise_csr(
+        family in 0u8..3,
+        n in 16usize..200,
+        seed in 0u64..1000,
+        xseed in 0u64..100,
+    ) {
+        let a = generated(family, n, seed);
+        // A deterministic but irregular input vector, including negatives.
+        let x: Vec<f64> = (0..a.cols())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(xseed);
+                (h % 1009) as f64 / 251.0 - 2.0
+            })
+            .collect();
+        let want = bits(&a.spmv(&x));
+        for kind in FormatKind::ALL {
+            prop_assert_eq!(&bits(&kind.build(&a).spmv(&x)), &want, "{}", kind);
+        }
+    }
+
+    /// Storage models stay coherent: positive byte counts, slots cover the
+    /// nnz, and the stream names exactly the stored slots.
+    #[test]
+    fn storage_and_stream_models_are_coherent(family in 0u8..3, n in 16usize..200, seed in 0u64..1000) {
+        let a = generated(family, n, seed);
+        for kind in FormatKind::ALL {
+            let f = kind.build(&a);
+            prop_assert!(f.bytes() > 0, "{}", kind);
+            prop_assert!(f.stored_slots() >= f.nnz(), "{}", kind);
+            let stream = f.stream_rows();
+            prop_assert_eq!(stream.len(), f.stored_slots(), "{}", kind);
+            let live = stream.iter().filter(|&&r| r != spacea_matrix::formats::PAD).count();
+            prop_assert_eq!(live, f.nnz(), "{} stream must name each nnz once", kind);
+            let pattern = f.storage_pattern();
+            prop_assert!(pattern.nnz() >= a.nnz(), "{}", kind);
+            prop_assert_eq!((pattern.rows(), pattern.cols()), (a.rows(), a.cols()), "{}", kind);
+        }
+    }
+}

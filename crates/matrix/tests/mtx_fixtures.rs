@@ -1,0 +1,66 @@
+//! MatrixMarket fixture tests: `.mtx` files on disk load through
+//! `Csr::from_mtx` / `mmio::read_file` and feed the format suite, so
+//! nothing downstream is suite-only.
+
+use spacea_matrix::formats::FormatKind;
+use spacea_matrix::{mmio, Csr};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn symmetric_real_fixture_expands() {
+    let a = Csr::from_mtx(&fixture("bar5.mtx")).unwrap();
+    assert_eq!((a.rows(), a.cols()), (5, 5));
+    // 9 stored entries, 4 off-diagonal, mirrored on expansion.
+    assert_eq!(a.nnz(), 13);
+    // Symmetry: A == Aᵀ.
+    assert_eq!(a.transpose(), a);
+    // The diagonal is 4.0 everywhere.
+    for i in 0..5 {
+        assert!(a.row(i).any(|(c, v)| c as usize == i && v == 4.0), "row {i}");
+    }
+}
+
+#[test]
+fn pattern_general_fixture_reads_unit_values() {
+    let a = Csr::from_mtx(&fixture("web4.mtx")).unwrap();
+    assert_eq!((a.rows(), a.cols(), a.nnz()), (4, 4, 6));
+    assert!(a.vals().iter().all(|&v| v == 1.0));
+    // Out-degrees from the link list: 2, 1, 1, 2.
+    let deg: Vec<usize> = (0..4).map(|i| a.row_nnz(i)).collect();
+    assert_eq!(deg, vec![2, 1, 1, 2]);
+}
+
+#[test]
+fn fixtures_read_identically_via_file_and_str() {
+    for name in ["bar5.mtx", "web4.mtx"] {
+        let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+        let via_file = mmio::read_file(&path).unwrap();
+        let via_str = Csr::from_mtx(&fixture(name)).unwrap();
+        assert_eq!(via_file, via_str, "{name}");
+    }
+}
+
+#[test]
+fn fixtures_drive_the_format_suite() {
+    for name in ["bar5.mtx", "web4.mtx"] {
+        let a = Csr::from_mtx(&fixture(name)).unwrap();
+        let x: Vec<f64> = (0..a.cols()).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let want: Vec<u64> = a.spmv(&x).iter().map(|v| v.to_bits()).collect();
+        for kind in FormatKind::ALL {
+            let f = kind.build(&a);
+            assert_eq!(f.to_csr(), a, "{name} via {kind}");
+            let got: Vec<u64> = f.spmv(&x).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "{name} via {kind}");
+        }
+    }
+}
+
+#[test]
+fn from_mtx_rejects_garbage() {
+    assert!(Csr::from_mtx("%%MatrixMarket matrix array real general\n1 1\n1.0\n").is_err());
+    assert!(Csr::from_mtx("not a matrix at all").is_err());
+}

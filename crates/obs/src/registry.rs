@@ -7,7 +7,7 @@
 //! rule). This table is the single source of truth — add a row here in the
 //! same change that registers a new gauge, and `spacea-lint --check` will
 //! cross-check every literal `MetricKey::{vault,global}` construction in
-//! `arch`/`sim` against it.
+//! `arch`/`backend`/`sim`/`serve` against it.
 
 /// Every registered `(component, name)` gauge pair, sorted.
 ///
@@ -15,11 +15,20 @@
 /// the machine: per-request queue latency, the width/cost of each fused
 /// batch pass, and the request-lifecycle fault counters (load sheds,
 /// transient-batch retries, deadline cancellations).
-pub const METRICS: [(&str, &str); 17] = [
+///
+/// The `hbm` rows are published by `spacea-backend`'s Serpens-style HBM
+/// model: per-channel stream accounting (keyed like per-vault machine
+/// gauges, one channel per vault slot) plus run-level aggregates.
+pub const METRICS: [(&str, &str); 22] = [
     ("cam", "l1-hit-rate"),
     ("cam", "l2-hit-rate"),
     ("dram", "row-hit-rate"),
     ("engine", "queue-depth"),
+    ("hbm", "channel-bytes"),
+    ("hbm", "channel-cycles"),
+    ("hbm", "channel-stalls"),
+    ("hbm", "reorder-stalls"),
+    ("hbm", "utilization"),
     ("ldq", "l1-occupancy"),
     ("ldq", "l2-occupancy"),
     ("noc", "byte-hops"),
@@ -58,6 +67,15 @@ mod tests {
         assert!(is_known("ldq", "l1-occupancy"));
         assert!(!is_known("tvs", "bytes"), "typo must not resolve");
         assert!(!is_known("tsv", "byts"));
+    }
+
+    #[test]
+    fn hbm_metrics_are_registered() {
+        assert!(is_known("hbm", "channel-bytes"));
+        assert!(is_known("hbm", "channel-cycles"));
+        assert!(is_known("hbm", "channel-stalls"));
+        assert!(is_known("hbm", "reorder-stalls"));
+        assert!(is_known("hbm", "utilization"));
     }
 
     #[test]

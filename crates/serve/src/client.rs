@@ -63,6 +63,17 @@ pub struct RegisterReply {
     pub nnz: usize,
 }
 
+/// What a successful `compact` call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReply {
+    /// Journal files removed by the pass.
+    pub dropped_files: u64,
+    /// Acknowledgment records inside the removed files.
+    pub dropped_records: u64,
+    /// Journal files still on disk after the pass.
+    pub retained_files: u64,
+}
+
 /// What a successful `submit` call returned.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubmitOutcome {
@@ -201,16 +212,39 @@ impl Client {
     /// Propagates transport failures and daemon-side rejections.
     pub fn register(&mut self, id: u8, scale: usize) -> Result<RegisterReply, CallError> {
         let v = self.call(&Request::Register { id, scale })?;
+        register_reply(&v)
+    }
+
+    /// Registers a matrix from MatrixMarket text and returns its content
+    /// key and shape — the same handle space `register` uses, so `submit`
+    /// works identically against it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and daemon-side rejections
+    /// (`bad-request` for unparseable MatrixMarket text).
+    pub fn register_mtx(&mut self, text: &str) -> Result<RegisterReply, CallError> {
+        let v = self.call(&Request::RegisterMtx { text: text.to_string() })?;
+        register_reply(&v)
+    }
+
+    /// Compacts the daemon's acknowledgment journal down to the newest
+    /// `retain` files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and daemon-side rejections.
+    pub fn compact(&mut self, retain: usize) -> Result<CompactReply, CallError> {
+        let v = self.call(&Request::Compact { retain })?;
         let field = |name: &str| {
             v.get(name)
                 .and_then(Json::as_u64)
                 .ok_or_else(|| CallError::transport(format!("response lacks {name:?}")))
         };
-        Ok(RegisterReply {
-            matrix: field("matrix")?,
-            rows: field("rows")? as usize,
-            cols: field("cols")? as usize,
-            nnz: field("nnz")? as usize,
+        Ok(CompactReply {
+            dropped_files: field("dropped_files")?,
+            dropped_records: field("dropped_records")?,
+            retained_files: field("retained_files")?,
         })
     }
 
@@ -277,6 +311,21 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), CallError> {
         self.call(&Request::Shutdown).map(|_| ())
     }
+}
+
+/// Decodes the response shape `register` and `register-mtx` share.
+fn register_reply(v: &Json) -> Result<RegisterReply, CallError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CallError::transport(format!("response lacks {name:?}")))
+    };
+    Ok(RegisterReply {
+        matrix: field("matrix")?,
+        rows: field("rows")? as usize,
+        cols: field("cols")? as usize,
+        nnz: field("nnz")? as usize,
+    })
 }
 
 #[cfg(test)]

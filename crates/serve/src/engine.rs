@@ -11,7 +11,7 @@
 
 use crate::chaos::{ChaosPlan, ChaosState};
 use crate::error::ServeError;
-use crate::journal::AckJournal;
+use crate::journal::{AckJournal, CompactionStats};
 use spacea_arch::{HwConfig, Machine, RunSpec, SpmmReport};
 use spacea_harness::json::Json;
 use spacea_harness::mapstore::{mapping_key, matrix_key};
@@ -242,6 +242,25 @@ impl ServeEngine {
     /// The write-ahead acknowledgment journal.
     pub fn journal(&self) -> &AckJournal {
         &self.journal
+    }
+
+    /// The live journal footprint on disk: `(records, files)` past the
+    /// compaction watermark. Computed on demand (it re-reads the journal
+    /// directory), so it is exposed through the `stat` verb rather than
+    /// folded into every manifest flush.
+    pub fn journal_counts(&self) -> (u64, u64) {
+        self.journal.disk_counts()
+    }
+
+    /// Compacts the acknowledgment journal down to the newest `retain`
+    /// files (crash-safe: watermark first, unlink second).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the watermark write failure; on error no journal file
+    /// was removed.
+    pub fn compact_journal(&self, retain: usize) -> std::io::Result<CompactionStats> {
+        self.journal.compact(retain)
     }
 
     /// Registers a matrix by content: hashes it, stores it under its key,

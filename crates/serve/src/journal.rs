@@ -83,6 +83,21 @@ pub struct JournalLoad {
     /// count after a *graceful* shutdown is a bug; after a crash it can
     /// only be 0 — torn writes never survive the tmp+rename protocol.
     pub corrupt_files: usize,
+    /// Records dropped by prior compaction passes (carried in the
+    /// watermark file, so the all-time acknowledgment count is
+    /// `dropped + records.len()` even after retention kicked in).
+    pub dropped: u64,
+}
+
+/// What one [`AckJournal::compact`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Journal files removed by this pass.
+    pub dropped_files: usize,
+    /// Acknowledgment records inside the removed files.
+    pub dropped_records: usize,
+    /// Journal files still on disk after the pass.
+    pub retained_files: usize,
 }
 
 /// An append-only acknowledgment journal over one directory.
@@ -97,10 +112,21 @@ impl AckJournal {
     /// Name of the journal directory under the daemon's cache directory.
     pub const DIR: &'static str = "journal";
 
+    /// Name of the compaction watermark file inside the journal directory.
+    /// It records the highest sequence number dropped by compaction (and
+    /// how many records went with it); loaders skip any `ack-*.json` file
+    /// at or below the watermark, which is what makes compaction
+    /// crash-safe — the watermark is written atomically *before* any file
+    /// is unlinked.
+    pub const COMPACTED_FILE: &'static str = "compacted.json";
+
     /// Opens (or starts) a journal in `dir`, continuing after the highest
-    /// existing sequence number so restarts never overwrite prior proof.
+    /// existing sequence number — or the compaction watermark, whichever
+    /// is higher — so restarts never overwrite prior proof, even when
+    /// compaction emptied the directory.
     pub fn open(dir: impl Into<PathBuf>) -> Self {
         let dir = dir.into();
+        let floor = watermark(&dir).map_or(0, |(seq, _)| seq + 1);
         let next = match std::fs::read_dir(&dir) {
             Ok(entries) => entries
                 .filter_map(|e| e.ok())
@@ -109,7 +135,7 @@ impl AckJournal {
                 .map_or(0, |max| max + 1),
             Err(_) => 0,
         };
-        AckJournal { dir, seq: AtomicU64::new(next), acked: AtomicU64::new(0) }
+        AckJournal { dir, seq: AtomicU64::new(next.max(floor)), acked: AtomicU64::new(0) }
     }
 
     /// The journal directory.
@@ -143,17 +169,24 @@ impl AckJournal {
         Ok(path)
     }
 
-    /// Loads every journal file under `dir`, in sequence order. Missing
-    /// directory means an empty journal, not an error.
+    /// Loads every live journal file under `dir`, in sequence order.
+    /// Missing directory means an empty journal, not an error. Files at
+    /// or below the compaction watermark are skipped (a crash between
+    /// the watermark write and the unlinks can leave some behind) and
+    /// their records are already accounted for in [`JournalLoad::dropped`].
     pub fn load(dir: &Path) -> JournalLoad {
         let mut out = JournalLoad::default();
+        let wm = watermark(dir);
+        out.dropped = wm.map_or(0, |(_, records)| records);
+        let floor = wm.map(|(seq, _)| seq);
         let Ok(entries) = std::fs::read_dir(dir) else { return out };
-        let mut files: Vec<PathBuf> = entries
+        let mut files: Vec<(u64, PathBuf)> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| seq_of(p).is_some())
+            .filter_map(|p| seq_of(&p).map(|seq| (seq, p)))
+            .filter(|&(seq, _)| floor.is_none_or(|through| seq > through))
             .collect();
         files.sort();
-        for path in files {
+        for (_, path) in files {
             match std::fs::read_to_string(&path).ok().and_then(|t| decode_file(&t)) {
                 Some(mut records) => out.records.append(&mut records),
                 None => out.corrupt_files += 1,
@@ -161,6 +194,92 @@ impl AckJournal {
         }
         out
     }
+
+    /// The live journal footprint on disk: `(records, files)` past the
+    /// compaction watermark — what the `stat` verb reports.
+    pub fn disk_counts(&self) -> (u64, u64) {
+        let load = AckJournal::load(&self.dir);
+        let floor = watermark(&self.dir).map(|(seq, _)| seq);
+        let files = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| seq_of(&e.path()))
+                .filter(|&seq| floor.is_none_or(|through| seq > through))
+                .count(),
+            Err(_) => 0,
+        };
+        (load.records.len() as u64, files as u64)
+    }
+
+    /// Drops acked journal files beyond a retention budget, keeping the
+    /// newest `retain` files. Crash-safe ordering: the watermark file is
+    /// written (tmp + atomic rename) *first*, the stale `ack-*.json`
+    /// files are unlinked *second* — a crash in between leaves files that
+    /// [`AckJournal::load`] already skips and that the next compaction
+    /// sweeps without recounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the watermark write failure; on error no journal file
+    /// was removed.
+    pub fn compact(&self, retain: usize) -> std::io::Result<CompactionStats> {
+        let prior = watermark(&self.dir);
+        let floor = prior.map(|(seq, _)| seq);
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Ok(CompactionStats::default());
+        };
+        let mut files: Vec<(u64, PathBuf)> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter_map(|p| seq_of(&p).map(|seq| (seq, p)))
+            .collect();
+        files.sort();
+        // Leftovers from a crashed pass sit at or below the old watermark:
+        // already counted there, so sweep them without recounting.
+        let live_from =
+            files.partition_point(|&(seq, _)| floor.is_some_and(|through| seq <= through));
+        let (leftovers, live) = files.split_at(live_from);
+        let keep_from = live.len().saturating_sub(retain);
+        let (stale, kept) = live.split_at(keep_from);
+        let mut stats = CompactionStats {
+            dropped_files: stale.len(),
+            dropped_records: 0,
+            retained_files: kept.len(),
+        };
+        if let Some(&(through, _)) = stale.last() {
+            for (_, path) in stale {
+                if let Some(records) =
+                    std::fs::read_to_string(path).ok().and_then(|t| decode_file(&t))
+                {
+                    stats.dropped_records += records.len();
+                }
+            }
+            let carried = prior.map_or(0, |(_, records)| records);
+            let body = Json::obj(vec![
+                ("version", Json::U64(1)),
+                ("dropped_through_seq", Json::U64(through)),
+                ("dropped_records", Json::U64(carried + stats.dropped_records as u64)),
+            ]);
+            write_atomic(&self.dir.join(Self::COMPACTED_FILE), &body.to_text())?;
+            for (_, path) in stale {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        for (_, path) in leftovers {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(stats)
+    }
+}
+
+/// The compaction watermark of a journal directory, if one was ever
+/// written: `(dropped_through_seq, dropped_records)`.
+fn watermark(dir: &Path) -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string(dir.join(AckJournal::COMPACTED_FILE)).ok()?;
+    let v = parse(&text).ok()?;
+    if v.get("version")?.as_u64()? != 1 {
+        return None;
+    }
+    Some((v.get("dropped_through_seq")?.as_u64()?, v.get("dropped_records")?.as_u64()?))
 }
 
 /// The sequence number of an `ack-<seq>.json` path, if it is one.
@@ -236,6 +355,77 @@ mod tests {
         let next = AckJournal::open(&dir);
         let path = next.append(&[rec(2, 2)]).unwrap();
         assert!(path.file_name().unwrap().to_str().unwrap().contains("00000100"), "{path:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_keeps_the_newest_files_and_restart_respects_the_watermark() {
+        let dir = tmp_dir("compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = AckJournal::open(&dir);
+        for i in 0..5 {
+            j.append(&[rec(1, i), rec(1, 100 + i)]).unwrap();
+        }
+        assert_eq!(j.disk_counts(), (10, 5));
+
+        let stats = j.compact(2).unwrap();
+        assert_eq!(
+            stats,
+            CompactionStats { dropped_files: 3, dropped_records: 6, retained_files: 2 }
+        );
+        assert_eq!(j.disk_counts(), (4, 2));
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.dropped, 6, "the watermark carries the dropped-record count");
+        assert_eq!(load.records, vec![rec(1, 3), rec(1, 103), rec(1, 4), rec(1, 104)]);
+
+        // A second pass over an already-tight journal is a no-op.
+        let again = j.compact(2).unwrap();
+        assert_eq!(
+            again,
+            CompactionStats { dropped_files: 0, dropped_records: 0, retained_files: 2 }
+        );
+
+        // Compacting everything away must not let a restart reuse seqs.
+        j.compact(0).unwrap();
+        assert_eq!(j.disk_counts(), (0, 0));
+        let restarted = AckJournal::open(&dir);
+        let path = restarted.append(&[rec(7, 7)]).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().contains("00000005"), "{path:?}");
+        let load = AckJournal::load(&dir);
+        assert_eq!((load.dropped, load.records.len()), (10, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crash_between_watermark_and_unlink_is_harmless() {
+        let dir = tmp_dir("crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = AckJournal::open(&dir);
+        for i in 0..4 {
+            j.append(&[rec(1, i)]).unwrap();
+        }
+        // Simulate the crash: write the watermark covering seqs 0..=1 by
+        // hand and leave their files on disk.
+        std::fs::write(
+            dir.join(AckJournal::COMPACTED_FILE),
+            "{\"version\":1,\"dropped_through_seq\":1,\"dropped_records\":2}",
+        )
+        .unwrap();
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.records, vec![rec(1, 2), rec(1, 3)], "stale files are skipped");
+        assert_eq!(load.dropped, 2);
+        assert_eq!(j.disk_counts(), (2, 2));
+
+        // The next pass sweeps the leftovers without recounting them.
+        let stats = j.compact(1).unwrap();
+        assert_eq!(
+            stats,
+            CompactionStats { dropped_files: 1, dropped_records: 1, retained_files: 1 }
+        );
+        let load = AckJournal::load(&dir);
+        assert_eq!(load.records, vec![rec(1, 3)]);
+        assert_eq!(load.dropped, 3, "2 carried + 1 newly dropped");
+        assert!(!dir.join("ack-00000000.json").exists(), "leftover swept");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -59,10 +59,10 @@ pub mod server;
 pub mod service;
 
 pub use chaos::{ChaosPlan, ChaosState};
-pub use client::{CallError, Client};
+pub use client::{CallError, Client, CompactReply};
 pub use engine::{EngineStats, RegisterInfo, ServeConfig, ServeEngine};
 pub use error::ServeError;
-pub use journal::{vec_hash, AckJournal, AckRecord};
+pub use journal::{vec_hash, AckJournal, AckRecord, CompactionStats, JournalLoad};
 pub use protocol::{seeded_vector, Request, PORT_FILE};
 pub use server::run_daemon;
 pub use service::{Service, SubmitReply};

@@ -39,6 +39,20 @@ pub enum Request {
         /// rejected with the `deadline-exceeded` code.
         deadline_ms: Option<u64>,
     },
+    /// Register a matrix from MatrixMarket text (the file body travels
+    /// on the wire with newlines JSON-escaped), so serving is not
+    /// suite-only.
+    RegisterMtx {
+        /// The MatrixMarket file contents.
+        text: String,
+    },
+    /// Compact the acknowledgment journal down to the newest `retain`
+    /// files (crash-safe watermark + unlink; see
+    /// [`crate::journal::AckJournal::compact`]).
+    Compact {
+        /// How many journal files to keep.
+        retain: usize,
+    },
     /// Fetch engine counters.
     Stat,
     /// Stop the daemon (it flushes its manifest and telemetry first).
@@ -66,6 +80,14 @@ impl Request {
                 }
                 Json::obj(fields)
             }
+            Request::RegisterMtx { text } => Json::obj(vec![
+                ("cmd", Json::Str("register-mtx".into())),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Request::Compact { retain } => Json::obj(vec![
+                ("cmd", Json::Str("compact".into())),
+                ("retain", Json::U64(*retain as u64)),
+            ]),
             Request::Stat => Json::obj(vec![("cmd", Json::Str("stat".into()))]),
             Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
         }
@@ -106,6 +128,14 @@ impl Request {
                 seed: need_u64("seed")?,
                 deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
             }),
+            "register-mtx" => {
+                let text = v
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "\"register-mtx\" needs a string \"text\" field".to_string())?;
+                Ok(Request::RegisterMtx { text: text.to_string() })
+            }
+            "compact" => Ok(Request::Compact { retain: need_u64("retain")? as usize }),
             "stat" => Ok(Request::Stat),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command {other:?}")),
@@ -192,6 +222,10 @@ mod tests {
             Request::Register { id: 3, scale: 256 },
             Request::Submit { matrix: 0xDEAD_BEEF_0123_4567, seed: 42, deadline_ms: None },
             Request::Submit { matrix: 7, seed: 0, deadline_ms: Some(250) },
+            Request::RegisterMtx {
+                text: "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n".into(),
+            },
+            Request::Compact { retain: 4 },
             Request::Stat,
             Request::Shutdown,
         ];
@@ -208,6 +242,8 @@ mod tests {
         assert!(Request::parse("{\"cmd\":\"submit\",\"matrix\":1}").is_err(), "missing seed");
         assert!(Request::parse("{\"cmd\":\"register\",\"id\":999,\"scale\":1}").is_err());
         assert!(Request::parse("{\"id\":1}").is_err(), "missing cmd");
+        assert!(Request::parse("{\"cmd\":\"register-mtx\"}").is_err(), "missing text");
+        assert!(Request::parse("{\"cmd\":\"compact\"}").is_err(), "missing retain");
     }
 
     #[test]

@@ -175,8 +175,30 @@ fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
                 Err(e) => err_of(&e),
             }
         }
+        Request::RegisterMtx { text } => match spacea_matrix::Csr::from_mtx(&text) {
+            Ok(a) => {
+                let info = engine.register(a);
+                note_flush(engine);
+                protocol::ok(vec![
+                    ("matrix", Json::U64(info.key)),
+                    ("rows", Json::U64(info.rows as u64)),
+                    ("cols", Json::U64(info.cols as u64)),
+                    ("nnz", Json::U64(info.nnz as u64)),
+                ])
+            }
+            Err(e) => protocol::err_code("bad-request", &format!("mtx: {e}")),
+        },
+        Request::Compact { retain } => match engine.compact_journal(retain) {
+            Ok(c) => protocol::ok(vec![
+                ("dropped_files", Json::U64(c.dropped_files as u64)),
+                ("dropped_records", Json::U64(c.dropped_records as u64)),
+                ("retained_files", Json::U64(c.retained_files as u64)),
+            ]),
+            Err(e) => protocol::err(&format!("journal compaction failed: {e}")),
+        },
         Request::Stat => {
             let s = engine.stats();
+            let (journal_records, journal_files) = engine.journal_counts();
             protocol::ok(vec![
                 ("registered", Json::U64(s.registered)),
                 ("requests", Json::U64(s.requests)),
@@ -191,6 +213,8 @@ fn dispatch(req: Request, service: &Service, stop: &AtomicBool) -> Json {
                 ("mappings_computed", Json::U64(s.mappings.computed)),
                 ("mappings_disk_hits", Json::U64(s.mappings.disk_hits)),
                 ("mappings_healed", Json::U64(s.mappings.healed)),
+                ("journal_records", Json::U64(journal_records)),
+                ("journal_files", Json::U64(journal_files)),
             ])
         }
         Request::Shutdown => {

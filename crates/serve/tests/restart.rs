@@ -36,6 +36,49 @@ fn manifest_counts(dir: &Path) -> (u64, u64) {
 }
 
 #[test]
+fn mtx_registration_and_journal_compaction_over_the_wire() {
+    let dir = tmp_dir("compact");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let daemon = start_daemon(&dir);
+    let mut client = Client::connect_dir(&dir).unwrap();
+
+    // A MatrixMarket body registers like a suite matrix and answers
+    // bitwise-correct submits against the offline parse.
+    let text = include_str!("../../matrix/tests/fixtures/bar5.mtx");
+    let reply = client.register_mtx(text).unwrap();
+    let a = spacea_matrix::Csr::from_mtx(text).unwrap();
+    assert_eq!((reply.rows, reply.cols, reply.nnz), (a.rows(), a.cols(), a.nnz()));
+    let e = client.register_mtx("not a matrix").unwrap_err();
+    assert_eq!(e.code, "bad-request");
+
+    for seed in 0..3u64 {
+        let out = client.submit(reply.matrix, seed).unwrap();
+        let want = a.spmv(&seeded_vector(a.cols(), seed));
+        let got: Vec<u64> = out.y.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "seed {seed}: mtx-registered reply diverged");
+    }
+
+    // Three sequential submits journal three single-record files; stat
+    // reports the live footprint and compact trims it to the budget.
+    let stat = client.stat().unwrap();
+    assert_eq!(stat.get("journal_records").and_then(|j| j.as_u64()), Some(3));
+    assert_eq!(stat.get("journal_files").and_then(|j| j.as_u64()), Some(3));
+    let c = client.compact(1).unwrap();
+    assert_eq!((c.dropped_files, c.dropped_records, c.retained_files), (2, 2, 1));
+    let stat = client.stat().unwrap();
+    assert_eq!(stat.get("journal_records").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(stat.get("journal_files").and_then(|j| j.as_u64()), Some(1));
+    let load = AckJournal::load(&dir.join(AckJournal::DIR));
+    assert_eq!((load.records.len(), load.dropped, load.corrupt_files), (1, 2, 0));
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn concurrent_requests_match_reference_and_restart_is_warm() {
     let dir = tmp_dir("e2e");
     let _ = std::fs::remove_dir_all(&dir);
