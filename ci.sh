@@ -16,6 +16,33 @@ if git cat-file -e HEAD~1:lint-baseline.json 2>/dev/null; then
   cargo run --release -p spacea-lint -- \
     --compare-baselines target/lint-baseline-prev.json lint-baseline.json
 fi
+
+# PDES call-graph artifacts: both exports must be well-formed, and the
+# event-loop path must stay traceable (a --why chain ending at its root).
+cargo run --release -p spacea-lint -- --graph dot > target/lint-graph.dot
+grep -q '^digraph spacea_calls' target/lint-graph.dot
+grep -q '}' target/lint-graph.dot
+cargo run --release -p spacea-lint -- --graph json > target/lint-graph.json
+grep -q '"schema": "spacea-lint-graph-v1"' target/lint-graph.json
+cargo run --release -p spacea-lint -- --why Machine::run | grep -q "PDES root"
+cargo run --release -p spacea-lint -- --why LoadQueue::push_forced_at \
+  | grep -q "reachable: Machine::run -> Sim::run -> Sim::pe_step -> LoadQueue::push_forced_at"
+
+# Ratchet regression guard: --compare-baselines must exit non-zero when the
+# baseline grows (a zero exit here would mean the ratchet is toothless).
+printf '%s\n' \
+  '{' \
+  '  "schema": "spacea-lint-baseline-v1",' \
+  '  "total": 1,' \
+  '  "entries": [' \
+  '    {"rule": "D1", "file": "crates/sim/src/engine.rs", "count": 1}' \
+  '  ]' \
+  '}' > target/lint-baseline-grown.json
+if cargo run --release -p spacea-lint -- \
+    --compare-baselines lint-baseline.json target/lint-baseline-grown.json; then
+  echo "ci.sh: --compare-baselines accepted a grown baseline" >&2
+  exit 1
+fi
 cargo run --release -p spacea-bench --bin all_experiments -- --quick --jobs 4 > /dev/null
 
 # Sweep smoke test: a tiny 2-axis grid run whole and as 2 shards sharing a

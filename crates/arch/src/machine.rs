@@ -654,6 +654,19 @@ impl<'a> Sim<'a> {
                 MetricKey::vault("ldq", v, "l2-occupancy"),
                 probe(move |s| s.l2_ldq[v].len() as f64),
             );
+            // Latency probe: age (in cycles) of the vault's longest-waiting
+            // LDQ entry across its L1 bank-group queues and the L2 queue. A
+            // growing age under flat occupancy means a stuck queue; a deep
+            // but moving queue keeps the age bounded.
+            let b = bgs.clone();
+            s.register(
+                MetricKey::vault("ldq", v, "queue-age"),
+                probe(move |s| {
+                    let now = s.obs_cycle;
+                    let l1 = b.iter().map(|&g| s.l1_ldq[g].oldest_age(now)).max().unwrap_or(0);
+                    l1.max(s.l2_ldq[v].oldest_age(now)) as f64
+                }),
+            );
             let p = pes.clone();
             s.register(
                 MetricKey::vault("pe", v, "pending"),
@@ -1035,7 +1048,7 @@ impl<'a> Sim<'a> {
             } else {
                 // Case I: X_j not ready — non-blocking remote request.
                 self.pes[p].pending += 1;
-                let push = self.l1_ldq[bg].push_forced(block, PeWaiter { pe, entry });
+                let push = self.l1_ldq[bg].push_forced_at(block, PeWaiter { pe, entry }, t);
                 if push == LdqPush::NewRequest || !self.cfg.ldq_dedup {
                     let vault = self.pe_slots[p].global_vault(self.cfg);
                     let t_req =
@@ -1130,7 +1143,9 @@ impl<'a> Sim<'a> {
             self.respond(v, block, from, t_look);
             return;
         }
-        if self.l2_ldq[v].push_forced(block, from) != LdqPush::NewRequest && self.cfg.ldq_dedup {
+        if self.l2_ldq[v].push_forced_at(block, from, t) != LdqPush::NewRequest
+            && self.cfg.ldq_dedup
+        {
             return; // deduplicated: an identical request is already in flight
         }
         let home_vault = self.layout.home_vault_of_block(block);
@@ -1351,15 +1366,15 @@ impl<'a> Sim<'a> {
         let pe_work: Vec<u64> = self.pes.iter().map(|p| p.work).collect();
         let normalized_workload = SimReport::normalized_workload_of(&pe_work);
         let elapsed = self.end_time.max(1) as f64;
-        let pe_busy_fraction =
-            self.pes.iter().map(|p| (p.steps * self.cfg.l_p) as f64 / elapsed).sum::<f64>()
-                / self.pes.len() as f64;
-        let matrix_bank_busy_fraction =
-            self.matrix_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed).sum::<f64>()
-                / self.matrix_banks.len() as f64;
-        let vector_bank_busy_fraction =
-            self.vector_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed).sum::<f64>()
-                / self.vector_banks.len() as f64;
+        let pe_busy_fraction = spacea_matrix::reduce::sum_f64(
+            self.pes.iter().map(|p| (p.steps * self.cfg.l_p) as f64 / elapsed),
+        ) / self.pes.len() as f64;
+        let matrix_bank_busy_fraction = spacea_matrix::reduce::sum_f64(
+            self.matrix_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed),
+        ) / self.matrix_banks.len() as f64;
+        let vector_bank_busy_fraction = spacea_matrix::reduce::sum_f64(
+            self.vector_banks.iter().map(|b| b.busy_cycles() as f64 / elapsed),
+        ) / self.vector_banks.len() as f64;
         let (ub_hits, ub_misses) =
             self.update_buf.iter().fold((0u64, 0u64), |(h, m), b| (h + b.hits(), m + b.misses()));
         let update_buffer_hit_rate = if ub_hits + ub_misses == 0 {

@@ -2,10 +2,13 @@
 //!
 //! Verbs:
 //!
-//! * `serve start [--port N] [--max-batch N] [--chaos SPEC|--chaos-seed N]`
-//!   — run the daemon in the foreground over `--cache-dir` (default
-//!   `target/spacea-cache`); `--quick` serves the tiny machine. The bound
-//!   port is published to `<cache-dir>/serve.port` once the listener is up.
+//! * `serve start [--port N] [--max-batch N] [--compact-every N]
+//!   [--chaos SPEC|--chaos-seed N]` — run the daemon in the foreground over
+//!   `--cache-dir` (default `target/spacea-cache`); `--quick` serves the
+//!   tiny machine. The bound port is published to `<cache-dir>/serve.port`
+//!   once the listener is up. `--compact-every N` auto-compacts the
+//!   acknowledgment journal (crash-safe, retaining the newest N files)
+//!   every N acknowledged batches; 0 (the default) disables it.
 //!   `--chaos` arms a deterministic service-layer fault plan (see the
 //!   `spacea_serve::chaos` grammar); `--chaos-seed` derives one from a seed
 //!   exactly as the `serve_chaos` soak does, for replaying a failing seed.
@@ -27,8 +30,9 @@ use spacea_bench::{ArgError, HarnessOptions};
 use spacea_serve::{run_daemon, seeded_vector, CallError, ChaosPlan, Client, ServeConfig};
 
 const SERVE_USAGE: &str = "serve: start|submit|register|compact|stat|shutdown | --port N | \
-     --max-batch N | --chaos SPEC | --chaos-seed N | --matrix ID/SCALE[,ID/SCALE...] | \
-     --seeds N[,N...] | --deadline-ms N | --check | --mtx PATH | --retain N";
+     --max-batch N | --compact-every N | --chaos SPEC | --chaos-seed N | \
+     --matrix ID/SCALE[,ID/SCALE...] | --seeds N[,N...] | --deadline-ms N | --check | \
+     --mtx PATH | --retain N";
 
 fn main() {
     let mut verb: Option<String> = None;
@@ -41,6 +45,7 @@ fn main() {
     let mut deadline_ms: Option<u64> = None;
     let mut mtx_path: Option<String> = None;
     let mut retain = 8usize;
+    let mut compact_every = 0u64;
     let opts = HarnessOptions::from_args_with(std::env::args().skip(1), |flag, args| {
         match flag {
             "start" | "submit" | "register" | "compact" | "stat" | "shutdown" if verb.is_none() => {
@@ -53,6 +58,7 @@ fn main() {
                     .map_err(|_| ArgError::new("--port needs a TCP port (fits in 16 bits)"))?;
             }
             "--max-batch" => max_batch = Some(args.usize_value("--max-batch")?.max(1)),
+            "--compact-every" => compact_every = args.usize_value("--compact-every")? as u64,
             "--chaos" => {
                 chaos = ChaosPlan::parse(&args.value("--chaos")?)
                     .map_err(|e| ArgError::new(format!("--chaos: {e}")))?;
@@ -73,7 +79,7 @@ fn main() {
     .unwrap_or_else(|e| e.exit_with_usage(SERVE_USAGE));
 
     match verb.as_deref() {
-        Some("start") => start(&opts, port, max_batch, chaos),
+        Some("start") => start(&opts, port, max_batch, compact_every, chaos),
         Some("submit") => submit(&opts, &matrices, &seeds, check, deadline_ms),
         Some("register") => register_mtx(&opts, mtx_path.as_deref()),
         Some("compact") => compact(&opts, retain),
@@ -102,10 +108,17 @@ fn parse_seeds(spec: &str) -> Result<Vec<u64>, ArgError> {
         .collect()
 }
 
-fn start(opts: &HarnessOptions, port: u16, max_batch: Option<usize>, chaos: ChaosPlan) {
+fn start(
+    opts: &HarnessOptions,
+    port: u16,
+    max_batch: Option<usize>,
+    compact_every: u64,
+    chaos: ChaosPlan,
+) {
     let mut cfg = ServeConfig::new(opts.cache_dir());
     cfg.hw = opts.cfg.hw.clone();
     cfg.chaos = chaos;
+    cfg.compact_every = compact_every;
     if let Some(mb) = max_batch {
         cfg.max_batch = mb;
     }

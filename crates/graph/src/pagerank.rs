@@ -73,7 +73,8 @@ pub fn pagerank(a: &Csr, cfg: &PageRankConfig) -> PageRankResult {
     while iterations < cfg.max_iterations {
         iterations += 1;
         let dangling: f64 =
-            (0..n).filter(|&i| out_deg[i] == 0).map(|i| r[i]).sum::<f64>() / n as f64;
+            spacea_matrix::reduce::sum_f64((0..n).filter(|&i| out_deg[i] == 0).map(|i| r[i]))
+                / n as f64;
         let spread = semiring_spmv::<PlusTimes>(&at, &r);
         let base = (1.0 - cfg.damping) / n as f64;
         let mut delta = 0.0;

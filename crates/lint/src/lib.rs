@@ -10,20 +10,30 @@
 //! over every workspace crate, and pre-existing debt is carried in a
 //! ratcheting [`baseline`] that CI only lets shrink.
 //!
+//! Since the PDES-readiness work, the per-site rules are joined by a
+//! workspace-level [`graph`] pass: item structure is parsed on top of the
+//! token stream, calls are resolved into a deterministic cross-crate call
+//! graph, and transitive taint is traced from the event-loop roots.
+//!
 //! Rules (see `spacea-lint --explain RULE`):
 //!
 //! | rule | invariant |
 //! |------|-----------|
 //! | D1 | no `HashMap`/`HashSet` in `sim`/`arch`/`mapping`/`matrix`/`model` |
-//! | D2 | no `Instant::now`/`SystemTime::now`/ambient RNG outside `harness`/`bench` |
+//! | D2 | no `Instant::now`/`SystemTime::now`/ambient RNG outside `harness`/`bench`/`serve` |
+//! | D3 | no shared-mutable-state primitives in the PDES crates |
+//! | D4 | no raw float iterator reductions outside `spacea_matrix::reduce` |
+//! | D5 | nothing reachable from `Machine::run`/`DesQueue`/`Backend::run` touches the outside world |
 //! | R1 | no `unwrap`/`expect`/`panic!` family in non-test code |
 //! | S1 | every `MetricKey` literal in `arch`/`sim` is a registered metric |
 
 pub mod baseline;
+pub mod graph;
 pub mod rules;
 pub mod scanner;
 
 use rules::{FileKind, FileMeta, Violation};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -113,17 +123,46 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<(PathBuf, FileMeta)>> {
     Ok(out)
 }
 
-/// Lints every workspace source file under `root` against the production
-/// metric registry. Violations come back sorted by `(file, line, rule)`.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
-    let metrics = known_metrics();
-    let mut violations = Vec::new();
+/// Scans every workspace source file under `root` once; the scans feed
+/// both the per-file rules and the call-graph pass.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<(FileMeta, scanner::ScanOutput)>> {
+    let mut out = Vec::new();
     for (path, meta) in collect_files(root)? {
         let src = fs::read_to_string(&path)?;
-        violations.extend(check_source(&meta, &src, &metrics));
+        out.push((meta, scanner::scan(&src)));
     }
+    Ok(out)
+}
+
+/// Builds the deterministic workspace call graph (the D5 substrate and the
+/// `--graph`/`--why` export) from pre-scanned files.
+pub fn build_graph(scans: &[(FileMeta, scanner::ScanOutput)]) -> graph::CallGraph {
+    graph::CallGraph::build(scans)
+}
+
+/// Lints every workspace source file under `root` against the production
+/// metric registry: the per-file rules (D1–D4, R1, S1) plus the
+/// graph-level transitive-taint rule (D5). Violations come back sorted by
+/// `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let scans = scan_workspace(root)?;
+    Ok(lint_scans(&scans))
+}
+
+/// The I/O-free core of [`lint_workspace`]: per-file rules plus D5 over
+/// pre-scanned files.
+pub fn lint_scans(scans: &[(FileMeta, scanner::ScanOutput)]) -> Vec<Violation> {
+    let metrics = known_metrics();
+    let mut violations = Vec::new();
+    let mut allows: BTreeMap<String, Vec<scanner::Allow>> = BTreeMap::new();
+    for (meta, scan) in scans {
+        violations.extend(rules::check_file(meta, scan, &metrics));
+        allows.insert(meta.rel.clone(), scan.allows.clone());
+    }
+    let call_graph = graph::CallGraph::build(scans);
+    violations.extend(graph::check_taint(&call_graph, &allows));
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(violations)
+    violations
 }
 
 #[cfg(test)]
@@ -162,5 +201,64 @@ mod tests {
                 assert_eq!(m.kind, rules::FileKind::Bin, "{}", m.rel);
             }
         }
+    }
+
+    #[test]
+    fn workspace_graph_has_the_pdes_roots() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let scans = scan_workspace(&root).expect("workspace scan");
+        let g = build_graph(&scans);
+        assert!(!g.defs.is_empty());
+
+        // Machine::run is a root.
+        let runs = g.find("Machine::run");
+        assert!(!runs.is_empty(), "Machine::run must exist in the graph");
+        assert!(runs.iter().any(|id| g.roots.contains(id)), "Machine::run must be a root");
+
+        // The event-queue engines are roots (trait decl + >=2 impls).
+        let desqueue_roots = g
+            .roots
+            .iter()
+            .filter(|&&id| g.defs[id].trait_name.as_deref() == Some("DesQueue"))
+            .count();
+        assert!(desqueue_roots >= 2, "expected DesQueue impl roots, got {desqueue_roots}");
+
+        // The Backend executors are roots (>=4 impls: spacea/gpu/cpu/hbm).
+        let backend_roots = g
+            .roots
+            .iter()
+            .filter(|&&id| {
+                g.defs[id].trait_name.as_deref() == Some("Backend") && g.defs[id].name == "run"
+            })
+            .count();
+        assert!(backend_roots >= 4, "expected Backend::run roots, got {backend_roots}");
+    }
+
+    #[test]
+    fn workspace_graph_chains_are_complete() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let scans = scan_workspace(&root).expect("workspace scan");
+        let g = build_graph(&scans);
+        // A known event-loop symbol is reachable with a chain that starts
+        // at a root and ends at the symbol itself.
+        let ids = g.find("EventQueue::schedule");
+        assert!(!ids.is_empty(), "EventQueue::schedule must exist");
+        let reachable =
+            ids.iter().copied().find(|&id| g.reachable(id)).expect("schedule must be reachable");
+        let chain = g.chain_to(reachable).expect("chain");
+        assert_eq!(chain.last().map(String::as_str), Some("EventQueue::schedule"));
+        let first = g.find(&chain[0]);
+        assert!(
+            first.iter().any(|id| g.roots.contains(id)),
+            "chain must start at a root: {chain:?}"
+        );
+    }
+
+    #[test]
+    fn workspace_lint_is_deterministic_across_runs() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let a = lint_workspace(&root).expect("lint");
+        let b = lint_workspace(&root).expect("lint");
+        assert_eq!(a, b);
     }
 }

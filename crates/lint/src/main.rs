@@ -4,6 +4,8 @@
 //! spacea-lint --check [--baseline FILE] [--root DIR]   # lint the workspace
 //! spacea-lint --update-baseline FILE [--root DIR]      # rewrite the baseline
 //! spacea-lint --compare-baselines OLD NEW              # CI ratchet guard
+//! spacea-lint --graph dot|json [--root DIR]            # export the call graph
+//! spacea-lint --why SYMBOL [--root DIR]                # trace a call chain
 //! spacea-lint --explain RULE                           # contributor docs
 //! spacea-lint --list                                   # enumerate rules
 //! ```
@@ -24,17 +26,28 @@ USAGE:
   spacea-lint --check [--baseline FILE] [--root DIR]
   spacea-lint --update-baseline FILE [--root DIR]
   spacea-lint --compare-baselines OLD NEW
+  spacea-lint --graph dot|json [--root DIR]
+  spacea-lint --why SYMBOL [--root DIR]
   spacea-lint --explain RULE
   spacea-lint --list
 
-Rules: D1 D2 R1 S1 (see --explain). Suppress a deliberate site inline with
-`// lint:allow(RULE) reason` on the offending line or the line above; carry
-pre-existing debt in a committed baseline, which CI only lets shrink.";
+Rules: D1 D2 D3 D4 D5 R1 S1 (see --explain). Suppress a deliberate site
+inline with `// lint:allow(RULE) reason` on the offending line or the line
+above; carry pre-existing debt in a committed baseline, which CI only lets
+shrink.
+
+--graph exports the deterministic workspace call graph (the D5 substrate)
+as GraphViz DOT or JSON on stdout. --why SYMBOL (`name`, `Type::name`, or
+`module::name`) prints, for every matching function, whether it is
+reachable from the PDES roots (Machine::run, the DesQueue impls, the
+Backend::run impls) and the full call chain when it is.";
 
 enum Mode {
     Check { baseline: Option<PathBuf> },
     Update { baseline: PathBuf },
     Compare { old: PathBuf, new: PathBuf },
+    Graph { format: String },
+    Why { symbol: String },
     Explain { rule: String },
     List,
 }
@@ -74,6 +87,17 @@ fn parse_args() -> Result<Args, String> {
                 let new = it.next().ok_or("--compare-baselines needs OLD NEW")?;
                 set(Mode::Compare { old: old.into(), new: new.into() }, &mut mode)?;
             }
+            "--graph" => {
+                let format = it.next().ok_or("--graph needs a FORMAT (dot|json)")?;
+                if format != "dot" && format != "json" {
+                    return Err(format!("--graph FORMAT must be dot or json, got {format:?}"));
+                }
+                set(Mode::Graph { format }, &mut mode)?;
+            }
+            "--why" => {
+                let symbol = it.next().ok_or("--why needs a SYMBOL")?;
+                set(Mode::Why { symbol }, &mut mode)?;
+            }
             "--explain" => {
                 let rule = it.next().ok_or("--explain needs a RULE")?;
                 set(Mode::Explain { rule }, &mut mode)?;
@@ -103,6 +127,41 @@ fn run(args: Args) -> Result<bool, String> {
             let r = RuleId::parse(&rule)
                 .ok_or_else(|| format!("unknown rule {rule:?} (try --list)"))?;
             println!("{}", r.explain());
+            Ok(true)
+        }
+        Mode::Graph { format } => {
+            let scans = spacea_lint::scan_workspace(&args.root).map_err(|e| e.to_string())?;
+            let g = spacea_lint::build_graph(&scans);
+            if format == "dot" {
+                print!("{}", g.to_dot());
+            } else {
+                print!("{}", g.to_json());
+            }
+            Ok(true)
+        }
+        Mode::Why { symbol } => {
+            let scans = spacea_lint::scan_workspace(&args.root).map_err(|e| e.to_string())?;
+            let g = spacea_lint::build_graph(&scans);
+            let ids = g.find(&symbol);
+            if ids.is_empty() {
+                return Err(format!(
+                    "no function named {symbol:?} in the graphed crates (try Type::name)"
+                ));
+            }
+            for id in ids {
+                let d = &g.defs[id];
+                println!("{} ({}:{})", d.qualified(), d.file, d.line);
+                if g.roots.contains(&id) {
+                    println!("  PDES root");
+                }
+                match g.chain_to(id) {
+                    Some(chain) => println!("  reachable: {}", chain.join(" -> ")),
+                    None => println!("  not reachable from any PDES root"),
+                }
+                for sink in &g.sinks[id] {
+                    println!("  sink at line {}: {}", sink.line, sink.what);
+                }
+            }
             Ok(true)
         }
         Mode::Compare { old, new } => {

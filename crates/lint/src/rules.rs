@@ -5,6 +5,11 @@
 //!
 //! - **D1** — no hash-ordered collections in the deterministic crates,
 //! - **D2** — no wall clock / ambient randomness outside supervision code,
+//! - **D3** — no shared-mutable-state primitives in the PDES crates,
+//! - **D4** — no raw float iterator reductions in the PDES crates (order
+//!   must be canonical: route through `spacea_matrix::reduce`),
+//! - **D5** — transitive taint: nothing reachable from the event-loop
+//!   roots touches I/O, wall clock, RNG, or threads (see [`crate::graph`]),
 //! - **R1** — no `unwrap`/`expect`/`panic!` family in non-test library code,
 //! - **S1** — every `MetricKey` constructed in `arch`/`sim` must name a
 //!   metric in the registered set ([`spacea_obs::registry`]).
@@ -14,7 +19,7 @@
 //! walked at all. Remaining deliberate sites carry
 //! `// lint:allow(RULE) reason` or live in the ratcheting baseline.
 
-use crate::scanner::{Allow, ScanOutput, TokKind, Token};
+use crate::scanner::{is_float_literal, Allow, ScanOutput, TokKind, Token};
 
 /// The rules `spacea-lint` knows about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,6 +28,12 @@ pub enum RuleId {
     D1,
     /// Wall clock / ambient randomness outside supervision code.
     D2,
+    /// Shared-mutable-state primitives in PDES crates.
+    D3,
+    /// Raw float iterator reductions in PDES crates.
+    D4,
+    /// Transitive taint from the event-loop roots.
+    D5,
     /// `unwrap`/`expect`/`panic!` family in non-test code.
     R1,
     /// Unregistered metric-key names.
@@ -31,7 +42,8 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 4] = [RuleId::D1, RuleId::D2, RuleId::R1, RuleId::S1];
+    pub const ALL: [RuleId; 7] =
+        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::D4, RuleId::D5, RuleId::R1, RuleId::S1];
 
     /// The rule's short name as used in reports, baselines, and
     /// `lint:allow(...)` directives.
@@ -39,6 +51,9 @@ impl RuleId {
         match self {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
             RuleId::R1 => "R1",
             RuleId::S1 => "S1",
         }
@@ -54,6 +69,9 @@ impl RuleId {
         match self {
             RuleId::D1 => "hash-ordered collection in a deterministic crate",
             RuleId::D2 => "wall clock or ambient randomness outside supervision code",
+            RuleId::D3 => "shared-mutable-state primitive in a PDES crate",
+            RuleId::D4 => "raw float reduction outside the canonical helper",
+            RuleId::D5 => "event-loop-reachable function touches the outside world",
             RuleId::R1 => "unwrap/expect/panic in non-test code",
             RuleId::S1 => "metric key not in the registered set",
         }
@@ -92,6 +110,58 @@ impl RuleId {
                  Fix: thread simulated time (Cycle) or an explicit seed through the\n\
                  API instead. Deliberate host-time measurements outside the exempt\n\
                  crates carry `// lint:allow(D2) reason`."
+            }
+            RuleId::D3 => {
+                "D3: no shared-mutable-state primitives in PDES crates\n\
+                 \n\
+                 The parallel simulation engine will run per-vault step code on\n\
+                 worker threads with conservative lookahead; that is only safe if\n\
+                 the deterministic crates (sim, arch, mapping, matrix, model,\n\
+                 backend, gpu, graph) are free of shared mutable state by\n\
+                 construction. The rule bans the primitives that create it:\n\
+                 `static mut`, Mutex/RwLock/RefCell/Condvar, Atomic* types,\n\
+                 thread::spawn, and mpsc/sync_channel channels. Interior\n\
+                 mutability also hides ordering effects the determinism suite\n\
+                 cannot see.\n\
+                 \n\
+                 Fix: pass &mut state explicitly, or move the concurrency into\n\
+                 the supervision layer (harness, serve). A genuinely local,\n\
+                 never-shared cell carries `// lint:allow(D3) reason`."
+            }
+            RuleId::D4 => {
+                "D4: no raw f32/f64 iterator reductions in PDES crates\n\
+                 \n\
+                 Float addition is not associative: `.sum()`, `.product()`, and\n\
+                 float-seeded `.fold(..)` produce answers that depend on the\n\
+                 iteration order of the container feeding them. Under the\n\
+                 parallel engine, per-vault partial results arrive in worker\n\
+                 order, so every float reduction in the deterministic crates\n\
+                 must go through spacea_matrix::reduce, whose helpers fix a\n\
+                 canonical (index-ascending) order regardless of source.\n\
+                 \n\
+                 Fix: route through spacea_matrix::reduce::{sum_f64, sum_f32,\n\
+                 product_f64, max_f64, min_f64} (crates/matrix/src/reduce.rs is\n\
+                 the one file exempt from this rule). Integer reductions are\n\
+                 exact and out of scope. A provably order-free site carries\n\
+                 `// lint:allow(D4) reason`."
+            }
+            RuleId::D5 => {
+                "D5: transitive taint from the event-loop roots\n\
+                 \n\
+                 Everything reachable from Machine::run, the DesQueue impls, and\n\
+                 the Backend::run impls must be a pure function of its inputs:\n\
+                 no file or socket I/O, no wall clock, no ambient RNG, no console\n\
+                 output, no thread APIs. D2 checks sites; D5 checks *reachability*\n\
+                 — a pure-looking helper that calls into fs::read is caught here,\n\
+                 with the full call chain from the root in the report. The graph\n\
+                 is name-resolved (methods over-approximate to every same-named\n\
+                 impl fn), so it errs toward reporting; see DESIGN.md for the\n\
+                 resolution limits.\n\
+                 \n\
+                 Fix: hoist the effect out of the reachable path (load files\n\
+                 before run, write artifacts after), or break the false edge by\n\
+                 renaming the colliding method. A deliberate boundary crossing\n\
+                 carries `// lint:allow(D5) reason` on the sink line."
             }
             RuleId::R1 => {
                 "R1: no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!\n\
@@ -151,6 +221,17 @@ pub struct FileMeta {
 
 /// Crates whose model state must be iteration-order deterministic (D1).
 pub const DETERMINISTIC_CRATES: [&str; 5] = ["sim", "arch", "mapping", "matrix", "model"];
+
+/// Crates the parallel-simulation readiness rules (D3/D4) and the call
+/// graph behind D5 cover: the D1 set plus the executors layered on it.
+/// The Cargo dependency direction already prevents these crates from
+/// calling into the supervision layer, so the graph is closed over them.
+pub const PDES_CRATES: [&str; 8] =
+    ["sim", "arch", "mapping", "matrix", "model", "backend", "gpu", "graph"];
+
+/// The one file exempt from D4: the canonical-order reduction helpers
+/// themselves.
+pub const D4_HELPER_FILE: &str = "crates/matrix/src/reduce.rs";
 
 /// Crates allowed to read the wall clock / ambient entropy (D2 exempt).
 ///
@@ -325,6 +406,8 @@ pub fn check_file(
         meta.kind == FileKind::Lib && DETERMINISTIC_CRATES.contains(&meta.krate.as_str());
     let d2_applies =
         meta.kind != FileKind::Example && !SUPERVISION_CRATES.contains(&meta.krate.as_str());
+    let d3_applies = meta.kind != FileKind::Example && PDES_CRATES.contains(&meta.krate.as_str());
+    let d4_applies = d3_applies && meta.rel != D4_HELPER_FILE;
     let r1_applies = meta.kind != FileKind::Example;
     let s1_applies = LEDGER_CRATES.contains(&meta.krate.as_str());
 
@@ -358,6 +441,63 @@ pub fn check_file(
             // D2: ambient randomness.
             "thread_rng" | "from_entropy" if d2_applies => {
                 push(&scan.allows, RuleId::D2, t.line, name.clone());
+            }
+            // D3: shared-mutable-state primitives.
+            "static" if d3_applies && ident_at(tokens, i + 1) == Some("mut") => {
+                push(&scan.allows, RuleId::D3, t.line, "static mut".into());
+            }
+            "Mutex" | "RwLock" | "RefCell" | "Condvar" if d3_applies => {
+                push(&scan.allows, RuleId::D3, t.line, name.clone());
+            }
+            "mpsc" | "sync_channel" if d3_applies => {
+                push(&scan.allows, RuleId::D3, t.line, format!("{name} channel"));
+            }
+            "thread"
+                if d3_applies
+                    && punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("spawn") =>
+            {
+                push(&scan.allows, RuleId::D3, t.line, "thread::spawn".into());
+            }
+            // D4: `.sum::<f32|f64>()` / `.product::<f32|f64>()` turbofish.
+            "sum" | "product"
+                if d4_applies
+                    && i > 0
+                    && punct_at(tokens, i - 1, '.')
+                    && punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && punct_at(tokens, i + 3, '<')
+                    && matches!(ident_at(tokens, i + 4), Some("f32") | Some("f64"))
+                    && punct_at(tokens, i + 5, '>')
+                    && punct_at(tokens, i + 6, '(') =>
+            {
+                let ty = ident_at(tokens, i + 4).unwrap_or_default();
+                push(&scan.allows, RuleId::D4, t.line, format!(".{name}::<{ty}>()"));
+            }
+            // D4: `.fold(<float seed>, ..)` — the seed type fixes the
+            // accumulator type, so a float literal (or `f64::NEG_INFINITY`
+            // style constant) marks a float reduction.
+            "fold"
+                if d4_applies
+                    && i > 0
+                    && punct_at(tokens, i - 1, '.')
+                    && punct_at(tokens, i + 1, '(') =>
+            {
+                let mut k = i + 2;
+                if punct_at(tokens, k, '-') {
+                    k += 1;
+                }
+                let float_seed = match tokens.get(k).map(|t| &t.kind) {
+                    Some(TokKind::Num(text)) => is_float_literal(text),
+                    Some(TokKind::Ident(ty)) if ty == "f32" || ty == "f64" => {
+                        punct_at(tokens, k + 1, ':') && punct_at(tokens, k + 2, ':')
+                    }
+                    _ => false,
+                };
+                if float_seed {
+                    push(&scan.allows, RuleId::D4, t.line, ".fold(<float seed>, ..)".into());
+                }
             }
             // R1: `.unwrap(` / `.expect(` method calls.
             "unwrap" | "expect"
@@ -404,6 +544,9 @@ pub fn check_file(
                         }
                     }
                 }
+            }
+            n if d3_applies && n.starts_with("Atomic") => {
+                push(&scan.allows, RuleId::D3, t.line, n.to_string());
             }
             _ => {}
         }
@@ -589,6 +732,81 @@ mod tests {
     fn allow_two_lines_above_does_not_reach() {
         let src = "// lint:allow(R1) too far\n\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(run("core", FileKind::Lib, src).len(), 1);
+    }
+
+    #[test]
+    fn d3_fires_on_shared_state_primitives_in_pdes_crates() {
+        let src = "use std::sync::Mutex;\n\
+                   static mut GLOBAL: u32 = 0;\n\
+                   fn f() { let _ = std::sync::atomic::AtomicUsize::new(0); }\n\
+                   fn g() { let (_tx, _rx) = std::sync::mpsc::channel::<u32>(); }\n\
+                   fn h() { let _ = std::thread::spawn(|| 1); }";
+        let v = run("backend", FileKind::Lib, src);
+        let whats: Vec<&str> =
+            v.iter().filter(|v| v.rule == RuleId::D3).map(|v| v.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec!["Mutex", "static mut", "AtomicUsize", "mpsc channel", "thread::spawn"],
+            "{v:?}"
+        );
+        // Supervision crates own their concurrency.
+        assert!(run("serve", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D3));
+        assert!(run("harness", FileKind::Lib, src).iter().all(|v| v.rule != RuleId::D3));
+    }
+
+    #[test]
+    fn d3_covers_the_executor_crates_d1_does_not() {
+        let src = "fn f() { let _ = std::cell::RefCell::new(0u32); }";
+        for krate in ["gpu", "graph", "backend", "sim"] {
+            let v = run(krate, FileKind::Lib, src);
+            assert_eq!(v.iter().filter(|v| v.rule == RuleId::D3).count(), 1, "{krate}");
+        }
+    }
+
+    #[test]
+    fn d3_respects_allow_and_test_masking() {
+        let src = "// lint:allow(D3) local, never shared\nfn f() { let _ = std::cell::RefCell::new(0u32); }";
+        assert!(run("sim", FileKind::Lib, src).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; fn t() { let _ = Mutex::new(0); } }";
+        assert!(run("sim", FileKind::Lib, test_src).is_empty());
+    }
+
+    #[test]
+    fn d4_fires_on_float_turbofish_reductions() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n\
+                   fn g(xs: &[f32]) -> f32 { xs.iter().product::<f32>() }\n\
+                   fn h(xs: &[u64]) -> u64 { xs.iter().sum::<u64>() }";
+        let v = run("model", FileKind::Lib, src);
+        let whats: Vec<&str> =
+            v.iter().filter(|v| v.rule == RuleId::D4).map(|v| v.what.as_str()).collect();
+        assert_eq!(whats, vec![".sum::<f64>()", ".product::<f32>()"], "{v:?}");
+    }
+
+    #[test]
+    fn d4_fires_on_float_seeded_folds_only() {
+        let float = "fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, b| a + b) }";
+        assert_eq!(run("model", FileKind::Lib, float).len(), 1);
+        let negative = "fn f(xs: &[f64]) -> f64 { xs.iter().fold(-1.5, f64::max) }";
+        assert_eq!(run("model", FileKind::Lib, negative).len(), 1);
+        let constant =
+            "fn f(xs: &[f64]) -> f64 { xs.iter().copied().fold(f64::NEG_INFINITY, f64::max) }";
+        assert_eq!(run("model", FileKind::Lib, constant).len(), 1);
+        let integer = "fn f(xs: &[u64]) -> u64 { xs.iter().fold(0u64, |a, b| a + b) }";
+        assert!(run("model", FileKind::Lib, integer).is_empty());
+    }
+
+    #[test]
+    fn d4_exempts_the_canonical_helper_file() {
+        let src = "pub fn sum_f64(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        let v = check_file(
+            &meta(D4_HELPER_FILE, "matrix", FileKind::Lib),
+            &scan(src),
+            &[("noc", "utilization")],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // The same code anywhere else in the crate is a violation.
+        assert_eq!(run("matrix", FileKind::Lib, src).len(), 1);
     }
 
     #[test]

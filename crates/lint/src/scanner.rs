@@ -28,8 +28,9 @@ pub enum TokKind {
     Str(String),
     /// A single punctuation character (`.`, `:`, `(`, `!`, …).
     Punct(char),
-    /// A numeric literal.
-    Num,
+    /// A numeric literal, with its raw text (the D4 rule needs to tell a
+    /// float seed like `0.0` from an integer one like `0u64`).
+    Num(String),
     /// A char literal (`'x'`, `'\n'`).
     Char,
     /// A lifetime (`'a`).
@@ -226,7 +227,8 @@ pub fn scan(src: &str) -> ScanOutput {
                         break;
                     }
                 }
-                out.tokens.push(Token { kind: TokKind::Num, line: tok_line });
+                let text: String = chars[i..j].iter().collect();
+                out.tokens.push(Token { kind: TokKind::Num(text), line: tok_line });
                 i = j;
             }
             _ if c.is_whitespace() => {
@@ -299,6 +301,28 @@ fn raw_string(chars: &[char], start: usize, hashes: usize) -> (String, usize, u3
         j += 1;
     }
     (contents, j, newlines)
+}
+
+/// True when a numeric literal's raw text is a floating-point literal
+/// (`0.0`, `2f64`, `1e3`), as opposed to an integer (`3`, `0xFF`, `1_000u64`).
+///
+/// The scanner never consumes a sign, so `1e-9` arrives as `1e` + `-` + `9`;
+/// a bare trailing exponent head like `1e` therefore counts as float too.
+pub fn is_float_literal(text: &str) -> bool {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    if t.ends_with("f32") || t.ends_with("f64") || t.contains('.') {
+        return true;
+    }
+    if let Some(pos) = t.find(['e', 'E']) {
+        let (mant, exp) = t.split_at(pos);
+        return !mant.is_empty()
+            && mant.bytes().all(|b| b.is_ascii_digit())
+            && exp[1..].bytes().all(|b| b.is_ascii_digit());
+    }
+    false
 }
 
 /// Parses a `lint:allow(R1, D2) reason` directive out of a line comment's
@@ -476,5 +500,142 @@ mod tests {
     fn empty_allow_list_is_ignored() {
         let src = "// lint:allow() nothing named\n";
         assert!(scan(src).allows.is_empty());
+    }
+
+    #[test]
+    fn numeric_literals_keep_their_text() {
+        let out = scan("let a = 1_000u64; let b = 0.5; let c = 2f64; let d = 0xFF;");
+        let nums: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "0.5", "2f64", "0xFF"]);
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        for float in ["0.0", "1.5", "2f64", "3f32", "1e3", "1e", "1_000.25", "9E4"] {
+            assert!(is_float_literal(float), "{float} must classify as float");
+        }
+        for int in ["0", "3", "1_000u64", "0xFF", "0b1010", "0o17", "3usize", "255u8"] {
+            assert!(!is_float_literal(int), "{int} must classify as integer");
+        }
+    }
+
+    #[test]
+    fn block_comment_nested_inside_doc_comment() {
+        // `/**` opens an (outer) block doc comment; a `/*` nested inside it
+        // must not terminate the doc comment at the inner `*/`.
+        let src = "/** doc /* inner HashMap */ tail unwrap */ fn live() {}";
+        assert_eq!(idents(src), vec!["fn", "live"]);
+        // Line doc comments swallow block-comment openers to end of line.
+        let src = "/// doc with /* unclosed opener\nfn live() {}";
+        assert_eq!(idents(src), vec!["fn", "live"]);
+    }
+
+    #[test]
+    fn lifetimes_inside_generic_bounds() {
+        // 'a as a bound and 'a' as a char literal in the same generic
+        // context must not be confused.
+        let src = "fn f<'a, T: Iterator<Item = &'a str> + 'a>(x: &'a T) -> char { 'a' }";
+        let out = scan(src);
+        let lifetimes = out.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = out.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 4, "{:?}", out.tokens);
+        assert_eq!(chars, 1);
+        // 'static in a where clause is a lifetime, not a char.
+        let out = scan("fn g<T>() where T: 'static {}");
+        assert_eq!(out.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary printable-ASCII body with `"` excluded (a quote could
+        /// form the closing delimiter early, which is correct scanner
+        /// behavior but not what the round-trip property asserts).
+        fn body_strategy() -> impl Strategy<Value = String> {
+            proptest::collection::vec(32u8..127, 0..25).prop_map(|bytes| {
+                bytes.into_iter().map(|b| if b == b'"' { '_' } else { b as char }).collect()
+            })
+        }
+
+        proptest! {
+            /// Raw strings close at exactly their own delimiter: for any
+            /// body and any hash count 0..=4, the scanner recovers the body
+            /// verbatim and keeps scanning after it.
+            #[test]
+            fn raw_string_any_hash_count_round_trips(
+                body in body_strategy(),
+                hashes in 0usize..5,
+            ) {
+                let fence = "#".repeat(hashes);
+                let src = format!("let s = r{fence}\"{body}\"{fence}; let tail = s;");
+                let out = scan(&src);
+                let strings: Vec<&str> = out.tokens.iter().filter_map(|t| match &t.kind {
+                    TokKind::Str(s) => Some(s.as_str()),
+                    _ => None,
+                }).collect();
+                prop_assert_eq!(strings, vec![body.as_str()]);
+                prop_assert!(out.tokens.iter().any(|t| t.kind == TokKind::Ident("tail".into())));
+            }
+
+            /// A raw string fenced with n+1 hashes must ignore any embedded
+            /// `"` + n-hash close candidates.
+            #[test]
+            fn raw_string_ignores_shorter_close(inner in 0usize..4) {
+                let outer = inner + 1;
+                let body = format!("x\"{}y", "#".repeat(inner));
+                let src = format!(
+                    "let s = r{f}\"{body}\"{f}; let tail = s;",
+                    f = "#".repeat(outer)
+                );
+                let out = scan(&src);
+                let strings: Vec<&str> = out.tokens.iter().filter_map(|t| match &t.kind {
+                    TokKind::Str(s) => Some(s.as_str()),
+                    _ => None,
+                }).collect();
+                prop_assert_eq!(strings, vec![body.as_str()]);
+            }
+
+            /// Block comments nested to any depth (including inside doc
+            /// block comments) hide every identifier and resume scanning
+            /// exactly at the matching close.
+            #[test]
+            fn nested_block_comments_any_depth(depth in 1usize..6, doc in any::<bool>()) {
+                let open = if doc { "/**" } else { "/*" };
+                let mut src = String::from(open);
+                for _ in 0..depth {
+                    src.push_str(" /* HashMap unwrap ");
+                }
+                for _ in 0..depth {
+                    src.push_str(" */ still_hidden ");
+                }
+                src.push_str("*/ fn live() {}");
+                prop_assert_eq!(idents(&src), vec!["fn", "live"]);
+            }
+
+            /// `'x'` is always a char literal and `'x` always a lifetime,
+            /// for every ASCII identifier-start character, including inside
+            /// a generic-bound context.
+            #[test]
+            fn lifetime_vs_char_for_any_ident_char(ix in 0usize..53) {
+                const CHARS: &[u8; 53] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+                let c = CHARS[ix] as char;
+                let lt = format!("'{c}");
+                let src = format!("fn f<{lt}, T: Tr<{lt}> + {lt}>(x: &{lt} T) {{ let v = '{c}'; }}");
+                let out = scan(&src);
+                let lifetimes = out.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+                let chars = out.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+                prop_assert_eq!(lifetimes, 4, "src: {}", src);
+                prop_assert_eq!(chars, 1, "src: {}", src);
+            }
+        }
     }
 }

@@ -37,6 +37,7 @@ mod error;
 pub mod formats;
 pub mod gen;
 pub mod mmio;
+pub mod reduce;
 pub mod reorder;
 pub mod stats;
 pub mod suite;

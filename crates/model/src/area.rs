@@ -28,12 +28,15 @@ pub struct BankGroupArea {
 impl BankGroupArea {
     /// Total added area per bank group in mm² (Table II: 0.1458 mm²).
     pub fn total_mm2(&self) -> f64 {
-        self.components.iter().map(|c| c.area_mm2 * c.count as f64).sum()
+        spacea_matrix::reduce::sum_f64(self.components.iter().map(|c| c.area_mm2 * c.count as f64))
     }
 
     /// Peak power density across components (Table II: 66.56 mW/mm²).
+    /// Densities are non-negative, so the `NEG_INFINITY`-seeded canonical
+    /// max matches the old `0.0`-seeded fold on every real table.
     pub fn peak_power_density(&self) -> f64 {
-        self.components.iter().map(|c| c.power_density_mw_mm2).fold(0.0, f64::max)
+        spacea_matrix::reduce::max_f64(self.components.iter().map(|c| c.power_density_mw_mm2))
+            .max(0.0)
     }
 }
 

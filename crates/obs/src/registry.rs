@@ -19,7 +19,7 @@
 /// The `hbm` rows are published by `spacea-backend`'s Serpens-style HBM
 /// model: per-channel stream accounting (keyed like per-vault machine
 /// gauges, one channel per vault slot) plus run-level aggregates.
-pub const METRICS: [(&str, &str); 22] = [
+pub const METRICS: [(&str, &str); 24] = [
     ("cam", "l1-hit-rate"),
     ("cam", "l2-hit-rate"),
     ("dram", "row-hit-rate"),
@@ -31,12 +31,14 @@ pub const METRICS: [(&str, &str); 22] = [
     ("hbm", "utilization"),
     ("ldq", "l1-occupancy"),
     ("ldq", "l2-occupancy"),
+    ("ldq", "queue-age"),
     ("noc", "byte-hops"),
     ("noc", "utilization"),
     ("pe", "pending"),
     ("serve", "batch-size"),
     ("serve", "cycles-per-request"),
     ("serve", "deadline-miss"),
+    ("serve", "queue-age-us"),
     ("serve", "queue-depth"),
     ("serve", "queue-wait-us"),
     ("serve", "retries"),
@@ -76,6 +78,14 @@ mod tests {
         assert!(is_known("hbm", "channel-stalls"));
         assert!(is_known("hbm", "reorder-stalls"));
         assert!(is_known("hbm", "utilization"));
+    }
+
+    #[test]
+    fn latency_probe_metrics_are_registered() {
+        // The PR 4 leftover latency probes: entry-age gauges that tell a
+        // stuck queue from a deep-but-moving one.
+        assert!(is_known("ldq", "queue-age"));
+        assert!(is_known("serve", "queue-age-us"));
     }
 
     #[test]

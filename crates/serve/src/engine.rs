@@ -78,6 +78,14 @@ pub struct ServeConfig {
     /// requests (in addition to the shutdown flush), so a crashed daemon
     /// still leaves a loadable artifact. `0` disables periodic flushing.
     pub flush_every: u64,
+    /// Compact the acknowledgment journal automatically every this many
+    /// acknowledged (journaled) batches, retaining the newest
+    /// `compact_every` files — each acknowledged batch is one journal
+    /// file, so the on-disk footprint stays bounded at roughly twice this
+    /// value. `0` disables auto-compaction (the `compact` verb remains
+    /// available). The pass is the same crash-safe watermark-first
+    /// [`AckJournal::compact`] the manual verb uses.
+    pub compact_every: u64,
     /// The service-layer fault plan (empty outside chaos testing).
     pub chaos: ChaosPlan,
 }
@@ -100,6 +108,7 @@ impl ServeConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(10),
             flush_every: 8,
+            compact_every: 0,
             chaos: ChaosPlan::default(),
         }
     }
@@ -162,6 +171,7 @@ struct Telemetry {
     shed: Series,
     retries: Series,
     deadline_miss: Series,
+    queue_age_us: Series,
 }
 
 impl Telemetry {
@@ -176,6 +186,7 @@ impl Telemetry {
             shed: series(),
             retries: series(),
             deadline_miss: series(),
+            queue_age_us: series(),
         }
     }
 }
@@ -197,6 +208,7 @@ pub struct ServeEngine {
     deadline_miss: AtomicU64,
     retries: AtomicU64,
     queue_hwm: AtomicU64,
+    acked_batches: AtomicU64,
     telemetry: Mutex<Telemetry>,
 }
 
@@ -225,6 +237,7 @@ impl ServeEngine {
             deadline_miss: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
+            acked_batches: AtomicU64::new(0),
             telemetry: Mutex::new(Telemetry::new()),
         }
     }
@@ -343,6 +356,37 @@ impl ServeEngine {
         }
     }
 
+    /// Records the age (µs since admission) of the longest-waiting member
+    /// of a batch at execution time — the admission-queue analogue of the
+    /// machine's per-vault LDQ `queue-age` gauge: a growing age under a
+    /// steady depth means the queue is stuck, not merely deep. The x-axis
+    /// is the batch ordinal.
+    pub fn note_queue_age(&self, age_us: f64) {
+        let at = self.batches.load(Ordering::Relaxed);
+        lock(&self.telemetry).queue_age_us.record(at, age_us);
+    }
+
+    /// Notes one acknowledged (journaled) batch and, when the configured
+    /// `compact_every` interval elapses, runs a crash-safe journal
+    /// compaction retaining the newest `compact_every` files. Compaction
+    /// failure is logged, never fatal — the journal simply stays longer.
+    pub fn note_acked_batch(&self) {
+        let every = self.cfg.compact_every;
+        let n = self.acked_batches.fetch_add(1, Ordering::Relaxed) + 1;
+        if every > 0 && n.is_multiple_of(every) {
+            match self.compact_journal(every as usize) {
+                Ok(stats) if stats.dropped_files > 0 => {
+                    eprintln!(
+                        "serve: auto-compacted journal: dropped {} file(s) / {} record(s), {} retained",
+                        stats.dropped_files, stats.dropped_records, stats.retained_files
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("serve: auto-compaction failed: {e}"),
+            }
+        }
+    }
+
     /// Records one shed (admission rejection) at `depth`.
     pub fn note_shed(&self, depth: usize) {
         let at = self.shed.fetch_add(1, Ordering::Relaxed);
@@ -395,6 +439,7 @@ impl ServeEngine {
                 (MetricKey::global("serve", "shed"), t.shed.clone()),
                 (MetricKey::global("serve", "retries"), t.retries.clone()),
                 (MetricKey::global("serve", "deadline-miss"), t.deadline_miss.clone()),
+                (MetricKey::global("serve", "queue-age-us"), t.queue_age_us.clone()),
             ],
             slices: Vec::new(),
         }
@@ -591,6 +636,7 @@ mod tests {
         engine.note_retry(1);
         engine.note_deadline_miss(250);
         engine.note_depth(5);
+        engine.note_queue_age(42.0);
         let path = engine.write_manifest().unwrap();
         let v = parse(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(v.get("requests").unwrap().as_u64(), Some(2));
@@ -603,7 +649,7 @@ mod tests {
         assert_eq!(maps.get("computed").unwrap().as_u64(), Some(1));
         assert_eq!(maps.get("healed").unwrap().as_u64(), Some(0));
         let tl = engine.timeline();
-        assert_eq!(tl.series.len(), 7);
+        assert_eq!(tl.series.len(), 8);
         let by_name = |name: &str| {
             tl.series
                 .iter()
@@ -615,6 +661,7 @@ mod tests {
         assert_eq!(by_name("shed"), 1);
         assert_eq!(by_name("retries"), 1);
         assert_eq!(by_name("deadline-miss"), 1);
+        assert_eq!(by_name("queue-age-us"), 1);
         engine.write_timeline().unwrap();
         let text = std::fs::read_to_string(dir.join(TIMELINE_FILE)).unwrap();
         spacea_obs::json::validate_chrome_trace(&text).unwrap();

@@ -365,7 +365,14 @@ fn execute_batch(
                 // submitter is acknowledged rather than failed over
                 // bookkeeping.
                 eprintln!("serve: acknowledgment journal append failed: {e}");
+            } else {
+                engine.note_acked_batch();
             }
+            // The batch's oldest member measures admission-queue age: it
+            // waited the longest of anything that just left the queue.
+            let oldest_us =
+                batch.iter().map(|p| p.enqueued.elapsed().as_micros() as u64).max().unwrap_or(0);
+            engine.note_queue_age(oldest_us as f64);
             for (p, y) in batch.into_iter().zip(rep.outputs) {
                 let queue_wait_us = p.enqueued.elapsed().as_micros() as u64;
                 depth.fetch_sub(1, Ordering::Relaxed);

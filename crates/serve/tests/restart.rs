@@ -3,8 +3,11 @@
 //! bitwise, and a restarted daemon performs zero Phase I/II mapping
 //! computations for previously registered matrices.
 
-use spacea_serve::{run_daemon, seeded_vector, AckJournal, Client, ServeConfig, PORT_FILE};
+use spacea_serve::{
+    run_daemon, seeded_vector, AckJournal, Client, ServeConfig, ServeEngine, Service, PORT_FILE,
+};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -75,6 +78,46 @@ fn mtx_registration_and_journal_compaction_over_the_wire() {
 
     client.shutdown().unwrap();
     daemon.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_compaction_bounds_the_journal_and_its_watermark_survives_restart() {
+    let dir = tmp_dir("autocompact");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- First life: compact every 2 acknowledged batches. ---
+    let cfg = ServeConfig { compact_every: 2, ..ServeConfig::quick(&dir) };
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let info = engine.register_suite(1, 256).unwrap();
+    let service = Service::over(Arc::clone(&engine));
+    // Sequential submits: each is its own single-request batch, so each
+    // acknowledgment is one journal file. Five batches trigger the
+    // auto-compaction pass twice (after batch 2: nothing beyond the
+    // 2-file budget yet; after batch 4: files 1-2 dropped).
+    for seed in 0..5u64 {
+        service.submit(info.key, seeded_vector(info.cols, seed)).unwrap();
+    }
+    service.stop();
+    assert_eq!(engine.journal_counts(), (3, 3), "budget 2 + the post-compaction batch");
+    let load = AckJournal::load(&dir.join(AckJournal::DIR));
+    assert_eq!(load.records.len(), 3);
+    assert_eq!(load.dropped, 2, "the watermark carries the auto-dropped records");
+    assert_eq!(load.corrupt_files, 0);
+    drop(engine);
+
+    // --- Restarted engine over the same cache dir: the watermark holds
+    // (dropped records stay counted, sequence numbers never reused). ---
+    let cfg = ServeConfig { compact_every: 2, ..ServeConfig::quick(&dir) };
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let info = engine.register_suite(1, 256).unwrap();
+    let service = Service::over(Arc::clone(&engine));
+    service.submit(info.key, seeded_vector(info.cols, 9)).unwrap();
+    service.stop();
+    let load = AckJournal::load(&dir.join(AckJournal::DIR));
+    assert_eq!(load.dropped, 2, "restart must not lose the compaction watermark");
+    assert_eq!(load.records.len(), 4, "the new acknowledgment lands past the watermark");
+    assert_eq!(load.corrupt_files, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

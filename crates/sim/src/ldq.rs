@@ -43,8 +43,16 @@ pub enum LdqPush {
 #[derive(Debug, Clone)]
 pub struct LoadQueue<W> {
     capacity: usize,
-    pending: BTreeMap<u64, Vec<W>>,
+    pending: BTreeMap<u64, Entry<W>>,
     counters: LdqCounters,
+}
+
+/// One in-flight key: its waiters plus the simulated cycle it was admitted
+/// at (the latency-probe timestamp behind the `queue-age` gauge).
+#[derive(Debug, Clone)]
+struct Entry<W> {
+    since: u64,
+    waiters: Vec<W>,
 }
 
 impl<W> LoadQueue<W> {
@@ -90,8 +98,16 @@ impl<W> LoadQueue<W> {
     /// the key was already pending, or [`LdqPush::Full`] if the queue cannot
     /// accept a new key (the waiter is *not* registered in that case).
     pub fn push(&mut self, key: u64, waiter: W) -> LdqPush {
-        if let Some(waiters) = self.pending.get_mut(&key) {
-            waiters.push(waiter);
+        self.push_at(key, waiter, 0)
+    }
+
+    /// [`push`](LoadQueue::push) with an admission timestamp: `now` is the
+    /// simulated cycle, recorded for new keys so
+    /// [`oldest_age`](LoadQueue::oldest_age) can report how long the
+    /// longest-waiting request has been in flight.
+    pub fn push_at(&mut self, key: u64, waiter: W, now: u64) -> LdqPush {
+        if let Some(entry) = self.pending.get_mut(&key) {
+            entry.waiters.push(waiter);
             self.counters.deduplicated += 1;
             return LdqPush::Deduplicated;
         }
@@ -99,7 +115,7 @@ impl<W> LoadQueue<W> {
             self.counters.rejected_full += 1;
             return LdqPush::Full;
         }
-        self.pending.insert(key, vec![waiter]);
+        self.pending.insert(key, Entry { since: now, waiters: vec![waiter] });
         self.counters.new_requests += 1;
         LdqPush::NewRequest
     }
@@ -114,15 +130,21 @@ impl<W> LoadQueue<W> {
     /// express (the requestor has already moved on, as the non-blocking PE
     /// control unit does).
     pub fn push_forced(&mut self, key: u64, waiter: W) -> LdqPush {
-        if let Some(waiters) = self.pending.get_mut(&key) {
-            waiters.push(waiter);
+        self.push_forced_at(key, waiter, 0)
+    }
+
+    /// [`push_forced`](LoadQueue::push_forced) with an admission timestamp
+    /// (see [`push_at`](LoadQueue::push_at)).
+    pub fn push_forced_at(&mut self, key: u64, waiter: W, now: u64) -> LdqPush {
+        if let Some(entry) = self.pending.get_mut(&key) {
+            entry.waiters.push(waiter);
             self.counters.deduplicated += 1;
             return LdqPush::Deduplicated;
         }
         if self.pending.len() >= self.capacity {
             self.counters.rejected_full += 1;
         }
-        self.pending.insert(key, vec![waiter]);
+        self.pending.insert(key, Entry { since: now, waiters: vec![waiter] });
         self.counters.new_requests += 1;
         LdqPush::NewRequest
     }
@@ -131,12 +153,20 @@ impl<W> LoadQueue<W> {
     /// order. Returns an empty vector if the key was not pending.
     pub fn complete(&mut self, key: u64) -> Vec<W> {
         match self.pending.remove(&key) {
-            Some(waiters) => {
+            Some(entry) => {
                 self.counters.completed += 1;
-                waiters
+                entry.waiters
             }
             None => Vec::new(),
         }
+    }
+
+    /// Age in cycles of the longest-waiting in-flight key at cycle `now`,
+    /// or 0 when the queue is empty. A *growing* age under steady
+    /// occupancy is the signature of a stuck (not merely deep) queue —
+    /// the stall-diagnosis signal occupancy gauges cannot provide.
+    pub fn oldest_age(&self, now: u64) -> u64 {
+        self.pending.values().map(|e| now.saturating_sub(e.since)).max().unwrap_or(0)
     }
 }
 
@@ -196,6 +226,26 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: LoadQueue<()> = LoadQueue::new(0);
+    }
+
+    #[test]
+    fn oldest_age_tracks_the_longest_waiting_key() {
+        let mut q: LoadQueue<u32> = LoadQueue::new(4);
+        assert_eq!(q.oldest_age(100), 0, "empty queue has no age");
+        q.push_at(1, 0, 10);
+        q.push_at(2, 0, 30);
+        assert_eq!(q.oldest_age(50), 40);
+        // Deduplicated waiters do not reset the admission stamp.
+        q.push_at(1, 1, 45);
+        assert_eq!(q.oldest_age(50), 40);
+        // Completing the oldest key leaves the younger one's age.
+        q.complete(1);
+        assert_eq!(q.oldest_age(50), 20);
+        // Forced pushes stamp too.
+        q.push_forced_at(3, 0, 48);
+        assert_eq!(q.oldest_age(50), 20);
+        q.complete(2);
+        assert_eq!(q.oldest_age(50), 2);
     }
 
     #[test]
